@@ -1,0 +1,59 @@
+"""Benchmarks / regeneration of the ablation experiments (E6-E9)."""
+
+import numpy as np
+
+from repro.experiments import ablations
+
+
+def test_accuracy_analysis_e6(benchmark, persist):
+    result = benchmark(ablations.run_accuracy_analysis)
+    assert result.joint_bound[-1] > 10.0
+    assert max(result.independent_bound) < 0.2
+    persist(
+        "ablation_accuracy_analysis",
+        result.to_dict(),
+        ablations.render_accuracy_analysis(result),
+    )
+
+
+def test_covariance_attenuation_e7(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: ablations.run_attenuation(rng=5), rounds=1, iterations=1
+    )
+    for observed, predicted in zip(result.observed_ratio, result.predicted_ratio):
+        assert abs(observed - predicted) < 0.05
+    assert all(result.ranking_preserved)
+    persist(
+        "ablation_attenuation",
+        result.to_dict(),
+        ablations.render_attenuation(result),
+    )
+
+
+def test_estimator_comparison_e8(benchmark, adult, persist):
+    result = benchmark.pedantic(
+        lambda: ablations.run_estimator_comparison(dataset=adult, rng=6),
+        rounds=1,
+        iterations=1,
+    )
+    by_method = dict(zip(result.methods, result.rank_correlation))
+    assert by_method["secure-sum"] > 0.999  # exact reconstruction
+    assert by_method["randomized"] > 0.7    # Corollary 1 in practice
+    persist(
+        "ablation_estimators",
+        result.to_dict(),
+        ablations.render_estimator_comparison(result),
+    )
+
+
+def test_projection_comparison_e9(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: ablations.run_projection(rng=7), rounds=1, iterations=1
+    )
+    by_method = dict(zip(result.methods, result.mean_l1))
+    assert by_method["clip+rescale (§6.4)"] <= by_method["raw Eq.(2)"] + 1e-9
+    persist(
+        "ablation_projection",
+        result.to_dict(),
+        ablations.render_projection(result),
+    )

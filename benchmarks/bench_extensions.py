@@ -1,0 +1,44 @@
+"""Benchmarks / regeneration of the extension experiments (E10-E11)."""
+
+import numpy as np
+
+from repro.experiments import extensions
+
+
+def test_kway_queries_e10(benchmark, adult, bench_runs, persist):
+    result = benchmark.pedantic(
+        lambda: extensions.run_kway_queries(
+            dataset=adult, runs=bench_runs, rng=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    errors = result.median_relative_error
+    # §6.5's remark: widening S does not change the picture much —
+    # no blow-up from k=2 to k=4 (allow 3x for run noise)
+    assert max(errors) < 3.0 * max(min(errors), 0.01)
+    persist(
+        "extension_kway",
+        result.to_dict(),
+        extensions.render_kway_queries(result),
+    )
+
+
+def test_clustering_comparison_e11(benchmark, adult, bench_runs, persist):
+    result = benchmark.pedantic(
+        lambda: extensions.run_clustering_comparison(
+            dataset=adult, runs=bench_runs, rng=9
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    errors = dict(zip(result.methods, result.median_relative_error))
+    # Algorithm 1 must be competitive with every hierarchical linkage
+    # (the paper argues its Tv/Td-aware greedy is the better fit)
+    best_other = min(v for k, v in errors.items() if k != "algorithm1")
+    assert errors["algorithm1"] < 2.0 * best_other
+    persist(
+        "extension_clustering",
+        result.to_dict(),
+        extensions.render_clustering_comparison(result),
+    )

@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of Figure 1 (sqrt(B) vs categories).
+
+Analytic, so besides regenerating the curve this doubles as the
+micro-benchmark of the chi-square error-bound machinery.
+"""
+
+import numpy as np
+
+from repro.experiments import figure1
+
+
+def test_figure1_curve(benchmark, persist):
+    result = benchmark(figure1.run)
+    values = np.asarray(result.sqrt_b)
+    # paper curve: ~2.24 at r=2, ~5.0 at r=100000, monotone in between
+    assert values[0] == 2.2414027276049473 or abs(values[0] - 2.24) < 0.01
+    assert abs(values[-1] - 5.03) < 0.02
+    assert (np.diff(values) >= 0).all()
+    persist("figure1", result.to_dict(), figure1.render(result))

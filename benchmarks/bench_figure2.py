@@ -1,0 +1,29 @@
+"""Benchmark / regeneration of Figure 2 (Randomized vs RR-Independent,
+p = 0.7, absolute and relative count error vs coverage)."""
+
+import numpy as np
+
+from repro.experiments import figure2
+
+
+def test_figure2_randomized_vs_independent(benchmark, adult, bench_runs, persist):
+    result = benchmark.pedantic(
+        lambda: figure2.run(dataset=adult, p=0.7, runs=bench_runs, rng=1),
+        rounds=1,
+        iterations=1,
+    )
+    randomized_rel = np.asarray(result.relative["Randomized"])
+    independent_rel = np.asarray(result.relative["RR-Ind"])
+    randomized_abs = np.asarray(result.absolute["Randomized"])
+
+    # Shape checks from §6.5:
+    # (1) Eq. (2) buys accuracy: RR-Ind below Randomized on most of the
+    #     sigma grid (both error kinds).
+    assert (independent_rel <= randomized_rel).mean() >= 0.7
+    # (2) the relative error decreases as sigma grows (denominator X_S).
+    assert randomized_rel[-1] < randomized_rel[0]
+    assert independent_rel[-1] < independent_rel[0]
+    # (3) the absolute error peaks in the middle of the grid.
+    peak = int(np.argmax(randomized_abs))
+    assert 1 <= peak <= 7
+    persist("figure2", result.to_dict(), figure2.render(result))

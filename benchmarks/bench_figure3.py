@@ -1,0 +1,42 @@
+"""Benchmark / regeneration of Figure 3 (four methods vs coverage, one
+panel per p, clusters at the paper's best Tv/Td)."""
+
+import numpy as np
+
+from repro.experiments import figure3
+
+
+def test_figure3_method_comparison(benchmark, adult, bench_runs, persist):
+    result = benchmark.pedantic(
+        lambda: figure3.run(dataset=adult, runs=bench_runs, rng=3),
+        rounds=1,
+        iterations=1,
+    )
+    # Shape checks from §6.5:
+    # (1) strong randomization panel (p=0.1): clustering/adjustment do
+    #     not dominate — RR-Ind is competitive (best or near-best on
+    #     average across sigma).
+    weak_panel = result.panels["0.1"]
+    averages = {name: float(np.mean(vals)) for name, vals in weak_panel.items()}
+    assert averages["RR-Ind"] <= min(averages.values()) * 2.0
+
+    # (2) weak randomization panel (p=0.7), small sigma: the
+    #     cluster-based pipelines beat plain RR-Ind.
+    strong_panel = result.panels["0.7"]
+    cluster_name = next(
+        n for n in strong_panel if n.startswith("RR-Cluster") and "Adj" not in n
+    )
+    adjusted_name = next(n for n in strong_panel if n.endswith("RR-Adj") and "Cluster" in n)
+    small_sigma = slice(0, 2)  # sigma in {0.1, 0.2}
+    assert np.mean(strong_panel[cluster_name][small_sigma]) < np.mean(
+        strong_panel["RR-Ind"][small_sigma]
+    ) * 1.15
+    assert np.mean(strong_panel[adjusted_name][small_sigma]) < np.mean(
+        strong_panel["RR-Ind"][small_sigma]
+    )
+
+    # (3) large sigma: every method's error collapses (denominator X_S)
+    for panel in result.panels.values():
+        for series in panel.values():
+            assert series[-1] < series[0] + 0.05
+    persist("figure3", result.to_dict(), figure3.render(result))

@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+These are throughput benchmarks in the classic pytest-benchmark style
+(many rounds), covering the operations the §6 evaluation loops execute
+thousands of times: column randomization (constant-diagonal fast path
+vs dense), Eq. (2) inversion (closed form vs linear solve), the IPF
+sweep of Algorithm 2, cluster-joint randomization, and the ring secure
+sum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import estimate_distribution
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.core.mechanism import randomize_column
+from repro.data.domain import Domain
+from repro.mpc.secure_sum import secure_sum
+from repro.protocols.adjustment import adjust_weights
+from repro.protocols.clusters import RRClusters
+from repro.clustering.algorithm import Clustering
+
+
+N = 32_561  # Adult scale
+
+
+@pytest.fixture(scope="module")
+def column(adult):
+    return adult.column("education")
+
+
+def test_randomize_fast_path(benchmark, column):
+    matrix = keep_else_uniform_matrix(16, 0.7)
+    rng = np.random.default_rng(0)
+    out = benchmark(lambda: randomize_column(column, matrix, rng))
+    assert out.shape == column.shape
+
+
+def test_randomize_dense_path(benchmark, column):
+    dense = keep_else_uniform_matrix(16, 0.7).dense()
+    rng = np.random.default_rng(0)
+    out = benchmark(lambda: randomize_column(column, dense, rng))
+    assert out.shape == column.shape
+
+
+def test_estimate_closed_form(benchmark):
+    matrix = keep_else_uniform_matrix(1000, 0.7)
+    rng = np.random.default_rng(1)
+    lam = rng.dirichlet(np.ones(1000))
+    out = benchmark(lambda: estimate_distribution(lam, matrix))
+    assert out.shape == (1000,)
+
+
+def test_estimate_dense_solve(benchmark):
+    matrix = keep_else_uniform_matrix(200, 0.7)
+    dense = matrix.dense()
+    rng = np.random.default_rng(1)
+    lam = rng.dirichlet(np.ones(200))
+    out = benchmark(lambda: estimate_distribution(lam, dense))
+    assert out.shape == (200,)
+
+
+def test_cluster_randomization_full_adult(benchmark, adult):
+    clustering = Clustering(
+        schema=adult.schema,
+        clusters=(
+            ("workclass",),
+            ("education",),
+            ("marital-status", "sex", "income"),
+            ("occupation",),
+            ("relationship",),
+            ("race",),
+        ),
+    )
+    protocol = RRClusters(clustering, p=0.7)
+    rng = np.random.default_rng(2)
+    released = benchmark(lambda: protocol.randomize(adult, rng))
+    assert released.n_records == adult.n_records
+
+
+def test_ipf_sweep_adult(benchmark, adult):
+    marginals = [
+        ((name,), adult.marginal_distribution(name))
+        for name in adult.schema.names
+    ]
+    result = benchmark(
+        lambda: adjust_weights(adult, marginals, max_iterations=5,
+                               tolerance=0.0)
+    )
+    assert result.weights.shape == (adult.n_records,)
+
+
+def test_ring_secure_sum_adult_scale(benchmark):
+    rng = np.random.default_rng(3)
+    contributions = rng.integers(0, 2, size=N)
+    total = benchmark(
+        lambda: secure_sum(contributions, method="ring", rng=rng)
+    )
+    assert total == contributions.sum()
+
+
+def test_domain_encode_adult_scale(benchmark, adult):
+    domain = Domain.from_schema(adult.schema, ["education", "occupation", "sex"])
+    cols = adult.columns(["education", "occupation", "sex"])
+    flat = benchmark(lambda: domain.encode(cols))
+    assert flat.shape == (adult.n_records,)

@@ -1,0 +1,41 @@
+"""Benchmark / regeneration of Table 1 (RR-Clusters relative error on
+Adult, Tv x Td x p grid, sigma = 0.1)."""
+
+import numpy as np
+
+from repro.experiments import table1
+
+
+def test_table1_cluster_grid(benchmark, adult, bench_runs, persist):
+    result = benchmark.pedantic(
+        lambda: table1.run(dataset=adult, runs=bench_runs, rng=2),
+        rounds=1,
+        iterations=1,
+    )
+    # Shape checks from §6.5:
+    # (1) error decreases as randomization weakens: p=0.7 grid mean
+    #     below p=0.1 grid mean.
+    def grid_mean(p):
+        return np.mean(
+            [
+                result.error(p, td, tv)
+                for td in result.td_grid
+                for tv in result.tv_grid
+            ]
+        )
+
+    assert grid_mean(0.7) < grid_mean(0.1)
+    # (2) "as a rule the relative error increased with Tv": across the
+    #     whole grid, Tv=300 must be worse than Tv=50 on average.
+    tv_low = np.mean(
+        [result.error(p, td, 50) for p in result.p_grid for td in result.td_grid]
+    )
+    tv_high = np.mean(
+        [result.error(p, td, 300) for p in result.p_grid for td in result.td_grid]
+    )
+    assert tv_low < tv_high
+    # (3) the p=0.7 row is small and flat (all cells below 0.2)
+    for td in result.td_grid:
+        for tv in result.tv_grid:
+            assert result.error(0.7, td, tv) < 0.2
+    persist("table1", result.to_dict(), table1.render(result))

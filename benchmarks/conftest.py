@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures.
+
+Every macro-benchmark regenerates one paper artifact: it runs the
+corresponding :mod:`repro.experiments` module inside the benchmark
+timer, prints the paper-style table and writes the raw JSON to
+``results/``. ``REPRO_RUNS`` (default 31; paper: 1000) scales the
+randomized trials per configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import config
+
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def adult():
+    return config.adult()
+
+
+@pytest.fixture(scope="session")
+def adult6():
+    return config.adult6()
+
+
+@pytest.fixture(scope="session")
+def bench_runs():
+    return config.default_runs()
+
+
+@pytest.fixture
+def persist():
+    """Write an experiment result + rendering under results/."""
+
+    def _persist(name: str, payload: dict, rendered: str) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        with open(RESULTS_DIR / f"{name}.json", "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print()
+        print(rendered)
+
+    return _persist

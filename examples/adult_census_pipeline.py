@@ -1,0 +1,85 @@
+"""The full RR-Clusters + RR-Adjustment pipeline on the Adult census.
+
+This walks the paper's complete recipe (§4-§6):
+
+1. estimate pairwise attribute dependences;
+2. cluster attributes with Algorithm 1 (Tv/Td thresholds);
+3. randomize cluster-wise with the §6.3.2 matrices, calibrated to the
+   same privacy budget RR-Independent would spend;
+4. estimate the per-cluster joint distributions (Eq. (2));
+5. repair the remaining independence assumptions with Algorithm 2;
+6. compare all methods on count queries.
+
+Run:  python examples/adult_census_pipeline.py
+"""
+
+import numpy as np
+
+import repro
+from repro.protocols.adjustment import adjust_weights, weighted_pair_table
+
+
+def main() -> None:
+    data = repro.load_adult()
+    p = 0.7
+
+    # 1. dependences (trusted-baseline here; see examples/
+    #    dependence_estimation.py for the privacy-preserving variants)
+    dependences = repro.exact_dependences(data)
+    names = data.schema.names
+    ranked = dependences.ranking()[:5]
+    print("strongest attribute dependences:")
+    for i, j in ranked:
+        print(f"  {names[i]:>15s} ~ {names[j]:<15s} "
+              f"{dependences.matrix[i, j]:.3f}")
+
+    # 2-3. cluster and calibrate
+    protocol = repro.RRClusters.design(
+        data, p=p, max_cells=50, min_dependence=0.1, dependences=dependences
+    )
+    print(f"\nclusters (Tv=50, Td=0.1): ")
+    for cluster, cells in zip(
+        protocol.clustering.clusters, protocol.clustering.cluster_sizes()
+    ):
+        print(f"  {{{', '.join(cluster)}}}  ({cells} joint cells)")
+    independent = repro.RRIndependent(data.schema, p=p)
+    print(f"\nbudget check: RR-Clusters eps = {protocol.epsilon:.4f}, "
+          f"RR-Independent eps = {independent.epsilon:.4f} (equal by design)")
+
+    # 4. randomize and estimate
+    released = protocol.randomize(data, rng=0)
+    estimates = protocol.estimate(released)
+
+    # 5. RR-Adjustment at the cluster level
+    targets = list(zip(protocol.clustering.clusters, estimates.joints))
+    adjusted = adjust_weights(released, targets, max_iterations=50)
+    print(f"\nadjustment: {adjusted.iterations} sweeps, "
+          f"converged={adjusted.converged}, "
+          f"marginal gap {adjusted.max_marginal_gap:.2e}")
+
+    # 6. evaluate on a strongly dependent pair
+    pair = ("marital-status", "income")
+    truth = data.contingency_table(*pair) / len(data)
+    methods = {
+        "RR-Independent (product of marginals)": np.outer(
+            independent.estimate_marginal(
+                independent.randomize(data, rng=1), pair[0]
+            ),
+            independent.estimate_marginal(
+                independent.randomize(data, rng=2), pair[1]
+            ),
+        ),
+        "RR-Clusters (cluster joint)": estimates.pair_table(*pair),
+        "RR-Clusters + RR-Adjustment": weighted_pair_table(
+            released, adjusted.weights, *pair
+        ),
+    }
+    print(f"\ntotal-variation distance to the true ({pair[0]}, {pair[1]}) "
+          "joint:")
+    for name, table in methods.items():
+        tvd = float(np.abs(table - truth).sum() / 2)
+        print(f"  {name:<40s} {tvd:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Comparing the three privacy-preserving dependence estimators.
+
+RR-Clusters needs pairwise dependences but no trusted party may compute
+them. The paper gives three procedures (§4.1-§4.3); this example runs
+all of them on the same data and compares accuracy, privacy cost and —
+what actually matters — whether Algorithm 1 produces the same clusters.
+
+Run:  python examples/dependence_estimation.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def describe(name, estimate, reference, schema, max_cells, min_dependence):
+    upper = np.triu_indices(schema.width, k=1)
+    gap = float(np.abs(estimate.matrix - reference.matrix)[upper].mean())
+    clusters = repro.cluster_attributes(
+        schema, estimate.matrix, max_cells, min_dependence
+    )
+    eps = "exact release" if np.isinf(estimate.epsilon) else (
+        f"eps = {estimate.epsilon:.2f}"
+    )
+    print(f"{name}")
+    print(f"  privacy cost:     {eps}")
+    print(f"  mean |error|:     {gap:.4f}")
+    print(f"  clusters: {[list(c) for c in clusters.clusters]}")
+    print()
+    return clusters
+
+
+def main() -> None:
+    # Subsample to keep the message-level secure sums fast.
+    data = repro.load_adult(n=8000)
+    schema = data.schema
+    max_cells, min_dependence = 50, 0.1
+
+    reference = repro.exact_dependences(data)
+    reference_clusters = describe(
+        "trusted baseline (no privacy)", reference, reference, schema,
+        max_cells, min_dependence,
+    )
+
+    # §4.1 — dependences measured on per-attribute-randomized data.
+    # Proposition 1: attenuated, but the ranking survives.
+    randomized = repro.randomized_dependences(data, p=0.8, rng=1)
+    describe("§4.1 randomized-data estimator (p=0.8)", randomized,
+             reference, schema, max_cells, min_dependence)
+
+    # §4.2 — exact bivariate tables through the secure sum; anonymity
+    # instead of noise.
+    secure = repro.secure_sum_dependences(data, rng=2)
+    describe("§4.2 secure-sum estimator (exact tables)", secure,
+             reference, schema, max_cells, min_dependence)
+
+    # §4.3 — joint RR per attribute pair + secure sum; differentially
+    # private with parallel-composition accounting.
+    pairs = repro.rr_pairs_dependences(data, p=0.8, rng=3)
+    describe("§4.3 RR-on-pairs estimator (p=0.8)", pairs,
+             reference, schema, max_cells, min_dependence)
+
+    print("note: what matters downstream is the clustering, not the "
+          "dependence values themselves —")
+    print("the estimators are good enough when Algorithm 1 lands on "
+          "(nearly) the same partition as the trusted baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Local anonymization of numerical microdata (§8 future work).
+
+RR needs categorical data; numeric attributes are binned with a shared
+grid, randomized at the bin level, and the collector reconstructs
+numeric summaries (mean, variance, quantiles) from the *estimated bin
+distribution* — never from any individual's value. This example also
+prices the privacy/utility trade-off across keep probabilities and
+shows the attacker-side risk measures for the chosen design.
+
+Run:  python examples/numeric_attributes.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n = 25_000
+    # hours-per-week-like column: mixture of a spike and a spread
+    hours = np.where(
+        rng.random(n) < 0.55,
+        rng.normal(40, 2.5, n),
+        rng.gamma(6.0, 6.0, n),
+    )
+    print(f"true column: n={n}, mean={hours.mean():.2f}, "
+          f"std={hours.std():.2f}, median={np.median(hours):.2f}")
+
+    codec = repro.NumericCodec.equal_width(hours, bins=20, name="hours")
+    print(f"codec: {codec} over [{codec.edges[0]:.1f}, {codec.edges[-1]:.1f}]")
+
+    print(f"\n{'p':>5s} {'eps':>7s} {'mean':>7s} {'std':>6s} "
+          f"{'median':>7s} {'max-posterior':>14s}")
+    for p in (0.3, 0.5, 0.7, 0.9):
+        pipeline = repro.NumericRRPipeline(codec, p=p)
+        released = pipeline.randomize(hours, rng=rng)
+        summaries = pipeline.estimate_summaries(released)
+        # attacker view: posterior risk given the bin prior
+        prior = np.bincount(codec.encode(hours), minlength=codec.n_bins) / n
+        risk = repro.maximum_posterior(pipeline.matrix, prior)
+        print(
+            f"{p:>5.1f} {pipeline.epsilon:>7.2f} "
+            f"{summaries['mean']:>7.2f} "
+            f"{np.sqrt(summaries['variance']):>6.2f} "
+            f"{summaries['median']:>7.2f} {risk:>14.3f}"
+        )
+
+    # synthetic numeric re-creation (§3.2, numeric analogue)
+    pipeline = repro.NumericRRPipeline(codec, p=0.7)
+    released = pipeline.randomize(hours, rng=rng)
+    synthetic = pipeline.reconstruct_synthetic(released, n, rng=rng)
+    print(f"\nsynthetic column: mean={synthetic.mean():.2f}, "
+          f"std={synthetic.std():.2f}, median={np.median(synthetic):.2f}")
+    print("(drawn from the estimated bin distribution; individual true "
+          "values never leave their owners)")
+
+
+if __name__ == "__main__":
+    main()

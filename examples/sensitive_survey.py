@@ -1,0 +1,98 @@
+"""A sensitive survey run through the explicit party simulation.
+
+The paper's motivating scenario (§1-§3): n respondents each hold one
+private record; no trusted party exists. This example runs the whole
+protocol at the message level — every respondent is a
+:class:`repro.mpc.parties.Party` object whose true record never leaves
+it unrandomized — including Warner's classic single-question survey and
+the §4.2 secure-sum aggregation.
+
+Run:  python examples/sensitive_survey.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.matrices import warner_matrix
+from repro.core.mechanism import randomize_column
+from repro.mpc.parties import LocalNetwork
+from repro.mpc.secure_sum import secure_sum
+
+
+def warner_survey() -> None:
+    """Warner (1965): 'did you take drugs last month?' with a spinner."""
+    rng = np.random.default_rng(7)
+    n = 5000
+    true_rate = 0.12
+    truth = (rng.random(n) < true_rate).astype(np.int64)
+
+    matrix = warner_matrix(0.75)  # tell the truth w.p. 0.75
+    responses = randomize_column(truth, matrix, rng)
+    observed_yes = responses.mean()
+    estimate = repro.estimate_from_responses(responses, matrix)
+
+    print("Warner survey (single binary sensitive question)")
+    print(f"  true 'yes' rate        {true_rate:.3f}")
+    print(f"  observed randomized    {observed_yes:.3f}")
+    print(f"  Eq. (2) estimate       {estimate[1]:.3f}")
+    print(f"  per-response epsilon   {matrix.epsilon:.3f}\n")
+
+
+def multi_attribute_survey() -> None:
+    """A 3-attribute survey with explicit parties and a collector."""
+    schema = repro.Schema(
+        [
+            repro.Attribute("smokes", ("no", "yes")),
+            repro.Attribute(
+                "alcohol", ("never", "monthly", "weekly", "daily"),
+                kind="ordinal",
+            ),
+            repro.Attribute("therapy", ("no", "yes")),
+        ]
+    )
+    rng = np.random.default_rng(11)
+    n = 3000
+    smokes = (rng.random(n) < 0.25).astype(np.int64)
+    # alcohol correlates with smoking
+    alcohol = np.clip(
+        rng.poisson(0.6 + 1.1 * smokes), 0, 3
+    ).astype(np.int64)
+    therapy = (rng.random(n) < 0.15).astype(np.int64)
+    data = repro.Dataset(schema, np.stack([smokes, alcohol, therapy], axis=1))
+
+    # each respondent randomizes locally before publishing
+    protocol = repro.RRIndependent(schema, p=0.8)
+    randomizers = [
+        (
+            (j,),
+            lambda v, r, m=protocol.matrix_for(attr.name): randomize_column(
+                v, m, r
+            ),
+        )
+        for j, attr in enumerate(schema)
+    ]
+    network = LocalNetwork(data, rng=13)
+    released = network.broadcast_round(randomizers)
+
+    print("multi-attribute survey via explicit parties")
+    print(f"  respondents: {network.n_parties}, "
+          f"budget eps = {protocol.epsilon:.2f}")
+    for name in schema.names:
+        estimate = protocol.estimate_marginal(released, name)
+        truth = data.marginal_distribution(name)
+        gap = float(np.abs(estimate - truth).max())
+        print(f"  {name:>8s}: max marginal error {gap:.4f}")
+
+    # §4.2: the exact (smokes, alcohol) table via per-cell secure sums —
+    # nobody's individual answer is revealed, only aggregates.
+    cell = (1, 3)  # smokers who drink daily
+    contributions = network.indicator_contributions((0, 1), cell)
+    count = secure_sum(contributions, method="pairwise", rng=17)
+    true_count = int(((smokes == 1) & (alcohol == 3)).sum())
+    print(f"  secure-sum count of (smokes=yes, alcohol=daily): {count} "
+          f"(true {true_count})")
+
+
+if __name__ == "__main__":
+    warner_survey()
+    multi_attribute_survey()

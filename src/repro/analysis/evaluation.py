@@ -1,0 +1,288 @@
+"""The §6.5 experiment driver.
+
+A *method* is anything that, given the true dataset and a random
+stream, produces a pair-table estimator: a callable mapping two
+attribute names to an estimated bivariate distribution. The five
+methods of the paper's evaluation (§6.2 plus the raw "Randomized"
+baseline of Figure 2) are provided as :class:`PairTableMethod`
+subclasses; :func:`run_pair_query_trials` runs them over random pair
+count queries and reports the median absolute and relative errors —
+the exact quantities plotted in Figures 2–3 and tabulated in
+Tables 1–2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro._rng import ensure_rng, spawn_rngs
+from repro.analysis.metrics import absolute_count_error, relative_count_error
+from repro.analysis.queries import PairQuery, count_from_table, random_pair_query
+from repro.clustering.estimators import DependenceEstimate
+from repro.data.dataset import Dataset
+from repro.exceptions import ProtocolError, QueryError
+from repro.protocols.adjustment import adjust_weights, weighted_pair_table
+from repro.protocols.clusters import RRClusters
+from repro.protocols.independent import RRIndependent
+
+__all__ = [
+    "PairTableMethod",
+    "RandomizedBaselineMethod",
+    "IndependentMethod",
+    "AdjustedIndependentMethod",
+    "ClustersMethod",
+    "AdjustedClustersMethod",
+    "TrialReport",
+    "run_pair_query_trials",
+]
+
+
+class PairTableMethod:
+    """Base class: one evaluated method of §6.2.
+
+    Subclasses implement :meth:`prepare` (one-time design work such as
+    clustering — *not* re-run per trial, matching the paper where the
+    clustering is part of the protocol design) and :meth:`run` (one
+    randomization round; returns the pair-table estimator for that
+    round).
+    """
+
+    #: Display name used in reports; subclasses override.
+    name = "method"
+
+    def prepare(self, dataset: Dataset) -> None:
+        """One-time design against the dataset (default: nothing)."""
+
+    def run(
+        self, dataset: Dataset, rng: np.random.Generator
+    ) -> Callable:
+        """One randomization round; returns ``f(name_a, name_b) -> table``."""
+        raise NotImplementedError
+
+
+class RandomizedBaselineMethod(PairTableMethod):
+    """The "Randomized" curve of Figure 2: counts read directly off the
+    per-attribute-randomized data, *without* the Eq. (2) correction."""
+
+    def __init__(self, p: float):
+        self.name = "Randomized"
+        self._p = p
+        self._protocol: RRIndependent | None = None
+
+    def prepare(self, dataset: Dataset) -> None:
+        self._protocol = RRIndependent(dataset.schema, p=self._p)
+
+    def run(self, dataset: Dataset, rng: np.random.Generator) -> Callable:
+        if self._protocol is None:
+            raise ProtocolError("prepare() must run before run()")
+        released = self._protocol.randomize(dataset, rng)
+        n = max(released.n_records, 1)
+
+        def table(name_a: str, name_b: str) -> np.ndarray:
+            return released.contingency_table(name_a, name_b) / n
+
+        return table
+
+
+class IndependentMethod(PairTableMethod):
+    """RR-Independent (§6.2 method 1): Eq. (2) marginals, independence."""
+
+    def __init__(self, p: float):
+        self.name = "RR-Ind"
+        self._p = p
+        self._protocol: RRIndependent | None = None
+
+    def prepare(self, dataset: Dataset) -> None:
+        self._protocol = RRIndependent(dataset.schema, p=self._p)
+
+    def run(self, dataset: Dataset, rng: np.random.Generator) -> Callable:
+        if self._protocol is None:
+            raise ProtocolError("prepare() must run before run()")
+        protocol = self._protocol
+        released = protocol.randomize(dataset, rng)
+        marginals = protocol.estimate_marginals(released)
+
+        def table(name_a: str, name_b: str) -> np.ndarray:
+            return np.outer(marginals[name_a], marginals[name_b])
+
+        return table
+
+
+class AdjustedIndependentMethod(PairTableMethod):
+    """RR-Independent + RR-Adjustment (§6.2 method 3)."""
+
+    def __init__(self, p: float, max_iterations: int = 50):
+        self.name = "RR-Ind + RR-Adj"
+        self._p = p
+        self._max_iterations = max_iterations
+        self._protocol: RRIndependent | None = None
+
+    def prepare(self, dataset: Dataset) -> None:
+        self._protocol = RRIndependent(dataset.schema, p=self._p)
+
+    def run(self, dataset: Dataset, rng: np.random.Generator) -> Callable:
+        if self._protocol is None:
+            raise ProtocolError("prepare() must run before run()")
+        protocol = self._protocol
+        released = protocol.randomize(dataset, rng)
+        marginals = protocol.estimate_marginals(released)
+        targets = [((name,), marginals[name]) for name in released.schema.names]
+        result = adjust_weights(
+            released, targets, max_iterations=self._max_iterations
+        )
+
+        def table(name_a: str, name_b: str) -> np.ndarray:
+            return weighted_pair_table(released, result.weights, name_a, name_b)
+
+        return table
+
+
+class ClustersMethod(PairTableMethod):
+    """RR-Clusters (§6.2 method 2)."""
+
+    def __init__(
+        self,
+        p: float,
+        max_cells: int,
+        min_dependence: float,
+        dependences: DependenceEstimate | None = None,
+    ):
+        self.name = f"RR-Cluster {max_cells} {min_dependence:g}"
+        self._p = p
+        self._max_cells = max_cells
+        self._min_dependence = min_dependence
+        self._dependences = dependences
+        self._protocol: RRClusters | None = None
+
+    def prepare(self, dataset: Dataset) -> None:
+        self._protocol = RRClusters.design(
+            dataset,
+            p=self._p,
+            max_cells=self._max_cells,
+            min_dependence=self._min_dependence,
+            dependences=self._dependences,
+        )
+
+    @property
+    def protocol(self) -> RRClusters:
+        if self._protocol is None:
+            raise ProtocolError("prepare() must run before the protocol exists")
+        return self._protocol
+
+    def run(self, dataset: Dataset, rng: np.random.Generator) -> Callable:
+        protocol = self.protocol
+        released = protocol.randomize(dataset, rng)
+        estimates = protocol.estimate(released)
+        return estimates.pair_table
+
+
+class AdjustedClustersMethod(PairTableMethod):
+    """RR-Clusters + RR-Adjustment (§6.2 method 4): Algorithm 2 at the
+    cluster level, targets being the cluster joint estimates."""
+
+    def __init__(
+        self,
+        p: float,
+        max_cells: int,
+        min_dependence: float,
+        dependences: DependenceEstimate | None = None,
+        max_iterations: int = 50,
+    ):
+        self.name = f"RR-Cluster {max_cells} {min_dependence:g} + RR-Adj"
+        self._inner = ClustersMethod(p, max_cells, min_dependence, dependences)
+        self._max_iterations = max_iterations
+
+    def prepare(self, dataset: Dataset) -> None:
+        self._inner.prepare(dataset)
+
+    def run(self, dataset: Dataset, rng: np.random.Generator) -> Callable:
+        protocol = self._inner.protocol
+        released = protocol.randomize(dataset, rng)
+        estimates = protocol.estimate(released)
+        targets = [
+            (cluster, joint)
+            for cluster, joint in zip(
+                protocol.clustering.clusters, estimates.joints
+            )
+        ]
+        result = adjust_weights(
+            released, targets, max_iterations=self._max_iterations
+        )
+
+        def table(name_a: str, name_b: str) -> np.ndarray:
+            return weighted_pair_table(released, result.weights, name_a, name_b)
+
+        return table
+
+
+@dataclass
+class TrialReport:
+    """Median errors of one method over repeated randomized trials."""
+
+    method: str
+    coverage: float
+    runs: int
+    median_absolute_error: float
+    median_relative_error: float
+    absolute_errors: np.ndarray = field(repr=False)
+    relative_errors: np.ndarray = field(repr=False)
+
+
+def run_pair_query_trials(
+    dataset: Dataset,
+    methods: Sequence,
+    coverage: float,
+    runs: int,
+    rng: "int | np.random.Generator | None" = None,
+    pair: tuple | None = None,
+) -> Mapping:
+    """Run the §6.5 evaluation for several methods at one coverage.
+
+    Every trial draws a fresh random pair query at ``coverage`` and a
+    fresh randomization for *each* method (methods share the query so
+    their errors are paired, reducing comparison variance).
+
+    Returns ``{method name: TrialReport}``.
+    """
+    if runs < 1:
+        raise QueryError(f"runs must be >= 1, got {runs}")
+    generator = ensure_rng(rng)
+    for method in methods:
+        method.prepare(dataset)
+    names = [m.name for m in methods]
+    if len(set(names)) != len(names):
+        raise QueryError(f"duplicate method names: {names}")
+    absolute: dict = {name: [] for name in names}
+    relative: dict = {name: [] for name in names}
+    n = dataset.n_records
+    trial_streams = spawn_rngs(generator, runs)
+    for trial_rng in trial_streams:
+        query = random_pair_query(dataset.schema, coverage, trial_rng, names=pair)
+        true_count = query.true_count(dataset)
+        for method in methods:
+            estimator = method.run(dataset, trial_rng)
+            table = estimator(query.name_a, query.name_b)
+            estimated = count_from_table(table, query, n)
+            absolute[method.name].append(
+                absolute_count_error(estimated, true_count)
+            )
+            relative[method.name].append(
+                relative_count_error(estimated, true_count)
+            )
+    out = {}
+    for name in names:
+        abs_errors = np.asarray(absolute[name], dtype=np.float64)
+        rel_errors = np.asarray(relative[name], dtype=np.float64)
+        out[name] = TrialReport(
+            method=name,
+            coverage=coverage,
+            runs=runs,
+            median_absolute_error=float(np.median(abs_errors)),
+            median_relative_error=float(np.median(rel_errors)),
+            absolute_errors=abs_errors,
+            relative_errors=rel_errors,
+        )
+    return out

@@ -1,0 +1,85 @@
+"""Error metrics for counts and distributions.
+
+The paper's evaluation (§6.5) reports the absolute count error
+``e_S = |Y_S - X_S|`` and the relative count error
+``r_S = |Y_S - X_S| / X_S`` (Eq. (16)), taking medians over repeated
+runs. The distribution-level metrics are used by the ablations and the
+test suite when comparing estimated against true distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+__all__ = [
+    "absolute_count_error",
+    "relative_count_error",
+    "total_variation",
+    "l1_distance",
+    "l2_distance",
+    "max_abs_error",
+    "kl_divergence",
+]
+
+
+def absolute_count_error(estimated: float, true: float) -> float:
+    """``e_S = |Y_S - X_S|`` (§6.5)."""
+    return abs(float(estimated) - float(true))
+
+
+def relative_count_error(estimated: float, true: float) -> float:
+    """``r_S = |Y_S - X_S| / X_S`` (Eq. (16)).
+
+    When the true count is zero the relative error is 0 if the estimate
+    is also zero and infinite otherwise — the limit of Eq. (16); the
+    median across runs stays meaningful either way.
+    """
+    true_value = float(true)
+    estimated_value = float(estimated)
+    if true_value == 0.0:
+        return 0.0 if estimated_value == 0.0 else float("inf")
+    return abs(estimated_value - true_value) / abs(true_value)
+
+
+def _pair(p: np.ndarray, q: np.ndarray) -> tuple:
+    a = np.asarray(p, dtype=np.float64).reshape(-1)
+    b = np.asarray(q, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise QueryError(
+            f"distributions must have the same shape, got {a.shape} vs {b.shape}"
+        )
+    return a, b
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance ``max_S |P(S) - Q(S)| = L1/2``."""
+    a, b = _pair(p, q)
+    return float(np.abs(a - b).sum() / 2.0)
+
+
+def l1_distance(p: np.ndarray, q: np.ndarray) -> float:
+    a, b = _pair(p, q)
+    return float(np.abs(a - b).sum())
+
+
+def l2_distance(p: np.ndarray, q: np.ndarray) -> float:
+    a, b = _pair(p, q)
+    return float(np.sqrt(((a - b) ** 2).sum()))
+
+
+def max_abs_error(p: np.ndarray, q: np.ndarray) -> float:
+    a, b = _pair(p, q)
+    return float(np.abs(a - b).max())
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """``KL(p || q)``; infinite where ``p > 0`` meets ``q == 0``."""
+    a, b = _pair(p, q)
+    if (a < 0).any() or (b < 0).any():
+        raise QueryError("distributions must be non-negative")
+    mask = a > 0
+    if (b[mask] == 0).any():
+        return float("inf")
+    return float((a[mask] * np.log(a[mask] / b[mask])).sum())

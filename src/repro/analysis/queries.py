@@ -1,0 +1,154 @@
+"""Count-query workloads over pair-attribute subsets (paper §6.5).
+
+The paper evaluates every method on count queries: choose two random
+attributes, choose a random subset ``S`` covering a proportion
+``sigma`` of their value combinations, and compare the estimated count
+of records in ``S`` against the true count. :class:`PairQuery` is one
+such query; :func:`random_pair_query` draws one per the paper's recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.exceptions import QueryError
+
+__all__ = ["PairQuery", "random_pair_query", "count_from_table"]
+
+
+@dataclass(frozen=True)
+class PairQuery:
+    """A count query over a subset of two attributes' value combinations.
+
+    Attributes
+    ----------
+    name_a, name_b:
+        The two attributes defining the query.
+    cells:
+        ``(k, 2)`` array of code pairs belonging to ``S``.
+    """
+
+    name_a: str
+    name_b: str
+    cells: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.name_a == self.name_b:
+            raise QueryError("pair query needs two distinct attributes")
+        grid = np.asarray(self.cells, dtype=np.int64)
+        if grid.ndim != 2 or grid.shape[1] != 2:
+            raise QueryError(f"cells must have shape (k, 2), got {grid.shape}")
+        if grid.shape[0] == 0:
+            raise QueryError("query set S must contain at least one cell")
+        pairs = {(int(a), int(b)) for a, b in grid}
+        if len(pairs) != grid.shape[0]:
+            raise QueryError("query cells must be distinct")
+        object.__setattr__(self, "cells", grid)
+
+    @property
+    def n_cells(self) -> int:
+        return self.cells.shape[0]
+
+    def coverage(self, schema: Schema) -> float:
+        """Fraction sigma of the pair domain covered by ``S``."""
+        size = (
+            schema.attribute(self.name_a).size
+            * schema.attribute(self.name_b).size
+        )
+        return self.n_cells / size
+
+    def validate_against(self, schema: Schema) -> None:
+        size_a = schema.attribute(self.name_a).size
+        size_b = schema.attribute(self.name_b).size
+        if (
+            self.cells[:, 0].min() < 0
+            or self.cells[:, 0].max() >= size_a
+            or self.cells[:, 1].min() < 0
+            or self.cells[:, 1].max() >= size_b
+        ):
+            raise QueryError(
+                f"query cells out of range for attributes "
+                f"{self.name_a!r} ({size_a}) x {self.name_b!r} ({size_b})"
+            )
+
+    def mask(self, size_a: int, size_b: int) -> np.ndarray:
+        """Boolean ``(size_a, size_b)`` membership mask of ``S``."""
+        out = np.zeros((size_a, size_b), dtype=bool)
+        out[self.cells[:, 0], self.cells[:, 1]] = True
+        return out
+
+    def true_count(self, dataset: Dataset) -> int:
+        """Exact number of records of the true data set in ``S``."""
+        self.validate_against(dataset.schema)
+        table = dataset.contingency_table(self.name_a, self.name_b)
+        return int(table[self.cells[:, 0], self.cells[:, 1]].sum())
+
+    def complement(self, schema: Schema) -> "PairQuery":
+        """The query over the remaining cells of the pair domain."""
+        size_a = schema.attribute(self.name_a).size
+        size_b = schema.attribute(self.name_b).size
+        mask = ~self.mask(size_a, size_b)
+        cells = np.argwhere(mask)
+        if cells.shape[0] == 0:
+            raise QueryError("query already covers the full pair domain")
+        return PairQuery(self.name_a, self.name_b, cells)
+
+
+def random_pair_query(
+    schema: Schema,
+    coverage: float,
+    rng: "int | np.random.Generator | None" = None,
+    names: tuple | None = None,
+) -> PairQuery:
+    """Draw a query per the paper's §6.5 recipe.
+
+    Two random distinct attributes (unless ``names`` pins them) and a
+    uniformly random subset containing a ``coverage`` proportion of
+    their value combinations (at least one cell).
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise QueryError(f"coverage must be in (0, 1], got {coverage}")
+    generator = ensure_rng(rng)
+    if names is None:
+        if schema.width < 2:
+            raise QueryError("schema needs at least two attributes")
+        pos = generator.choice(schema.width, size=2, replace=False)
+        name_a, name_b = schema.names[pos[0]], schema.names[pos[1]]
+    else:
+        name_a, name_b = names
+    size_a = schema.attribute(name_a).size
+    size_b = schema.attribute(name_b).size
+    total = size_a * size_b
+    k = max(1, int(round(coverage * total)))
+    chosen = generator.choice(total, size=k, replace=False)
+    cells = np.stack([chosen // size_b, chosen % size_b], axis=1)
+    return PairQuery(name_a, name_b, cells)
+
+
+def count_from_table(
+    table: np.ndarray, query: PairQuery, n_records: int
+) -> float:
+    """Estimated count of ``S`` from an estimated pair distribution.
+
+    ``table`` holds relative frequencies over the pair domain (any of
+    the protocol ``estimate_pair_table`` outputs); the count estimate
+    is ``n * sum of the S cells``.
+    """
+    grid = np.asarray(table, dtype=np.float64)
+    if grid.ndim != 2:
+        raise QueryError(f"table must be 2-D, got shape {grid.shape}")
+    if (
+        query.cells[:, 0].max() >= grid.shape[0]
+        or query.cells[:, 1].max() >= grid.shape[1]
+    ):
+        raise QueryError(
+            f"query cells out of range for table shape {grid.shape}"
+        )
+    if n_records < 0:
+        raise QueryError(f"n_records must be non-negative, got {n_records}")
+    return float(n_records * grid[query.cells[:, 0], query.cells[:, 1]].sum())

@@ -1,0 +1,163 @@
+"""Streaming (incremental) frequency estimation.
+
+The paper's collector pools all randomized responses and estimates
+once; a production collector receives responses one at a time and wants
+running estimates. Because Eq. (2) is linear in the observed counts,
+estimation commutes with accumulation: keep per-category counts, apply
+``(P^T)^{-1}`` whenever an estimate is requested. O(1) memory in n,
+O(1) per response, and mergeable across collectors — the properties a
+deployment (RAPPOR-style, §7) actually needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimation import estimate_distribution
+from repro.core.matrices import ConstantDiagonalMatrix, validate_rr_matrix
+from repro.core.projection import clip_and_rescale
+from repro.data.schema import Schema
+from repro.exceptions import EstimationError
+
+__all__ = ["StreamingFrequencyEstimator", "StreamingCollector"]
+
+
+class StreamingFrequencyEstimator:
+    """Running Eq. (2) estimator for one attribute."""
+
+    def __init__(self, matrix):
+        if isinstance(matrix, ConstantDiagonalMatrix):
+            self._matrix = matrix
+            self._size = matrix.size
+        else:
+            self._matrix = validate_rr_matrix(matrix)
+            self._size = self._matrix.shape[0]
+        self._counts = np.zeros(self._size, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def n_observed(self) -> int:
+        return int(self._counts.sum())
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts.copy()
+
+    def update(self, values) -> None:
+        """Fold in one randomized response or a batch of them."""
+        codes = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        if codes.ndim != 1:
+            raise EstimationError(f"values must be scalar or 1-D")
+        if codes.size == 0:
+            return
+        if codes.min() < 0 or codes.max() >= self._size:
+            raise EstimationError(f"values out of range [0, {self._size})")
+        self._counts += np.bincount(codes, minlength=self._size)
+
+    def merge(self, other: "StreamingFrequencyEstimator") -> None:
+        """Absorb another collector's counts (same matrix required)."""
+        if not isinstance(other, StreamingFrequencyEstimator):
+            raise EstimationError("can only merge StreamingFrequencyEstimator")
+        if other._size != self._size:
+            raise EstimationError(
+                f"size mismatch: {self._size} vs {other._size}"
+            )
+        self._counts += other._counts
+
+    def observed_distribution(self) -> np.ndarray:
+        if self.n_observed == 0:
+            raise EstimationError("no responses observed yet")
+        return self._counts / self.n_observed
+
+    def estimate(self, repair: str = "clip") -> np.ndarray:
+        """Current Eq. (2) estimate of the true distribution."""
+        raw = estimate_distribution(self.observed_distribution(), self._matrix)
+        if repair == "clip":
+            return clip_and_rescale(raw)
+        if repair == "none":
+            return raw
+        raise EstimationError(f"repair must be 'clip' or 'none', got {repair!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingFrequencyEstimator(size={self._size}, "
+            f"n={self.n_observed})"
+        )
+
+
+class StreamingCollector:
+    """Per-attribute streaming estimators for a whole schema.
+
+    The streaming counterpart of
+    :class:`repro.protocols.independent.RRIndependent` estimation:
+    records arrive (already randomized) one at a time.
+    """
+
+    def __init__(self, schema: Schema, matrices) -> None:
+        self._schema = schema
+        missing = set(schema.names) - set(matrices)
+        if missing:
+            raise EstimationError(f"matrices missing for {sorted(missing)}")
+        self._estimators = {}
+        for attr in schema:
+            estimator = StreamingFrequencyEstimator(matrices[attr.name])
+            if estimator.size != attr.size:
+                raise EstimationError(
+                    f"matrix for {attr.name!r} has size {estimator.size}, "
+                    f"expected {attr.size}"
+                )
+            self._estimators[attr.name] = estimator
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_observed(self) -> int:
+        return next(iter(self._estimators.values())).n_observed
+
+    def receive(self, record) -> None:
+        """Fold in one randomized record (length-m codes)."""
+        codes = np.asarray(record, dtype=np.int64)
+        if codes.shape != (self._schema.width,):
+            raise EstimationError(
+                f"record must have shape ({self._schema.width},), "
+                f"got {codes.shape}"
+            )
+        for attr, code in zip(self._schema, codes):
+            self._estimators[attr.name].update(code)
+
+    def receive_batch(self, records: np.ndarray) -> None:
+        """Fold in a batch of randomized records, shape ``(k, m)``."""
+        batch = np.asarray(records, dtype=np.int64)
+        if batch.ndim != 2 or batch.shape[1] != self._schema.width:
+            raise EstimationError(
+                f"batch must have shape (k, {self._schema.width}), "
+                f"got {batch.shape}"
+            )
+        for j, attr in enumerate(self._schema):
+            self._estimators[attr.name].update(batch[:, j])
+
+    def estimate_marginal(self, name: str, repair: str = "clip") -> np.ndarray:
+        if name not in self._estimators:
+            raise EstimationError(f"unknown attribute {name!r}")
+        return self._estimators[name].estimate(repair)
+
+    def estimate_marginals(self, repair: str = "clip") -> dict:
+        return {
+            name: estimator.estimate(repair)
+            for name, estimator in self._estimators.items()
+        }
+
+    def merge(self, other: "StreamingCollector") -> None:
+        """Absorb another collector (e.g. a second ingestion node)."""
+        if other._schema != self._schema:
+            raise EstimationError("cannot merge collectors with different schemas")
+        for name, estimator in self._estimators.items():
+            estimator.merge(other._estimators[name])
+
+    def __repr__(self) -> str:
+        return f"StreamingCollector(m={self._schema.width}, n={self.n_observed})"

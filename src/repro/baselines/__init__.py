@@ -1,0 +1,19 @@
+"""Comparator mechanisms from the related-work landscape.
+
+* :mod:`repro.baselines.pram` — the post-randomization method (PRAM
+  [19]): same matrices as RR but applied by the *controller* after
+  collection, including the invariant variant that needs no Eq. (2)
+  correction.
+* :mod:`repro.baselines.frapp` — FRAPP [1]: the gamma-diagonal matrix
+  family with its amplification-based privacy parameter.
+* :mod:`repro.baselines.unary_encoding` — a RAPPOR-style [12]
+  symmetric unary-encoding LDP frequency oracle, the standard
+  alternative to direct (k-ary) randomized response for marginal
+  estimation.
+"""
+
+from repro.baselines.pram import PRAM, invariant_pram_matrix
+from repro.baselines.frapp import FRAPP
+from repro.baselines.unary_encoding import UnaryEncoding
+
+__all__ = ["PRAM", "invariant_pram_matrix", "FRAPP", "UnaryEncoding"]

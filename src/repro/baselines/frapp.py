@@ -1,0 +1,87 @@
+"""FRAPP — a framework for high-accuracy privacy-preserving mining [1].
+
+FRAPP generalizes randomized response with the "gamma-diagonal" matrix
+family: diagonal entries are ``gamma`` times the off-diagonal ones.
+The paper leans on FRAPP's analysis twice — the ``P_max / P_min``
+propagation-error bound of §2.3 and the optimality of the
+constant-diagonal shape — so the baseline here is a thin mechanism +
+estimator wrapper over the shared core, parameterized the FRAPP way.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.core.estimation import estimate_from_responses
+from repro.core.matrices import ConstantDiagonalMatrix, frapp_matrix
+from repro.core.mechanism import randomize_column
+from repro.core.projection import clip_and_rescale
+from repro.data.dataset import Dataset
+from repro.exceptions import ProtocolError
+
+__all__ = ["FRAPP"]
+
+
+class FRAPP:
+    """Per-attribute gamma-diagonal perturbation with estimation.
+
+    Parameters
+    ----------
+    gamma:
+        Amplification parameter (>= 1); privacy level is ``ln(gamma)``
+        per attribute (Eq. (4)). ``gamma = e^eps`` makes it directly
+        comparable to the paper's designs.
+    """
+
+    def __init__(self, gamma: float):
+        if gamma < 1.0 or not math.isfinite(gamma):
+            raise ProtocolError(f"gamma must be >= 1 and finite, got {gamma}")
+        self._gamma = gamma
+
+    @property
+    def gamma(self) -> float:
+        return self._gamma
+
+    @property
+    def epsilon_per_attribute(self) -> float:
+        return math.log(self._gamma)
+
+    def matrix_for(self, size: int) -> ConstantDiagonalMatrix:
+        return frapp_matrix(size, self._gamma)
+
+    def randomize(
+        self,
+        dataset: Dataset,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> Dataset:
+        """Perturb every attribute with its gamma-diagonal matrix."""
+        generator = ensure_rng(rng)
+        columns = [
+            randomize_column(
+                dataset.column(attr.name),
+                self.matrix_for(attr.size),
+                generator,
+            )
+            for attr in dataset.schema
+        ]
+        return Dataset(dataset.schema, np.stack(columns, axis=1), copy=False)
+
+    def estimate_marginal(
+        self, randomized: Dataset, name: str, repair: str = "clip"
+    ) -> np.ndarray:
+        """Eq. (2) marginal estimate under the gamma-diagonal matrix."""
+        attr = randomized.schema.attribute(name)
+        estimate = estimate_from_responses(
+            randomized.column(name), self.matrix_for(attr.size)
+        )
+        if repair == "clip":
+            return clip_and_rescale(estimate)
+        if repair == "none":
+            return estimate
+        raise ProtocolError(f"repair must be 'clip' or 'none', got {repair!r}")
+
+    def __repr__(self) -> str:
+        return f"FRAPP(gamma={self._gamma})"

@@ -1,0 +1,91 @@
+"""PRAM — the post-randomization method [19].
+
+PRAM applies the same transition-matrix perturbation as randomized
+response, but the *data controller* performs it after collecting the
+true data (§2.1: "RR differs from PRAM on who performs the
+randomization"). It therefore offers no local-anonymization guarantee —
+the controller sees everything — but it is the natural centralized
+baseline, and its *invariant* variant (transition matrix whose
+stationary distribution is the data's own marginal) releases data whose
+expected marginals equal the true ones, so no Eq. (2) correction is
+needed afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.core.matrices import keep_else_uniform_matrix, validate_rr_matrix
+from repro.core.mechanism import randomize_column
+from repro.data.dataset import Dataset
+from repro.exceptions import MatrixError, ProtocolError
+
+__all__ = ["invariant_pram_matrix", "PRAM"]
+
+
+def invariant_pram_matrix(marginal: np.ndarray, keep: float) -> np.ndarray:
+    """Invariant PRAM matrix ``P = keep * I + (1 - keep) * 1 pi^T``.
+
+    With probability ``keep`` the value is retained; otherwise it is
+    replaced by a draw from the data's own marginal ``pi``. Then
+    ``P^T pi = pi``: the released marginal is unbiased for the true one
+    without any post-correction.
+    """
+    pi = np.asarray(marginal, dtype=np.float64)
+    if pi.ndim != 1 or pi.size < 2:
+        raise MatrixError(f"marginal must be 1-D with >= 2 cells, got {pi.shape}")
+    if (pi < 0).any() or not np.isclose(pi.sum(), 1.0, atol=1e-8):
+        raise MatrixError("marginal must be a proper distribution")
+    if not 0.0 < keep <= 1.0:
+        raise MatrixError(f"keep must be in (0, 1], got {keep}")
+    matrix = keep * np.eye(pi.size) + (1.0 - keep) * np.tile(pi, (pi.size, 1))
+    return validate_rr_matrix(matrix)
+
+
+class PRAM:
+    """Controller-side post-randomization of a collected dataset."""
+
+    def __init__(self, keep: float, invariant: bool = True):
+        if not 0.0 < keep <= 1.0:
+            raise ProtocolError(f"keep must be in (0, 1], got {keep}")
+        self._keep = keep
+        self._invariant = invariant
+
+    @property
+    def keep(self) -> float:
+        return self._keep
+
+    @property
+    def invariant(self) -> bool:
+        return self._invariant
+
+    def apply(
+        self,
+        dataset: Dataset,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> Dataset:
+        """Randomize every attribute of an already-collected dataset.
+
+        Invariant mode builds each attribute's matrix from the
+        dataset's own marginal (which the controller, unlike an RR
+        party, can see); non-invariant mode uses keep-else-uniform and
+        leaves the Eq. (2) correction to the analyst.
+        """
+        generator = ensure_rng(rng)
+        columns = []
+        for attr in dataset.schema:
+            if self._invariant:
+                matrix = invariant_pram_matrix(
+                    dataset.marginal_distribution(attr.name), self._keep
+                )
+            else:
+                matrix = keep_else_uniform_matrix(attr.size, self._keep)
+            columns.append(
+                randomize_column(dataset.column(attr.name), matrix, generator)
+            )
+        return Dataset(dataset.schema, np.stack(columns, axis=1), copy=False)
+
+    def __repr__(self) -> str:
+        kind = "invariant" if self._invariant else "uniform"
+        return f"PRAM(keep={self._keep}, {kind})"

@@ -1,0 +1,105 @@
+"""Symmetric unary-encoding LDP frequency oracle (RAPPOR-style [12]).
+
+The standard alternative to direct (k-ary) randomized response for
+locally differentially private frequency estimation: each value is
+one-hot encoded into a length-``r`` bit vector and every bit is flipped
+independently (keep probability ``p = e^(eps/2) / (1 + e^(eps/2))`` for
+set bits, ``q = 1 - p`` for unset ones — the symmetric "basic RAPPOR"
+choice, which is ``eps``-DP overall). Unbiased per-category estimate:
+
+    pi_hat_v = (sum_i bit_iv / n - q) / (p - q).
+
+Included as the related-work comparator: unlike RR it releases bit
+vectors rather than category values, so it supports frequency queries
+but not the microdata-style releases (synthetic records, adjustment)
+the paper's protocols aim at.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.core.projection import clip_and_rescale
+from repro.exceptions import ProtocolError
+
+__all__ = ["UnaryEncoding"]
+
+
+class UnaryEncoding:
+    """Symmetric unary encoding over one categorical attribute.
+
+    Parameters
+    ----------
+    size:
+        Number of categories ``r``.
+    epsilon:
+        Total differential-privacy budget of one report.
+    """
+
+    def __init__(self, size: int, epsilon: float):
+        if size < 2:
+            raise ProtocolError(f"size must be >= 2, got {size}")
+        if epsilon <= 0 or not math.isfinite(epsilon):
+            raise ProtocolError(
+                f"epsilon must be positive and finite, got {epsilon}"
+            )
+        self._size = size
+        self._epsilon = epsilon
+        half = math.exp(epsilon / 2.0)
+        self._p = half / (half + 1.0)  # Pr[report 1 | true 1]
+        self._q = 1.0 - self._p        # Pr[report 1 | true 0]
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def keep_probability(self) -> float:
+        """Probability a set bit stays set (``p``)."""
+        return self._p
+
+    def randomize(
+        self,
+        values: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Produce the ``(n, r)`` randomized bit matrix."""
+        generator = ensure_rng(rng)
+        codes = np.asarray(values, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ProtocolError(f"values must be 1-D, got shape {codes.shape}")
+        if codes.size and (codes.min() < 0 or codes.max() >= self._size):
+            raise ProtocolError(f"values out of range [0, {self._size})")
+        bits = np.zeros((codes.size, self._size), dtype=bool)
+        bits[np.arange(codes.size), codes] = True
+        thresholds = np.where(bits, self._p, self._q)
+        return generator.random(bits.shape) < thresholds
+
+    def estimate(
+        self, reports: np.ndarray, repair: str = "clip"
+    ) -> np.ndarray:
+        """Unbiased frequency estimate from the pooled bit matrix."""
+        bits = np.asarray(reports, dtype=np.float64)
+        if bits.ndim != 2 or bits.shape[1] != self._size:
+            raise ProtocolError(
+                f"reports must have shape (n, {self._size}), got {bits.shape}"
+            )
+        if bits.shape[0] == 0:
+            raise ProtocolError("cannot estimate from zero reports")
+        observed = bits.mean(axis=0)
+        estimate = (observed - self._q) / (self._p - self._q)
+        if repair == "clip":
+            return clip_and_rescale(estimate)
+        if repair == "none":
+            return estimate
+        raise ProtocolError(f"repair must be 'clip' or 'none', got {repair!r}")
+
+    def __repr__(self) -> str:
+        return f"UnaryEncoding(size={self._size}, epsilon={self._epsilon})"

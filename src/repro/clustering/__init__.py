@@ -1,0 +1,51 @@
+"""Attribute clustering (paper Section 4).
+
+RR-Clusters needs a partition of the attributes such that attributes in
+different clusters are (nearly) independent while each cluster's product
+domain stays small. :mod:`repro.clustering.dependence` implements the
+dependence measures of Eqs. (8)–(9) (absolute Pearson correlation for
+ordinal pairs, Cramér's V otherwise), :mod:`repro.clustering.algorithm`
+implements Algorithm 1, and :mod:`repro.clustering.estimators` the three
+privacy-preserving ways of obtaining the dependences (§4.1–§4.3).
+"""
+
+from repro.clustering.dependence import (
+    pearson_dependence,
+    cramers_v,
+    covariance_dependence,
+    pearson_from_joint,
+    cramers_v_from_joint,
+    covariance_from_joint,
+    pair_dependence,
+    dependence_from_joint,
+    dependence_matrix,
+)
+from repro.clustering.algorithm import Clustering, cluster_attributes
+from repro.clustering.hierarchical import hierarchical_cluster_attributes
+from repro.clustering.estimators import (
+    DependenceEstimate,
+    exact_dependences,
+    randomized_dependences,
+    secure_sum_dependences,
+    rr_pairs_dependences,
+)
+
+__all__ = [
+    "pearson_dependence",
+    "cramers_v",
+    "covariance_dependence",
+    "pearson_from_joint",
+    "cramers_v_from_joint",
+    "covariance_from_joint",
+    "pair_dependence",
+    "dependence_from_joint",
+    "dependence_matrix",
+    "Clustering",
+    "cluster_attributes",
+    "hierarchical_cluster_attributes",
+    "DependenceEstimate",
+    "exact_dependences",
+    "randomized_dependences",
+    "secure_sum_dependences",
+    "rr_pairs_dependences",
+]

@@ -1,0 +1,189 @@
+"""Algorithm 1: clustering of attributes based on their dependence.
+
+Greedy agglomerative merge: start from singleton clusters, repeatedly
+take the most dependent cluster pair (cluster–cluster dependence is the
+*maximum* pairwise attribute dependence across the two clusters, as §4
+defines) and merge it — provided the merged product domain stays within
+``Tv`` category combinations and the dependence is at least ``Td``.
+Pairs whose merge would exceed ``Tv`` are skipped but remain eligible
+later only if the list is recomputed after another merge, exactly as
+the pseudo-code walks ``DependenceList``.
+
+``Td = 1`` (nothing merges) degenerates to RR-Independent and a huge
+``Tv`` with ``Td = 0`` tends toward RR-Joint, which is how the paper
+frames the two basic protocols as the endpoints of RR-Clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.exceptions import ClusteringError
+
+__all__ = ["Clustering", "cluster_attributes"]
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """A partition of a schema's attributes into clusters.
+
+    Attributes
+    ----------
+    schema:
+        The schema the clustering partitions.
+    clusters:
+        Tuple of clusters; each cluster is a tuple of attribute names
+        ordered by schema position. Clusters are ordered by their first
+        attribute's position, so the layout is deterministic.
+    """
+
+    schema: Schema
+    clusters: tuple
+
+    def __post_init__(self) -> None:
+        seen: list = []
+        for cluster in self.clusters:
+            if not cluster:
+                raise ClusteringError("empty cluster in clustering")
+            seen.extend(cluster)
+        if sorted(seen) != sorted(self.schema.names):
+            raise ClusteringError(
+                "clusters must partition the schema attributes exactly; "
+                f"got {sorted(seen)} vs {sorted(self.schema.names)}"
+            )
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self, name: str) -> int:
+        """Index of the cluster containing attribute ``name``."""
+        for k, cluster in enumerate(self.clusters):
+            if name in cluster:
+                return k
+        raise ClusteringError(f"attribute {name!r} not in clustering")
+
+    def cluster_sizes(self) -> tuple:
+        """Product-domain cell counts per cluster."""
+        out = []
+        for cluster in self.clusters:
+            cells = 1
+            for name in cluster:
+                cells *= self.schema.attribute(name).size
+            out.append(cells)
+        return tuple(out)
+
+    def max_cluster_cells(self) -> int:
+        return max(self.cluster_sizes())
+
+    def is_singleton(self) -> bool:
+        """True when every cluster holds exactly one attribute
+        (RR-Clusters then coincides with RR-Independent)."""
+        return all(len(c) == 1 for c in self.clusters)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+
+def _cluster_dependence(
+    dep: np.ndarray, cluster_a: frozenset, cluster_b: frozenset
+) -> float:
+    """Max pairwise attribute dependence across two clusters (§4)."""
+    return max(dep[i, j] for i in cluster_a for j in cluster_b)
+
+
+def _product_cells(sizes: Sequence, members: frozenset) -> int:
+    cells = 1
+    for i in members:
+        cells *= sizes[i]
+    return cells
+
+
+def cluster_attributes(
+    schema: Schema,
+    dependences: np.ndarray,
+    max_cells: int,
+    min_dependence: float,
+) -> Clustering:
+    """Run Algorithm 1.
+
+    Parameters
+    ----------
+    schema:
+        Attributes being clustered.
+    dependences:
+        Symmetric ``(m, m)`` pairwise dependence matrix (any source:
+        trusted, §4.1, §4.2 or §4.3 estimates).
+    max_cells:
+        ``Tv`` — maximum number of category combinations per cluster.
+    min_dependence:
+        ``Td`` — minimum dependence required to merge two clusters.
+
+    Returns
+    -------
+    Clustering
+        Deterministic partition (ties in dependence are broken by
+        cluster position, making the greedy order reproducible).
+    """
+    m = schema.width
+    dep = np.asarray(dependences, dtype=np.float64)
+    if dep.shape != (m, m):
+        raise ClusteringError(
+            f"dependence matrix must be ({m}, {m}), got {dep.shape}"
+        )
+    if not np.allclose(dep, dep.T, atol=1e-9):
+        raise ClusteringError("dependence matrix must be symmetric")
+    if max_cells < 1:
+        raise ClusteringError(f"Tv (max_cells) must be >= 1, got {max_cells}")
+    if not 0.0 <= min_dependence <= 1.0:
+        raise ClusteringError(
+            f"Td (min_dependence) must be in [0, 1], got {min_dependence}"
+        )
+    sizes = schema.sizes
+
+    clusters: list = [frozenset([i]) for i in range(m)]
+
+    def dependence_list() -> list:
+        """All cluster pairs, sorted by descending dependence.
+
+        Ties break on the smallest member indices so runs are
+        deterministic regardless of dict/set iteration order.
+        """
+        pairs = []
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                value = _cluster_dependence(dep, clusters[a], clusters[b])
+                pairs.append((value, min(clusters[a]), min(clusters[b]), a, b))
+        pairs.sort(key=lambda t: (-t[0], t[1], t[2]))
+        return pairs
+
+    pending = dependence_list()
+    cursor = 0
+    while cursor < len(pending):
+        value, _, _, a, b = pending[cursor]
+        if value < min_dependence:
+            break
+        merged = clusters[a] | clusters[b]
+        if _product_cells(sizes, merged) <= max_cells:
+            # Merge and restart the scan on the recomputed list (lines
+            # 10-14 of Algorithm 1).
+            clusters = [c for k, c in enumerate(clusters) if k not in (a, b)]
+            clusters.append(merged)
+            pending = dependence_list()
+            cursor = 0
+        else:
+            # Line 16: move to the next element of the list.
+            cursor += 1
+
+    ordered = sorted(clusters, key=min)
+    names = tuple(
+        tuple(schema.names[i] for i in sorted(cluster)) for cluster in ordered
+    )
+    return Clustering(schema=schema, clusters=names)

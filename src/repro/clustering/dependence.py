@@ -1,0 +1,168 @@
+"""Pairwise attribute-dependence measures (paper §4, Eqs. (8)–(9)).
+
+The clustering algorithm compares dependences *across* pairs, so every
+measure here is normalized to ``[0, 1]``:
+
+* ordinal–ordinal pairs use the absolute Pearson correlation of the
+  category codes (Eq. (8));
+* any pair involving a nominal attribute uses Cramér's V (Eq. (9)).
+
+Each measure has two entry points: from raw code columns (what a
+trusted party could compute) and from a bivariate *distribution* (what
+the privacy-preserving estimators of §4.2/§4.3 actually produce — both
+measures are scale-free, so the sample size cancels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ClusteringError
+
+__all__ = [
+    "pearson_dependence",
+    "cramers_v",
+    "covariance_dependence",
+    "pearson_from_joint",
+    "cramers_v_from_joint",
+    "covariance_from_joint",
+    "pair_dependence",
+    "dependence_from_joint",
+    "dependence_matrix",
+]
+
+
+def _joint_from_columns(col_a: np.ndarray, col_b: np.ndarray) -> np.ndarray:
+    a = np.asarray(col_a, dtype=np.int64)
+    b = np.asarray(col_b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ClusteringError("columns must be 1-D and of equal length")
+    if a.size == 0:
+        raise ClusteringError("cannot measure dependence on empty columns")
+    size_a = int(a.max()) + 1
+    size_b = int(b.max()) + 1
+    table = np.bincount(a * size_b + b, minlength=size_a * size_b)
+    return table.reshape(size_a, size_b) / a.size
+
+
+def _check_joint(joint: np.ndarray) -> np.ndarray:
+    dist = np.asarray(joint, dtype=np.float64)
+    if dist.ndim != 2:
+        raise ClusteringError(f"joint must be 2-D, got shape {dist.shape}")
+    if (dist < -1e-12).any():
+        raise ClusteringError("joint distribution has negative mass")
+    total = dist.sum()
+    if total <= 0:
+        raise ClusteringError("joint distribution has no mass")
+    return dist / total
+
+
+def covariance_from_joint(joint: np.ndarray) -> float:
+    """Covariance of the category codes under a bivariate distribution."""
+    dist = _check_joint(joint)
+    scores_a = np.arange(dist.shape[0], dtype=np.float64)
+    scores_b = np.arange(dist.shape[1], dtype=np.float64)
+    marginal_a = dist.sum(axis=1)
+    marginal_b = dist.sum(axis=0)
+    mean_a = scores_a @ marginal_a
+    mean_b = scores_b @ marginal_b
+    joint_mean = scores_a @ dist @ scores_b
+    return float(joint_mean - mean_a * mean_b)
+
+
+def pearson_from_joint(joint: np.ndarray) -> float:
+    """Absolute Pearson correlation of codes under a joint distribution
+    (Eq. (8); ordinal attributes use their category index as score)."""
+    dist = _check_joint(joint)
+    scores_a = np.arange(dist.shape[0], dtype=np.float64)
+    scores_b = np.arange(dist.shape[1], dtype=np.float64)
+    marginal_a = dist.sum(axis=1)
+    marginal_b = dist.sum(axis=0)
+    mean_a = scores_a @ marginal_a
+    mean_b = scores_b @ marginal_b
+    var_a = (scores_a - mean_a) ** 2 @ marginal_a
+    var_b = (scores_b - mean_b) ** 2 @ marginal_b
+    if var_a <= 0 or var_b <= 0:
+        # A constant attribute carries no information; treat as independent.
+        return 0.0
+    cov = covariance_from_joint(dist)
+    return float(min(abs(cov) / np.sqrt(var_a * var_b), 1.0))
+
+
+def cramers_v_from_joint(joint: np.ndarray) -> float:
+    """Cramér's V from a bivariate distribution (Eq. (9)).
+
+    ``V = sqrt((chi2 / n) / min(r_a - 1, r_b - 1))`` and
+    ``chi2 / n = sum (P_ab - Pa Pb)^2 / (Pa Pb)``, so the sample size
+    cancels. Cells with an empty marginal contribute nothing.
+    """
+    dist = _check_joint(joint)
+    if dist.shape[0] < 2 or dist.shape[1] < 2:
+        raise ClusteringError("Cramér's V needs at least 2x2 categories")
+    marginal_a = dist.sum(axis=1)
+    marginal_b = dist.sum(axis=0)
+    expected = np.outer(marginal_a, marginal_b)
+    mask = expected > 0
+    chi2_over_n = float(
+        ((dist[mask] - expected[mask]) ** 2 / expected[mask]).sum()
+    )
+    k = min(int((marginal_a > 0).sum()), int((marginal_b > 0).sum()))
+    if k < 2:
+        return 0.0
+    v = np.sqrt(chi2_over_n / (k - 1))
+    return float(min(v, 1.0))
+
+
+def pearson_dependence(col_a: np.ndarray, col_b: np.ndarray) -> float:
+    """Absolute Pearson correlation of two code columns (Eq. (8))."""
+    return pearson_from_joint(_joint_from_columns(col_a, col_b))
+
+
+def cramers_v(col_a: np.ndarray, col_b: np.ndarray) -> float:
+    """Cramér's V of two code columns (Eq. (9))."""
+    return cramers_v_from_joint(_joint_from_columns(col_a, col_b))
+
+
+def covariance_dependence(col_a: np.ndarray, col_b: np.ndarray) -> float:
+    """Absolute covariance of two code columns.
+
+    Not bounded in [0, 1]; used by the §4.1 analysis (Proposition 1)
+    rather than by Algorithm 1 directly.
+    """
+    return abs(covariance_from_joint(_joint_from_columns(col_a, col_b)))
+
+
+def dependence_from_joint(
+    joint: np.ndarray, ordinal_a: bool, ordinal_b: bool
+) -> float:
+    """Paper's measure selection: Pearson iff both attributes ordinal."""
+    if ordinal_a and ordinal_b:
+        return pearson_from_joint(joint)
+    return cramers_v_from_joint(joint)
+
+
+def pair_dependence(dataset: Dataset, key_a, key_b) -> float:
+    """Dependence between two attributes of a dataset (auto measure)."""
+    attr_a = dataset.schema.attribute(key_a)
+    attr_b = dataset.schema.attribute(key_b)
+    joint = dataset.contingency_table(attr_a.name, attr_b.name) / max(
+        dataset.n_records, 1
+    )
+    return dependence_from_joint(joint, attr_a.is_ordinal, attr_b.is_ordinal)
+
+
+def dependence_matrix(dataset: Dataset) -> np.ndarray:
+    """Symmetric ``(m, m)`` matrix of pairwise dependences, zero diagonal.
+
+    This is the trusted-party computation; the privacy-preserving
+    counterparts live in :mod:`repro.clustering.estimators`.
+    """
+    m = dataset.schema.width
+    out = np.zeros((m, m), dtype=np.float64)
+    for i in range(m):
+        for j in range(i + 1, m):
+            value = pair_dependence(dataset, i, j)
+            out[i, j] = value
+            out[j, i] = value
+    return out

@@ -1,0 +1,101 @@
+"""Core randomized-response machinery.
+
+Everything in Section 2 and Section 6.3 of the paper lives here: RR
+matrix constructions and their algebra (:mod:`repro.core.matrices`),
+the randomization mechanism itself (:mod:`repro.core.mechanism`), the
+unbiased frequency estimator of Eq. (2) (:mod:`repro.core.estimation`),
+repair of improper estimated distributions (:mod:`repro.core.projection`),
+differential-privacy accounting per Eq. (4) (:mod:`repro.core.privacy`)
+and the estimation-error theory of §2.3/§3.3 (:mod:`repro.core.errors`).
+"""
+
+from repro.core.matrices import (
+    ConstantDiagonalMatrix,
+    warner_matrix,
+    keep_else_uniform_matrix,
+    constant_diagonal_matrix,
+    epsilon_optimal_matrix,
+    cluster_matrix,
+    frapp_matrix,
+    validate_rr_matrix,
+    as_dense,
+)
+from repro.core.mechanism import RandomizedResponseMechanism, randomize_column
+from repro.core.estimation import (
+    observed_distribution,
+    estimate_distribution,
+    estimate_from_responses,
+    estimation_covariance,
+    propagation_condition_number,
+)
+from repro.core.projection import (
+    clip_and_rescale,
+    project_to_simplex,
+    iterative_bayesian_update,
+)
+from repro.core.privacy import (
+    epsilon_of_matrix,
+    compose_epsilons,
+    keep_probability_for_epsilon,
+    epsilon_for_keep_probability,
+    attribute_epsilons,
+    PrivacyAccountant,
+)
+from repro.core.errors import (
+    chi_square_b,
+    sqrt_b_factor,
+    absolute_error_bound,
+    relative_error_bound,
+    rr_independent_relative_error,
+    rr_joint_relative_error,
+)
+from repro.core.risk import (
+    posterior_matrix,
+    maximum_posterior,
+    bayes_vulnerability,
+    bayes_risk,
+    deniability_set_sizes,
+    expected_posterior_entropy,
+    posterior_to_prior_odds_bound,
+)
+
+__all__ = [
+    "ConstantDiagonalMatrix",
+    "warner_matrix",
+    "keep_else_uniform_matrix",
+    "constant_diagonal_matrix",
+    "epsilon_optimal_matrix",
+    "cluster_matrix",
+    "frapp_matrix",
+    "validate_rr_matrix",
+    "as_dense",
+    "RandomizedResponseMechanism",
+    "randomize_column",
+    "observed_distribution",
+    "estimate_distribution",
+    "estimate_from_responses",
+    "estimation_covariance",
+    "propagation_condition_number",
+    "clip_and_rescale",
+    "project_to_simplex",
+    "iterative_bayesian_update",
+    "epsilon_of_matrix",
+    "compose_epsilons",
+    "keep_probability_for_epsilon",
+    "epsilon_for_keep_probability",
+    "attribute_epsilons",
+    "PrivacyAccountant",
+    "chi_square_b",
+    "sqrt_b_factor",
+    "absolute_error_bound",
+    "relative_error_bound",
+    "rr_independent_relative_error",
+    "rr_joint_relative_error",
+    "posterior_matrix",
+    "maximum_posterior",
+    "bayes_vulnerability",
+    "bayes_risk",
+    "deniability_set_sizes",
+    "expected_posterior_entropy",
+    "posterior_to_prior_odds_bound",
+]

@@ -1,0 +1,154 @@
+"""Differential-privacy accounting for randomized response.
+
+Section 2.2 of the paper: an RR matrix gives epsilon-DP with
+``e^eps >= max_v (max_u p_uv / min_u p_uv)`` (Eq. (4)), and independent
+releases compose sequentially (epsilons add, §4). This module computes
+Eq. (4) for both matrix representations, converts between the
+keep-probability parameterization of §6.3.1 and epsilon, and provides a
+small ledger (:class:`PrivacyAccountant`) that protocols use to report
+their total budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.matrices import ConstantDiagonalMatrix, validate_rr_matrix
+from repro.data.schema import Schema
+from repro.exceptions import PrivacyError
+
+__all__ = [
+    "epsilon_of_matrix",
+    "compose_epsilons",
+    "keep_probability_for_epsilon",
+    "epsilon_for_keep_probability",
+    "attribute_epsilons",
+    "PrivacyAccountant",
+]
+
+
+def epsilon_of_matrix(matrix) -> float:
+    """Differential-privacy level of an RR matrix per Eq. (4).
+
+    ``eps = max over columns v of ln(max_u p_uv / min_u p_uv)``.
+    Returns ``inf`` when any column contains a zero (the mechanism can
+    rule out some true value with certainty).
+    """
+    if isinstance(matrix, ConstantDiagonalMatrix):
+        return matrix.epsilon
+    dense = validate_rr_matrix(matrix)
+    col_min = dense.min(axis=0)
+    col_max = dense.max(axis=0)
+    if (col_min <= 0.0).any():
+        return math.inf
+    return float(np.log(col_max / col_min).max())
+
+
+def compose_epsilons(epsilons: Iterable[float]) -> float:
+    """Sequential composition: total budget is the sum (§4, [18])."""
+    total = 0.0
+    count = 0
+    for eps in epsilons:
+        if eps < 0:
+            raise PrivacyError(f"epsilons must be non-negative, got {eps}")
+        total += float(eps)
+        count += 1
+    if count == 0:
+        raise PrivacyError("compose_epsilons needs at least one epsilon")
+    return total
+
+
+def epsilon_for_keep_probability(size: int, p: float) -> float:
+    """Epsilon of the keep-else-uniform mechanism (§6.3.1).
+
+    With diagonal ``p + (1-p)/r`` and off-diagonal ``(1-p)/r``,
+    Eq. (4) gives ``eps = ln(1 + p r / (1 - p))``; ``inf`` at ``p=1``.
+    """
+    if size < 2:
+        raise PrivacyError(f"size must be >= 2, got {size}")
+    if not 0.0 < p <= 1.0:
+        raise PrivacyError(f"p must be in (0, 1], got {p}")
+    if p == 1.0:
+        return math.inf
+    return math.log(1.0 + p * size / (1.0 - p))
+
+
+def keep_probability_for_epsilon(size: int, epsilon: float) -> float:
+    """Inverse of :func:`epsilon_for_keep_probability`.
+
+    ``p = (e^eps - 1) / (e^eps - 1 + r)``.
+    """
+    if size < 2:
+        raise PrivacyError(f"size must be >= 2, got {size}")
+    if epsilon <= 0.0:
+        raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+    if math.isinf(epsilon):
+        return 1.0
+    expm1 = math.expm1(epsilon)
+    return expm1 / (expm1 + size)
+
+
+def attribute_epsilons(schema: Schema, p: float) -> dict:
+    """Per-attribute epsilons of an RR-Independent design with keep
+    probability ``p`` (§6.3.1), keyed by attribute name.
+
+    These are the budgets §6.3.2 sums when building the equivalent
+    cluster matrix, making RR-Independent and RR-Clusters comparable at
+    the same total risk.
+    """
+    return {
+        attr.name: epsilon_for_keep_probability(attr.size, p) for attr in schema
+    }
+
+
+class PrivacyAccountant:
+    """Additive epsilon ledger over named releases.
+
+    Protocols register one entry per independent release (one per
+    attribute for RR-Independent, one per cluster for RR-Clusters, one
+    for the dependence-estimation phase when §4.1/§4.3 are used). The
+    total is the sequential composition of everything recorded.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list = []
+
+    def record(self, label: str, epsilon: float) -> None:
+        """Add a release; ``epsilon`` may be ``inf`` (no protection)."""
+        if epsilon < 0:
+            raise PrivacyError(f"epsilon must be non-negative, got {epsilon}")
+        self._entries.append((str(label), float(epsilon)))
+
+    def record_matrix(self, label: str, matrix) -> None:
+        """Add a release described by its RR matrix."""
+        self.record(label, epsilon_of_matrix(matrix))
+
+    @property
+    def entries(self) -> tuple:
+        return tuple(self._entries)
+
+    @property
+    def total_epsilon(self) -> float:
+        """Sequentially-composed budget of all recorded releases."""
+        if not self._entries:
+            return 0.0
+        return compose_epsilons(eps for _, eps in self._entries)
+
+    def by_label(self) -> Mapping:
+        """Total epsilon per label (labels may repeat across rounds)."""
+        out: dict = {}
+        for label, eps in self._entries:
+            out[label] = out.get(label, 0.0) + eps
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PrivacyAccountant(releases={len(self._entries)}, "
+            f"total_epsilon={self.total_epsilon:.4g})"
+        )

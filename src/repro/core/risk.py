@@ -1,0 +1,160 @@
+"""Disclosure-risk analysis of randomized response channels.
+
+Section 2.2 of the paper gives two privacy readings of RR: the
+intrinsic one ("given the randomized response, we are uncertain about
+the true response") and the differential-privacy one (Eq. (4)). This
+module quantifies the intrinsic reading with the standard Bayesian
+attacker model: an adversary who knows the randomization matrix ``P``
+and a prior ``pi`` over true values observes the reported value ``v``
+and forms the posterior
+
+    Pr(X = u | Y = v) = p_uv pi_u / sum_w p_wv pi_w.
+
+From the posterior follow the operational risk measures below; the DP
+bound manifests as the *posterior-to-prior odds* being bounded by
+``e^eps`` for every (u, v) — a property the test suite verifies against
+:func:`repro.core.privacy.epsilon_of_matrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matrices import ConstantDiagonalMatrix
+from repro.exceptions import MatrixError, PrivacyError
+
+__all__ = [
+    "posterior_matrix",
+    "maximum_posterior",
+    "bayes_vulnerability",
+    "bayes_risk",
+    "deniability_set_sizes",
+    "expected_posterior_entropy",
+    "posterior_to_prior_odds_bound",
+]
+
+
+def _channel(matrix) -> np.ndarray:
+    """Dense view accepting *any* stochastic channel.
+
+    Unlike :func:`repro.core.matrices.validate_rr_matrix` this does not
+    require nonsingularity: a singular channel (e.g. the uniform one)
+    cannot be estimated through Eq. (2), but its disclosure risk is
+    perfectly well defined — indeed it is the zero-risk reference point.
+    """
+    if isinstance(matrix, ConstantDiagonalMatrix):
+        return matrix.dense()
+    dense = np.asarray(matrix, dtype=np.float64)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise MatrixError(f"channel must be square, got shape {dense.shape}")
+    if (dense < -1e-9).any() or (dense > 1 + 1e-9).any():
+        raise MatrixError("channel entries must be probabilities in [0, 1]")
+    if not np.allclose(dense.sum(axis=1), 1.0, atol=1e-7):
+        raise MatrixError("channel rows must sum to 1")
+    return dense
+
+
+def _validate(matrix, prior: np.ndarray) -> tuple:
+    dense = _channel(matrix)
+    pi = np.asarray(prior, dtype=np.float64)
+    if pi.shape != (dense.shape[0],):
+        raise PrivacyError(
+            f"prior must have shape ({dense.shape[0]},), got {pi.shape}"
+        )
+    if (pi < 0).any() or not np.isclose(pi.sum(), 1.0, atol=1e-8):
+        raise PrivacyError("prior must be a proper distribution")
+    return dense, pi
+
+
+def posterior_matrix(matrix, prior: np.ndarray) -> np.ndarray:
+    """Attacker posterior ``Pr(X = u | Y = v)``.
+
+    Returns an ``(r, r)`` array with entry ``(u, v)``; each column with
+    positive evidence sums to 1. Columns that can never be observed
+    (``sum_w p_wv pi_w == 0``) are returned as all-zero.
+    """
+    dense, pi = _validate(matrix, prior)
+    joint = dense * pi[:, None]          # (u, v) -> Pr(X=u, Y=v)
+    evidence = joint.sum(axis=0)         # Pr(Y=v)
+    out = np.zeros_like(joint)
+    observable = evidence > 0
+    out[:, observable] = joint[:, observable] / evidence[observable]
+    return out
+
+
+def maximum_posterior(matrix, prior: np.ndarray) -> float:
+    """Worst-case attacker confidence ``max_{u,v} Pr(X=u | Y=v)``.
+
+    The sharpest single-record claim an optimal attacker can ever make
+    after seeing one randomized value.
+    """
+    return float(posterior_matrix(matrix, prior).max())
+
+
+def bayes_vulnerability(matrix, prior: np.ndarray) -> float:
+    """Expected success of the optimal guessing attacker.
+
+    ``sum_v Pr(Y=v) max_u Pr(X=u | Y=v) = sum_v max_u p_uv pi_u`` —
+    the information-theoretic (Bayes) vulnerability of the channel.
+    Equals ``max_u pi_u`` for a perfectly private channel and 1 for the
+    identity channel.
+    """
+    dense, pi = _validate(matrix, prior)
+    joint = dense * pi[:, None]
+    return float(joint.max(axis=0).sum())
+
+
+def bayes_risk(matrix, prior: np.ndarray) -> float:
+    """Probability the optimal attacker guesses wrong:
+    ``1 - bayes_vulnerability``."""
+    return 1.0 - bayes_vulnerability(matrix, prior)
+
+
+def deniability_set_sizes(matrix) -> np.ndarray:
+    """Per reported value ``v``: how many true values could have
+    produced it (cells with ``p_uv > 0``).
+
+    The paper's intrinsic guarantee in its crudest form: a respondent
+    can deny any specific true value as long as the set size exceeds 1.
+    Constant-diagonal matrices with positive off-diagonal have full
+    deniability (``r`` for every column).
+    """
+    dense = _channel(matrix)
+    return (dense > 0).sum(axis=0).astype(np.int64)
+
+
+def expected_posterior_entropy(matrix, prior: np.ndarray) -> float:
+    """Expected Shannon entropy (bits) of the posterior over true
+    values, averaged over reported values.
+
+    The residual uncertainty an attacker has *after* observing the
+    randomized response; the identity channel drives it to 0, the
+    uniform channel leaves it at the prior entropy.
+    """
+    dense, pi = _validate(matrix, prior)
+    posterior = posterior_matrix(dense, pi)
+    evidence = (dense * pi[:, None]).sum(axis=0)
+    total = 0.0
+    for v in range(dense.shape[0]):
+        if evidence[v] <= 0:
+            continue
+        column = posterior[:, v]
+        positive = column[column > 0]
+        total += evidence[v] * float(-(positive * np.log2(positive)).sum())
+    return total
+
+
+def posterior_to_prior_odds_bound(matrix) -> float:
+    """Largest posterior-to-prior odds ratio over all (u, u', v).
+
+    ``max_v max_{u,u'} (p_uv / p_u'v)`` — for any prior, the attacker's
+    odds between two candidate true values move by at most this factor
+    after one observation. By Eq. (4) this equals ``e^eps``; it is the
+    Bayesian reading of the differential-privacy guarantee.
+    """
+    dense = _channel(matrix)
+    col_min = dense.min(axis=0)
+    col_max = dense.max(axis=0)
+    if (col_min <= 0).any():
+        return float("inf")
+    return float((col_max / col_min).max())

@@ -1,0 +1,53 @@
+"""Microdata substrate: schemas, encoded datasets, product domains and
+dataset generators.
+
+This subpackage is the data model everything else builds on. A
+:class:`~repro.data.schema.Schema` describes an ordered set of
+categorical :class:`~repro.data.schema.Attribute` objects; a
+:class:`~repro.data.dataset.Dataset` couples a schema with an
+integer-coded record matrix; a :class:`~repro.data.domain.Domain`
+provides mixed-radix encoding of attribute subsets so a cluster of
+attributes can be treated as one product attribute (the operation at
+the heart of RR-Joint and RR-Clusters).
+"""
+
+from repro.data.schema import Attribute, Schema
+from repro.data.dataset import Dataset
+from repro.data.domain import Domain
+from repro.data.adult import (
+    ADULT_ATTRIBUTES,
+    adult_schema,
+    load_adult,
+    replicate,
+    synthesize_adult,
+)
+from repro.data.generators import (
+    independent_dataset,
+    bayesian_network_dataset,
+    correlated_pair_dataset,
+    BayesianNetworkSpec,
+)
+from repro.data.discretize import (
+    discretize_equal_width,
+    discretize_equal_frequency,
+    discretize_by_edges,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Dataset",
+    "Domain",
+    "ADULT_ATTRIBUTES",
+    "adult_schema",
+    "load_adult",
+    "replicate",
+    "synthesize_adult",
+    "independent_dataset",
+    "bayesian_network_dataset",
+    "correlated_pair_dataset",
+    "BayesianNetworkSpec",
+    "discretize_equal_width",
+    "discretize_equal_frequency",
+    "discretize_by_edges",
+]

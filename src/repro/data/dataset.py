@@ -1,0 +1,220 @@
+"""Integer-coded categorical datasets.
+
+A :class:`Dataset` couples a :class:`~repro.data.schema.Schema` with an
+``(n, m)`` int64 record matrix in which cell ``(i, j)`` stores the code
+(index into ``schema.attribute(j).categories``) of record ``i`` on
+attribute ``j``. All mechanisms, dependence measures and protocols in
+the library consume this representation; label-level records only exist
+at the edges (loading and report rendering).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.domain import Domain
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DatasetError
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """Categorical microdata with integer-coded records.
+
+    Parameters
+    ----------
+    schema:
+        Attribute definitions.
+    codes:
+        Integer array of shape ``(n, m)`` with ``m == schema.width``.
+        Copied defensively unless ``copy=False``.
+    """
+
+    def __init__(self, schema: Schema, codes: np.ndarray, *, copy: bool = True):
+        arr = np.array(codes, dtype=np.int64, copy=copy)
+        if arr.ndim != 2:
+            raise DatasetError(f"codes must be 2-D, got shape {arr.shape}")
+        if arr.shape[1] != schema.width:
+            raise DatasetError(
+                f"codes have {arr.shape[1]} columns but schema has "
+                f"{schema.width} attributes"
+            )
+        sizes = np.asarray(schema.sizes, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or (arr >= sizes[None, :]).any()):
+            bad = np.argwhere((arr < 0) | (arr >= sizes[None, :]))[0]
+            raise DatasetError(
+                f"code out of range at record {bad[0]}, attribute "
+                f"{schema.names[bad[1]]!r}"
+            )
+        self._schema = schema
+        self._codes = arr
+        self._codes.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, schema: Schema, records: Iterable) -> "Dataset":
+        """Build a dataset from label-level records (tuples of labels)."""
+        encoded = []
+        for row_number, record in enumerate(records):
+            row = tuple(record)
+            if len(row) != schema.width:
+                raise DatasetError(
+                    f"record {row_number} has {len(row)} values, expected "
+                    f"{schema.width}"
+                )
+            encoded.append(
+                [schema.attribute(j).index_of(v) for j, v in enumerate(row)]
+            )
+        if not encoded:
+            return cls(schema, np.empty((0, schema.width), dtype=np.int64))
+        return cls(schema, np.asarray(encoded, dtype=np.int64), copy=False)
+
+    @classmethod
+    def concat(cls, datasets: Sequence["Dataset"]) -> "Dataset":
+        """Stack datasets that share one schema (used to build Adult6)."""
+        if not datasets:
+            raise DatasetError("concat needs at least one dataset")
+        schema = datasets[0].schema
+        for ds in datasets[1:]:
+            if ds.schema != schema:
+                raise DatasetError("cannot concat datasets with different schemas")
+        return cls(
+            schema,
+            np.concatenate([ds.codes for ds in datasets], axis=0),
+            copy=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Read-only ``(n, m)`` code matrix."""
+        return self._codes
+
+    @property
+    def n_records(self) -> int:
+        return self._codes.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self._codes.shape[1]
+
+    def column(self, key) -> np.ndarray:
+        """Code column of one attribute (by name or index)."""
+        if isinstance(key, str):
+            key = self._schema.position(key)
+        return self._codes[:, key]
+
+    def columns(self, keys: Sequence) -> np.ndarray:
+        """``(n, k)`` view of several attribute columns, in given order."""
+        idx = [k if isinstance(k, int) else self._schema.position(k) for k in keys]
+        return self._codes[:, idx]
+
+    def record_labels(self, i: int) -> tuple:
+        """Category labels of record ``i`` (report rendering helper)."""
+        return tuple(
+            attr.categories[int(code)]
+            for attr, code in zip(self._schema, self._codes[i])
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def marginal_counts(self, key) -> np.ndarray:
+        """Absolute category counts of one attribute."""
+        attr = self._schema.attribute(key)
+        return np.bincount(self.column(attr.name), minlength=attr.size).astype(
+            np.int64
+        )
+
+    def marginal_distribution(self, key) -> np.ndarray:
+        """Empirical category frequencies of one attribute (sum to 1)."""
+        counts = self.marginal_counts(key)
+        if self.n_records == 0:
+            raise DatasetError("empty dataset has no distribution")
+        return counts / self.n_records
+
+    def contingency_table(self, key_a, key_b) -> np.ndarray:
+        """``(r_a, r_b)`` joint counts of two attributes."""
+        attr_a = self._schema.attribute(key_a)
+        attr_b = self._schema.attribute(key_b)
+        flat = self.column(attr_a.name) * attr_b.size + self.column(attr_b.name)
+        table = np.bincount(flat, minlength=attr_a.size * attr_b.size)
+        return table.reshape(attr_a.size, attr_b.size).astype(np.int64)
+
+    def joint_counts(self, names: Sequence | None = None) -> np.ndarray:
+        """Flat joint counts over the product domain of ``names``.
+
+        Only sensible when the product domain fits in memory; RR-Joint
+        on a handful of attributes, or within a cluster, qualifies.
+        """
+        domain = Domain.from_schema(self._schema, names)
+        flat = domain.encode(self.columns(domain.names))
+        return np.bincount(flat, minlength=domain.size).astype(np.int64)
+
+    def joint_distribution(self, names: Sequence | None = None) -> np.ndarray:
+        """Flat joint frequencies over the product domain of ``names``."""
+        if self.n_records == 0:
+            raise DatasetError("empty dataset has no distribution")
+        return self.joint_counts(names) / self.n_records
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def replace_columns(self, keys: Sequence, new_columns: np.ndarray) -> "Dataset":
+        """Return a copy with the given attribute columns replaced.
+
+        The randomization protocols use this to swap true columns for
+        randomized ones without mutating the caller's dataset.
+        """
+        cols = np.asarray(new_columns, dtype=np.int64)
+        if cols.ndim == 1:
+            cols = cols[:, None]
+        idx = [k if isinstance(k, int) else self._schema.position(k) for k in keys]
+        if cols.shape != (self.n_records, len(idx)):
+            raise DatasetError(
+                f"replacement columns have shape {cols.shape}, expected "
+                f"({self.n_records}, {len(idx)})"
+            )
+        out = self._codes.copy()
+        out[:, idx] = cols
+        return Dataset(self._schema, out, copy=False)
+
+    def select(self, names: Sequence) -> "Dataset":
+        """Dataset restricted to (and reordered as) ``names``."""
+        sub = self._schema.subset(names)
+        return Dataset(sub, self.columns(names).copy(), copy=False)
+
+    def sample(self, size: int, rng: np.random.Generator) -> "Dataset":
+        """Uniform sample of ``size`` records with replacement."""
+        if size < 0:
+            raise DatasetError(f"sample size must be non-negative, got {size}")
+        if self.n_records == 0:
+            raise DatasetError("cannot sample from an empty dataset")
+        rows = rng.integers(0, self.n_records, size=size)
+        return Dataset(self._schema, self._codes[rows], copy=False)
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return self._schema == other._schema and np.array_equal(
+            self._codes, other._codes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(n={self.n_records}, attributes={list(self._schema.names)})"
+        )

@@ -1,0 +1,103 @@
+"""Discretization of numeric attributes into ordinal categorical ones.
+
+Randomized response "assumes that all attributes are categorical or can
+be made categorical" (paper, §8); §4 requires continuous attributes to
+be discretized before a dependence can be measured against a nominal
+attribute. These helpers produce the code columns plus the matching
+:class:`~repro.data.schema.Attribute` so discretized columns slot
+straight into a schema.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import Attribute, ORDINAL
+from repro.exceptions import DatasetError
+
+__all__ = [
+    "discretize_equal_width",
+    "discretize_equal_frequency",
+    "discretize_by_edges",
+]
+
+
+def _interval_labels(edges: np.ndarray) -> tuple:
+    """Human-readable half-open interval labels for bin edges."""
+    labels = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        labels.append(f"[{lo:g}, {hi:g})")
+    return tuple(labels)
+
+
+def _build(name: str, codes: np.ndarray, edges: np.ndarray):
+    attr = Attribute(name, _interval_labels(edges), kind=ORDINAL)
+    return codes.astype(np.int64), attr
+
+
+def discretize_by_edges(
+    values: np.ndarray, edges: Sequence, name: str = "binned"
+):
+    """Discretize with explicit, strictly increasing bin edges.
+
+    Values below the first edge go to bin 0 and values at or above the
+    last edge to the last bin, so the mapping is total.
+
+    Returns
+    -------
+    tuple
+        ``(codes, attribute)`` — the int64 code column and the ordinal
+        :class:`~repro.data.schema.Attribute` describing the bins.
+    """
+    data = np.asarray(values, dtype=np.float64)
+    cuts = np.asarray(edges, dtype=np.float64)
+    if cuts.ndim != 1 or cuts.size < 3:
+        raise DatasetError("need at least 3 edges (2 bins)")
+    if not np.all(np.diff(cuts) > 0):
+        raise DatasetError("edges must be strictly increasing")
+    if np.isnan(data).any():
+        raise DatasetError("cannot discretize NaN values")
+    codes = np.clip(np.searchsorted(cuts, data, side="right") - 1, 0, cuts.size - 2)
+    return _build(name, codes, cuts)
+
+
+def discretize_equal_width(
+    values: np.ndarray, bins: int, name: str = "binned"
+):
+    """Discretize into ``bins`` equal-width intervals over the data range."""
+    if bins < 2:
+        raise DatasetError(f"bins must be >= 2, got {bins}")
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise DatasetError("cannot discretize an empty array")
+    lo, hi = float(data.min()), float(data.max())
+    if lo == hi:
+        raise DatasetError("cannot discretize a constant column")
+    edges = np.linspace(lo, hi, bins + 1)
+    return discretize_by_edges(data, edges, name)
+
+
+def discretize_equal_frequency(
+    values: np.ndarray, bins: int, name: str = "binned"
+):
+    """Discretize into ``bins`` (approximately) equal-frequency intervals.
+
+    Quantile edges that collide (heavily tied data) are deduplicated;
+    the resulting attribute may therefore have fewer than ``bins``
+    categories, but never fewer than 2.
+    """
+    if bins < 2:
+        raise DatasetError(f"bins must be >= 2, got {bins}")
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise DatasetError("cannot discretize an empty array")
+    quantiles = np.linspace(0.0, 1.0, bins + 1)
+    edges = np.unique(np.quantile(data, quantiles))
+    if edges.size < 3:
+        raise DatasetError(
+            "data too concentrated for equal-frequency binning "
+            f"({edges.size - 1} distinct bins)"
+        )
+    return discretize_by_edges(data, edges, name)

@@ -1,0 +1,192 @@
+"""Attribute and schema definitions for categorical microdata.
+
+Randomized response operates on *categorical* attributes (numeric ones
+must be discretized first, see :mod:`repro.data.discretize`). An
+:class:`Attribute` is a named, ordered list of category labels plus a
+*kind* flag (``"nominal"`` or ``"ordinal"``) that decides which
+dependence measure applies to it (Section 4 of the paper: Pearson
+correlation for ordinal pairs, Cramér's V when a nominal attribute is
+involved). A :class:`Schema` is an ordered, name-unique collection of
+attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Attribute", "Schema", "NOMINAL", "ORDINAL"]
+
+NOMINAL = "nominal"
+ORDINAL = "ordinal"
+_VALID_KINDS = (NOMINAL, ORDINAL)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A categorical attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute identifier, unique within a schema.
+    categories:
+        Ordered category labels. Records store the *index* into this
+        tuple, never the label itself.
+    kind:
+        ``"nominal"`` (no order between categories) or ``"ordinal"``
+        (categories are ordered; their index is used as a score when
+        computing Pearson correlations).
+    """
+
+    name: str
+    categories: tuple = field(default_factory=tuple)
+    kind: str = NOMINAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        if not isinstance(self.categories, tuple):
+            object.__setattr__(self, "categories", tuple(self.categories))
+        if len(self.categories) < 2:
+            raise SchemaError(
+                f"attribute {self.name!r} needs at least 2 categories, "
+                f"got {len(self.categories)}"
+            )
+        if len(set(self.categories)) != len(self.categories):
+            raise SchemaError(f"attribute {self.name!r} has duplicate categories")
+        if self.kind not in _VALID_KINDS:
+            raise SchemaError(
+                f"attribute {self.name!r} kind must be one of {_VALID_KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of categories ``|A|``."""
+        return len(self.categories)
+
+    @property
+    def is_ordinal(self) -> bool:
+        return self.kind == ORDINAL
+
+    def index_of(self, label) -> int:
+        """Return the code of ``label``.
+
+        Raises :class:`SchemaError` if the label is unknown.
+        """
+        try:
+            return self.categories.index(label)
+        except ValueError:
+            raise SchemaError(
+                f"unknown category {label!r} for attribute {self.name!r}"
+            ) from None
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r}, size={self.size}, kind={self.kind!r})"
+
+
+class Schema:
+    """Ordered, name-unique collection of :class:`Attribute` objects."""
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("schema needs at least one attribute")
+        for a in attrs:
+            if not isinstance(a, Attribute):
+                raise SchemaError(f"schema entries must be Attribute, got {type(a)!r}")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names in schema: {dupes}")
+        self._attributes = attrs
+        self._index = {a.name: i for i, a in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> tuple:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def sizes(self) -> tuple:
+        """Category counts ``(|A_1|, ..., |A_m|)``."""
+        return tuple(a.size for a in self._attributes)
+
+    @property
+    def width(self) -> int:
+        """Number of attributes ``m``."""
+        return len(self._attributes)
+
+    def joint_cells(self) -> int:
+        """Size of the full Cartesian product ``|A_1| x ... x |A_m|``.
+
+        For the paper's Adult subset this is 1,814,400 (Section 6.2).
+        """
+        total = 1
+        for a in self._attributes:
+            total *= a.size
+        return total
+
+    def position(self, name: str) -> int:
+        """Column index of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def attribute(self, key) -> Attribute:
+        """Look an attribute up by name or column index."""
+        if isinstance(key, str):
+            return self._attributes[self.position(key)]
+        if isinstance(key, int):
+            if not (-self.width <= key < self.width):
+                raise SchemaError(
+                    f"attribute index {key} out of range for width {self.width}"
+                )
+            return self._attributes[key]
+        raise SchemaError(f"attribute key must be str or int, got {type(key)!r}")
+
+    def positions(self, names: Sequence) -> tuple:
+        """Column indices for a sequence of names (or pass-through ints)."""
+        out = []
+        for key in names:
+            out.append(key if isinstance(key, int) else self.position(key))
+            if isinstance(key, int) and not (0 <= key < self.width):
+                raise SchemaError(
+                    f"attribute index {key} out of range for width {self.width}"
+                )
+        return tuple(out)
+
+    def subset(self, names: Sequence) -> "Schema":
+        """Schema restricted to (and reordered as) ``names``."""
+        return Schema([self.attribute(n) for n in names])
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}:{a.size}" for a in self._attributes)
+        return f"Schema([{inner}])"

@@ -1,0 +1,76 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything raised by the package with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "DomainError",
+    "DatasetError",
+    "MatrixError",
+    "EstimationError",
+    "PrivacyError",
+    "ClusteringError",
+    "ProtocolError",
+    "QueryError",
+    "SecureSumError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class SchemaError(ReproError):
+    """Invalid attribute or schema definition (duplicate names, empty
+    category lists, unknown attribute lookups, ...)."""
+
+
+class DomainError(ReproError):
+    """Invalid Cartesian-product domain operation (out-of-range codes,
+    mismatched column counts, empty attribute sets, ...)."""
+
+
+class DatasetError(ReproError):
+    """Invalid dataset construction or access (codes outside the
+    attribute domain, ragged records, schema mismatches, ...)."""
+
+
+class MatrixError(ReproError):
+    """Invalid randomized-response matrix (not square, not
+    row-stochastic, negative entries, singular, ...)."""
+
+
+class EstimationError(ReproError):
+    """Frequency-estimation failure (singular design, invalid observed
+    distribution, non-convergent iterative update, ...)."""
+
+
+class PrivacyError(ReproError):
+    """Invalid privacy parameter (non-positive epsilon, probability
+    outside (0, 1], unachievable budget split, ...)."""
+
+
+class ClusteringError(ReproError):
+    """Invalid clustering input (thresholds out of range, dependence
+    matrix of wrong shape, non-partition cluster sets, ...)."""
+
+
+class ProtocolError(ReproError):
+    """Protocol misuse (estimating before randomizing, schema mismatch
+    between design and dataset, unsupported query, ...)."""
+
+
+class QueryError(ReproError):
+    """Invalid count-query specification (unknown attributes, empty or
+    out-of-range cell sets, coverage outside (0, 1], ...)."""
+
+
+class SecureSumError(ReproError):
+    """Secure-sum protocol failure (share/modulus mismatch, wrong
+    number of broadcasts, overflow of the additive group, ...)."""

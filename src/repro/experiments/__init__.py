@@ -1,0 +1,36 @@
+"""Reproduction harness for every table and figure of the paper's §6.
+
+One module per artifact; each exposes ``run(...)`` returning a
+JSON-serializable result dataclass and ``render(result)`` producing the
+paper-style text table. The benchmarks under ``benchmarks/`` and the
+``repro-experiments`` CLI both call these — the harness *is* the
+library, the entry points are thin.
+
+Experiment index (see DESIGN.md §3 for the full mapping):
+
+========  =============================================================
+figure1   sqrt(B) versus number of categories (analytic)
+figure2   Randomized vs RR-Independent count errors, p=0.7
+table1    RR-Clusters relative-error grid on Adult
+figure3   four methods across coverages for p in {0.1,0.3,0.5,0.7}
+table2    the Table 1 grid on Adult6
+ablations §3.3 accuracy analysis, Prop. 1 attenuation, §4.1–4.3
+          estimator comparison, §6.4 projection comparison
+========  =============================================================
+"""
+
+from repro.experiments import config
+from repro.experiments.figure1 import run as run_figure1, render as render_figure1
+from repro.experiments.figure2 import run as run_figure2, render as render_figure2
+from repro.experiments.table1 import run as run_table1, render as render_table1
+from repro.experiments.figure3 import run as run_figure3, render as render_figure3
+from repro.experiments.table2 import run as run_table2, render as render_table2
+
+__all__ = [
+    "config",
+    "run_figure1", "render_figure1",
+    "run_figure2", "render_figure2",
+    "run_table1", "render_table1",
+    "run_figure3", "render_figure3",
+    "run_table2", "render_table2",
+]

@@ -1,0 +1,198 @@
+"""Extension experiments (E10-E11).
+
+* **E10 k-way queries** — §6.5 claims "the results with S configured by
+  a higher number of attributes did not differ significantly"; this
+  experiment runs the Figure-3-style evaluation with 2-, 3- and 4-way
+  query sets and reports the medians side by side.
+* **E11 clustering comparison** — Algorithm 1 vs the hierarchical
+  clustering of Oganian et al. [21] (§7 related work) under identical
+  Tv/Td constraints: resulting partitions and downstream count-query
+  error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._rng import ensure_rng, spawn_rngs
+from repro.analysis.marginals import random_marginal_query
+from repro.analysis.metrics import relative_count_error
+from repro.clustering.algorithm import cluster_attributes
+from repro.clustering.estimators import exact_dependences
+from repro.clustering.hierarchical import hierarchical_cluster_attributes
+from repro.data.dataset import Dataset
+from repro.experiments import config
+from repro.protocols.clusters import RRClusters
+
+__all__ = [
+    "KWayResult", "run_kway_queries", "render_kway_queries",
+    "ClusteringComparisonResult", "run_clustering_comparison",
+    "render_clustering_comparison",
+]
+
+
+# ----------------------------------------------------------------------
+# E10: k-way query widths
+# ----------------------------------------------------------------------
+
+@dataclass
+class KWayResult:
+    p: float
+    sigma: float
+    runs: int
+    widths: list = field(default_factory=list)
+    median_relative_error: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "kway-queries",
+            "p": self.p,
+            "sigma": self.sigma,
+            "runs": self.runs,
+            "widths": self.widths,
+            "median_relative_error": self.median_relative_error,
+        }
+
+
+def run_kway_queries(
+    dataset: Dataset | None = None,
+    p: float = 0.7,
+    sigma: float = 0.1,
+    widths=(2, 3, 4),
+    max_cells: int = 50,
+    min_dependence: float = 0.1,
+    runs: int | None = None,
+    rng=None,
+) -> KWayResult:
+    """Median relative error of RR-Clusters count queries by width k."""
+    data = dataset if dataset is not None else config.adult()
+    n_runs = runs if runs is not None else config.default_runs()
+    generator = ensure_rng(rng if rng is not None else config.default_seed())
+    protocol = RRClusters.design(
+        data, p=p, max_cells=max_cells, min_dependence=min_dependence
+    )
+    result = KWayResult(
+        p=p, sigma=sigma, runs=n_runs, widths=[int(w) for w in widths]
+    )
+    for width in widths:
+        errors = []
+        for trial_rng in spawn_rngs(generator, n_runs):
+            query = random_marginal_query(
+                data.schema, int(width), sigma, trial_rng
+            )
+            released = protocol.randomize(data, trial_rng)
+            estimates = protocol.estimate(released)
+            estimated = query.estimate_count(estimates, data.n_records)
+            errors.append(
+                relative_count_error(estimated, query.true_count(data))
+            )
+        result.median_relative_error.append(float(np.median(errors)))
+    return result
+
+
+def render_kway_queries(result: KWayResult) -> str:
+    lines = [
+        f"E10 (§6.5 remark): k-way count queries, p={result.p}, "
+        f"sigma={result.sigma}, {result.runs} runs",
+        f"{'k':>3s} {'median rel. error':>18s}",
+    ]
+    for width, error in zip(result.widths, result.median_relative_error):
+        lines.append(f"{width:>3d} {error:>18.4f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# E11: Algorithm 1 vs hierarchical clustering
+# ----------------------------------------------------------------------
+
+@dataclass
+class ClusteringComparisonResult:
+    p: float
+    sigma: float
+    runs: int
+    max_cells: int
+    min_dependence: float
+    methods: list = field(default_factory=list)
+    clusterings: list = field(default_factory=list)
+    median_relative_error: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "clustering-comparison",
+            "p": self.p,
+            "sigma": self.sigma,
+            "runs": self.runs,
+            "max_cells": self.max_cells,
+            "min_dependence": self.min_dependence,
+            "methods": self.methods,
+            "clusterings": self.clusterings,
+            "median_relative_error": self.median_relative_error,
+        }
+
+
+def run_clustering_comparison(
+    dataset: Dataset | None = None,
+    p: float = 0.7,
+    sigma: float = 0.1,
+    max_cells: int = 50,
+    min_dependence: float = 0.1,
+    runs: int | None = None,
+    rng=None,
+) -> ClusteringComparisonResult:
+    """Algorithm 1 vs hierarchical linkages on identical inputs."""
+    data = dataset if dataset is not None else config.adult()
+    n_runs = runs if runs is not None else config.default_runs()
+    generator = ensure_rng(rng if rng is not None else config.default_seed())
+    dependences = exact_dependences(data).matrix
+
+    partitions = {
+        "algorithm1": cluster_attributes(
+            data.schema, dependences, max_cells, min_dependence
+        ),
+    }
+    for linkage in ("single", "complete", "average"):
+        partitions[f"hierarchical-{linkage}"] = (
+            hierarchical_cluster_attributes(
+                data.schema, dependences, max_cells, min_dependence,
+                linkage=linkage,
+            )
+        )
+
+    result = ClusteringComparisonResult(
+        p=p, sigma=sigma, runs=n_runs,
+        max_cells=max_cells, min_dependence=min_dependence,
+    )
+    from repro.analysis.queries import random_pair_query, count_from_table
+    for name, clustering in partitions.items():
+        protocol = RRClusters(clustering, p=p)
+        errors = []
+        for trial_rng in spawn_rngs(generator, n_runs):
+            query = random_pair_query(data.schema, sigma, trial_rng)
+            released = protocol.randomize(data, trial_rng)
+            estimates = protocol.estimate(released)
+            table = estimates.pair_table(query.name_a, query.name_b)
+            estimated = count_from_table(table, query, data.n_records)
+            errors.append(
+                relative_count_error(estimated, query.true_count(data))
+            )
+        result.methods.append(name)
+        result.clusterings.append([list(c) for c in clustering.clusters])
+        result.median_relative_error.append(float(np.median(errors)))
+    return result
+
+
+def render_clustering_comparison(result: ClusteringComparisonResult) -> str:
+    lines = [
+        f"E11 ([21] vs Algorithm 1): clustering methods, p={result.p}, "
+        f"sigma={result.sigma}, Tv={result.max_cells}, "
+        f"Td={result.min_dependence:g}, {result.runs} runs",
+        f"{'method':>22s} {'median rel. error':>18s}  clusters",
+    ]
+    for name, error, clusters in zip(
+        result.methods, result.median_relative_error, result.clusterings
+    ):
+        rendered = " ".join("{" + ",".join(c) + "}" for c in clusters)
+        lines.append(f"{name:>22s} {error:>18.4f}  {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Figure 1 — growth of ``sqrt(B)`` with the number of categories.
+
+The paper plots the factor ``sqrt(B)`` of the absolute error of
+``lambda_hat`` (Definition 1 / Eq. (5)) against the number of
+categories ``r`` for ``alpha = 0.05``, over ``r`` up to 100,000: it
+climbs from about 2.24 at ``r = 2`` to about 5 at ``r = 100,000`` —
+slow (logarithmic) growth, which is why the paper pins the curse of
+dimensionality on shrinking per-cell counts rather than on ``B``.
+
+This experiment is purely analytic (no randomness), so the reproduction
+matches the paper's curve exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import sqrt_b_factor
+
+__all__ = ["Figure1Result", "run", "render"]
+
+#: Checkpoints the rendered table reports (the curve itself is denser).
+_CHECKPOINTS = (2, 10, 100, 1_000, 10_000, 100_000)
+
+
+@dataclass
+class Figure1Result:
+    """The sqrt(B) curve."""
+
+    alpha: float
+    categories: list = field(default_factory=list)
+    sqrt_b: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "figure1",
+            "alpha": self.alpha,
+            "categories": self.categories,
+            "sqrt_b": self.sqrt_b,
+        }
+
+
+def run(alpha: float = 0.05, max_categories: int = 100_000, points: int = 200) -> Figure1Result:
+    """Compute the Figure 1 curve.
+
+    Parameters
+    ----------
+    alpha:
+        Confidence parameter (paper: 0.05).
+    max_categories:
+        Right end of the x-axis (paper: 100,000).
+    points:
+        Number of log-spaced evaluation points.
+    """
+    grid = np.unique(
+        np.concatenate(
+            [
+                np.logspace(np.log10(2), np.log10(max_categories), points).astype(int),
+                np.asarray(_CHECKPOINTS, dtype=int),
+            ]
+        )
+    )
+    grid = grid[grid <= max_categories]
+    values = [sqrt_b_factor(int(r), alpha) for r in grid]
+    return Figure1Result(
+        alpha=alpha,
+        categories=[int(r) for r in grid],
+        sqrt_b=[float(v) for v in values],
+    )
+
+
+def render(result: Figure1Result) -> str:
+    """Paper-style checkpoint table for the Figure 1 curve."""
+    lookup = dict(zip(result.categories, result.sqrt_b))
+    lines = [
+        f"Figure 1: sqrt(B) vs number of categories r (alpha={result.alpha})",
+        f"{'r':>10s}  {'sqrt(B)':>8s}",
+    ]
+    for r in _CHECKPOINTS:
+        if r in lookup:
+            lines.append(f"{r:>10d}  {lookup[r]:>8.3f}")
+    return "\n".join(lines)

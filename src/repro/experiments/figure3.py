@@ -1,0 +1,115 @@
+"""Figure 3 — four methods across coverages, one panel per p.
+
+Median relative error of RR-Independent, RR-Independent + RR-Adjustment,
+RR-Clusters (best Tv/Td from Table 1) and RR-Clusters + RR-Adjustment,
+as a function of coverage sigma, for p in {0.1, 0.3, 0.5, 0.7}.
+Expected shape (§6.5):
+
+* p <= 0.3: RR-Independent is best — clustering/adjustment leverage
+  dependences that strong randomization has destroyed;
+* p >= 0.5, sigma >= 0.3: all methods converge to small errors;
+* p >= 0.5, sigma < 0.3: RR-Clusters clearly beats RR-Independent and
+  RR-Adjustment improves both pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._rng import ensure_rng
+from repro.analysis.evaluation import (
+    AdjustedClustersMethod,
+    AdjustedIndependentMethod,
+    ClustersMethod,
+    IndependentMethod,
+    run_pair_query_trials,
+)
+from repro.data.dataset import Dataset
+from repro.experiments import config
+
+__all__ = ["Figure3Result", "run", "render"]
+
+
+@dataclass
+class Figure3Result:
+    """Per-panel (p) per-method relative-error curves."""
+
+    runs: int
+    sigmas: list = field(default_factory=list)
+    p_grid: list = field(default_factory=list)
+    cluster_params: dict = field(default_factory=dict)  # "p" -> [tv, td]
+    # panels["p"]["method"] -> [error per sigma]
+    panels: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "figure3",
+            "runs": self.runs,
+            "sigmas": self.sigmas,
+            "p_grid": self.p_grid,
+            "cluster_params": self.cluster_params,
+            "panels": self.panels,
+        }
+
+
+def run(
+    dataset: Dataset | None = None,
+    p_grid=config.P_GRID,
+    sigmas=config.SIGMA_GRID,
+    cluster_params: dict | None = None,
+    runs: int | None = None,
+    rng=None,
+) -> Figure3Result:
+    """Reproduce all four Figure 3 panels.
+
+    ``cluster_params`` maps p to the (Tv, Td) pair used for the two
+    cluster-based methods; default: the paper's Table 1 best choices.
+    """
+    data = dataset if dataset is not None else config.adult()
+    n_runs = runs if runs is not None else config.default_runs()
+    generator = ensure_rng(rng if rng is not None else config.default_seed())
+    params = dict(cluster_params or config.BEST_CLUSTER_PARAMS)
+    result = Figure3Result(
+        runs=n_runs,
+        sigmas=[float(s) for s in sigmas],
+        p_grid=[float(p) for p in p_grid],
+        cluster_params={f"{p:g}": list(params[p]) for p in p_grid},
+    )
+    for p in p_grid:
+        tv, td = params[p]
+        methods = [
+            IndependentMethod(float(p)),
+            AdjustedIndependentMethod(float(p)),
+            ClustersMethod(float(p), int(tv), float(td)),
+            AdjustedClustersMethod(float(p), int(tv), float(td)),
+        ]
+        panel: dict = {m.name: [] for m in methods}
+        for sigma in sigmas:
+            reports = run_pair_query_trials(
+                data, methods, coverage=float(sigma), runs=n_runs,
+                rng=generator,
+            )
+            for name, report in reports.items():
+                panel[name].append(report.median_relative_error)
+        result.panels[f"{p:g}"] = panel
+    return result
+
+
+def render(result: Figure3Result) -> str:
+    lines = [
+        f"Figure 3: median relative error vs coverage sigma "
+        f"({result.runs} runs per point)",
+    ]
+    for p_key in (f"{p:g}" for p in result.p_grid):
+        panel = result.panels[p_key]
+        tv, td = result.cluster_params[p_key]
+        lines.append("")
+        lines.append(f"panel p={p_key} (clusters: Tv={tv}, Td={td:g})")
+        names = list(panel)
+        width = max(len(n) for n in names)
+        header = f"{'sigma':>6s}  " + "  ".join(f"{n:>{width}s}" for n in names)
+        lines.append(header)
+        for i, sigma in enumerate(result.sigmas):
+            row = "  ".join(f"{panel[n][i]:>{width}.4f}" for n in names)
+            lines.append(f"{sigma:>6.1f}  {row}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Table 1 — RR-Clusters relative error grid on Adult.
+
+Median relative error of RR-Clusters count queries at sigma = 0.1 for
+every combination of Tv in {50, 100, 300}, Td in {0.1, 0.2, 0.3} and
+p in {0.1, 0.3, 0.5, 0.7}. Expected shape (§6.5):
+
+* error increases with Tv (big clusters hurt — their joint cells get
+  too few observations);
+* for small p larger Td helps (little dependence survives strong
+  randomization, so clustering is not worth paying for), for large p
+  smaller Td helps;
+* errors at p = 0.7 are flat and small across the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._rng import ensure_rng
+from repro.analysis.evaluation import ClustersMethod, run_pair_query_trials
+from repro.data.dataset import Dataset
+from repro.experiments import config
+
+__all__ = ["ClusterGridResult", "run", "render", "best_parameters"]
+
+
+@dataclass
+class ClusterGridResult:
+    """Relative-error grid indexed by (p, Td, Tv)."""
+
+    dataset_label: str
+    sigma: float
+    runs: int
+    p_grid: list = field(default_factory=list)
+    tv_grid: list = field(default_factory=list)
+    td_grid: list = field(default_factory=list)
+    # keys are "p/td/tv" strings so the dict round-trips through JSON.
+    errors: dict = field(default_factory=dict)
+    clusterings: dict = field(default_factory=dict)
+
+    @staticmethod
+    def key(p: float, td: float, tv: int) -> str:
+        return f"{p:g}/{td:g}/{tv:d}"
+
+    def error(self, p: float, td: float, tv: int) -> float:
+        return self.errors[self.key(p, td, tv)]
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": f"cluster-grid-{self.dataset_label}",
+            "dataset": self.dataset_label,
+            "sigma": self.sigma,
+            "runs": self.runs,
+            "p_grid": self.p_grid,
+            "tv_grid": self.tv_grid,
+            "td_grid": self.td_grid,
+            "errors": self.errors,
+            "clusterings": self.clusterings,
+        }
+
+
+def run(
+    dataset: Dataset | None = None,
+    sigma: float = config.TABLE_SIGMA,
+    p_grid=config.P_GRID,
+    tv_grid=config.TV_GRID,
+    td_grid=config.TD_GRID,
+    runs: int | None = None,
+    rng=None,
+    dataset_label: str = "Adult",
+) -> ClusterGridResult:
+    """Reproduce the Table 1 grid (also reused by Table 2 on Adult6)."""
+    data = dataset if dataset is not None else config.adult()
+    n_runs = runs if runs is not None else config.default_runs()
+    generator = ensure_rng(rng if rng is not None else config.default_seed())
+    result = ClusterGridResult(
+        dataset_label=dataset_label,
+        sigma=float(sigma),
+        runs=n_runs,
+        p_grid=[float(p) for p in p_grid],
+        tv_grid=[int(t) for t in tv_grid],
+        td_grid=[float(t) for t in td_grid],
+    )
+    for p in p_grid:
+        for td in td_grid:
+            for tv in tv_grid:
+                method = ClustersMethod(float(p), int(tv), float(td))
+                reports = run_pair_query_trials(
+                    data, [method], coverage=float(sigma), runs=n_runs,
+                    rng=generator,
+                )
+                key = result.key(float(p), float(td), int(tv))
+                report = next(iter(reports.values()))
+                result.errors[key] = report.median_relative_error
+                result.clusterings[key] = [
+                    list(cluster)
+                    for cluster in method.protocol.clustering.clusters
+                ]
+    return result
+
+
+def best_parameters(result: ClusterGridResult) -> dict:
+    """Best (Tv, Td) per p — what Figure 3 plugs in."""
+    out = {}
+    for p in result.p_grid:
+        best = None
+        for td in result.td_grid:
+            for tv in result.tv_grid:
+                err = result.error(p, td, tv)
+                if best is None or err < best[0]:
+                    best = (err, int(tv), float(td))
+        out[p] = (best[1], best[2])
+    return out
+
+
+def render(result: ClusterGridResult) -> str:
+    title = (
+        f"Table 1 ({result.dataset_label}): median relative error of "
+        f"RR-Clusters, sigma={result.sigma}, {result.runs} runs"
+    )
+    header = f"{'p':>4s} {'Td':>4s}  " + "  ".join(
+        f"Tv={tv:<4d}" for tv in result.tv_grid
+    )
+    lines = [title, "", header]
+    for p in result.p_grid:
+        for td in result.td_grid:
+            cells = "  ".join(
+                f"{result.error(p, td, tv):7.3f}" for tv in result.tv_grid
+            )
+            lines.append(f"{p:>4.1f} {td:>4.1f}  {cells}")
+    return "\n".join(lines)

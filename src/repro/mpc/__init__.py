@@ -1,0 +1,31 @@
+"""Multiparty-computation substrate.
+
+Section 4.2 of the paper computes exact bivariate frequencies without a
+trusted party through a **secure sum**: each party splits a 0/1
+indicator into additive shares modulo ``n + 1``, shares are exchanged,
+and only the aggregate — the frequency of one cell — is recoverable.
+:mod:`repro.mpc.secure_sum` is a message-level simulation of that
+protocol (instantiating the Ben-Or–Goldwasser–Wigderson framework the
+paper cites), and :mod:`repro.mpc.parties` provides the party /
+collector framework the protocols run on.
+"""
+
+from repro.mpc.secure_sum import (
+    SecureSumProtocol,
+    SecureSumTranscript,
+    secure_sum,
+    secure_cell_frequency,
+    secure_contingency_table,
+)
+from repro.mpc.parties import Party, Collector, LocalNetwork
+
+__all__ = [
+    "SecureSumProtocol",
+    "SecureSumTranscript",
+    "secure_sum",
+    "secure_cell_frequency",
+    "secure_contingency_table",
+    "Party",
+    "Collector",
+    "LocalNetwork",
+]

@@ -1,0 +1,186 @@
+"""Party/collector simulation framework.
+
+The paper's setting (§3): ``n`` parties each hold one record and refuse
+to disclose it; an untrusted collector only ever sees randomized
+responses. This module gives that setting an explicit shape:
+
+* :class:`Party` — owns one true record, applies local randomization,
+  and never leaks the record through the public API;
+* :class:`Collector` — pools published responses and runs estimation;
+* :class:`LocalNetwork` — drives a set of parties through a protocol
+  round and hands the published dataset to a collector.
+
+The high-throughput experiment harness bypasses this layer (it
+randomizes whole columns at once), but the examples and the integration
+tests run the protocols through it to demonstrate — and assert — that
+the distributed view and the vectorized view produce identically
+distributed outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro._rng import ensure_rng, spawn_rngs
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.exceptions import ProtocolError
+
+__all__ = ["Party", "Collector", "LocalNetwork"]
+
+
+class Party:
+    """One survey respondent holding one private record.
+
+    The true record is intentionally kept in a private attribute; the
+    only outward path is :meth:`publish`, which applies caller-supplied
+    per-attribute randomizers first.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        record: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        codes = np.asarray(record, dtype=np.int64)
+        if codes.shape != (schema.width,):
+            raise ProtocolError(
+                f"record must have shape ({schema.width},), got {codes.shape}"
+            )
+        for attr, code in zip(schema, codes):
+            if not 0 <= code < attr.size:
+                raise ProtocolError(
+                    f"record value {code} out of range for {attr.name!r}"
+                )
+        self._schema = schema
+        self._record = codes.copy()
+        self._rng = ensure_rng(rng)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def publish(self, randomizers: Sequence) -> np.ndarray:
+        """Randomize and release this party's record.
+
+        Parameters
+        ----------
+        randomizers:
+            One callable per *column group*: each entry is a pair
+            ``(positions, fn)`` where ``fn(values, rng) -> values``
+            randomizes the codes at those schema positions jointly (a
+            single position for RR-Independent; a cluster's positions,
+            flattened by the caller, for RR-Clusters).
+
+        Returns
+        -------
+        numpy.ndarray
+            The randomized record, same shape as the true one.
+        """
+        out = self._record.copy()
+        seen: set = set()
+        for positions, fn in randomizers:
+            pos = tuple(int(p) for p in positions)
+            if any(p in seen for p in pos):
+                raise ProtocolError(f"attribute randomized twice: {pos}")
+            seen.update(pos)
+            values = out[list(pos)]
+            randomized = np.asarray(fn(values, self._rng), dtype=np.int64)
+            if randomized.shape != values.shape:
+                raise ProtocolError(
+                    f"randomizer changed shape {values.shape} -> {randomized.shape}"
+                )
+            out[list(pos)] = randomized
+        if seen != set(range(self._schema.width)):
+            missing = sorted(set(range(self._schema.width)) - seen)
+            raise ProtocolError(
+                f"randomizers do not cover attributes at positions {missing}; "
+                "publishing unrandomized values would leak the record"
+            )
+        return out
+
+    def answer_indicator(self, positions: Sequence, cell: Sequence) -> int:
+        """Private 0/1 indicator "my values at ``positions`` equal ``cell``".
+
+        This is the contribution a party feeds into the §4.2 secure sum;
+        it is the *only* query against the true record the framework
+        exposes, and it is never published directly — only its secure
+        aggregate is.
+        """
+        pos = [int(p) for p in positions]
+        want = np.asarray(cell, dtype=np.int64)
+        return int(np.array_equal(self._record[pos], want))
+
+
+class Collector:
+    """Untrusted data collector: pools published responses."""
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._rows: list = []
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_collected(self) -> int:
+        return len(self._rows)
+
+    def receive(self, response: np.ndarray) -> None:
+        codes = np.asarray(response, dtype=np.int64)
+        if codes.shape != (self._schema.width,):
+            raise ProtocolError(
+                f"response must have shape ({self._schema.width},), "
+                f"got {codes.shape}"
+            )
+        self._rows.append(codes)
+
+    def pooled(self) -> Dataset:
+        """The collected randomized dataset."""
+        if not self._rows:
+            raise ProtocolError("collector has received no responses")
+        return Dataset(self._schema, np.stack(self._rows), copy=False)
+
+
+class LocalNetwork:
+    """Run a set of parties through one randomization round."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        streams = spawn_rngs(rng, dataset.n_records)
+        self._schema = dataset.schema
+        self._parties = [
+            Party(dataset.schema, dataset.codes[i], streams[i])
+            for i in range(dataset.n_records)
+        ]
+
+    @property
+    def parties(self) -> tuple:
+        return tuple(self._parties)
+
+    @property
+    def n_parties(self) -> int:
+        return len(self._parties)
+
+    def broadcast_round(self, randomizers: Sequence) -> Dataset:
+        """Every party publishes once; returns the pooled dataset."""
+        collector = Collector(self._schema)
+        for party in self._parties:
+            collector.receive(party.publish(randomizers))
+        return collector.pooled()
+
+    def indicator_contributions(
+        self, positions: Sequence, cell: Sequence
+    ) -> np.ndarray:
+        """Per-party secure-sum contributions for one cell (§4.2)."""
+        return np.asarray(
+            [p.answer_indicator(positions, cell) for p in self._parties],
+            dtype=np.int64,
+        )

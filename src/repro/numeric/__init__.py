@@ -1,0 +1,28 @@
+"""Numerical-attribute support (the paper's §8 future-work direction).
+
+Randomized response needs categorical inputs; numerical microdata must
+be discretized first (§4). This subpackage packages the full numeric
+round trip the paper sketches:
+
+* :class:`~repro.numeric.codec.NumericCodec` — bin a numeric column,
+  carry the edges, and map codes back to representative values;
+* :mod:`repro.numeric.pipeline` — discretize → RR → Eq. (2) →
+  reconstruct, with moment and quantile estimators that operate on the
+  *estimated bin distribution* rather than on any individual's value.
+"""
+
+from repro.numeric.codec import NumericCodec
+from repro.numeric.pipeline import (
+    NumericRRPipeline,
+    estimate_mean,
+    estimate_variance,
+    estimate_quantile,
+)
+
+__all__ = [
+    "NumericCodec",
+    "NumericRRPipeline",
+    "estimate_mean",
+    "estimate_variance",
+    "estimate_quantile",
+]

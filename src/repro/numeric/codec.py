@@ -1,0 +1,123 @@
+"""Binning codec: numeric values <-> ordinal category codes.
+
+The codec is the stateful companion of :mod:`repro.data.discretize`:
+it remembers the bin edges so that (a) every party discretizes with the
+*same* grid — a requirement for the pooled RR estimation to mean
+anything — and (b) estimated bin distributions can be mapped back to
+numeric summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.discretize import (
+    discretize_by_edges,
+    discretize_equal_frequency,
+    discretize_equal_width,
+)
+from repro.data.schema import Attribute
+from repro.exceptions import DatasetError
+
+__all__ = ["NumericCodec"]
+
+
+class NumericCodec:
+    """Fixed binning grid for one numeric attribute.
+
+    Build it once (from public knowledge or a pilot sample), then every
+    party encodes with the same grid. Construction is via the
+    classmethods; the raw constructor takes explicit edges.
+    """
+
+    def __init__(self, name: str, edges: np.ndarray):
+        cuts = np.asarray(edges, dtype=np.float64)
+        if cuts.ndim != 1 or cuts.size < 3:
+            raise DatasetError("need at least 3 edges (2 bins)")
+        if not np.all(np.diff(cuts) > 0):
+            raise DatasetError("edges must be strictly increasing")
+        self._name = str(name)
+        self._edges = cuts
+        # validate label construction once
+        _, self._attribute = discretize_by_edges(
+            np.array([cuts[0]]), cuts, name=self._name
+        )
+
+    @classmethod
+    def equal_width(
+        cls, values: np.ndarray, bins: int, name: str = "binned"
+    ) -> "NumericCodec":
+        data = np.asarray(values, dtype=np.float64)
+        if data.size == 0:
+            raise DatasetError("cannot fit a codec on an empty array")
+        lo, hi = float(data.min()), float(data.max())
+        if lo == hi:
+            raise DatasetError("cannot fit a codec on a constant column")
+        if bins < 2:
+            raise DatasetError(f"bins must be >= 2, got {bins}")
+        return cls(name, np.linspace(lo, hi, bins + 1))
+
+    @classmethod
+    def equal_frequency(
+        cls, values: np.ndarray, bins: int, name: str = "binned"
+    ) -> "NumericCodec":
+        # reuse the discretizer's dedup/validation logic for the edges
+        data = np.asarray(values, dtype=np.float64)
+        _, attr = discretize_equal_frequency(data, bins, name)
+        del attr
+        quantiles = np.linspace(0.0, 1.0, bins + 1)
+        edges = np.unique(np.quantile(data, quantiles))
+        return cls(name, edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def edges(self) -> np.ndarray:
+        return self._edges.copy()
+
+    @property
+    def n_bins(self) -> int:
+        return self._edges.size - 1
+
+    @property
+    def attribute(self) -> Attribute:
+        """The ordinal :class:`~repro.data.schema.Attribute` of the bins."""
+        return self._attribute
+
+    def midpoints(self) -> np.ndarray:
+        """Representative value per bin (interval midpoint)."""
+        return (self._edges[:-1] + self._edges[1:]) / 2.0
+
+    def widths(self) -> np.ndarray:
+        return np.diff(self._edges)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Numeric values -> bin codes (out-of-range values clipped to
+        the boundary bins, as in :func:`discretize_by_edges`)."""
+        codes, _ = discretize_by_edges(values, self._edges, self._name)
+        return codes
+
+    def decode(
+        self,
+        codes: np.ndarray,
+        rng: "np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Bin codes -> numeric values.
+
+        Midpoints by default; pass ``rng`` to draw uniformly within
+        each bin instead (useful when re-creating synthetic numeric
+        microdata whose histogram should look smooth).
+        """
+        idx = np.asarray(codes, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_bins):
+            raise DatasetError(f"codes out of range [0, {self.n_bins})")
+        if rng is None:
+            return self.midpoints()[idx]
+        lo = self._edges[:-1][idx]
+        return lo + rng.random(idx.shape) * self.widths()[idx]
+
+    def __repr__(self) -> str:
+        return f"NumericCodec({self._name!r}, bins={self.n_bins})"

@@ -1,0 +1,35 @@
+"""The paper's randomization protocols.
+
+* :mod:`repro.protocols.independent` — Protocol 1 (RR-Independent):
+  separate RR per attribute; joints require independence.
+* :mod:`repro.protocols.joint` — Protocol 2 (RR-Joint): RR on the full
+  Cartesian product; exact joints, exponential cost.
+* :mod:`repro.protocols.clusters` — RR-Clusters (§4): RR-Joint inside
+  dependence-based attribute clusters, independence across clusters.
+* :mod:`repro.protocols.adjustment` — RR-Adjustment (Algorithm 2, §5):
+  iterative reweighting of the randomized records to the RR-estimated
+  marginals, recovering part of the lost joint structure.
+
+Every protocol follows the same life cycle: construct the design (the
+matrices), ``randomize(dataset)`` to obtain the released data, then
+call the ``estimate_*`` methods on the released data. Estimation never
+touches the true dataset.
+"""
+
+from repro.protocols.independent import RRIndependent
+from repro.protocols.joint import RRJoint
+from repro.protocols.clusters import RRClusters
+from repro.protocols.adjustment import (
+    AdjustmentResult,
+    adjust_weights,
+    weighted_pair_table,
+)
+
+__all__ = [
+    "RRIndependent",
+    "RRJoint",
+    "RRClusters",
+    "AdjustmentResult",
+    "adjust_weights",
+    "weighted_pair_table",
+]

@@ -1,0 +1,189 @@
+"""RR-Adjustment — Algorithm 2 (paper §5).
+
+The randomized data set ``Y`` still carries (attenuated) inter-attribute
+structure. RR-Adjustment assigns a weight to every record of ``Y`` and
+iteratively rescales the weights so that the *weighted* marginal of each
+attribute matches the RR-estimated true marginal — iterative
+proportional fitting with the randomized records as the support. The
+weighted empirical distribution of ``Y`` is then a joint-distribution
+estimate that respects both the estimated marginals and the residual
+dependence structure of ``Y``.
+
+The same algorithm applies at the cluster level (§5: substitute
+"cluster of attributes" for "attribute" throughout): each target group
+is then a cluster with its RR-Clusters joint estimate as the target
+distribution over the cluster's product domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.domain import Domain
+from repro.exceptions import ProtocolError
+
+__all__ = ["AdjustmentResult", "adjust_weights", "weighted_pair_table"]
+
+
+@dataclass(frozen=True)
+class AdjustmentResult:
+    """Outcome of Algorithm 2.
+
+    Attributes
+    ----------
+    weights:
+        Length-``n`` record weights summing to 1 — the estimated joint
+        distribution is "record ``i`` of ``Y`` with probability
+        ``weights[i]``".
+    iterations:
+        Sweeps over all target groups actually performed.
+    converged:
+        Whether the stopping tolerance was reached before the iteration
+        cap (the paper explicitly allows stopping on a fixed number of
+        iterations, so hitting the cap is a valid termination, not an
+        error).
+    max_marginal_gap:
+        Largest absolute difference between a weighted marginal and its
+        target after the final sweep — the residual infeasibility when
+        the targets are not jointly attainable on ``Y``'s support.
+    """
+
+    weights: np.ndarray
+    iterations: int
+    converged: bool
+    max_marginal_gap: float
+
+
+def _validate_targets(randomized: Dataset, targets: Sequence) -> list:
+    """Normalize target groups to ``(domain, flat codes, target dist)``."""
+    if not targets:
+        raise ProtocolError("adjustment needs at least one target group")
+    seen: set = set()
+    prepared = []
+    for names, distribution in targets:
+        name_tuple = tuple(str(n) for n in names)
+        if not name_tuple:
+            raise ProtocolError("target group must name at least one attribute")
+        overlap = seen & set(name_tuple)
+        if overlap:
+            raise ProtocolError(
+                f"attributes in multiple target groups: {sorted(overlap)}"
+            )
+        seen.update(name_tuple)
+        domain = Domain.from_schema(randomized.schema, name_tuple)
+        target = np.asarray(distribution, dtype=np.float64)
+        if target.shape != (domain.size,):
+            raise ProtocolError(
+                f"target for {name_tuple} must have shape ({domain.size},), "
+                f"got {target.shape}"
+            )
+        if (target < 0).any() or not np.isclose(target.sum(), 1.0, atol=1e-6):
+            raise ProtocolError(
+                f"target for {name_tuple} must be a proper distribution "
+                "(run clip_and_rescale on Eq. (2) estimates first)"
+            )
+        flat = domain.encode(randomized.columns(name_tuple))
+        prepared.append((domain, flat, target))
+    return prepared
+
+
+def adjust_weights(
+    randomized: Dataset,
+    targets: Sequence,
+    max_iterations: int = 100,
+    tolerance: float = 1e-9,
+) -> AdjustmentResult:
+    """Run Algorithm 2.
+
+    Parameters
+    ----------
+    randomized:
+        The released data set ``Y``.
+    targets:
+        Sequence of ``(names, distribution)`` pairs: the attribute
+        group (a single attribute for RR-Independent adjustment, a
+        cluster for RR-Clusters adjustment) and the estimated *proper*
+        distribution over the group's product domain. Groups must not
+        share attributes.
+    max_iterations:
+        Cap on full sweeps (the paper's "small fixed number of
+        iterations" termination).
+    tolerance:
+        L-infinity threshold on weight change per sweep for declaring
+        convergence.
+
+    Notes
+    -----
+    A category with positive target mass but *zero* weighted support in
+    ``Y`` cannot be repaired by reweighting (line 16 of Algorithm 2
+    would divide by zero); such categories are skipped within a sweep
+    and surface in ``max_marginal_gap``.
+    """
+    if randomized.n_records == 0:
+        raise ProtocolError("cannot adjust an empty dataset")
+    if max_iterations < 1:
+        raise ProtocolError(f"max_iterations must be >= 1, got {max_iterations}")
+    prepared = _validate_targets(randomized, targets)
+    n = randomized.n_records
+    weights = np.full(n, 1.0 / n)
+
+    converged = False
+    sweeps = 0
+    for sweeps in range(1, max_iterations + 1):
+        previous = weights.copy()
+        for domain, flat, target in prepared:
+            observed = np.bincount(flat, weights=weights, minlength=domain.size)
+            # Line 16: w_i *= pi_hat[v] / s_v; cells without support keep
+            # their (zero) weight, cells with zero target drop to zero.
+            ratio = np.ones(domain.size, dtype=np.float64)
+            supported = observed > 0
+            ratio[supported] = target[supported] / observed[supported]
+            weights = weights * ratio[flat]
+            total = weights.sum()
+            if total <= 0:
+                raise ProtocolError(
+                    "adjustment drove all weights to zero; targets are "
+                    "mutually inconsistent with the randomized support"
+                )
+            weights /= total
+        if np.abs(weights - previous).max() < tolerance:
+            converged = True
+            break
+
+    gap = 0.0
+    for domain, flat, target in prepared:
+        observed = np.bincount(flat, weights=weights, minlength=domain.size)
+        gap = max(gap, float(np.abs(observed - target).max()))
+    return AdjustmentResult(
+        weights=weights,
+        iterations=sweeps,
+        converged=converged,
+        max_marginal_gap=gap,
+    )
+
+
+def weighted_pair_table(
+    randomized: Dataset,
+    weights: np.ndarray,
+    name_a: str,
+    name_b: str,
+) -> np.ndarray:
+    """Weighted bivariate distribution of the randomized records.
+
+    This is how an adjusted data set answers pair queries: the weighted
+    empirical distribution of ``Y`` over the two attributes.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (randomized.n_records,):
+        raise ProtocolError(
+            f"weights must have shape ({randomized.n_records},), got {w.shape}"
+        )
+    size_a = randomized.schema.attribute(name_a).size
+    size_b = randomized.schema.attribute(name_b).size
+    flat = randomized.column(name_a) * size_b + randomized.column(name_b)
+    table = np.bincount(flat, weights=w, minlength=size_a * size_b)
+    return table.reshape(size_a, size_b)

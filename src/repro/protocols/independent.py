@@ -1,0 +1,204 @@
+"""Protocol 1 — RR-Independent (paper §3.1).
+
+Each party randomizes every attribute separately with its own matrix
+``P_j`` and publishes the result. The collector estimates each marginal
+with Eq. (2); the joint frequency of a set ``S`` is then estimated
+*under the independence assumption* as the sum over cells of the
+product of marginals — the source of the accuracy loss RR-Clusters and
+RR-Adjustment later repair.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.core.estimation import estimate_from_responses
+from repro.core.matrices import ConstantDiagonalMatrix, keep_else_uniform_matrix
+from repro.core.mechanism import randomize_column
+from repro.core.privacy import PrivacyAccountant, epsilon_of_matrix
+from repro.core.projection import clip_and_rescale
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.exceptions import ProtocolError
+
+__all__ = ["RRIndependent"]
+
+_REPAIRS = ("clip", "none")
+
+
+def _repair(estimate: np.ndarray, repair: str) -> np.ndarray:
+    if repair == "clip":
+        return clip_and_rescale(estimate)
+    if repair == "none":
+        return estimate
+    raise ProtocolError(f"repair must be one of {_REPAIRS}, got {repair!r}")
+
+
+class RRIndependent:
+    """Separate randomized response per attribute.
+
+    Parameters
+    ----------
+    schema:
+        Attributes of the data to protect.
+    p:
+        Keep probability of the §6.3.1 keep-else-uniform matrix used
+        for every attribute. Mutually exclusive with ``matrices``.
+    matrices:
+        Optional explicit ``{attribute name: matrix}`` mapping (any mix
+        of :class:`~repro.core.matrices.ConstantDiagonalMatrix` and
+        dense arrays) for callers that need non-uniform designs.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        p: float | None = None,
+        matrices: Mapping | None = None,
+    ):
+        if (p is None) == (matrices is None):
+            raise ProtocolError("provide exactly one of p or matrices")
+        self._schema = schema
+        if p is not None:
+            self._matrices = {
+                attr.name: keep_else_uniform_matrix(attr.size, p)
+                for attr in schema
+            }
+        else:
+            unknown = set(matrices) - set(schema.names)
+            if unknown:
+                raise ProtocolError(f"matrices for unknown attributes: {unknown}")
+            missing = set(schema.names) - set(matrices)
+            if missing:
+                raise ProtocolError(f"matrices missing for attributes: {missing}")
+            self._matrices = {}
+            for attr in schema:
+                matrix = matrices[attr.name]
+                size = (
+                    matrix.size
+                    if isinstance(matrix, ConstantDiagonalMatrix)
+                    else np.asarray(matrix).shape[0]
+                )
+                if size != attr.size:
+                    raise ProtocolError(
+                        f"matrix for {attr.name!r} has size {size}, expected "
+                        f"{attr.size}"
+                    )
+                self._matrices[attr.name] = matrix
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def matrix_for(self, name: str):
+        """The randomization matrix of one attribute."""
+        if name not in self._matrices:
+            raise ProtocolError(f"unknown attribute {name!r}")
+        return self._matrices[name]
+
+    @property
+    def epsilon(self) -> float:
+        """Total budget: sequential composition over attributes (§4)."""
+        return self.accountant().total_epsilon
+
+    def accountant(self) -> PrivacyAccountant:
+        ledger = PrivacyAccountant()
+        for name, matrix in self._matrices.items():
+            ledger.record(name, epsilon_of_matrix(matrix))
+        return ledger
+
+    # ------------------------------------------------------------------
+    def randomize(
+        self,
+        dataset: Dataset,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> Dataset:
+        """Run the randomization step of Protocol 1 on a dataset."""
+        if dataset.schema != self._schema:
+            raise ProtocolError("dataset schema does not match protocol schema")
+        generator = ensure_rng(rng)
+        columns = [
+            randomize_column(
+                dataset.column(attr.name), self._matrices[attr.name], generator
+            )
+            for attr in self._schema
+        ]
+        return Dataset(self._schema, np.stack(columns, axis=1), copy=False)
+
+    # ------------------------------------------------------------------
+    def estimate_marginal(
+        self, randomized: Dataset, name: str, repair: str = "clip"
+    ) -> np.ndarray:
+        """Eq. (2) estimate of one attribute's true marginal."""
+        if randomized.schema != self._schema:
+            raise ProtocolError("dataset schema does not match protocol schema")
+        estimate = estimate_from_responses(
+            randomized.column(name), self.matrix_for(name)
+        )
+        return _repair(estimate, repair)
+
+    def estimate_marginals(
+        self, randomized: Dataset, repair: str = "clip"
+    ) -> dict:
+        """All marginal estimates, keyed by attribute name."""
+        return {
+            attr.name: self.estimate_marginal(randomized, attr.name, repair)
+            for attr in self._schema
+        }
+
+    def estimate_pair_table(
+        self,
+        randomized: Dataset,
+        name_a: str,
+        name_b: str,
+        repair: str = "clip",
+    ) -> np.ndarray:
+        """Estimated bivariate distribution of two attributes.
+
+        Under Protocol 1's independence assumption this is the outer
+        product of the marginal estimates (§3.1, step 10).
+        """
+        if name_a == name_b:
+            raise ProtocolError("pair table needs two distinct attributes")
+        pi_a = self.estimate_marginal(randomized, name_a, repair)
+        pi_b = self.estimate_marginal(randomized, name_b, repair)
+        return np.outer(pi_a, pi_b)
+
+    def estimate_set_frequency(
+        self,
+        randomized: Dataset,
+        names: Sequence,
+        cells: np.ndarray,
+        repair: str = "clip",
+    ) -> float:
+        """Estimated relative frequency of ``S`` (§3.1, step 10).
+
+        Parameters
+        ----------
+        names:
+            Attributes defining the set.
+        cells:
+            ``(k, len(names))`` array of code combinations in ``S``.
+        """
+        marginals = [
+            self.estimate_marginal(randomized, n, repair) for n in names
+        ]
+        grid = np.asarray(cells, dtype=np.int64)
+        if grid.ndim != 2 or grid.shape[1] != len(marginals):
+            raise ProtocolError(
+                f"cells must have shape (k, {len(marginals)}), got {grid.shape}"
+            )
+        total = 0.0
+        for row in grid:
+            product = 1.0
+            for value, marginal in zip(row, marginals):
+                product *= marginal[value]
+            total += product
+        return float(total)
+
+    def __repr__(self) -> str:
+        return f"RRIndependent(m={self._schema.width})"

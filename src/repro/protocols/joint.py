@@ -1,0 +1,198 @@
+"""Protocol 2 — RR-Joint (paper §3.2).
+
+Each party randomizes the *tuple* of all her attribute values with one
+matrix over the Cartesian-product domain and publishes the result. The
+joint distribution is estimable without any independence assumption,
+but the domain — and with it the estimation error (§3.3) — grows
+exponentially with the number of attributes, so the protocol is only
+usable on small attribute sets. RR-Clusters runs exactly this protocol
+inside each cluster, which is why the implementation is shared: a
+cluster is simply an :class:`RRJoint` over a sub-schema.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import ensure_rng
+from repro.core.estimation import estimate_from_responses
+from repro.core.matrices import (
+    ConstantDiagonalMatrix,
+    cluster_matrix,
+    keep_else_uniform_matrix,
+)
+from repro.core.mechanism import randomize_column
+from repro.core.privacy import epsilon_of_matrix, epsilon_for_keep_probability
+from repro.core.projection import clip_and_rescale
+from repro.data.dataset import Dataset
+from repro.data.domain import Domain
+from repro.data.schema import Schema
+from repro.exceptions import ProtocolError
+
+__all__ = ["RRJoint"]
+
+#: Joint domains beyond this size are refused: §3.3 shows the estimate
+#: would be useless at any realistic n, and §6.2 rules the approach out
+#: for exactly this reason (the Adult product has 1,814,400 cells,
+#: deliberately above this limit).
+MAX_JOINT_CELLS = 1_000_000
+
+
+class RRJoint:
+    """Joint randomized response over a product domain.
+
+    Parameters
+    ----------
+    schema:
+        Full schema of the datasets that will be randomized.
+    names:
+        Attributes covered by this joint mechanism (``None`` = all).
+        Protocol 2 uses all; RR-Clusters instantiates one ``RRJoint``
+        per cluster with that cluster's names.
+    p:
+        Keep probability: the matrix is keep-else-uniform over the
+        product domain. Mutually exclusive with ``attribute_epsilons``.
+    attribute_epsilons:
+        Per-attribute budgets ``eps_A``; the matrix is the §6.3.2
+        cluster matrix achieving ``sum(eps_A)``-DP on the domain. This
+        is the calibration that makes RR-Clusters risk-equivalent to
+        RR-Independent with a given ``p``.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        names: Sequence | None = None,
+        p: float | None = None,
+        attribute_epsilons: Sequence | None = None,
+    ):
+        if (p is None) == (attribute_epsilons is None):
+            raise ProtocolError(
+                "provide exactly one of p or attribute_epsilons"
+            )
+        self._schema = schema
+        self._domain = Domain.from_schema(schema, names)
+        if self._domain.size > MAX_JOINT_CELLS:
+            raise ProtocolError(
+                f"joint domain has {self._domain.size} cells, beyond the "
+                f"practical limit {MAX_JOINT_CELLS}; use RR-Clusters (§4) "
+                "instead — this is precisely the curse of dimensionality "
+                "the paper addresses"
+            )
+        if p is not None:
+            self._matrix = keep_else_uniform_matrix(self._domain.size, p)
+        else:
+            eps = [float(e) for e in attribute_epsilons]
+            if len(eps) != self._domain.width:
+                raise ProtocolError(
+                    f"got {len(eps)} epsilons for {self._domain.width} attributes"
+                )
+            self._matrix = cluster_matrix(self._domain.sizes, eps)
+
+    @classmethod
+    def calibrated_to_independent(
+        cls, schema: Schema, names: Sequence | None, p: float
+    ) -> "RRJoint":
+        """The §6.3.2 design: same total budget as RR-Independent at ``p``.
+
+        Builds the joint matrix from the per-attribute epsilons that
+        keep-else-uniform RR with keep probability ``p`` would spend.
+        """
+        domain = Domain.from_schema(schema, names)
+        eps = [
+            epsilon_for_keep_probability(attr.size, p)
+            for attr in domain.attributes
+        ]
+        return cls(schema, names=domain.names, attribute_epsilons=eps)
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def matrix(self) -> ConstantDiagonalMatrix:
+        return self._matrix
+
+    @property
+    def epsilon(self) -> float:
+        """Budget of the single joint release (Eq. (4))."""
+        return epsilon_of_matrix(self._matrix)
+
+    # ------------------------------------------------------------------
+    def randomize(
+        self,
+        dataset: Dataset,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> Dataset:
+        """Randomize the covered attributes jointly; others untouched."""
+        if dataset.schema != self._schema:
+            raise ProtocolError("dataset schema does not match protocol schema")
+        generator = ensure_rng(rng)
+        flat = self._domain.encode(dataset.columns(self._domain.names))
+        randomized_flat = randomize_column(flat, self._matrix, generator)
+        decoded = self._domain.decode(randomized_flat)
+        return dataset.replace_columns(list(self._domain.names), decoded)
+
+    # ------------------------------------------------------------------
+    def estimate_joint(
+        self, randomized: Dataset, repair: str = "clip"
+    ) -> np.ndarray:
+        """Eq. (2) estimate of the joint distribution over the domain.
+
+        Returns a flat vector over the product domain; use
+        :meth:`Domain.decode`/:meth:`Domain.marginal_distribution` to
+        reshape or marginalize.
+        """
+        if randomized.schema != self._schema:
+            raise ProtocolError("dataset schema does not match protocol schema")
+        flat = self._domain.encode(randomized.columns(self._domain.names))
+        estimate = estimate_from_responses(flat, self._matrix)
+        if repair == "clip":
+            return clip_and_rescale(estimate)
+        if repair == "none":
+            return estimate
+        raise ProtocolError(f"repair must be 'clip' or 'none', got {repair!r}")
+
+    def estimate_marginal(
+        self, randomized: Dataset, name: str, repair: str = "clip"
+    ) -> np.ndarray:
+        """Marginal of one covered attribute from the joint estimate."""
+        joint = self.estimate_joint(randomized, repair)
+        return self._domain.marginal_distribution(joint, [name])
+
+    def estimate_pair_table(
+        self,
+        randomized: Dataset,
+        name_a: str,
+        name_b: str,
+        repair: str = "clip",
+    ) -> np.ndarray:
+        """Estimated bivariate distribution of two covered attributes."""
+        joint = self.estimate_joint(randomized, repair)
+        sizes = (
+            self._schema.attribute(name_a).size,
+            self._schema.attribute(name_b).size,
+        )
+        flat = self._domain.marginal_distribution(joint, [name_a, name_b])
+        return flat.reshape(sizes)
+
+    def estimate_set_frequency(
+        self, randomized: Dataset, cells: np.ndarray, repair: str = "clip"
+    ) -> float:
+        """Estimated relative frequency of a set of domain cells
+        (§3.2, step 7: sum of estimated cell frequencies)."""
+        joint = self.estimate_joint(randomized, repair)
+        flat_cells = np.asarray(cells, dtype=np.int64)
+        if flat_cells.ndim == 2:
+            flat_cells = self._domain.encode(flat_cells)
+        return float(joint[flat_cells].sum())
+
+    def __repr__(self) -> str:
+        return f"RRJoint(domain={self._domain!r})"

@@ -1,0 +1,162 @@
+"""Tests for the §6.5 experiment driver and its method objects."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.evaluation import (
+    AdjustedClustersMethod,
+    AdjustedIndependentMethod,
+    ClustersMethod,
+    IndependentMethod,
+    RandomizedBaselineMethod,
+    run_pair_query_trials,
+)
+from repro.exceptions import ProtocolError, QueryError
+
+
+ALL_METHODS = [
+    lambda: RandomizedBaselineMethod(0.7),
+    lambda: IndependentMethod(0.7),
+    lambda: AdjustedIndependentMethod(0.7, max_iterations=10),
+    lambda: ClustersMethod(0.7, 24, 0.1),
+    lambda: AdjustedClustersMethod(0.7, 24, 0.1, max_iterations=10),
+]
+
+
+class TestMethods:
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_tables_are_distributions(self, factory, small_dataset, rng):
+        method = factory()
+        method.prepare(small_dataset)
+        estimator = method.run(small_dataset, rng)
+        table = estimator("level", "color")
+        assert table.shape == (3, 4)
+        assert np.isclose(table.sum(), 1.0, atol=1e-6)
+        assert (table >= -1e-9).all()
+
+    def test_run_before_prepare_rejected(self, small_dataset, rng):
+        with pytest.raises(ProtocolError, match="prepare"):
+            IndependentMethod(0.7).run(small_dataset, rng)
+
+    def test_method_names(self):
+        assert RandomizedBaselineMethod(0.5).name == "Randomized"
+        assert IndependentMethod(0.5).name == "RR-Ind"
+        assert "RR-Adj" in AdjustedIndependentMethod(0.5).name
+        assert ClustersMethod(0.5, 50, 0.1).name == "RR-Cluster 50 0.1"
+        assert "RR-Adj" in AdjustedClustersMethod(0.5, 50, 0.1).name
+
+    def test_randomized_baseline_counts_from_released(self, small_dataset, rng):
+        method = RandomizedBaselineMethod(1.0)  # identity channel
+        method.prepare(small_dataset)
+        estimator = method.run(small_dataset, rng)
+        truth = small_dataset.contingency_table("level", "color") / len(
+            small_dataset
+        )
+        np.testing.assert_allclose(estimator("level", "color"), truth)
+
+    def test_independent_method_is_outer_product(self, small_dataset, rng):
+        method = IndependentMethod(0.8)
+        method.prepare(small_dataset)
+        estimator = method.run(small_dataset, rng)
+        table = estimator("level", "color")
+        # rank-1 structure of the independence estimate
+        assert np.linalg.matrix_rank(table, tol=1e-10) == 1
+
+
+class TestTrialDriver:
+    def test_reports_complete(self, small_dataset):
+        methods = [IndependentMethod(0.7), RandomizedBaselineMethod(0.7)]
+        reports = run_pair_query_trials(
+            small_dataset, methods, coverage=0.3, runs=5, rng=1
+        )
+        assert set(reports) == {"RR-Ind", "Randomized"}
+        for report in reports.values():
+            assert report.runs == 5
+            assert report.absolute_errors.shape == (5,)
+            assert report.median_absolute_error >= 0
+            assert report.median_relative_error >= 0
+
+    def test_medians_match_errors(self, small_dataset):
+        reports = run_pair_query_trials(
+            small_dataset, [IndependentMethod(0.7)], coverage=0.5,
+            runs=7, rng=2,
+        )
+        report = reports["RR-Ind"]
+        assert report.median_absolute_error == pytest.approx(
+            float(np.median(report.absolute_errors))
+        )
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = run_pair_query_trials(
+            small_dataset, [IndependentMethod(0.7)], 0.3, 4, rng=3
+        )["RR-Ind"]
+        b = run_pair_query_trials(
+            small_dataset, [IndependentMethod(0.7)], 0.3, 4, rng=3
+        )["RR-Ind"]
+        np.testing.assert_allclose(a.relative_errors, b.relative_errors)
+
+    def test_pinned_pair(self, small_dataset):
+        reports = run_pair_query_trials(
+            small_dataset,
+            [IndependentMethod(0.9)],
+            coverage=0.4,
+            runs=3,
+            rng=4,
+            pair=("level", "color"),
+        )
+        assert reports["RR-Ind"].runs == 3
+
+    def test_identity_channel_near_zero_error(self, small_dataset):
+        # p=1: RR-Ind reduces to the independence estimate on exact
+        # marginals; the Randomized baseline becomes exact counts.
+        reports = run_pair_query_trials(
+            small_dataset, [RandomizedBaselineMethod(1.0)], 0.5, 3, rng=5
+        )
+        assert reports["Randomized"].median_absolute_error == pytest.approx(0.0)
+
+    def test_duplicate_method_names_rejected(self, small_dataset):
+        with pytest.raises(QueryError, match="duplicate"):
+            run_pair_query_trials(
+                small_dataset,
+                [IndependentMethod(0.5), IndependentMethod(0.7)],
+                0.3,
+                2,
+                rng=6,
+            )
+
+    def test_zero_runs_rejected(self, small_dataset):
+        with pytest.raises(QueryError, match="runs"):
+            run_pair_query_trials(
+                small_dataset, [IndependentMethod(0.5)], 0.3, 0, rng=7
+            )
+
+
+class TestPaperShapes:
+    """Slow-ish statistical checks of the §6.5 qualitative claims,
+    at reduced scale."""
+
+    def test_rr_ind_beats_randomized(self, adult_small):
+        reports = run_pair_query_trials(
+            adult_small,
+            [RandomizedBaselineMethod(0.7), IndependentMethod(0.7)],
+            coverage=0.3,
+            runs=15,
+            rng=8,
+        )
+        assert (
+            reports["RR-Ind"].median_absolute_error
+            < reports["Randomized"].median_absolute_error
+        )
+
+    def test_adjustment_helps_at_weak_randomization(self, adult_small):
+        reports = run_pair_query_trials(
+            adult_small,
+            [IndependentMethod(0.7), AdjustedIndependentMethod(0.7)],
+            coverage=0.1,
+            runs=15,
+            rng=9,
+        )
+        assert (
+            reports["RR-Ind + RR-Adj"].median_relative_error
+            < reports["RR-Ind"].median_relative_error * 1.05
+        )

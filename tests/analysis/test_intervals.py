@@ -1,0 +1,146 @@
+"""Tests for the confidence-interval utilities, including empirical
+coverage checks of the §2.1 dispersion estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.intervals import (
+    ConfidenceInterval,
+    count_confidence_interval,
+    marginal_confidence_intervals,
+)
+from repro.core.estimation import observed_distribution
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.core.mechanism import randomize_column
+from repro.exceptions import EstimationError
+
+
+class TestConfidenceInterval:
+    def test_basic_properties(self):
+        ci = ConfidenceInterval(estimate=0.5, lower=0.4, upper=0.7, level=0.95)
+        assert ci.width == pytest.approx(0.3)
+        assert ci.contains(0.5)
+        assert ci.contains(0.4)
+        assert not ci.contains(0.39)
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(EstimationError, match="inconsistent"):
+            ConfidenceInterval(estimate=0.9, lower=0.4, upper=0.7, level=0.95)
+
+
+class TestMarginalIntervals:
+    def test_structure(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.7)
+        values = rng.integers(0, 4, 3000)
+        randomized = randomize_column(values, matrix, rng)
+        lam = observed_distribution(randomized, 4)
+        intervals = marginal_confidence_intervals(matrix, lam, 3000)
+        assert len(intervals) == 4
+        for ci in intervals:
+            assert ci.level == 0.95
+            assert ci.width > 0
+
+    def test_width_shrinks_with_n(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        lam = np.array([0.5, 0.3, 0.2])
+        small = marginal_confidence_intervals(matrix, lam, 100)
+        large = marginal_confidence_intervals(matrix, lam, 10_000)
+        for s, l in zip(small, large):
+            assert l.width < s.width
+        # CLT: width scales as 1/sqrt(n)
+        assert small[0].width / large[0].width == pytest.approx(10.0, rel=1e-6)
+
+    def test_width_grows_with_randomization(self):
+        lam = np.array([0.5, 0.3, 0.2])
+        weak = marginal_confidence_intervals(
+            keep_else_uniform_matrix(3, 0.9), lam, 1000
+        )
+        strong = marginal_confidence_intervals(
+            keep_else_uniform_matrix(3, 0.2), lam, 1000
+        )
+        assert strong[0].width > weak[0].width
+
+    def test_empirical_coverage(self, rng):
+        # nominal 90% intervals should cover the truth ~90% of the time
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        pi = np.array([0.5, 0.3, 0.2])
+        n = 3000
+        covered = np.zeros(3)
+        trials = 300
+        for _ in range(trials):
+            values = rng.choice(3, size=n, p=pi)
+            randomized = randomize_column(values, matrix, rng)
+            lam = observed_distribution(randomized, 3)
+            intervals = marginal_confidence_intervals(
+                matrix, lam, n, level=0.90
+            )
+            for u in range(3):
+                covered[u] += intervals[u].contains(pi[u])
+        rates = covered / trials
+        assert (rates > 0.84).all() and (rates < 0.96).all()
+
+    def test_bad_level_rejected(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        with pytest.raises(EstimationError, match="level"):
+            marginal_confidence_intervals(matrix, np.full(3, 1 / 3), 100,
+                                          level=1.0)
+
+    def test_shape_mismatch_rejected(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        with pytest.raises(EstimationError, match="shape"):
+            marginal_confidence_intervals(matrix, np.full(4, 0.25), 100)
+
+
+class TestCountInterval:
+    def test_point_estimate_matches_eq2(self, rng):
+        matrix = keep_else_uniform_matrix(5, 0.7)
+        values = rng.integers(0, 5, 2000)
+        randomized = randomize_column(values, matrix, rng)
+        lam = observed_distribution(randomized, 5)
+        ci = count_confidence_interval(matrix, lam, 2000, np.array([0, 2]))
+        from repro.core.estimation import estimate_distribution
+
+        pi_hat = estimate_distribution(lam, matrix)
+        assert ci.estimate == pytest.approx(2000 * (pi_hat[0] + pi_hat[2]))
+
+    def test_full_domain_interval_degenerate(self):
+        # selecting every category: the count is exactly n, variance 0
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        lam = np.array([0.4, 0.35, 0.25])
+        ci = count_confidence_interval(matrix, lam, 500, np.arange(3))
+        assert ci.estimate == pytest.approx(500.0)
+        assert ci.width == pytest.approx(0.0, abs=1e-6)
+
+    def test_empirical_coverage(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.6)
+        pi = np.array([0.4, 0.3, 0.2, 0.1])
+        n = 2500
+        cells = np.array([1, 3])
+        true_count_expectation = n * (pi[1] + pi[3])
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            values = rng.choice(4, size=n, p=pi)
+            true_count = int(np.isin(values, cells).sum())
+            randomized = randomize_column(values, matrix, rng)
+            lam = observed_distribution(randomized, 4)
+            ci = count_confidence_interval(matrix, lam, n, cells, level=0.90)
+            covered += ci.contains(true_count)
+        del true_count_expectation
+        rate = covered / trials
+        assert 0.84 < rate < 0.97
+
+    def test_duplicate_cells_deduplicated(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        lam = np.array([0.4, 0.35, 0.25])
+        a = count_confidence_interval(matrix, lam, 500, np.array([0, 0, 1]))
+        b = count_confidence_interval(matrix, lam, 500, np.array([0, 1]))
+        assert a.estimate == pytest.approx(b.estimate)
+
+    def test_bad_cells_rejected(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        lam = np.full(3, 1 / 3)
+        with pytest.raises(EstimationError, match="out of range"):
+            count_confidence_interval(matrix, lam, 100, np.array([5]))
+        with pytest.raises(EstimationError, match="at least one"):
+            count_confidence_interval(matrix, lam, 100, np.array([], dtype=int))

@@ -1,0 +1,172 @@
+"""Tests for the k-way marginal workload and estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.marginals import (
+    MarginalQuery,
+    kway_marginal_from_clusters,
+    kway_marginal_true,
+    random_marginal_query,
+)
+from repro.clustering.algorithm import Clustering
+from repro.data.domain import Domain
+from repro.exceptions import QueryError
+from repro.protocols.clusters import RRClusters
+
+
+@pytest.fixture
+def estimates(small_dataset):
+    clustering = Clustering(
+        schema=small_dataset.schema,
+        clusters=(("flag",), ("level", "color")),
+    )
+    protocol = RRClusters(clustering, p=0.8)
+    return protocol.estimate(protocol.randomize(small_dataset, rng=1))
+
+
+class TestMarginalQuery:
+    def test_construction(self):
+        query = MarginalQuery(("a", "b", "c"), np.array([[0, 1, 2]]))
+        assert query.width == 3
+        assert query.n_cells == 1
+
+    def test_single_attribute_allowed(self):
+        query = MarginalQuery(("a",), np.array([[0], [1]]))
+        assert query.width == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(QueryError, match="distinct"):
+            MarginalQuery(("a", "a"), np.array([[0, 1]]))
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(QueryError, match="distinct"):
+            MarginalQuery(("a", "b"), np.array([[0, 1], [0, 1]]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(QueryError, match="shape"):
+            MarginalQuery(("a", "b"), np.array([[0, 1, 2]]))
+
+    def test_true_count_three_way(self, small_dataset):
+        query = MarginalQuery(
+            ("flag", "level", "color"), np.array([[0, 0, 0], [1, 2, 3]])
+        )
+        direct = 0
+        for row in small_dataset.codes:
+            if tuple(row) in {(0, 0, 0), (1, 2, 3)}:
+                direct += 1
+        assert query.true_count(small_dataset) == direct
+
+    def test_true_count_matches_pair_query(self, small_dataset):
+        from repro.analysis.queries import PairQuery
+
+        cells = np.array([[0, 0], [2, 3]])
+        kway = MarginalQuery(("level", "color"), cells)
+        pair = PairQuery("level", "color", cells)
+        assert kway.true_count(small_dataset) == pair.true_count(small_dataset)
+
+    def test_coverage(self, small_schema):
+        query = MarginalQuery(
+            ("flag", "level"), np.array([[0, 0], [1, 1], [0, 2]])
+        )
+        assert query.coverage(small_schema) == pytest.approx(3 / 6)
+
+    def test_estimate_count(self, small_dataset, estimates):
+        query = MarginalQuery(
+            ("flag", "level", "color"), np.array([[0, 1, 1], [1, 0, 0]])
+        )
+        estimated = query.estimate_count(estimates, small_dataset.n_records)
+        assert estimated >= 0
+        # consistent with the ClusterEstimates set_frequency path
+        frequency = estimates.set_frequency(
+            ["flag", "level", "color"], query.cells
+        )
+        assert estimated == pytest.approx(
+            frequency * small_dataset.n_records
+        )
+
+
+class TestRandomMarginalQuery:
+    def test_width_respected(self, small_schema, rng):
+        for width in (1, 2, 3):
+            query = random_marginal_query(small_schema, width, 0.3, rng)
+            assert query.width == width
+            assert len(set(query.names)) == width
+
+    def test_coverage_respected(self, small_schema, rng):
+        query = random_marginal_query(
+            small_schema, 2, 0.5, rng, names=("level", "color")
+        )
+        assert query.n_cells == 6
+
+    def test_bad_width_rejected(self, small_schema, rng):
+        with pytest.raises(QueryError, match="width"):
+            random_marginal_query(small_schema, 0, 0.3, rng)
+        with pytest.raises(QueryError, match="width"):
+            random_marginal_query(small_schema, 9, 0.3, rng)
+
+    def test_names_width_mismatch_rejected(self, small_schema, rng):
+        with pytest.raises(QueryError, match="width"):
+            random_marginal_query(
+                small_schema, 2, 0.3, rng, names=("flag",)
+            )
+
+    def test_deterministic(self, small_schema):
+        a = random_marginal_query(small_schema, 2, 0.4, rng=7)
+        b = random_marginal_query(small_schema, 2, 0.4, rng=7)
+        assert a.names == b.names
+        np.testing.assert_array_equal(a.cells, b.cells)
+
+
+class TestKwayMarginal:
+    def test_true_marginal_matches_dataset(self, small_dataset):
+        marginal = kway_marginal_true(small_dataset, ["level", "color"])
+        np.testing.assert_allclose(
+            marginal,
+            small_dataset.joint_distribution(["level", "color"]),
+        )
+
+    def test_cluster_marginal_is_distribution(self, estimates):
+        marginal = kway_marginal_from_clusters(
+            estimates, ["flag", "level", "color"]
+        )
+        assert marginal.shape == (24,)
+        assert np.isclose(marginal.sum(), 1.0, atol=1e-9)
+        assert (marginal >= -1e-12).all()
+
+    def test_within_cluster_marginal_matches_joint(self, estimates):
+        marginal = kway_marginal_from_clusters(estimates, ["level", "color"])
+        direct = estimates.domains[1].marginal_distribution(
+            estimates.joints[1], ["level", "color"]
+        )
+        np.testing.assert_allclose(marginal, direct, atol=1e-12)
+
+    def test_cross_cluster_is_product(self, estimates):
+        marginal = kway_marginal_from_clusters(estimates, ["flag", "level"])
+        flag = estimates.marginal("flag")
+        level = estimates.marginal("level")
+        np.testing.assert_allclose(
+            marginal.reshape(2, 3), np.outer(flag, level), atol=1e-12
+        )
+
+    def test_order_sensitivity(self, estimates):
+        ab = kway_marginal_from_clusters(estimates, ["level", "color"])
+        ba = kway_marginal_from_clusters(estimates, ["color", "level"])
+        np.testing.assert_allclose(
+            ab.reshape(3, 4), ba.reshape(4, 3).T, atol=1e-12
+        )
+
+    def test_duplicate_names_rejected(self, estimates):
+        with pytest.raises(QueryError, match="distinct"):
+            kway_marginal_from_clusters(estimates, ["flag", "flag"])
+
+    def test_accuracy_against_truth(self, adult_small):
+        # the §6.5 remark: k=3 queries behave like k=2 queries
+        protocol = RRClusters.design(
+            adult_small, p=0.8, max_cells=50, min_dependence=0.1
+        )
+        estimates = protocol.estimate(protocol.randomize(adult_small, rng=2))
+        names = ["sex", "income", "race"]
+        estimated = kway_marginal_from_clusters(estimates, names)
+        truth = kway_marginal_true(adult_small, names)
+        assert np.abs(estimated - truth).sum() < 0.25

@@ -1,0 +1,79 @@
+"""Tests for the error metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    absolute_count_error,
+    kl_divergence,
+    l1_distance,
+    l2_distance,
+    max_abs_error,
+    relative_count_error,
+    total_variation,
+)
+from repro.exceptions import QueryError
+
+
+class TestCountErrors:
+    def test_absolute(self):
+        assert absolute_count_error(110.0, 100.0) == pytest.approx(10.0)
+        assert absolute_count_error(90.0, 100.0) == pytest.approx(10.0)
+
+    def test_relative(self):
+        assert relative_count_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_count_error(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_relative_zero_truth(self):
+        assert relative_count_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_count_error(5.0, 0.0))
+
+    def test_exact_estimate_zero_error(self):
+        assert absolute_count_error(42.0, 42.0) == 0.0
+        assert relative_count_error(42.0, 42.0) == 0.0
+
+
+class TestDistributionMetrics:
+    def test_tvd_is_half_l1(self, rng):
+        p = rng.dirichlet(np.ones(5))
+        q = rng.dirichlet(np.ones(5))
+        assert total_variation(p, q) == pytest.approx(l1_distance(p, q) / 2)
+
+    def test_identical_distributions_zero(self, rng):
+        p = rng.dirichlet(np.ones(4))
+        assert total_variation(p, p) == 0.0
+        assert l2_distance(p, p) == 0.0
+        assert max_abs_error(p, p) == 0.0
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_supports_tvd_one(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert total_variation(p, q) == pytest.approx(1.0)
+
+    def test_kl_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_kl_infinite_on_support_mismatch(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert math.isinf(kl_divergence(p, q))
+
+    def test_kl_negative_input_rejected(self):
+        with pytest.raises(QueryError, match="non-negative"):
+            kl_divergence(np.array([-0.1, 1.1]), np.array([0.5, 0.5]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(QueryError, match="same shape"):
+            l1_distance(np.ones(3) / 3, np.ones(4) / 4)
+
+    def test_matrix_inputs_flattened(self, rng):
+        p = rng.dirichlet(np.ones(6)).reshape(2, 3)
+        q = rng.dirichlet(np.ones(6)).reshape(2, 3)
+        assert l1_distance(p, q) == pytest.approx(
+            l1_distance(p.reshape(-1), q.reshape(-1))
+        )

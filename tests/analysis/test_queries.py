@@ -1,0 +1,151 @@
+"""Tests for the §6.5 count-query workload."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queries import (
+    PairQuery,
+    count_from_table,
+    random_pair_query,
+)
+from repro.exceptions import QueryError
+
+
+class TestPairQuery:
+    def test_construction(self):
+        query = PairQuery("level", "color", np.array([[0, 0], [1, 2]]))
+        assert query.n_cells == 2
+
+    def test_same_attribute_rejected(self):
+        with pytest.raises(QueryError, match="distinct"):
+            PairQuery("x", "x", np.array([[0, 0]]))
+
+    def test_empty_cells_rejected(self):
+        with pytest.raises(QueryError, match="at least one"):
+            PairQuery("a", "b", np.empty((0, 2), dtype=np.int64))
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(QueryError, match="distinct"):
+            PairQuery("a", "b", np.array([[0, 0], [0, 0]]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(QueryError, match="shape"):
+            PairQuery("a", "b", np.array([0, 0]))
+
+    def test_coverage(self, small_schema):
+        query = PairQuery("level", "color", np.array([[0, 0], [1, 1], [2, 2]]))
+        assert query.coverage(small_schema) == pytest.approx(3 / 12)
+
+    def test_true_count(self, small_dataset):
+        query = PairQuery("level", "color", np.array([[0, 0]]))
+        expected = int(
+            (
+                (small_dataset.column("level") == 0)
+                & (small_dataset.column("color") == 0)
+            ).sum()
+        )
+        assert query.true_count(small_dataset) == expected
+
+    def test_true_count_full_domain_is_n(self, small_dataset):
+        cells = np.array([(a, b) for a in range(3) for b in range(4)])
+        query = PairQuery("level", "color", cells)
+        assert query.true_count(small_dataset) == small_dataset.n_records
+
+    def test_validate_against_bounds(self, small_schema):
+        query = PairQuery("level", "color", np.array([[2, 5]]))
+        with pytest.raises(QueryError, match="out of range"):
+            query.validate_against(small_schema)
+
+    def test_mask(self):
+        query = PairQuery("a", "b", np.array([[0, 1], [1, 0]]))
+        mask = query.mask(2, 2)
+        np.testing.assert_array_equal(mask, [[False, True], [True, False]])
+
+    def test_complement(self, small_schema):
+        query = PairQuery("level", "color", np.array([[0, 0]]))
+        complement = query.complement(small_schema)
+        assert complement.n_cells == 11
+        combined = np.vstack([query.cells, complement.cells])
+        assert len({(a, b) for a, b in combined}) == 12
+
+    def test_complement_of_full_rejected(self, small_schema):
+        cells = np.array([(a, b) for a in range(3) for b in range(4)])
+        with pytest.raises(QueryError, match="full pair domain"):
+            PairQuery("level", "color", cells).complement(small_schema)
+
+    def test_complement_counts_add_up(self, small_dataset):
+        query = PairQuery("level", "color", np.array([[0, 0], [1, 1]]))
+        complement = query.complement(small_dataset.schema)
+        assert (
+            query.true_count(small_dataset)
+            + complement.true_count(small_dataset)
+            == small_dataset.n_records
+        )
+
+
+class TestRandomPairQuery:
+    def test_coverage_respected(self, small_schema, rng):
+        query = random_pair_query(small_schema, 0.5, rng)
+        size = (
+            small_schema.attribute(query.name_a).size
+            * small_schema.attribute(query.name_b).size
+        )
+        assert query.n_cells == max(1, round(0.5 * size))
+
+    def test_tiny_coverage_yields_one_cell(self, small_schema, rng):
+        query = random_pair_query(small_schema, 0.01, rng)
+        assert query.n_cells == 1
+
+    def test_full_coverage(self, small_schema, rng):
+        query = random_pair_query(
+            small_schema, 1.0, rng, names=("level", "color")
+        )
+        assert query.n_cells == 12
+
+    def test_pinned_names(self, small_schema, rng):
+        query = random_pair_query(
+            small_schema, 0.3, rng, names=("flag", "color")
+        )
+        assert (query.name_a, query.name_b) == ("flag", "color")
+
+    def test_random_attributes_distinct(self, small_schema, rng):
+        for _ in range(30):
+            query = random_pair_query(small_schema, 0.2, rng)
+            assert query.name_a != query.name_b
+
+    def test_bad_coverage_rejected(self, small_schema, rng):
+        with pytest.raises(QueryError, match="coverage"):
+            random_pair_query(small_schema, 0.0, rng)
+        with pytest.raises(QueryError, match="coverage"):
+            random_pair_query(small_schema, 1.2, rng)
+
+    def test_deterministic_given_seed(self, small_schema):
+        a = random_pair_query(small_schema, 0.4, 99)
+        b = random_pair_query(small_schema, 0.4, 99)
+        assert (a.name_a, a.name_b) == (b.name_a, b.name_b)
+        np.testing.assert_array_equal(a.cells, b.cells)
+
+
+class TestCountFromTable:
+    def test_sums_selected_cells(self):
+        table = np.array([[0.1, 0.2], [0.3, 0.4]])
+        query = PairQuery("a", "b", np.array([[0, 1], [1, 1]]))
+        assert count_from_table(table, query, 100) == pytest.approx(60.0)
+
+    def test_exact_on_true_table(self, small_dataset, rng):
+        query = random_pair_query(small_dataset.schema, 0.4, rng)
+        table = small_dataset.contingency_table(
+            query.name_a, query.name_b
+        ) / len(small_dataset)
+        estimated = count_from_table(table, query, len(small_dataset))
+        assert estimated == pytest.approx(query.true_count(small_dataset))
+
+    def test_out_of_range_cells_rejected(self):
+        query = PairQuery("a", "b", np.array([[5, 0]]))
+        with pytest.raises(QueryError, match="out of range"):
+            count_from_table(np.ones((2, 2)) / 4, query, 10)
+
+    def test_negative_n_rejected(self):
+        query = PairQuery("a", "b", np.array([[0, 0]]))
+        with pytest.raises(QueryError, match="non-negative"):
+            count_from_table(np.ones((2, 2)) / 4, query, -1)

@@ -1,0 +1,146 @@
+"""Tests for the streaming collector."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming import (
+    StreamingCollector,
+    StreamingFrequencyEstimator,
+)
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.exceptions import EstimationError
+from repro.protocols.independent import RRIndependent
+
+
+class TestStreamingFrequencyEstimator:
+    def test_matches_batch_estimation(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.6)
+        values = rng.integers(0, 4, 5000)
+        streaming = StreamingFrequencyEstimator(matrix)
+        for chunk in np.array_split(values, 13):
+            streaming.update(chunk)
+        from repro.core.estimation import estimate_from_responses
+        from repro.core.projection import clip_and_rescale
+
+        batch = clip_and_rescale(estimate_from_responses(values, matrix))
+        np.testing.assert_allclose(streaming.estimate(), batch, atol=1e-12)
+
+    def test_single_value_updates(self):
+        estimator = StreamingFrequencyEstimator(
+            keep_else_uniform_matrix(3, 0.5)
+        )
+        estimator.update(0)
+        estimator.update(2)
+        estimator.update(2)
+        np.testing.assert_array_equal(estimator.counts, [1, 0, 2])
+        assert estimator.n_observed == 3
+
+    def test_empty_update_noop(self):
+        estimator = StreamingFrequencyEstimator(
+            keep_else_uniform_matrix(3, 0.5)
+        )
+        estimator.update(np.empty(0, dtype=np.int64))
+        assert estimator.n_observed == 0
+
+    def test_estimate_before_data_rejected(self):
+        estimator = StreamingFrequencyEstimator(
+            keep_else_uniform_matrix(3, 0.5)
+        )
+        with pytest.raises(EstimationError, match="no responses"):
+            estimator.estimate()
+
+    def test_out_of_range_rejected(self):
+        estimator = StreamingFrequencyEstimator(
+            keep_else_uniform_matrix(3, 0.5)
+        )
+        with pytest.raises(EstimationError, match="out of range"):
+            estimator.update(3)
+
+    def test_merge(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.7)
+        values = rng.integers(0, 4, 2000)
+        left = StreamingFrequencyEstimator(matrix)
+        right = StreamingFrequencyEstimator(matrix)
+        left.update(values[:1200])
+        right.update(values[1200:])
+        left.merge(right)
+        combined = StreamingFrequencyEstimator(matrix)
+        combined.update(values)
+        np.testing.assert_array_equal(left.counts, combined.counts)
+
+    def test_merge_size_mismatch_rejected(self):
+        a = StreamingFrequencyEstimator(keep_else_uniform_matrix(3, 0.5))
+        b = StreamingFrequencyEstimator(keep_else_uniform_matrix(4, 0.5))
+        with pytest.raises(EstimationError, match="mismatch"):
+            a.merge(b)
+
+
+class TestStreamingCollector:
+    @pytest.fixture
+    def matrices(self, small_schema):
+        return {
+            attr.name: keep_else_uniform_matrix(attr.size, 0.7)
+            for attr in small_schema
+        }
+
+    def test_matches_protocol_estimation(self, small_dataset, matrices):
+        protocol = RRIndependent(small_dataset.schema, p=0.7)
+        released = protocol.randomize(small_dataset, rng=3)
+        collector = StreamingCollector(small_dataset.schema, matrices)
+        for row in released.codes:
+            collector.receive(row)
+        for name in small_dataset.schema.names:
+            np.testing.assert_allclose(
+                collector.estimate_marginal(name),
+                protocol.estimate_marginal(released, name),
+                atol=1e-12,
+            )
+
+    def test_batch_equals_stream(self, small_dataset, matrices):
+        protocol = RRIndependent(small_dataset.schema, p=0.7)
+        released = protocol.randomize(small_dataset, rng=4)
+        one_by_one = StreamingCollector(small_dataset.schema, matrices)
+        for row in released.codes:
+            one_by_one.receive(row)
+        batched = StreamingCollector(small_dataset.schema, matrices)
+        batched.receive_batch(released.codes)
+        for name in small_dataset.schema.names:
+            np.testing.assert_allclose(
+                one_by_one.estimate_marginal(name),
+                batched.estimate_marginal(name),
+            )
+
+    def test_merge_across_nodes(self, small_dataset, matrices):
+        protocol = RRIndependent(small_dataset.schema, p=0.7)
+        released = protocol.randomize(small_dataset, rng=5)
+        node_a = StreamingCollector(small_dataset.schema, matrices)
+        node_b = StreamingCollector(small_dataset.schema, matrices)
+        node_a.receive_batch(released.codes[:120])
+        node_b.receive_batch(released.codes[120:])
+        node_a.merge(node_b)
+        assert node_a.n_observed == small_dataset.n_records
+        np.testing.assert_allclose(
+            node_a.estimate_marginal("color"),
+            protocol.estimate_marginal(released, "color"),
+            atol=1e-12,
+        )
+
+    def test_missing_matrix_rejected(self, small_schema):
+        with pytest.raises(EstimationError, match="missing"):
+            StreamingCollector(small_schema, {})
+
+    def test_wrong_matrix_size_rejected(self, small_schema):
+        matrices = {
+            "flag": keep_else_uniform_matrix(3, 0.5),  # flag has 2
+            "level": keep_else_uniform_matrix(3, 0.5),
+            "color": keep_else_uniform_matrix(4, 0.5),
+        }
+        with pytest.raises(EstimationError, match="size"):
+            StreamingCollector(small_schema, matrices)
+
+    def test_bad_record_shape_rejected(self, small_schema, matrices):
+        collector = StreamingCollector(small_schema, matrices)
+        with pytest.raises(EstimationError, match="shape"):
+            collector.receive(np.array([0, 1]))
+        with pytest.raises(EstimationError, match="shape"):
+            collector.receive_batch(np.zeros((3, 2), dtype=np.int64))

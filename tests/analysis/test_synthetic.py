@@ -1,0 +1,120 @@
+"""Tests for synthetic-data re-creation (§1/§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.synthetic import (
+    deterministic_counts,
+    synthesize_from_cluster_estimates,
+    synthesize_from_joint,
+)
+from repro.data.domain import Domain
+from repro.exceptions import EstimationError
+from repro.protocols.clusters import RRClusters
+from repro.clustering.algorithm import Clustering
+
+
+class TestDeterministicCounts:
+    def test_sums_to_n(self, rng):
+        for _ in range(20):
+            dist = rng.dirichlet(np.ones(7))
+            counts = deterministic_counts(dist, 1234)
+            assert counts.sum() == 1234
+            assert (counts >= 0).all()
+
+    def test_proportionality(self):
+        counts = deterministic_counts(np.array([0.5, 0.25, 0.25]), 8)
+        np.testing.assert_array_equal(counts, [4, 2, 2])
+
+    def test_largest_remainder(self):
+        # 10 * [0.55, 0.45] = [5.5, 4.5]: the larger remainder is tied;
+        # ties go to the lower index
+        counts = deterministic_counts(np.array([0.55, 0.45]), 10)
+        assert counts.sum() == 10
+        np.testing.assert_array_equal(counts, [6, 4])
+
+    def test_off_by_at_most_one(self, rng):
+        dist = rng.dirichlet(np.ones(11))
+        n = 997
+        counts = deterministic_counts(dist, n)
+        np.testing.assert_array_less(np.abs(counts - dist * n), 1.0 + 1e-9)
+
+    def test_zero_n(self):
+        counts = deterministic_counts(np.array([0.5, 0.5]), 0)
+        np.testing.assert_array_equal(counts, [0, 0])
+
+    def test_improper_distribution_rejected(self):
+        with pytest.raises(EstimationError, match="proper"):
+            deterministic_counts(np.array([0.7, 0.5]), 10)
+        with pytest.raises(EstimationError, match="proper"):
+            deterministic_counts(np.array([-0.2, 1.2]), 10)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(EstimationError, match="non-negative"):
+            deterministic_counts(np.array([1.0, 0.0]), -5)
+
+
+class TestSynthesizeFromJoint:
+    def test_exact_reproduction_of_distribution(self, small_schema, rng):
+        domain = Domain.from_schema(small_schema)
+        joint = rng.dirichlet(np.ones(domain.size))
+        synthetic = synthesize_from_joint(domain, joint, 10_000, rng=rng)
+        assert synthetic.n_records == 10_000
+        observed = synthetic.joint_distribution()
+        # largest-remainder: every cell within 1/n of the target
+        assert np.abs(observed - joint).max() <= 1.0 / 10_000 + 1e-12
+
+    def test_schema_matches_domain(self, small_schema, rng):
+        domain = Domain.from_schema(small_schema, ["color", "flag"])
+        joint = np.full(domain.size, 1.0 / domain.size)
+        synthetic = synthesize_from_joint(domain, joint, 64, rng=rng)
+        assert synthetic.schema.names == ("color", "flag")
+
+    def test_no_shuffle_is_deterministic(self, small_schema):
+        domain = Domain.from_schema(small_schema)
+        joint = np.full(domain.size, 1.0 / domain.size)
+        a = synthesize_from_joint(domain, joint, 48, shuffle=False)
+        b = synthesize_from_joint(domain, joint, 48, shuffle=False)
+        assert a == b
+
+    def test_zero_records(self, small_schema):
+        domain = Domain.from_schema(small_schema)
+        joint = np.full(domain.size, 1.0 / domain.size)
+        synthetic = synthesize_from_joint(domain, joint, 0)
+        assert synthetic.n_records == 0
+
+
+class TestSynthesizeFromClusterEstimates:
+    def test_full_pipeline(self, small_dataset):
+        clustering = Clustering(
+            schema=small_dataset.schema,
+            clusters=(("flag",), ("level", "color")),
+        )
+        protocol = RRClusters(clustering, p=0.8)
+        released = protocol.randomize(small_dataset, rng=1)
+        estimates = protocol.estimate(released)
+        synthetic = synthesize_from_cluster_estimates(estimates, 5000, rng=2)
+        assert synthetic.n_records == 5000
+        assert synthetic.schema == small_dataset.schema
+        # each cluster's joint is matched up to rounding
+        pair = synthetic.joint_distribution(["level", "color"])
+        target = estimates.domains[1].marginal_distribution(
+            estimates.joints[1], ["level", "color"]
+        )
+        assert np.abs(pair - target).max() < 1e-3 + 1.0 / 5000
+
+    def test_cross_cluster_independence(self, small_dataset):
+        clustering = Clustering(
+            schema=small_dataset.schema,
+            clusters=(("flag",), ("level", "color")),
+        )
+        protocol = RRClusters(clustering, p=0.9)
+        estimates = protocol.estimate(protocol.randomize(small_dataset, rng=3))
+        synthetic = synthesize_from_cluster_estimates(estimates, 40_000, rng=4)
+        # flag should be near-independent of level in the synthetic data
+        table = synthetic.contingency_table("flag", "level") / 40_000
+        product = np.outer(
+            synthetic.marginal_distribution("flag"),
+            synthetic.marginal_distribution("level"),
+        )
+        assert np.abs(table - product).max() < 0.01

@@ -1,0 +1,53 @@
+"""Tests for the FRAPP baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.frapp import FRAPP
+from repro.exceptions import ProtocolError
+
+
+class TestFRAPP:
+    def test_epsilon_is_log_gamma(self):
+        assert FRAPP(gamma=math.e**2).epsilon_per_attribute == pytest.approx(2.0)
+
+    def test_matrix_diagonal_ratio(self):
+        frapp = FRAPP(gamma=5.0)
+        matrix = frapp.matrix_for(4)
+        assert matrix.diagonal / matrix.off_diagonal == pytest.approx(5.0)
+
+    def test_estimation_roundtrip(self, adult_small):
+        frapp = FRAPP(gamma=20.0)
+        released = frapp.randomize(adult_small, rng=1)
+        estimate = frapp.estimate_marginal(released, "sex")
+        truth = adult_small.marginal_distribution("sex")
+        np.testing.assert_allclose(estimate, truth, atol=0.05)
+
+    def test_estimate_proper_with_clip(self, small_dataset):
+        frapp = FRAPP(gamma=1.5)
+        released = frapp.randomize(small_dataset, rng=2)
+        estimate = frapp.estimate_marginal(released, "color")
+        assert (estimate >= 0).all()
+        assert np.isclose(estimate.sum(), 1.0)
+
+    def test_gamma_below_one_rejected(self):
+        with pytest.raises(ProtocolError, match=">= 1"):
+            FRAPP(gamma=0.9)
+
+    def test_bad_repair_rejected(self, small_dataset):
+        frapp = FRAPP(gamma=3.0)
+        released = frapp.randomize(small_dataset, rng=3)
+        with pytest.raises(ProtocolError, match="repair"):
+            frapp.estimate_marginal(released, "color", repair="median")
+
+    def test_same_epsilon_as_keep_else_uniform(self):
+        # FRAPP with gamma = d/o of the keep-else-uniform matrix is the
+        # identical mechanism — the families coincide.
+        from repro.core.matrices import keep_else_uniform_matrix
+
+        reference = keep_else_uniform_matrix(6, 0.5)
+        gamma = reference.diagonal / reference.off_diagonal
+        matrix = FRAPP(gamma=gamma).matrix_for(6)
+        assert matrix.diagonal == pytest.approx(reference.diagonal)

@@ -1,0 +1,70 @@
+"""Tests for the PRAM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pram import PRAM, invariant_pram_matrix
+from repro.exceptions import MatrixError, ProtocolError
+
+
+class TestInvariantMatrix:
+    def test_row_stochastic(self):
+        matrix = invariant_pram_matrix(np.array([0.5, 0.3, 0.2]), 0.7)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_marginal_is_invariant(self):
+        pi = np.array([0.6, 0.3, 0.1])
+        matrix = invariant_pram_matrix(pi, 0.4)
+        np.testing.assert_allclose(matrix.T @ pi, pi, atol=1e-12)
+
+    def test_keep_one_is_identity(self):
+        pi = np.array([0.5, 0.5])
+        np.testing.assert_allclose(
+            invariant_pram_matrix(pi, 1.0), np.eye(2), atol=1e-12
+        )
+
+    def test_improper_marginal_rejected(self):
+        with pytest.raises(MatrixError, match="proper"):
+            invariant_pram_matrix(np.array([0.5, 0.6]), 0.5)
+
+    def test_bad_keep_rejected(self):
+        with pytest.raises(MatrixError, match="keep"):
+            invariant_pram_matrix(np.array([0.5, 0.5]), 0.0)
+
+
+class TestPRAM:
+    def test_invariant_marginals_unbiased(self, adult_small):
+        pram = PRAM(keep=0.5, invariant=True)
+        released = pram.apply(adult_small, rng=1)
+        # invariant PRAM: released marginals close to true ones without
+        # any Eq. (2) correction
+        for name in ("education", "sex"):
+            np.testing.assert_allclose(
+                released.marginal_distribution(name),
+                adult_small.marginal_distribution(name),
+                atol=0.03,
+            )
+
+    def test_non_invariant_biases_toward_uniform(self, adult_small):
+        pram = PRAM(keep=0.2, invariant=False)
+        released = pram.apply(adult_small, rng=2)
+        # keep-else-uniform without correction pulls marginals to 1/r
+        name = "race"
+        r = adult_small.schema.attribute(name).size
+        true = adult_small.marginal_distribution(name)
+        observed = released.marginal_distribution(name)
+        expected = 0.2 * true + 0.8 / r
+        np.testing.assert_allclose(observed, expected, atol=0.03)
+
+    def test_schema_preserved(self, small_dataset):
+        released = PRAM(keep=0.5).apply(small_dataset, rng=3)
+        assert released.schema == small_dataset.schema
+        assert released.n_records == small_dataset.n_records
+
+    def test_bad_keep_rejected(self):
+        with pytest.raises(ProtocolError, match="keep"):
+            PRAM(keep=1.5)
+
+    def test_repr_mentions_mode(self):
+        assert "invariant" in repr(PRAM(keep=0.5))
+        assert "uniform" in repr(PRAM(keep=0.5, invariant=False))

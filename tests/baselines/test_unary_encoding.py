@@ -1,0 +1,61 @@
+"""Tests for the unary-encoding (RAPPOR-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.unary_encoding import UnaryEncoding
+from repro.exceptions import ProtocolError
+
+
+class TestUnaryEncoding:
+    def test_bit_matrix_shape(self, rng):
+        ue = UnaryEncoding(size=5, epsilon=2.0)
+        reports = ue.randomize(rng.integers(0, 5, 100), rng)
+        assert reports.shape == (100, 5)
+        assert reports.dtype == bool
+
+    def test_flip_probabilities(self, rng):
+        ue = UnaryEncoding(size=4, epsilon=2.0)
+        values = np.zeros(100_000, dtype=np.int64)
+        reports = ue.randomize(values, rng)
+        # bit 0 is the true bit (keeps with prob p), others are noise
+        assert abs(reports[:, 0].mean() - ue.keep_probability) < 0.01
+        assert abs(reports[:, 1].mean() - (1 - ue.keep_probability)) < 0.01
+
+    def test_estimation_unbiased(self, rng):
+        ue = UnaryEncoding(size=4, epsilon=3.0)
+        pi = np.array([0.4, 0.3, 0.2, 0.1])
+        values = rng.choice(4, size=50_000, p=pi)
+        reports = ue.randomize(values, rng)
+        estimate = ue.estimate(reports)
+        np.testing.assert_allclose(estimate, pi, atol=0.03)
+
+    def test_estimate_raw_mode(self, rng):
+        ue = UnaryEncoding(size=3, epsilon=1.0)
+        reports = ue.randomize(rng.integers(0, 3, 500), rng)
+        raw = ue.estimate(reports, repair="none")
+        # raw estimates may leave the simplex but are finite
+        assert np.isfinite(raw).all()
+
+    def test_values_out_of_range_rejected(self, rng):
+        ue = UnaryEncoding(size=3, epsilon=1.0)
+        with pytest.raises(ProtocolError, match="out of range"):
+            ue.randomize(np.array([3]), rng)
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ProtocolError, match="epsilon"):
+            UnaryEncoding(size=3, epsilon=0.0)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ProtocolError, match="size"):
+            UnaryEncoding(size=1, epsilon=1.0)
+
+    def test_empty_reports_rejected(self):
+        ue = UnaryEncoding(size=3, epsilon=1.0)
+        with pytest.raises(ProtocolError, match="zero reports"):
+            ue.estimate(np.empty((0, 3)))
+
+    def test_wrong_report_width_rejected(self):
+        ue = UnaryEncoding(size=3, epsilon=1.0)
+        with pytest.raises(ProtocolError, match="shape"):
+            ue.estimate(np.zeros((10, 4)))

@@ -1,0 +1,160 @@
+"""Tests for Algorithm 1 (attribute clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.algorithm import Clustering, cluster_attributes
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import ClusteringError
+
+
+def make_schema(sizes):
+    return Schema(
+        [Attribute(f"a{i}", tuple(range(s))) for i, s in enumerate(sizes)]
+    )
+
+
+def dep_matrix(m, entries):
+    out = np.zeros((m, m))
+    for (i, j), value in entries.items():
+        out[i, j] = out[j, i] = value
+    return out
+
+
+class TestAlgorithm:
+    def test_no_dependence_all_singletons(self):
+        schema = make_schema([3, 3, 3])
+        clustering = cluster_attributes(schema, np.zeros((3, 3)), 100, 0.1)
+        assert clustering.clusters == (("a0",), ("a1",), ("a2",))
+        assert clustering.is_singleton()
+
+    def test_strong_pair_merges(self):
+        schema = make_schema([3, 3, 3])
+        dep = dep_matrix(3, {(0, 1): 0.9})
+        clustering = cluster_attributes(schema, dep, 100, 0.1)
+        assert ("a0", "a1") in clustering.clusters
+        assert ("a2",) in clustering.clusters
+
+    def test_td_blocks_weak_merge(self):
+        schema = make_schema([3, 3])
+        dep = dep_matrix(2, {(0, 1): 0.05})
+        clustering = cluster_attributes(schema, dep, 100, 0.1)
+        assert clustering.is_singleton()
+
+    def test_tv_blocks_large_merge(self):
+        schema = make_schema([10, 10])
+        dep = dep_matrix(2, {(0, 1): 0.9})
+        clustering = cluster_attributes(schema, dep, 50, 0.1)  # 100 > 50
+        assert clustering.is_singleton()
+
+    def test_tv_boundary_inclusive(self):
+        schema = make_schema([10, 10])
+        dep = dep_matrix(2, {(0, 1): 0.9})
+        clustering = cluster_attributes(schema, dep, 100, 0.1)
+        assert clustering.clusters == (("a0", "a1"),)
+
+    def test_greedy_order_descending(self):
+        # a0-a1 (0.9) merges first; then a2 joins because the merged
+        # cluster dependence is max-pairwise (0.5 via a1-a2).
+        schema = make_schema([2, 2, 2])
+        dep = dep_matrix(3, {(0, 1): 0.9, (1, 2): 0.5})
+        clustering = cluster_attributes(schema, dep, 8, 0.3)
+        assert clustering.clusters == (("a0", "a1", "a2"),)
+
+    def test_skip_infeasible_continue_with_next(self):
+        # strongest pair too big to merge, weaker pair fits: Algorithm 1
+        # moves to the next list element (line 16)
+        schema = make_schema([20, 20, 2, 2])
+        dep = dep_matrix(4, {(0, 1): 0.9, (2, 3): 0.5})
+        clustering = cluster_attributes(schema, dep, 50, 0.1)
+        assert ("a2", "a3") in clustering.clusters
+        assert ("a0",) in clustering.clusters and ("a1",) in clustering.clusters
+
+    def test_cluster_dependence_is_max_pairwise(self):
+        # After merging a0-a1, cluster {a0,a1} vs {a2} has dependence
+        # max(dep(a0,a2), dep(a1,a2)) = 0.6 >= Td, so a2 joins even
+        # though dep(a0,a2) is tiny.
+        schema = make_schema([2, 2, 2])
+        dep = dep_matrix(3, {(0, 1): 0.9, (1, 2): 0.6, (0, 2): 0.01})
+        clustering = cluster_attributes(schema, dep, 8, 0.5)
+        assert clustering.clusters == (("a0", "a1", "a2"),)
+
+    def test_td_zero_merges_everything_possible(self):
+        schema = make_schema([2, 2, 2, 2])
+        dep = dep_matrix(4, {(0, 1): 0.2, (2, 3): 0.1, (1, 2): 0.05})
+        clustering = cluster_attributes(schema, dep, 16, 0.0)
+        assert clustering.n_clusters == 1
+
+    def test_td_one_keeps_rr_independent(self):
+        schema = make_schema([2, 2])
+        dep = dep_matrix(2, {(0, 1): 0.99})
+        clustering = cluster_attributes(schema, dep, 100, 1.0)
+        assert clustering.is_singleton()
+
+    def test_deterministic_under_ties(self):
+        schema = make_schema([2, 2, 2, 2])
+        dep = dep_matrix(4, {(0, 1): 0.5, (2, 3): 0.5})
+        a = cluster_attributes(schema, dep, 4, 0.1)
+        b = cluster_attributes(schema, dep, 4, 0.1)
+        assert a.clusters == b.clusters
+        assert ("a0", "a1") in a.clusters and ("a2", "a3") in a.clusters
+
+    def test_bad_matrix_shape_rejected(self):
+        schema = make_schema([2, 2])
+        with pytest.raises(ClusteringError, match="must be"):
+            cluster_attributes(schema, np.zeros((3, 3)), 10, 0.1)
+
+    def test_asymmetric_matrix_rejected(self):
+        schema = make_schema([2, 2])
+        dep = np.array([[0.0, 0.5], [0.2, 0.0]])
+        with pytest.raises(ClusteringError, match="symmetric"):
+            cluster_attributes(schema, dep, 10, 0.1)
+
+    def test_bad_thresholds_rejected(self):
+        schema = make_schema([2, 2])
+        with pytest.raises(ClusteringError, match="Tv"):
+            cluster_attributes(schema, np.zeros((2, 2)), 0, 0.1)
+        with pytest.raises(ClusteringError, match="Td"):
+            cluster_attributes(schema, np.zeros((2, 2)), 10, 1.5)
+
+
+class TestClusteringObject:
+    def test_partition_validated(self, small_schema):
+        with pytest.raises(ClusteringError, match="partition"):
+            Clustering(schema=small_schema, clusters=(("flag",),))
+        with pytest.raises(ClusteringError, match="partition"):
+            Clustering(
+                schema=small_schema,
+                clusters=(("flag", "level"), ("level", "color")),
+            )
+
+    def test_cluster_of(self, small_schema):
+        clustering = Clustering(
+            schema=small_schema, clusters=(("flag", "level"), ("color",))
+        )
+        assert clustering.cluster_of("level") == 0
+        assert clustering.cluster_of("color") == 1
+        with pytest.raises(ClusteringError, match="not in clustering"):
+            clustering.cluster_of("ghost")
+
+    def test_cluster_sizes(self, small_schema):
+        clustering = Clustering(
+            schema=small_schema, clusters=(("flag", "level"), ("color",))
+        )
+        assert clustering.cluster_sizes() == (6, 4)
+        assert clustering.max_cluster_cells() == 6
+
+    def test_iteration_and_len(self, small_schema):
+        clustering = Clustering(
+            schema=small_schema, clusters=(("flag",), ("level",), ("color",))
+        )
+        assert len(clustering) == 3
+        assert list(clustering) == [("flag",), ("level",), ("color",)]
+
+    def test_adult_clustering_respects_tv(self, adult_small):
+        from repro.clustering.dependence import dependence_matrix
+
+        dep = dependence_matrix(adult_small)
+        for tv in (50, 100, 300):
+            clustering = cluster_attributes(adult_small.schema, dep, tv, 0.1)
+            assert clustering.max_cluster_cells() <= tv

@@ -1,0 +1,170 @@
+"""Tests for the dependence measures (Eqs. (8)-(9))."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.dependence import (
+    covariance_dependence,
+    covariance_from_joint,
+    cramers_v,
+    cramers_v_from_joint,
+    dependence_from_joint,
+    dependence_matrix,
+    pair_dependence,
+    pearson_dependence,
+    pearson_from_joint,
+)
+from repro.exceptions import ClusteringError
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.array([0, 1, 2, 3] * 25)
+        assert pearson_dependence(x, x) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation_absolute(self):
+        x = np.array([0, 1, 2, 3] * 25)
+        assert pearson_dependence(x, 3 - x) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        x = rng.integers(0, 4, 50_000)
+        y = rng.integers(0, 4, 50_000)
+        assert pearson_dependence(x, y) < 0.02
+
+    def test_matches_numpy_corrcoef(self, rng):
+        x = rng.integers(0, 5, 2000)
+        y = (x + rng.integers(0, 3, 2000)) % 5
+        expected = abs(np.corrcoef(x, y)[0, 1])
+        assert pearson_dependence(x, y) == pytest.approx(expected, abs=1e-9)
+
+    def test_constant_column_zero(self):
+        x = np.zeros(100, dtype=np.int64)
+        y = np.arange(100) % 3
+        assert pearson_dependence(x, y) == 0.0
+
+    def test_from_joint_matches_columns(self, rng):
+        x = rng.integers(0, 3, 5000)
+        y = (x * 2 + rng.integers(0, 2, 5000)) % 4
+        joint = np.zeros((3, 4))
+        for a, b in zip(x, y):
+            joint[a, b] += 1
+        joint /= joint.sum()
+        assert pearson_from_joint(joint) == pytest.approx(
+            pearson_dependence(x, y), abs=1e-9
+        )
+
+
+class TestCramersV:
+    def test_bounds(self, rng):
+        x = rng.integers(0, 4, 5000)
+        y = rng.integers(0, 3, 5000)
+        v = cramers_v(x, y)
+        assert 0.0 <= v <= 1.0
+
+    def test_perfect_dependence(self):
+        x = np.array([0, 1, 2] * 100)
+        assert cramers_v(x, x) == pytest.approx(1.0)
+
+    def test_deterministic_mapping_full_v(self):
+        x = np.array([0, 1, 2, 3] * 50)
+        y = x % 2
+        # y determined by x: V = 1 (min(ra-1, rb-1) = 1 dof saturated)
+        assert cramers_v(x, y) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        x = rng.integers(0, 4, 100_000)
+        y = rng.integers(0, 5, 100_000)
+        assert cramers_v(x, y) < 0.02
+
+    def test_from_joint_scale_free(self, rng):
+        joint = rng.random((3, 4))
+        joint /= joint.sum()
+        assert cramers_v_from_joint(joint) == pytest.approx(
+            cramers_v_from_joint(joint * 1.0), abs=1e-12
+        )
+
+    def test_matches_scipy(self, rng):
+        from scipy.stats import chi2_contingency
+
+        x = rng.integers(0, 3, 3000)
+        y = (x + rng.integers(0, 2, 3000)) % 3
+        table = np.zeros((3, 3))
+        for a, b in zip(x, y):
+            table[a, b] += 1
+        chi2 = chi2_contingency(table, correction=False).statistic
+        expected = np.sqrt(chi2 / 3000 / min(2, 2))
+        assert cramers_v(x, y) == pytest.approx(expected, abs=1e-9)
+
+    def test_single_category_rejected(self):
+        with pytest.raises(ClusteringError, match="2x2"):
+            cramers_v_from_joint(np.array([[1.0]]))
+
+    def test_degenerate_marginal_zero(self):
+        # all mass in one row -> no dof -> independence by convention
+        joint = np.zeros((3, 3))
+        joint[0] = [0.3, 0.3, 0.4]
+        assert cramers_v_from_joint(joint) == 0.0
+
+
+class TestCovariance:
+    def test_known_value(self):
+        x = np.array([0, 0, 1, 1])
+        y = np.array([0, 1, 0, 1])
+        assert covariance_from_joint(
+            np.array([[0.25, 0.25], [0.25, 0.25]])
+        ) == pytest.approx(0.0)
+        assert covariance_dependence(x, x) == pytest.approx(0.25)
+
+    def test_matches_numpy(self, rng):
+        x = rng.integers(0, 4, 3000)
+        y = (x + rng.integers(0, 2, 3000)) % 4
+        expected = abs(np.cov(x, y, bias=True)[0, 1])
+        assert covariance_dependence(x, y) == pytest.approx(expected, abs=1e-9)
+
+
+class TestMeasureSelection:
+    def test_ordinal_pair_uses_pearson(self, rng):
+        joint = rng.random((3, 3))
+        joint /= joint.sum()
+        assert dependence_from_joint(joint, True, True) == pytest.approx(
+            pearson_from_joint(joint)
+        )
+
+    def test_nominal_involvement_uses_cramers(self, rng):
+        joint = rng.random((3, 3))
+        joint /= joint.sum()
+        for flags in [(True, False), (False, True), (False, False)]:
+            assert dependence_from_joint(joint, *flags) == pytest.approx(
+                cramers_v_from_joint(joint)
+            )
+
+    def test_pair_dependence_uses_kinds(self, small_dataset):
+        # level is ordinal, color nominal -> Cramér's V
+        value = pair_dependence(small_dataset, "level", "color")
+        joint = small_dataset.contingency_table("level", "color") / len(
+            small_dataset
+        )
+        assert value == pytest.approx(cramers_v_from_joint(joint))
+
+
+class TestDependenceMatrix:
+    def test_symmetric_zero_diagonal(self, small_dataset):
+        dep = dependence_matrix(small_dataset)
+        assert dep.shape == (3, 3)
+        np.testing.assert_allclose(dep, dep.T)
+        np.testing.assert_allclose(np.diag(dep), 0.0)
+
+    def test_bounded(self, small_dataset):
+        dep = dependence_matrix(small_dataset)
+        assert (dep >= 0).all() and (dep <= 1).all()
+
+    def test_linked_pair_strongest(self, small_dataset):
+        # the fixture links level and color
+        dep = dependence_matrix(small_dataset)
+        i = small_dataset.schema.position("level")
+        j = small_dataset.schema.position("color")
+        assert dep[i, j] == dep.max()
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ClusteringError, match="empty"):
+            pearson_dependence(np.empty(0, np.int64), np.empty(0, np.int64))

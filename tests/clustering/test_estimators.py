@@ -1,0 +1,110 @@
+"""Tests for the §4.1-§4.3 privacy-preserving dependence estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clustering.estimators import (
+    DependenceEstimate,
+    exact_dependences,
+    randomized_dependences,
+    rr_pairs_dependences,
+    secure_sum_dependences,
+)
+from repro.clustering.dependence import dependence_matrix
+from repro.core.privacy import epsilon_for_keep_probability
+from repro.exceptions import ClusteringError
+
+
+class TestExact:
+    def test_matches_dependence_matrix(self, small_dataset):
+        estimate = exact_dependences(small_dataset)
+        np.testing.assert_allclose(
+            estimate.matrix, dependence_matrix(small_dataset)
+        )
+        assert estimate.method == "exact"
+        assert estimate.epsilon == 0.0
+
+
+class TestRandomized:
+    def test_attenuates_but_ranks(self, adult_small):
+        # §4.1: dependences measured on randomized data are attenuated
+        # but the top of the ranking survives for moderate p.
+        exact = exact_dependences(adult_small)
+        noisy = randomized_dependences(adult_small, p=0.8, rng=11)
+        upper = np.triu_indices(adult_small.schema.width, k=1)
+        # attenuation on the strong pairs
+        strongest = np.unravel_index(exact.matrix.argmax(), exact.matrix.shape)
+        assert noisy.matrix[strongest] < exact.matrix[strongest]
+        # top pair unchanged
+        assert noisy.matrix.argmax() == exact.matrix.argmax()
+        assert noisy.method == "randomized"
+
+    def test_epsilon_is_composed_sum(self, small_dataset):
+        estimate = randomized_dependences(small_dataset, p=0.5, rng=0)
+        expected = sum(
+            epsilon_for_keep_probability(attr.size, 0.5)
+            for attr in small_dataset.schema
+        )
+        assert estimate.epsilon == pytest.approx(expected)
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = randomized_dependences(small_dataset, p=0.6, rng=3)
+        b = randomized_dependences(small_dataset, p=0.6, rng=3)
+        np.testing.assert_allclose(a.matrix, b.matrix)
+
+
+class TestSecureSum:
+    def test_exact_reconstruction(self, small_dataset):
+        # §4.2 produces exact bivariate tables, so the dependence
+        # matrix equals the trusted one.
+        estimate = secure_sum_dependences(small_dataset, rng=1)
+        np.testing.assert_allclose(
+            estimate.matrix, dependence_matrix(small_dataset), atol=1e-12
+        )
+        assert estimate.method == "secure-sum"
+        assert math.isinf(estimate.epsilon)
+
+
+class TestRRPairs:
+    def test_approximates_exact(self, adult_tiny):
+        exact = exact_dependences(adult_tiny)
+        estimate = rr_pairs_dependences(adult_tiny, p=0.9, rng=7)
+        upper = np.triu_indices(adult_tiny.schema.width, k=1)
+        # weak randomization: estimates close to truth
+        gap = np.abs(exact.matrix - estimate.matrix)[upper]
+        assert np.median(gap) < 0.15
+        assert estimate.method == "rr-pairs"
+
+    def test_epsilon_is_max_pair(self, small_dataset):
+        # parallel-composition accounting (§4.3): worst pair epsilon
+        estimate = rr_pairs_dependences(small_dataset, p=0.5, rng=0)
+        sizes = small_dataset.schema.sizes
+        worst_cells = max(
+            sizes[i] * sizes[j]
+            for i in range(3)
+            for j in range(i + 1, 3)
+        )
+        assert estimate.epsilon == pytest.approx(
+            epsilon_for_keep_probability(worst_cells, 0.5)
+        )
+
+    def test_bad_p_rejected(self, small_dataset):
+        with pytest.raises(ClusteringError, match="p must be"):
+            rr_pairs_dependences(small_dataset, p=0.0, rng=0)
+
+
+class TestDependenceEstimateObject:
+    def test_ranking_sorted(self):
+        matrix = np.array(
+            [[0.0, 0.2, 0.9], [0.2, 0.0, 0.5], [0.9, 0.5, 0.0]]
+        )
+        estimate = DependenceEstimate(matrix=matrix, method="exact", epsilon=0.0)
+        assert estimate.ranking() == [(0, 2), (1, 2), (0, 1)]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ClusteringError, match="square"):
+            DependenceEstimate(
+                matrix=np.zeros((2, 3)), method="exact", epsilon=0.0
+            )

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.adult import synthesize_adult
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema, NOMINAL, ORDINAL
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator; per-test reproducibility."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_schema():
+    """Three small attributes: one binary, one ordinal, one nominal."""
+    return Schema(
+        [
+            Attribute("flag", ("no", "yes"), NOMINAL),
+            Attribute("level", ("low", "mid", "high"), ORDINAL),
+            Attribute("color", ("red", "green", "blue", "gray"), NOMINAL),
+        ]
+    )
+
+
+@pytest.fixture
+def small_dataset(small_schema, rng):
+    """200 records over the small schema with a level<->color link."""
+    n = 200
+    flag = rng.integers(0, 2, n)
+    level = rng.integers(0, 3, n)
+    # color follows level with probability 0.7 (mapped mod 4).
+    follow = rng.random(n) < 0.7
+    color = np.where(follow, level, rng.integers(0, 4, n))
+    return Dataset(small_schema, np.stack([flag, level, color], axis=1))
+
+
+@pytest.fixture(scope="session")
+def adult_small():
+    """A 4000-record synthetic Adult (shared across the session: the
+    generator is deterministic, so sharing is safe and fast)."""
+    return synthesize_adult(n=4000, rng=777)
+
+
+@pytest.fixture(scope="session")
+def adult_tiny():
+    """A 600-record synthetic Adult for the slowest consumers."""
+    return synthesize_adult(n=600, rng=778)

@@ -1,0 +1,167 @@
+"""Tests for repro.core.estimation (Eq. (2) and its error algebra)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import (
+    estimate_distribution,
+    estimate_from_responses,
+    estimation_covariance,
+    observed_distribution,
+    propagation_condition_number,
+)
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.core.mechanism import randomize_column
+from repro.exceptions import EstimationError
+
+
+class TestObservedDistribution:
+    def test_counts(self):
+        dist = observed_distribution(np.array([0, 0, 1, 2]), 4)
+        np.testing.assert_allclose(dist, [0.5, 0.25, 0.25, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError, match="no responses"):
+            observed_distribution(np.empty(0, dtype=np.int64), 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EstimationError, match="out of range"):
+            observed_distribution(np.array([0, 3]), 3)
+
+
+class TestEstimateDistribution:
+    def test_exact_inversion(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.5)
+        pi = np.array([0.4, 0.3, 0.2, 0.1])
+        lam = matrix.dense().T @ pi
+        np.testing.assert_allclose(
+            estimate_distribution(lam, matrix), pi, atol=1e-12
+        )
+
+    def test_dense_matrix_inversion(self, rng):
+        dense = np.array([[0.8, 0.15, 0.05], [0.1, 0.85, 0.05], [0.2, 0.2, 0.6]])
+        pi = np.array([0.5, 0.3, 0.2])
+        lam = dense.T @ pi
+        np.testing.assert_allclose(
+            estimate_distribution(lam, dense), pi, atol=1e-12
+        )
+
+    def test_constant_diagonal_matches_dense(self, rng):
+        matrix = keep_else_uniform_matrix(5, 0.4)
+        lam = rng.random(5)
+        lam /= lam.sum()
+        np.testing.assert_allclose(
+            estimate_distribution(lam, matrix),
+            estimate_distribution(lam, matrix.dense()),
+            atol=1e-10,
+        )
+
+    def test_result_sums_to_one_even_when_improper(self):
+        matrix = keep_else_uniform_matrix(3, 0.8)
+        # An observed distribution inconsistent with the matrix: one
+        # category never reported despite off-diagonal mass.
+        lam = np.array([0.0, 0.5, 0.5])
+        estimate = estimate_distribution(lam, matrix)
+        assert np.isclose(estimate.sum(), 1.0)
+        assert (estimate < 0).any()  # improper, to be repaired (§6.4)
+
+    def test_unnormalized_lambda_rejected(self):
+        with pytest.raises(EstimationError, match="sum to 1"):
+            estimate_distribution(
+                np.array([0.5, 0.6]), keep_else_uniform_matrix(2, 0.8)
+            )
+
+    def test_size_mismatch_rejected(self):
+        dense = keep_else_uniform_matrix(3, 0.5).dense()
+        with pytest.raises(EstimationError, match="size"):
+            estimate_distribution(np.array([0.5, 0.5]), dense)
+
+    def test_unbiasedness_statistical(self, rng):
+        # pi_hat averaged over many randomizations approaches pi.
+        matrix = keep_else_uniform_matrix(3, 0.5)
+        pi = np.array([0.6, 0.3, 0.1])
+        values = rng.choice(3, size=5000, p=pi)
+        estimates = []
+        for _ in range(80):
+            randomized = randomize_column(values, matrix, rng)
+            estimates.append(estimate_from_responses(randomized, matrix))
+        mean_estimate = np.mean(estimates, axis=0)
+        truth = np.bincount(values, minlength=3) / values.size
+        np.testing.assert_allclose(mean_estimate, truth, atol=0.01)
+
+
+class TestCovariance:
+    def test_shape_and_symmetry(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.6)
+        lam = np.full(4, 0.25)
+        cov = estimation_covariance(matrix, lam, 1000)
+        assert cov.shape == (4, 4)
+        np.testing.assert_allclose(cov, cov.T, atol=1e-15)
+
+    def test_scales_inverse_n(self):
+        matrix = keep_else_uniform_matrix(3, 0.5)
+        lam = np.array([0.5, 0.3, 0.2])
+        c1 = estimation_covariance(matrix, lam, 100)
+        c2 = estimation_covariance(matrix, lam, 10000)
+        np.testing.assert_allclose(c1 / 100, c2, atol=1e-12)
+
+    def test_constant_diagonal_matches_dense_path(self):
+        matrix = keep_else_uniform_matrix(4, 0.45)
+        lam = np.array([0.4, 0.3, 0.2, 0.1])
+        fast = estimation_covariance(matrix, lam, 500)
+        slow = estimation_covariance(matrix.dense(), lam, 500)
+        np.testing.assert_allclose(fast, slow, atol=1e-12)
+
+    def test_matches_empirical_variance(self, rng):
+        # The diagonal of the dispersion estimate should match the
+        # Monte-Carlo variance of pi_hat. The formula treats lambda_hat
+        # as a full multinomial draw, so each run must resample the
+        # true values too (not just re-randomize a fixed sample).
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        pi = np.array([0.5, 0.3, 0.2])
+        n = 4000
+        estimates = np.stack(
+            [
+                estimate_from_responses(
+                    randomize_column(
+                        rng.choice(3, size=n, p=pi), matrix, rng
+                    ),
+                    matrix,
+                )
+                for _ in range(300)
+            ]
+        )
+        lam = matrix.dense().T @ pi
+        predicted = np.diag(estimation_covariance(matrix, lam, n))
+        observed = estimates.var(axis=0)
+        np.testing.assert_allclose(observed, predicted, rtol=0.25)
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(EstimationError, match="positive"):
+            estimation_covariance(
+                keep_else_uniform_matrix(3, 0.5), np.full(3, 1 / 3), 0
+            )
+
+
+class TestConditionNumber:
+    def test_constant_diagonal_closed_form(self):
+        matrix = keep_else_uniform_matrix(5, 0.5)
+        assert propagation_condition_number(matrix) == pytest.approx(
+            1.0 / matrix.keep_probability
+        )
+
+    def test_matches_dense_computation(self):
+        matrix = keep_else_uniform_matrix(4, 0.3)
+        fast = propagation_condition_number(matrix)
+        slow = propagation_condition_number(matrix.dense())
+        assert fast == pytest.approx(slow, rel=1e-9)
+
+    def test_identity_is_one(self):
+        assert propagation_condition_number(
+            keep_else_uniform_matrix(3, 1.0)
+        ) == pytest.approx(1.0)
+
+    def test_more_randomization_worse_propagation(self):
+        weak = propagation_condition_number(keep_else_uniform_matrix(4, 0.9))
+        strong = propagation_condition_number(keep_else_uniform_matrix(4, 0.2))
+        assert strong > weak

@@ -1,0 +1,106 @@
+"""Tests for repro.core.mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.core.mechanism import RandomizedResponseMechanism, randomize_column
+from repro.exceptions import MatrixError
+
+
+class TestRandomizeColumn:
+    def test_identity_matrix_keeps_values(self, rng):
+        values = rng.integers(0, 4, 100)
+        matrix = keep_else_uniform_matrix(4, 1.0)
+        np.testing.assert_array_equal(
+            randomize_column(values, matrix, rng), values
+        )
+
+    def test_output_in_range(self, rng):
+        values = rng.integers(0, 5, 1000)
+        out = randomize_column(values, keep_else_uniform_matrix(5, 0.3), rng)
+        assert out.min() >= 0 and out.max() < 5
+
+    def test_empty_input(self, rng):
+        out = randomize_column(
+            np.empty(0, dtype=np.int64), keep_else_uniform_matrix(3, 0.5), rng
+        )
+        assert out.shape == (0,)
+
+    def test_transition_frequencies_fast_path(self, rng):
+        # Empirical transition rates from a fixed true value must match
+        # the matrix row.
+        matrix = keep_else_uniform_matrix(4, 0.6)
+        values = np.zeros(200_000, dtype=np.int64)
+        out = randomize_column(values, matrix, rng)
+        freq = np.bincount(out, minlength=4) / values.size
+        np.testing.assert_allclose(freq, matrix.dense()[0], atol=0.01)
+
+    def test_transition_frequencies_dense_path(self, rng):
+        dense = np.array(
+            [
+                [0.7, 0.2, 0.1],
+                [0.05, 0.9, 0.05],
+                [0.3, 0.3, 0.4],
+            ]
+        )
+        values = np.full(150_000, 2, dtype=np.int64)
+        out = randomize_column(values, dense, rng)
+        freq = np.bincount(out, minlength=3) / values.size
+        np.testing.assert_allclose(freq, dense[2], atol=0.01)
+
+    def test_fast_and_dense_paths_agree_statistically(self, rng):
+        matrix = keep_else_uniform_matrix(6, 0.5)
+        values = rng.integers(0, 6, 100_000)
+        fast = randomize_column(values, matrix, np.random.default_rng(1))
+        slow = randomize_column(values, matrix.dense(), np.random.default_rng(2))
+        fast_freq = np.bincount(fast, minlength=6) / values.size
+        slow_freq = np.bincount(slow, minlength=6) / values.size
+        np.testing.assert_allclose(fast_freq, slow_freq, atol=0.012)
+
+    def test_values_out_of_range_rejected(self, rng):
+        with pytest.raises(MatrixError, match="out of range"):
+            randomize_column(
+                np.array([0, 5]), keep_else_uniform_matrix(3, 0.5), rng
+            )
+        with pytest.raises(MatrixError, match="out of range"):
+            randomize_column(
+                np.array([-1]), keep_else_uniform_matrix(3, 0.5), rng
+            )
+
+    def test_non_1d_rejected(self, rng):
+        with pytest.raises(MatrixError, match="1-D"):
+            randomize_column(
+                np.zeros((2, 2), dtype=np.int64),
+                keep_else_uniform_matrix(3, 0.5),
+                rng,
+            )
+
+    def test_deterministic_with_seed(self):
+        values = np.arange(50) % 4
+        matrix = keep_else_uniform_matrix(4, 0.5)
+        a = randomize_column(values, matrix, 42)
+        b = randomize_column(values, matrix, 42)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMechanismObject:
+    def test_wraps_matrix(self):
+        matrix = keep_else_uniform_matrix(4, 0.7)
+        mech = RandomizedResponseMechanism(matrix)
+        assert mech.size == 4
+        assert mech.matrix is matrix
+        assert mech.epsilon == pytest.approx(matrix.epsilon)
+
+    def test_dense_matrix_accepted(self):
+        mech = RandomizedResponseMechanism([[0.9, 0.1], [0.2, 0.8]])
+        assert mech.size == 2
+
+    def test_randomize_delegates(self, rng):
+        mech = RandomizedResponseMechanism(keep_else_uniform_matrix(3, 1.0))
+        values = np.array([0, 1, 2])
+        np.testing.assert_array_equal(mech.randomize(values, rng), values)
+
+    def test_invalid_matrix_rejected(self):
+        with pytest.raises(MatrixError):
+            RandomizedResponseMechanism([[0.5, 0.6], [0.5, 0.5]])

@@ -1,0 +1,147 @@
+"""Tests for repro.core.privacy (Eq. (4) and composition)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import epsilon_optimal_matrix, keep_else_uniform_matrix
+from repro.core.privacy import (
+    PrivacyAccountant,
+    attribute_epsilons,
+    compose_epsilons,
+    epsilon_for_keep_probability,
+    epsilon_of_matrix,
+    keep_probability_for_epsilon,
+)
+from repro.exceptions import PrivacyError
+
+
+class TestEpsilonOfMatrix:
+    def test_constant_diagonal(self):
+        m = keep_else_uniform_matrix(4, 0.5)
+        assert epsilon_of_matrix(m) == pytest.approx(
+            math.log(m.diagonal / m.off_diagonal)
+        )
+
+    def test_dense_matches_constant_diagonal(self):
+        m = keep_else_uniform_matrix(5, 0.3)
+        assert epsilon_of_matrix(m.dense()) == pytest.approx(m.epsilon)
+
+    def test_asymmetric_dense_matrix(self):
+        # Eq. (4): max over columns of ln(max/min)
+        dense = np.array([[0.8, 0.2], [0.4, 0.6]])
+        expected = max(math.log(0.8 / 0.4), math.log(0.6 / 0.2))
+        assert epsilon_of_matrix(dense) == pytest.approx(expected)
+
+    def test_zero_entry_gives_infinity(self):
+        dense = np.array([[1.0, 0.0], [0.5, 0.5]])
+        assert math.isinf(epsilon_of_matrix(dense))
+
+    def test_uniform_matrix_epsilon_zero(self):
+        # perfectly private: output independent of input. The uniform
+        # matrix is singular, so go through ConstantDiagonalMatrix.
+        from repro.core.matrices import ConstantDiagonalMatrix
+
+        m = ConstantDiagonalMatrix(size=4, diagonal=0.25, off_diagonal=0.25)
+        assert epsilon_of_matrix(m) == pytest.approx(0.0)
+
+
+class TestComposition:
+    def test_sum(self):
+        assert compose_epsilons([1.0, 2.0, 0.5]) == pytest.approx(3.5)
+
+    def test_single(self):
+        assert compose_epsilons([0.7]) == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PrivacyError, match="at least one"):
+            compose_epsilons([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(PrivacyError, match="non-negative"):
+            compose_epsilons([1.0, -0.1])
+
+    def test_infinite_propagates(self):
+        assert math.isinf(compose_epsilons([1.0, math.inf]))
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        for size in (2, 7, 16):
+            for p in (0.1, 0.5, 0.9):
+                eps = epsilon_for_keep_probability(size, p)
+                assert keep_probability_for_epsilon(size, eps) == pytest.approx(p)
+
+    def test_matches_matrix_epsilon(self):
+        for size in (3, 9):
+            for p in (0.3, 0.7):
+                assert epsilon_for_keep_probability(size, p) == pytest.approx(
+                    keep_else_uniform_matrix(size, p).epsilon
+                )
+
+    def test_p_one_infinite(self):
+        assert math.isinf(epsilon_for_keep_probability(5, 1.0))
+        assert keep_probability_for_epsilon(5, math.inf) == pytest.approx(1.0)
+
+    def test_monotonic_in_p(self):
+        eps = [epsilon_for_keep_probability(4, p) for p in (0.1, 0.4, 0.8)]
+        assert eps[0] < eps[1] < eps[2]
+
+    def test_monotonic_in_size(self):
+        # more categories -> same p reveals more (bigger column ratio)
+        assert epsilon_for_keep_probability(
+            16, 0.5
+        ) > epsilon_for_keep_probability(2, 0.5)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(PrivacyError):
+            epsilon_for_keep_probability(1, 0.5)
+        with pytest.raises(PrivacyError):
+            epsilon_for_keep_probability(4, 0.0)
+        with pytest.raises(PrivacyError):
+            keep_probability_for_epsilon(4, -1.0)
+
+
+class TestAttributeEpsilons:
+    def test_adult_budget(self, adult_tiny):
+        budgets = attribute_epsilons(adult_tiny.schema, 0.7)
+        assert set(budgets) == set(adult_tiny.schema.names)
+        # larger attributes get larger epsilons at the same p
+        assert budgets["education"] > budgets["sex"]
+
+    def test_values_match_formula(self, small_schema):
+        budgets = attribute_epsilons(small_schema, 0.5)
+        for attr in small_schema:
+            assert budgets[attr.name] == pytest.approx(
+                epsilon_for_keep_probability(attr.size, 0.5)
+            )
+
+
+class TestAccountant:
+    def test_total_is_sum(self):
+        ledger = PrivacyAccountant()
+        ledger.record("a", 1.0)
+        ledger.record("b", 2.5)
+        assert ledger.total_epsilon == pytest.approx(3.5)
+        assert len(ledger) == 2
+
+    def test_empty_total_zero(self):
+        assert PrivacyAccountant().total_epsilon == 0.0
+
+    def test_record_matrix(self):
+        ledger = PrivacyAccountant()
+        m = epsilon_optimal_matrix(4, 1.2)
+        ledger.record_matrix("x", m)
+        assert ledger.total_epsilon == pytest.approx(1.2)
+
+    def test_by_label_accumulates(self):
+        ledger = PrivacyAccountant()
+        ledger.record("x", 1.0)
+        ledger.record("x", 0.5)
+        ledger.record("y", 2.0)
+        assert ledger.by_label() == {"x": 1.5, "y": 2.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(PrivacyError, match="non-negative"):
+            PrivacyAccountant().record("x", -1.0)

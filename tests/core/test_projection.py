@@ -1,0 +1,127 @@
+"""Tests for repro.core.projection (§6.4 repairs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import estimate_distribution, observed_distribution
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.core.projection import (
+    clip_and_rescale,
+    iterative_bayesian_update,
+    project_to_simplex,
+)
+from repro.exceptions import EstimationError
+
+
+class TestClipAndRescale:
+    def test_proper_distribution_unchanged(self):
+        pi = np.array([0.2, 0.5, 0.3])
+        np.testing.assert_allclose(clip_and_rescale(pi), pi)
+
+    def test_negatives_zeroed_and_rescaled(self):
+        pi = np.array([-0.2, 0.8, 0.4])
+        out = clip_and_rescale(pi)
+        assert out[0] == 0.0
+        np.testing.assert_allclose(out, [0.0, 2 / 3, 1 / 3])
+
+    def test_idempotent(self):
+        pi = np.array([-0.5, 1.0, 0.5])
+        once = clip_and_rescale(pi)
+        np.testing.assert_allclose(clip_and_rescale(once), once)
+
+    def test_all_negative_falls_back_to_uniform(self):
+        out = clip_and_rescale(np.array([-1.0, -2.0]))
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(EstimationError, match="1-D"):
+            clip_and_rescale(np.zeros((2, 2)))
+
+
+class TestSimplexProjection:
+    def test_proper_distribution_fixed_point(self):
+        pi = np.array([0.1, 0.6, 0.3])
+        np.testing.assert_allclose(project_to_simplex(pi), pi, atol=1e-12)
+
+    def test_output_is_proper(self, rng):
+        for _ in range(20):
+            vec = rng.normal(size=6)
+            vec = vec / max(abs(vec.sum()), 1e-9)
+            out = project_to_simplex(vec)
+            assert (out >= 0).all()
+            assert np.isclose(out.sum(), 1.0)
+
+    def test_is_euclidean_optimal(self, rng):
+        # no proper distribution may be closer than the projection
+        vec = np.array([0.6, 0.7, -0.3])
+        projected = project_to_simplex(vec)
+        best = ((projected - vec) ** 2).sum()
+        for _ in range(300):
+            candidate = rng.dirichlet(np.ones(3))
+            assert ((candidate - vec) ** 2).sum() >= best - 1e-12
+
+    def test_differs_from_clip_rescale_in_general(self):
+        # clip+rescale is an approximation of the Euclidean projection;
+        # on this vector they disagree.
+        vec = np.array([0.9, 0.4, -0.3])
+        clip = clip_and_rescale(vec)
+        proj = project_to_simplex(vec)
+        assert not np.allclose(clip, proj)
+
+
+class TestIterativeBayesianUpdate:
+    def test_consistent_lambda_recovers_pi(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        pi = np.array([0.5, 0.3, 0.2])
+        lam = matrix.dense().T @ pi
+        out = iterative_bayesian_update(lam, matrix)
+        np.testing.assert_allclose(out, pi, atol=1e-6)
+
+    def test_always_proper(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.8)
+        # inconsistent observation -> Eq. (2) would go negative
+        lam = np.array([0.0, 0.0, 0.5, 0.5])
+        raw = estimate_distribution(lam, matrix)
+        assert (raw < 0).any()
+        out = iterative_bayesian_update(lam, matrix)
+        assert (out >= 0).all()
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_agrees_with_inversion_when_interior(self, rng):
+        matrix = keep_else_uniform_matrix(3, 0.5)
+        values = rng.choice(3, size=20000, p=[0.5, 0.3, 0.2])
+        lam = observed_distribution(values, 3)
+        # lam here is consistent-ish; both estimators near-agree
+        inv = estimate_distribution(lam, matrix)
+        if (inv > 0).all():
+            ibu = iterative_bayesian_update(lam, matrix)
+            np.testing.assert_allclose(ibu, inv, atol=1e-4)
+
+    def test_custom_initial(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        pi = np.array([0.5, 0.3, 0.2])
+        lam = matrix.dense().T @ pi
+        out = iterative_bayesian_update(
+            lam, matrix, initial=np.array([0.8, 0.1, 0.1])
+        )
+        np.testing.assert_allclose(out, pi, atol=1e-6)
+
+    def test_bad_initial_rejected(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        lam = np.full(3, 1 / 3)
+        with pytest.raises(EstimationError, match="initial"):
+            iterative_bayesian_update(
+                lam, matrix, initial=np.array([0.5, 0.6, -0.1])
+            )
+
+    def test_nonconvergence_raises(self):
+        matrix = keep_else_uniform_matrix(3, 0.2)
+        lam = np.array([0.8, 0.1, 0.1])
+        with pytest.raises(EstimationError, match="did not converge"):
+            iterative_bayesian_update(lam, matrix, max_iterations=1,
+                                      tolerance=1e-15)
+
+    def test_bad_lambda_rejected(self):
+        matrix = keep_else_uniform_matrix(3, 0.6)
+        with pytest.raises(EstimationError, match="sum to 1"):
+            iterative_bayesian_update(np.array([0.5, 0.5, 0.5]), matrix)

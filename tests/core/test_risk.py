@@ -1,0 +1,154 @@
+"""Tests for the Bayesian disclosure-risk module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import keep_else_uniform_matrix, ConstantDiagonalMatrix
+from repro.core.privacy import epsilon_of_matrix
+from repro.core.risk import (
+    bayes_risk,
+    bayes_vulnerability,
+    deniability_set_sizes,
+    expected_posterior_entropy,
+    maximum_posterior,
+    posterior_matrix,
+    posterior_to_prior_odds_bound,
+)
+from repro.exceptions import PrivacyError
+
+
+@pytest.fixture
+def prior():
+    return np.array([0.4, 0.3, 0.2, 0.1])
+
+
+class TestPosteriorMatrix:
+    def test_columns_are_distributions(self, prior):
+        matrix = keep_else_uniform_matrix(4, 0.6)
+        post = posterior_matrix(matrix, prior)
+        np.testing.assert_allclose(post.sum(axis=0), 1.0, atol=1e-12)
+        assert (post >= 0).all()
+
+    def test_bayes_rule_by_hand(self):
+        matrix = np.array([[0.8, 0.2], [0.3, 0.7]])
+        prior = np.array([0.5, 0.5])
+        post = posterior_matrix(matrix, prior)
+        # Pr(X=0 | Y=0) = 0.8*0.5 / (0.8*0.5 + 0.3*0.5)
+        assert post[0, 0] == pytest.approx(0.4 / 0.55)
+
+    def test_identity_channel_reveals(self, prior):
+        identity = keep_else_uniform_matrix(4, 1.0)
+        post = posterior_matrix(identity, prior)
+        np.testing.assert_allclose(post, np.eye(4), atol=1e-12)
+
+    def test_uniform_channel_keeps_prior(self, prior):
+        uniform = ConstantDiagonalMatrix(size=4, diagonal=0.25,
+                                         off_diagonal=0.25)
+        post = posterior_matrix(uniform, prior)
+        for v in range(4):
+            np.testing.assert_allclose(post[:, v], prior, atol=1e-12)
+
+    def test_zero_prior_cells_stay_zero(self):
+        matrix = keep_else_uniform_matrix(3, 0.5)
+        prior = np.array([0.0, 0.5, 0.5])
+        post = posterior_matrix(matrix, prior)
+        np.testing.assert_allclose(post[0], 0.0, atol=1e-12)
+
+    def test_bad_prior_rejected(self):
+        matrix = keep_else_uniform_matrix(3, 0.5)
+        with pytest.raises(PrivacyError, match="proper"):
+            posterior_matrix(matrix, np.array([0.5, 0.6, 0.1]))
+        with pytest.raises(PrivacyError, match="shape"):
+            posterior_matrix(matrix, np.array([0.5, 0.5]))
+
+
+class TestRiskMeasures:
+    def test_max_posterior_bounds(self, prior):
+        weak = maximum_posterior(keep_else_uniform_matrix(4, 0.2), prior)
+        strong = maximum_posterior(keep_else_uniform_matrix(4, 0.9), prior)
+        assert weak < strong <= 1.0
+
+    def test_vulnerability_extremes(self, prior):
+        identity = keep_else_uniform_matrix(4, 1.0)
+        assert bayes_vulnerability(identity, prior) == pytest.approx(1.0)
+        uniform = ConstantDiagonalMatrix(size=4, diagonal=0.25,
+                                         off_diagonal=0.25)
+        assert bayes_vulnerability(uniform, prior) == pytest.approx(
+            prior.max()
+        )
+
+    def test_risk_is_complement(self, prior):
+        matrix = keep_else_uniform_matrix(4, 0.5)
+        assert bayes_risk(matrix, prior) == pytest.approx(
+            1.0 - bayes_vulnerability(matrix, prior)
+        )
+
+    def test_vulnerability_monotone_in_p(self, prior):
+        values = [
+            bayes_vulnerability(keep_else_uniform_matrix(4, p), prior)
+            for p in (0.1, 0.5, 0.9)
+        ]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_deniability_full_for_positive_offdiagonal(self):
+        matrix = keep_else_uniform_matrix(5, 0.7)
+        np.testing.assert_array_equal(deniability_set_sizes(matrix), 5)
+
+    def test_deniability_shrinks_with_zeros(self):
+        dense = np.array([[1.0, 0.0], [0.5, 0.5]])
+        np.testing.assert_array_equal(deniability_set_sizes(dense), [2, 1])
+
+    def test_entropy_extremes(self, prior):
+        identity = keep_else_uniform_matrix(4, 1.0)
+        assert expected_posterior_entropy(identity, prior) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        uniform = ConstantDiagonalMatrix(size=4, diagonal=0.25,
+                                         off_diagonal=0.25)
+        prior_entropy = float(-(prior * np.log2(prior)).sum())
+        assert expected_posterior_entropy(uniform, prior) == pytest.approx(
+            prior_entropy
+        )
+
+    def test_entropy_monotone_in_randomization(self, prior):
+        weak = expected_posterior_entropy(
+            keep_else_uniform_matrix(4, 0.9), prior
+        )
+        strong = expected_posterior_entropy(
+            keep_else_uniform_matrix(4, 0.2), prior
+        )
+        assert strong > weak
+
+
+class TestOddsBound:
+    def test_equals_exp_epsilon(self):
+        # the Bayesian reading of Eq. (4): odds move by at most e^eps
+        for p in (0.2, 0.5, 0.8):
+            for r in (2, 5, 9):
+                matrix = keep_else_uniform_matrix(r, p)
+                assert posterior_to_prior_odds_bound(matrix) == pytest.approx(
+                    math.exp(epsilon_of_matrix(matrix))
+                )
+
+    def test_posterior_respects_odds_bound(self, rng):
+        # For random priors: posterior odds / prior odds <= e^eps.
+        matrix = keep_else_uniform_matrix(4, 0.6)
+        bound = posterior_to_prior_odds_bound(matrix)
+        for _ in range(50):
+            prior = rng.dirichlet(np.ones(4))
+            post = posterior_matrix(matrix, prior)
+            for v in range(4):
+                for u in range(4):
+                    for w in range(4):
+                        if post[w, v] <= 0 or prior[u] <= 0:
+                            continue
+                        ratio = (post[u, v] / post[w, v]) / (
+                            prior[u] / prior[w]
+                        )
+                        assert ratio <= bound + 1e-9
+
+    def test_zero_entry_infinite(self):
+        dense = np.array([[1.0, 0.0], [0.5, 0.5]])
+        assert math.isinf(posterior_to_prior_odds_bound(dense))

@@ -1,0 +1,162 @@
+"""Tests for the Adult substrate (synthetic generator + loader)."""
+
+import numpy as np
+import pytest
+
+from repro.data.adult import (
+    ADULT_ATTRIBUTES,
+    ADULT_N_RECORDS,
+    adult_network,
+    adult_schema,
+    load_adult,
+    replicate,
+    synthesize_adult,
+)
+from repro.clustering.dependence import pair_dependence
+from repro.exceptions import DatasetError
+
+
+class TestSchema:
+    def test_paper_category_counts(self):
+        # §6.1: Work-class 9, Education 16, Marital 7, Occupation 15,
+        # Relationship 6, Race 5, Sex 2, Income 2.
+        schema = adult_schema()
+        assert schema.sizes == (9, 16, 7, 15, 6, 5, 2, 2)
+
+    def test_paper_joint_cells(self):
+        # §6.2: 1,814,400 possible combinations.
+        assert adult_schema().joint_cells() == 1_814_400
+
+    def test_education_and_income_are_ordinal(self):
+        schema = adult_schema()
+        assert schema.attribute("education").is_ordinal
+        assert schema.attribute("income").is_ordinal
+        assert not schema.attribute("occupation").is_ordinal
+
+    def test_attribute_constant_matches_schema(self):
+        assert adult_schema().attributes == ADULT_ATTRIBUTES
+
+
+class TestSynthesis:
+    def test_default_size_matches_real_adult(self):
+        # Only check the constant; generating 32k records is done once
+        # in the experiment tests.
+        assert ADULT_N_RECORDS == 32561
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_adult(n=300, rng=5)
+        b = synthesize_adult(n=300, rng=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = synthesize_adult(n=300, rng=5)
+        b = synthesize_adult(n=300, rng=6)
+        assert a != b
+
+    def test_marginals_plausible(self, adult_small):
+        sex = adult_small.marginal_distribution("sex")
+        assert 0.55 < sex[1] < 0.78  # Male majority as in real Adult
+        income = adult_small.marginal_distribution("income")
+        assert income[0] > 0.6  # <=50K majority
+        race = adult_small.marginal_distribution("race")
+        assert race[0] > 0.7  # White majority
+
+    def test_dependence_structure(self, adult_small):
+        # The three ties the experiments rely on, ordered as in Adult:
+        strong = pair_dependence(adult_small, "relationship", "sex")
+        moderate = pair_dependence(adult_small, "workclass", "occupation")
+        weak = pair_dependence(adult_small, "race", "income")
+        assert strong > 0.5
+        assert 0.15 < moderate < 0.6
+        assert weak < 0.12
+        assert strong > moderate > weak
+
+    def test_relationship_consistency(self, adult_small):
+        # Near-deterministic CPT rows: husbands are (almost) all male.
+        schema = adult_small.schema
+        rel = adult_small.column("relationship")
+        sex = adult_small.column("sex")
+        husband = schema.attribute("relationship").index_of("Husband")
+        male = schema.attribute("sex").index_of("Male")
+        assert (sex[rel == husband] == male).all()
+
+    def test_network_topological_order_valid(self):
+        spec = adult_network()
+        order = spec.topological_order()
+        seen = set()
+        for name in order:
+            parents, _ = spec.nodes[name]
+            assert set(parents) <= seen
+            seen.add(name)
+
+
+class TestLoader:
+    def test_falls_back_to_synthetic(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # no ./data/adult.data here
+        monkeypatch.delenv("REPRO_ADULT_PATH", raising=False)
+        ds = load_adult(n=100)
+        assert ds.n_records == 100
+
+    def test_explicit_missing_path_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_adult(path=tmp_path / "nope.data")
+
+    def test_parses_real_format(self, tmp_path):
+        line = (
+            "39, State-gov, 77516, Bachelors, 13, Never-married, "
+            "Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, "
+            "United-States, <=50K"
+        )
+        csv = tmp_path / "adult.data"
+        csv.write_text(line + "\n" + line.replace("<=50K", ">50K.") + "\n\n")
+        ds = load_adult(path=csv)
+        assert ds.n_records == 2
+        assert ds.record_labels(0) == (
+            "State-gov", "Bachelors", "Never-married", "Adm-clerical",
+            "Not-in-family", "White", "Male", "<=50K",
+        )
+        # trailing '.' on income (test-file convention) is stripped
+        assert ds.record_labels(1)[-1] == ">50K"
+
+    def test_truncation(self, tmp_path):
+        line = (
+            "39, Private, 77516, HS-grad, 13, Divorced, Sales, Unmarried, "
+            "Black, Female, 0, 0, 40, United-States, <=50K"
+        )
+        csv = tmp_path / "adult.data"
+        csv.write_text("\n".join([line] * 5))
+        assert load_adult(path=csv, n=3).n_records == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        csv = tmp_path / "adult.data"
+        csv.write_text("a, b, c\n")
+        with pytest.raises(DatasetError, match="expected 15 fields"):
+            load_adult(path=csv)
+
+    def test_env_variable_path(self, tmp_path, monkeypatch):
+        line = (
+            "39, Private, 77516, HS-grad, 13, Divorced, Sales, Unmarried, "
+            "Black, Female, 0, 0, 40, United-States, <=50K"
+        )
+        csv = tmp_path / "via_env.data"
+        csv.write_text(line + "\n")
+        monkeypatch.setenv("REPRO_ADULT_PATH", str(csv))
+        assert load_adult().n_records == 1
+
+
+class TestReplicate:
+    def test_replicate_six_times(self, adult_tiny):
+        big = replicate(adult_tiny, 6)
+        assert big.n_records == 6 * adult_tiny.n_records
+        # identical distribution (§6.5's requirement for Adult6)
+        np.testing.assert_allclose(
+            big.marginal_distribution("education"),
+            adult_tiny.marginal_distribution("education"),
+        )
+
+    def test_replicate_once_is_identity(self, adult_tiny):
+        assert replicate(adult_tiny, 1) == adult_tiny
+
+    def test_replicate_zero_rejected(self, adult_tiny):
+        with pytest.raises(DatasetError, match=">= 1"):
+            replicate(adult_tiny, 0)

@@ -1,0 +1,169 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DatasetError
+
+
+class TestConstruction:
+    def test_basic(self, small_schema):
+        ds = Dataset(small_schema, np.zeros((5, 3), dtype=np.int64))
+        assert ds.n_records == 5
+        assert ds.n_attributes == 3
+        assert len(ds) == 5
+
+    def test_codes_are_read_only(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.codes[0, 0] = 1
+
+    def test_defensive_copy(self, small_schema):
+        source = np.zeros((3, 3), dtype=np.int64)
+        ds = Dataset(small_schema, source)
+        source[0, 0] = 1
+        assert ds.codes[0, 0] == 0
+
+    def test_wrong_width_rejected(self, small_schema):
+        with pytest.raises(DatasetError, match="columns"):
+            Dataset(small_schema, np.zeros((3, 2), dtype=np.int64))
+
+    def test_out_of_range_code_rejected(self, small_schema):
+        codes = np.zeros((3, 3), dtype=np.int64)
+        codes[1, 0] = 2  # flag has 2 categories
+        with pytest.raises(DatasetError, match="out of range"):
+            Dataset(small_schema, codes)
+        codes[1, 0] = -1
+        with pytest.raises(DatasetError, match="out of range"):
+            Dataset(small_schema, codes)
+
+    def test_non_2d_rejected(self, small_schema):
+        with pytest.raises(DatasetError, match="2-D"):
+            Dataset(small_schema, np.zeros(3, dtype=np.int64))
+
+    def test_from_records(self, small_schema):
+        ds = Dataset.from_records(
+            small_schema,
+            [("no", "low", "red"), ("yes", "high", "gray")],
+        )
+        np.testing.assert_array_equal(ds.codes, [[0, 0, 0], [1, 2, 3]])
+
+    def test_from_records_bad_width(self, small_schema):
+        with pytest.raises(DatasetError, match="values"):
+            Dataset.from_records(small_schema, [("no", "low")])
+
+    def test_from_records_empty(self, small_schema):
+        ds = Dataset.from_records(small_schema, [])
+        assert ds.n_records == 0
+
+    def test_record_labels_roundtrip(self, small_schema):
+        ds = Dataset.from_records(small_schema, [("yes", "mid", "blue")])
+        assert ds.record_labels(0) == ("yes", "mid", "blue")
+
+
+class TestConcat:
+    def test_concat_doubles(self, small_dataset):
+        combined = Dataset.concat([small_dataset, small_dataset])
+        assert combined.n_records == 2 * small_dataset.n_records
+        np.testing.assert_array_equal(
+            combined.codes[: len(small_dataset)], small_dataset.codes
+        )
+
+    def test_concat_schema_mismatch(self, small_dataset):
+        other_schema = Schema([Attribute("x", ("a", "b"))])
+        other = Dataset(other_schema, np.zeros((2, 1), dtype=np.int64))
+        with pytest.raises(DatasetError, match="different schemas"):
+            Dataset.concat([small_dataset, other])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(DatasetError, match="at least one"):
+            Dataset.concat([])
+
+
+class TestStatistics:
+    def test_marginal_counts_sum_to_n(self, small_dataset):
+        counts = small_dataset.marginal_counts("color")
+        assert counts.sum() == small_dataset.n_records
+        assert counts.shape == (4,)
+
+    def test_marginal_distribution_sums_to_one(self, small_dataset):
+        dist = small_dataset.marginal_distribution("level")
+        assert np.isclose(dist.sum(), 1.0)
+
+    def test_empty_dataset_distribution_raises(self, small_schema):
+        empty = Dataset(small_schema, np.empty((0, 3), dtype=np.int64))
+        with pytest.raises(DatasetError, match="empty"):
+            empty.marginal_distribution("flag")
+
+    def test_contingency_table_totals(self, small_dataset):
+        table = small_dataset.contingency_table("level", "color")
+        assert table.shape == (3, 4)
+        assert table.sum() == small_dataset.n_records
+        np.testing.assert_array_equal(
+            table.sum(axis=1), small_dataset.marginal_counts("level")
+        )
+
+    def test_contingency_symmetric_pair(self, small_dataset):
+        ab = small_dataset.contingency_table("level", "color")
+        ba = small_dataset.contingency_table("color", "level")
+        np.testing.assert_array_equal(ab, ba.T)
+
+    def test_joint_counts_match_contingency(self, small_dataset):
+        joint = small_dataset.joint_counts(["level", "color"])
+        table = small_dataset.contingency_table("level", "color")
+        np.testing.assert_array_equal(joint.reshape(3, 4), table)
+
+    def test_joint_distribution_full_schema(self, small_dataset):
+        joint = small_dataset.joint_distribution()
+        assert joint.shape == (24,)
+        assert np.isclose(joint.sum(), 1.0)
+
+
+class TestTransformation:
+    def test_replace_columns(self, small_dataset):
+        new_flag = 1 - small_dataset.column("flag")
+        replaced = small_dataset.replace_columns(["flag"], new_flag)
+        np.testing.assert_array_equal(replaced.column("flag"), new_flag)
+        # other columns untouched, original not mutated
+        np.testing.assert_array_equal(
+            replaced.column("color"), small_dataset.column("color")
+        )
+        assert not np.array_equal(
+            small_dataset.column("flag"), replaced.column("flag")
+        )
+
+    def test_replace_columns_multi(self, small_dataset):
+        cols = small_dataset.columns(["flag", "level"]).copy()
+        cols[:, 0] = 0
+        replaced = small_dataset.replace_columns(["flag", "level"], cols)
+        assert (replaced.column("flag") == 0).all()
+
+    def test_replace_columns_shape_mismatch(self, small_dataset):
+        with pytest.raises(DatasetError, match="shape"):
+            small_dataset.replace_columns(["flag"], np.zeros((3, 1), np.int64))
+
+    def test_select_reorders(self, small_dataset):
+        sub = small_dataset.select(["color", "flag"])
+        assert sub.schema.names == ("color", "flag")
+        np.testing.assert_array_equal(
+            sub.column("color"), small_dataset.column("color")
+        )
+
+    def test_sample_with_replacement(self, small_dataset, rng):
+        sample = small_dataset.sample(500, rng)
+        assert sample.n_records == 500
+        assert sample.schema == small_dataset.schema
+
+    def test_sample_negative_raises(self, small_dataset, rng):
+        with pytest.raises(DatasetError, match="non-negative"):
+            small_dataset.sample(-1, rng)
+
+    def test_column_by_index_and_name_agree(self, small_dataset):
+        np.testing.assert_array_equal(
+            small_dataset.column(1), small_dataset.column("level")
+        )
+
+    def test_equality(self, small_dataset):
+        clone = Dataset(small_dataset.schema, small_dataset.codes)
+        assert clone == small_dataset

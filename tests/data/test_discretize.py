@@ -1,0 +1,95 @@
+"""Tests for repro.data.discretize."""
+
+import numpy as np
+import pytest
+
+from repro.data.discretize import (
+    discretize_by_edges,
+    discretize_equal_frequency,
+    discretize_equal_width,
+)
+from repro.exceptions import DatasetError
+
+
+class TestByEdges:
+    def test_basic_binning(self):
+        codes, attr = discretize_by_edges(
+            np.array([0.5, 1.5, 2.5]), [0.0, 1.0, 2.0, 3.0]
+        )
+        np.testing.assert_array_equal(codes, [0, 1, 2])
+        assert attr.size == 3
+        assert attr.is_ordinal
+
+    def test_out_of_range_clipped(self):
+        codes, _ = discretize_by_edges(
+            np.array([-5.0, 99.0]), [0.0, 1.0, 2.0]
+        )
+        np.testing.assert_array_equal(codes, [0, 1])
+
+    def test_boundary_values_half_open(self):
+        codes, _ = discretize_by_edges(np.array([1.0]), [0.0, 1.0, 2.0])
+        assert codes[0] == 1  # [1, 2) bin
+
+    def test_labels_are_intervals(self):
+        _, attr = discretize_by_edges(np.array([0.5]), [0.0, 1.0, 2.0])
+        assert attr.categories == ("[0, 1)", "[1, 2)")
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(DatasetError, match="strictly increasing"):
+            discretize_by_edges(np.array([0.5]), [0.0, 0.0, 1.0])
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(DatasetError, match="at least 3"):
+            discretize_by_edges(np.array([0.5]), [0.0, 1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(DatasetError, match="NaN"):
+            discretize_by_edges(np.array([np.nan]), [0.0, 1.0, 2.0])
+
+
+class TestEqualWidth:
+    def test_covers_range(self, rng):
+        data = rng.normal(0, 1, 1000)
+        codes, attr = discretize_equal_width(data, 5)
+        assert attr.size == 5
+        assert codes.min() == 0 and codes.max() == 4
+
+    def test_constant_column_rejected(self):
+        with pytest.raises(DatasetError, match="constant"):
+            discretize_equal_width(np.ones(10), 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError, match="empty"):
+            discretize_equal_width(np.array([]), 3)
+
+    def test_bins_below_two_rejected(self):
+        with pytest.raises(DatasetError, match=">= 2"):
+            discretize_equal_width(np.arange(10.0), 1)
+
+
+class TestEqualFrequency:
+    def test_balanced_bins(self, rng):
+        data = rng.random(10000)
+        codes, attr = discretize_equal_frequency(data, 4)
+        counts = np.bincount(codes, minlength=attr.size)
+        assert counts.min() > 0.2 * len(data)
+
+    def test_ties_collapse_bins(self):
+        data = np.array([1.0] * 60 + list(np.linspace(2, 3, 40)))
+        codes, attr = discretize_equal_frequency(data, 5)
+        assert 2 <= attr.size <= 5
+        assert codes.max() == attr.size - 1
+
+    def test_degenerate_data_rejected(self):
+        with pytest.raises(DatasetError, match="concentrated"):
+            discretize_equal_frequency(np.ones(100), 4)
+
+    def test_codes_fit_schema_attribute(self, rng):
+        # discretized column must be valid for Dataset construction
+        from repro.data.dataset import Dataset
+        from repro.data.schema import Schema
+
+        data = rng.normal(size=500)
+        codes, attr = discretize_equal_frequency(data, 6, name="metric")
+        ds = Dataset(Schema([attr]), codes[:, None])
+        assert ds.n_records == 500

@@ -1,0 +1,138 @@
+"""Tests for repro.data.domain (mixed-radix product domains)."""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import Domain
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def domain(small_schema):
+    return Domain.from_schema(small_schema)
+
+
+class TestConstruction:
+    def test_size_is_product(self, domain):
+        assert domain.size == 24
+        assert domain.sizes == (2, 3, 4)
+        assert domain.width == 3
+
+    def test_from_schema_subset(self, small_schema):
+        sub = Domain.from_schema(small_schema, ["color", "flag"])
+        assert sub.names == ("color", "flag")
+        assert sub.size == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError, match="at least one"):
+            Domain([])
+
+    def test_repr_shows_factorization(self, domain):
+        assert "2x3x4=24" in repr(domain)
+
+    def test_equality(self, small_schema):
+        assert Domain.from_schema(small_schema) == Domain.from_schema(small_schema)
+        assert Domain.from_schema(small_schema) != Domain.from_schema(
+            small_schema, ["flag", "level"]
+        )
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_cells(self, domain):
+        flats = np.arange(domain.size)
+        decoded = domain.decode(flats)
+        assert decoded.shape == (24, 3)
+        back = domain.encode(decoded)
+        np.testing.assert_array_equal(back, flats)
+
+    def test_encoding_is_row_major(self, domain):
+        # (0, 0, 0) -> 0, (0, 0, 1) -> 1, (0, 1, 0) -> 4, (1, 0, 0) -> 12
+        assert domain.encode(np.array([0, 0, 1])) == 1
+        assert domain.encode(np.array([0, 1, 0])) == 4
+        assert domain.encode(np.array([1, 0, 0])) == 12
+
+    def test_single_record_shapes(self, domain):
+        flat = domain.encode(np.array([1, 2, 3]))
+        assert np.ndim(flat) == 0
+        codes = domain.decode(np.int64(23))
+        np.testing.assert_array_equal(codes, [1, 2, 3])
+
+    def test_encode_bounds_checked(self, domain):
+        with pytest.raises(DomainError, match="out of range"):
+            domain.encode(np.array([[0, 3, 0]]))  # level has only 3 cats
+        with pytest.raises(DomainError, match="out of range"):
+            domain.encode(np.array([[-1, 0, 0]]))
+
+    def test_decode_bounds_checked(self, domain):
+        with pytest.raises(DomainError, match="out of range"):
+            domain.decode(np.array([24]))
+        with pytest.raises(DomainError, match="out of range"):
+            domain.decode(np.array([-1]))
+
+    def test_encode_wrong_width(self, domain):
+        with pytest.raises(DomainError, match="expected 3"):
+            domain.encode(np.zeros((5, 2), dtype=np.int64))
+
+    def test_cell_tuple_labels(self, domain):
+        assert domain.cell_tuple(0) == ("no", "low", "red")
+        assert domain.cell_tuple(23) == ("yes", "high", "gray")
+
+
+class TestMarginalization:
+    def test_marginal_sums_preserved(self, domain, rng):
+        joint = rng.random(domain.size)
+        joint /= joint.sum()
+        marginal = domain.marginal_distribution(joint, ["level"])
+        assert marginal.shape == (3,)
+        assert np.isclose(marginal.sum(), 1.0)
+
+    def test_marginal_matches_manual(self, domain, rng):
+        joint = rng.random(domain.size)
+        joint /= joint.sum()
+        grid = joint.reshape(2, 3, 4)
+        np.testing.assert_allclose(
+            domain.marginal_distribution(joint, ["flag"]), grid.sum(axis=(1, 2))
+        )
+        np.testing.assert_allclose(
+            domain.marginal_distribution(joint, ["color"]), grid.sum(axis=(0, 1))
+        )
+
+    def test_pair_marginal_order_respected(self, domain, rng):
+        joint = rng.random(domain.size)
+        joint /= joint.sum()
+        grid = joint.reshape(2, 3, 4)
+        # (color, flag) ordering must transpose the (flag, color) table.
+        fc = domain.marginal_distribution(joint, ["flag", "color"]).reshape(2, 4)
+        cf = domain.marginal_distribution(joint, ["color", "flag"]).reshape(4, 2)
+        np.testing.assert_allclose(cf, fc.T)
+        np.testing.assert_allclose(fc, grid.sum(axis=1))
+
+    def test_identity_marginalization(self, domain, rng):
+        joint = rng.random(domain.size)
+        joint /= joint.sum()
+        full = domain.marginal_distribution(joint, list(domain.names))
+        np.testing.assert_allclose(full, joint)
+
+    def test_unknown_attribute_raises(self, domain, rng):
+        joint = np.full(domain.size, 1.0 / domain.size)
+        with pytest.raises(DomainError, match="not in domain"):
+            domain.marginal_distribution(joint, ["nope"])
+
+    def test_wrong_length_raises(self, domain):
+        with pytest.raises(DomainError, match="shape"):
+            domain.marginal_distribution(np.ones(7), ["flag"])
+
+
+class TestBigDomain:
+    def test_adult_sized_product(self):
+        sizes = (9, 16, 7, 15, 6, 5, 2, 2)
+        attrs = [
+            Attribute(f"a{i}", tuple(range(s))) for i, s in enumerate(sizes)
+        ]
+        domain = Domain(attrs)
+        assert domain.size == 1_814_400  # §6.2's number
+        # spot-check roundtrip on random cells
+        rng = np.random.default_rng(0)
+        flats = rng.integers(0, domain.size, size=1000)
+        np.testing.assert_array_equal(domain.encode(domain.decode(flats)), flats)

@@ -1,0 +1,177 @@
+"""Tests for repro.data.generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    BayesianNetworkSpec,
+    bayesian_network_dataset,
+    correlated_pair_dataset,
+    independent_dataset,
+    sample_rows,
+)
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DatasetError
+
+
+class TestSampleRows:
+    def test_respects_row_distributions(self, rng):
+        rows = np.tile(np.array([0.0, 1.0, 0.0]), (50, 1))
+        codes = sample_rows(rows, rng)
+        assert (codes == 1).all()
+
+    def test_mixed_rows(self, rng):
+        rows = np.array([[1.0, 0.0], [0.0, 1.0]] * 25)
+        codes = sample_rows(rows, rng)
+        np.testing.assert_array_equal(codes, np.array([0, 1] * 25))
+
+    def test_statistical_frequencies(self, rng):
+        rows = np.tile(np.array([0.2, 0.8]), (20000, 1))
+        codes = sample_rows(rows, rng)
+        assert abs(codes.mean() - 0.8) < 0.02
+
+    def test_rejects_unnormalized(self, rng):
+        with pytest.raises(DatasetError, match="sum to 1"):
+            sample_rows(np.array([[0.5, 0.4]]), rng)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(DatasetError, match="2-D"):
+            sample_rows(np.array([0.5, 0.5]), rng)
+
+
+class TestIndependentDataset:
+    def test_shapes_and_ranges(self, small_schema, rng):
+        ds = independent_dataset(small_schema, 500, rng=rng)
+        assert ds.n_records == 500
+        for attr in small_schema:
+            col = ds.column(attr.name)
+            assert col.min() >= 0 and col.max() < attr.size
+
+    def test_respects_marginals(self, small_schema, rng):
+        marginals = {"flag": np.array([0.9, 0.1])}
+        ds = independent_dataset(small_schema, 20000, marginals, rng)
+        assert abs(ds.marginal_distribution("flag")[0] - 0.9) < 0.02
+
+    def test_bad_marginal_shape(self, small_schema, rng):
+        with pytest.raises(DatasetError, match="shape"):
+            independent_dataset(
+                small_schema, 10, {"flag": np.array([0.5, 0.3, 0.2])}, rng
+            )
+
+    def test_bad_marginal_mass(self, small_schema, rng):
+        with pytest.raises(DatasetError, match="not a distribution"):
+            independent_dataset(
+                small_schema, 10, {"flag": np.array([0.7, 0.7])}, rng
+            )
+
+    def test_negative_n_rejected(self, small_schema, rng):
+        with pytest.raises(DatasetError, match="non-negative"):
+            independent_dataset(small_schema, -1, rng=rng)
+
+
+class TestBayesianNetwork:
+    @pytest.fixture
+    def xy_spec(self):
+        schema = Schema(
+            [Attribute("x", ("a", "b")), Attribute("y", ("u", "v"))]
+        )
+        nodes = {
+            "x": ((), np.array([[0.5, 0.5]])),
+            # y copies x with probability 0.9
+            "y": (("x",), np.array([[0.9, 0.1], [0.1, 0.9]])),
+        }
+        return BayesianNetworkSpec(schema=schema, nodes=nodes)
+
+    def test_sampling_matches_cpt(self, xy_spec, rng):
+        ds = xy_spec.sample(30000, rng)
+        agree = (ds.column("x") == ds.column("y")).mean()
+        assert abs(agree - 0.9) < 0.02
+
+    def test_functional_alias(self, xy_spec):
+        a = bayesian_network_dataset(xy_spec, 100, rng=3)
+        b = xy_spec.sample(100, rng=3)
+        assert a == b
+
+    def test_missing_node_rejected(self):
+        schema = Schema([Attribute("x", ("a", "b"))])
+        with pytest.raises(DatasetError, match="missing nodes"):
+            BayesianNetworkSpec(schema=schema, nodes={})
+
+    def test_extra_node_rejected(self):
+        schema = Schema([Attribute("x", ("a", "b"))])
+        nodes = {
+            "x": ((), np.array([[0.5, 0.5]])),
+            "ghost": ((), np.array([[1.0]])),
+        }
+        with pytest.raises(DatasetError, match="outside schema"):
+            BayesianNetworkSpec(schema=schema, nodes=nodes)
+
+    def test_bad_cpt_shape_rejected(self):
+        schema = Schema([Attribute("x", ("a", "b"))])
+        with pytest.raises(DatasetError, match="shape"):
+            BayesianNetworkSpec(
+                schema=schema, nodes={"x": ((), np.array([[0.5, 0.3, 0.2]]))}
+            )
+
+    def test_unnormalized_cpt_rejected(self):
+        schema = Schema([Attribute("x", ("a", "b"))])
+        with pytest.raises(DatasetError, match="sum to 1"):
+            BayesianNetworkSpec(
+                schema=schema, nodes={"x": ((), np.array([[0.6, 0.6]]))}
+            )
+
+    def test_cycle_detected(self):
+        schema = Schema(
+            [Attribute("x", ("a", "b")), Attribute("y", ("u", "v"))]
+        )
+        nodes = {
+            "x": (("y",), np.tile([0.5, 0.5], (2, 1))),
+            "y": (("x",), np.tile([0.5, 0.5], (2, 1))),
+        }
+        spec = BayesianNetworkSpec(schema=schema, nodes=nodes)
+        with pytest.raises(DatasetError, match="cycle"):
+            spec.sample(10, rng=0)
+
+    def test_unknown_parent_rejected(self):
+        schema = Schema([Attribute("x", ("a", "b"))])
+        with pytest.raises(DatasetError, match="unknown parent"):
+            BayesianNetworkSpec(
+                schema=schema,
+                nodes={"x": (("ghost",), np.tile([0.5, 0.5], (2, 1)))},
+            )
+
+
+class TestCorrelatedPair:
+    def test_strength_one_is_deterministic(self, rng):
+        ds = correlated_pair_dataset(2000, 4, 4, strength=1.0, rng=rng)
+        np.testing.assert_array_equal(ds.column("a"), ds.column("b"))
+
+    def test_strength_zero_is_independent(self, rng):
+        ds = correlated_pair_dataset(60000, 4, 4, strength=0.0, rng=rng)
+        cov = np.cov(ds.column("a"), ds.column("b"), bias=True)[0, 1]
+        assert abs(cov) < 0.05
+
+    def test_covariance_scales_with_strength(self, rng):
+        covs = []
+        for strength in (0.25, 0.5, 1.0):
+            ds = correlated_pair_dataset(
+                80000, 4, 4, strength=strength, rng=rng
+            )
+            covs.append(np.cov(ds.column("a"), ds.column("b"), bias=True)[0, 1])
+        assert covs[0] < covs[1] < covs[2]
+        # linear scaling: cov(s) ~ s * cov(1)
+        assert abs(covs[1] / covs[2] - 0.5) < 0.07
+
+    def test_mismatched_sizes(self, rng):
+        ds = correlated_pair_dataset(1000, 6, 3, strength=1.0, rng=rng)
+        np.testing.assert_array_equal(
+            ds.column("b"), (ds.column("a") * 3) // 6
+        )
+
+    def test_bad_strength_rejected(self, rng):
+        with pytest.raises(DatasetError, match="strength"):
+            correlated_pair_dataset(10, strength=1.5, rng=rng)
+
+    def test_tiny_sizes_rejected(self, rng):
+        with pytest.raises(DatasetError, match="at least 2"):
+            correlated_pair_dataset(10, size_a=1, rng=rng)

@@ -1,0 +1,120 @@
+"""Tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Attribute, Schema, NOMINAL, ORDINAL
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_basic_construction(self):
+        attr = Attribute("color", ("red", "green", "blue"))
+        assert attr.name == "color"
+        assert attr.size == 3
+        assert len(attr) == 3
+        assert attr.kind == NOMINAL
+        assert not attr.is_ordinal
+
+    def test_ordinal_kind(self):
+        attr = Attribute("level", ("low", "high"), ORDINAL)
+        assert attr.is_ordinal
+
+    def test_categories_coerced_to_tuple(self):
+        attr = Attribute("x", ["a", "b"])
+        assert isinstance(attr.categories, tuple)
+
+    def test_index_of(self):
+        attr = Attribute("x", ("a", "b", "c"))
+        assert attr.index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        attr = Attribute("x", ("a", "b"))
+        with pytest.raises(SchemaError, match="unknown category"):
+            attr.index_of("z")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            Attribute("", ("a", "b"))
+
+    def test_single_category_rejected(self):
+        with pytest.raises(SchemaError, match="at least 2"):
+            Attribute("x", ("only",))
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Attribute("x", ("a", "a"))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SchemaError, match="kind"):
+            Attribute("x", ("a", "b"), kind="continuous")
+
+    def test_repr_mentions_name_and_size(self):
+        text = repr(Attribute("x", ("a", "b", "c")))
+        assert "x" in text and "3" in text
+
+    def test_hashable_and_equal(self):
+        a = Attribute("x", ("a", "b"))
+        b = Attribute("x", ("a", "b"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSchema:
+    def test_basic_properties(self, small_schema):
+        assert small_schema.width == 3
+        assert small_schema.names == ("flag", "level", "color")
+        assert small_schema.sizes == (2, 3, 4)
+        assert len(small_schema) == 3
+
+    def test_joint_cells(self, small_schema):
+        assert small_schema.joint_cells() == 2 * 3 * 4
+
+    def test_position_and_lookup(self, small_schema):
+        assert small_schema.position("level") == 1
+        assert small_schema.attribute("level").size == 3
+        assert small_schema.attribute(2).name == "color"
+        assert small_schema.attribute(-1).name == "color"
+
+    def test_unknown_name_raises(self, small_schema):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            small_schema.position("nope")
+
+    def test_out_of_range_index_raises(self, small_schema):
+        with pytest.raises(SchemaError, match="out of range"):
+            small_schema.attribute(7)
+
+    def test_bad_key_type_raises(self, small_schema):
+        with pytest.raises(SchemaError, match="str or int"):
+            small_schema.attribute(1.5)
+
+    def test_positions(self, small_schema):
+        assert small_schema.positions(["color", "flag"]) == (2, 0)
+
+    def test_subset_preserves_order_given(self, small_schema):
+        sub = small_schema.subset(["color", "flag"])
+        assert sub.names == ("color", "flag")
+
+    def test_contains(self, small_schema):
+        assert "flag" in small_schema
+        assert "nope" not in small_schema
+
+    def test_duplicate_names_rejected(self):
+        a = Attribute("x", ("a", "b"))
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([a, a])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError, match="at least one"):
+            Schema([])
+
+    def test_non_attribute_entries_rejected(self):
+        with pytest.raises(SchemaError, match="must be Attribute"):
+            Schema(["not-an-attribute"])
+
+    def test_equality_and_hash(self, small_schema):
+        clone = Schema(small_schema.attributes)
+        assert clone == small_schema
+        assert hash(clone) == hash(small_schema)
+
+    def test_iteration_order(self, small_schema):
+        assert [a.name for a in small_schema] == ["flag", "level", "color"]

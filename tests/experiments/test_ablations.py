@@ -1,0 +1,114 @@
+"""Tests for the ablation experiments (E6-E9)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestAccuracyAnalysis:
+    def test_joint_bound_monotone_explodes(self):
+        result = ablations.run_accuracy_analysis(n=32561)
+        joint = result.joint_bound
+        assert joint == sorted(joint)
+        assert joint[-1] > 10.0
+        assert result.joint_cells[-1] == 1_814_400
+
+    def test_independent_bound_flat(self):
+        result = ablations.run_accuracy_analysis(n=32561)
+        assert max(result.independent_bound) < 0.2
+
+    def test_render_and_json(self):
+        result = ablations.run_accuracy_analysis()
+        assert "RR-Joint bound" in ablations.render_accuracy_analysis(result)
+        assert json.dumps(result.to_dict())
+
+
+class TestAttenuation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_attenuation(n=60_000, rng=3)
+
+    def test_ratio_close_to_p_squared(self, result):
+        for observed, predicted in zip(
+            result.observed_ratio, result.predicted_ratio
+        ):
+            assert observed == pytest.approx(predicted, abs=0.05)
+
+    def test_ranking_preserved_everywhere(self, result):
+        assert all(result.ranking_preserved)
+
+    def test_render_and_json(self, result):
+        assert "Prop. 1" in ablations.render_attenuation(result)
+        assert json.dumps(result.to_dict())
+
+
+class TestEstimatorComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.data.adult import synthesize_adult
+
+        adult = synthesize_adult(n=2500, rng=780)
+        return ablations.run_estimator_comparison(
+            dataset=adult, n=2500, p=0.8, rng=4
+        )
+
+    def test_exact_and_secure_sum_perfect(self, result):
+        by_method = dict(zip(result.methods, result.rank_correlation))
+        assert by_method["exact"] == pytest.approx(1.0)
+        assert by_method["secure-sum"] == pytest.approx(1.0)
+
+    def test_private_estimators_rank_well(self, result):
+        by_method = dict(zip(result.methods, result.rank_correlation))
+        assert by_method["randomized"] > 0.7
+        assert by_method["rr-pairs"] > 0.5
+
+    def test_render_and_json(self, result):
+        text = ablations.render_estimator_comparison(result)
+        assert "secure-sum" in text
+        assert json.dumps(result.to_dict())
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_projection(n=1500, p=0.25, size=10, trials=15,
+                                        rng=5)
+
+    def test_repairs_beat_raw(self, result):
+        by_method = dict(zip(result.methods, result.mean_l1))
+        assert by_method["clip+rescale (§6.4)"] <= by_method["raw Eq.(2)"] + 1e-9
+        assert by_method["iterative Bayesian"] <= by_method["raw Eq.(2)"] + 1e-9
+
+    def test_raw_often_improper(self, result):
+        # strong randomization + skewed truth: Eq. (2) leaves the
+        # simplex most of the time
+        assert result.proper_fraction[0] < 0.8
+
+    def test_render_and_json(self, result):
+        assert "§6.4" in ablations.render_projection(result)
+        assert json.dumps(result.to_dict())
+
+
+class TestRunnerCLI:
+    def test_figure1_command(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_output_dir_writes_json(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["figure1", "--output-dir", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "figure1.json").read_text())
+        assert payload["experiment"] == "figure1"
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["figure9"])

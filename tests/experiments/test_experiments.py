@@ -1,0 +1,193 @@
+"""Tests for the experiment harness (small-scale runs).
+
+These verify the harness mechanics and the qualitative shapes the paper
+reports, at a scale that keeps the suite fast; the full-scale numbers
+live in the benchmarks and EXPERIMENTS.md.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    config,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_table1,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_table1,
+)
+from repro.experiments.table1 import best_parameters
+from repro.experiments import table2
+
+
+class TestConfig:
+    def test_grids_match_paper(self):
+        assert config.P_GRID == (0.1, 0.3, 0.5, 0.7)
+        assert config.TV_GRID == (50, 100, 300)
+        assert config.TD_GRID == (0.1, 0.2, 0.3)
+        assert config.TABLE_SIGMA == 0.1
+        assert len(config.SIGMA_GRID) == 9
+
+    def test_default_runs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS", "17")
+        assert config.default_runs() == 17
+
+    def test_default_runs_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS", "zero")
+        with pytest.raises(ValueError, match="integer"):
+            config.default_runs()
+        monkeypatch.setenv("REPRO_RUNS", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            config.default_runs()
+
+
+class TestFigure1:
+    def test_curve_shape(self):
+        result = run_figure1()
+        values = np.asarray(result.sqrt_b)
+        assert (np.diff(values) >= 0).all()  # monotone in r
+        assert values[0] == pytest.approx(2.24, abs=0.01)
+        assert values[-1] == pytest.approx(5.03, abs=0.02)
+
+    def test_render_contains_checkpoints(self):
+        text = render_figure1(run_figure1())
+        assert "100000" in text and "sqrt(B)" in text
+
+    def test_json_roundtrip(self):
+        payload = run_figure1().to_dict()
+        assert json.dumps(payload)  # serializable
+        assert payload["experiment"] == "figure1"
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        adult = request.getfixturevalue("adult_small")
+        return run_figure2(dataset=adult, runs=9, rng=5)
+
+    @pytest.fixture(scope="class")
+    def adult_small(self):
+        from repro.data.adult import synthesize_adult
+
+        return synthesize_adult(n=4000, rng=777)
+
+    def test_rr_ind_beats_randomized_mostly(self, result):
+        wins = sum(
+            result.relative["RR-Ind"][i] <= result.relative["Randomized"][i]
+            for i in range(len(result.sigmas))
+        )
+        assert wins >= 6  # 9 runs is noisy; the trend must dominate
+
+    def test_relative_error_decreases_with_sigma(self, result):
+        randomized = result.relative["Randomized"]
+        assert randomized[-1] < randomized[0]
+
+    def test_render_rows(self, result):
+        text = render_figure2(result)
+        assert "sigma" in text and "0.9" in text
+
+    def test_json_roundtrip(self, result):
+        assert json.dumps(result.to_dict())
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        from repro.data.adult import synthesize_adult
+
+        adult = synthesize_adult(n=4000, rng=777)
+        return run_table1(
+            dataset=adult,
+            p_grid=(0.3, 0.7),
+            tv_grid=(50, 100),
+            td_grid=(0.1, 0.3),
+            runs=7,
+            rng=6,
+        )
+
+    def test_all_cells_present(self, grid):
+        assert len(grid.errors) == 2 * 2 * 2
+        for key, value in grid.errors.items():
+            assert value >= 0
+
+    def test_clusterings_recorded(self, grid):
+        clusters = grid.clusterings[grid.key(0.7, 0.1, 50)]
+        names = sorted(n for cluster in clusters for n in cluster)
+        assert names == sorted(
+            ["workclass", "education", "marital-status", "occupation",
+             "relationship", "race", "sex", "income"]
+        )
+
+    def test_weak_randomization_lower_error(self, grid):
+        # p=0.7 must beat p=0.3 on the whole (§6.5's clearest signal);
+        # individual cells are noisy at 7 runs, so compare row averages.
+        strong = np.mean([
+            grid.error(0.3, td, tv) for td in (0.1, 0.3) for tv in (50, 100)
+        ])
+        weak = np.mean([
+            grid.error(0.7, td, tv) for td in (0.1, 0.3) for tv in (50, 100)
+        ])
+        assert weak < strong
+
+    def test_best_parameters_structure(self, grid):
+        best = best_parameters(grid)
+        assert set(best) == {0.3, 0.7}
+        for tv, td in best.values():
+            assert tv in (50, 100)
+            assert td in (0.1, 0.3)
+
+    def test_render(self, grid):
+        text = render_table1(grid)
+        assert "Tv=50" in text and "0.7" in text
+
+    def test_json_roundtrip(self, grid):
+        assert json.dumps(grid.to_dict())
+
+
+class TestFigure3:
+    def test_small_panel(self):
+        from repro.data.adult import synthesize_adult
+
+        adult = synthesize_adult(n=4000, rng=777)
+        result = run_figure3(
+            dataset=adult,
+            p_grid=(0.7,),
+            sigmas=(0.1, 0.5),
+            cluster_params={0.7: (50, 0.1)},
+            runs=7,
+            rng=7,
+        )
+        panel = result.panels["0.7"]
+        assert set(panel) == {
+            "RR-Ind",
+            "RR-Ind + RR-Adj",
+            "RR-Cluster 50 0.1",
+            "RR-Cluster 50 0.1 + RR-Adj",
+        }
+        for series in panel.values():
+            assert len(series) == 2
+        text = render_figure3(result)
+        assert "panel p=0.7" in text
+        assert json.dumps(result.to_dict())
+
+
+class TestTable2:
+    def test_uses_adult6_label(self):
+        from repro.data.adult import replicate, synthesize_adult
+
+        adult = synthesize_adult(n=1500, rng=779)
+        result = table2.run(
+            dataset=replicate(adult, 2),
+            p_grid=(0.7,),
+            tv_grid=(50,),
+            td_grid=(0.1,),
+            runs=5,
+            rng=8,
+        )
+        assert result.dataset_label == "Adult6"
+        assert "Table 2" in table2.render(result)

@@ -1,0 +1,63 @@
+"""Tests for the extension experiments (E10-E11), small scale."""
+
+import json
+
+import pytest
+
+from repro.data.adult import synthesize_adult
+from repro.experiments import extensions
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return synthesize_adult(n=3000, rng=781)
+
+
+class TestKWay:
+    def test_structure(self, adult):
+        result = extensions.run_kway_queries(
+            dataset=adult, widths=(2, 3), runs=5, rng=1
+        )
+        assert result.widths == [2, 3]
+        assert len(result.median_relative_error) == 2
+        assert all(e >= 0 for e in result.median_relative_error)
+
+    def test_render_and_json(self, adult):
+        result = extensions.run_kway_queries(
+            dataset=adult, widths=(2,), runs=3, rng=2
+        )
+        assert "k-way" in extensions.render_kway_queries(result)
+        assert json.dumps(result.to_dict())
+
+
+class TestClusteringComparison:
+    @pytest.fixture(scope="class")
+    def result(self, adult):
+        return extensions.run_clustering_comparison(
+            dataset=adult, runs=5, rng=3
+        )
+
+    def test_all_methods_present(self, result):
+        assert result.methods[0] == "algorithm1"
+        assert {
+            "hierarchical-single",
+            "hierarchical-complete",
+            "hierarchical-average",
+        } <= set(result.methods)
+
+    def test_partitions_valid(self, result, adult):
+        for clusters in result.clusterings:
+            names = sorted(n for c in clusters for n in c)
+            assert names == sorted(adult.schema.names)
+
+    def test_render_and_json(self, result):
+        text = extensions.render_clustering_comparison(result)
+        assert "algorithm1" in text
+        assert json.dumps(result.to_dict())
+
+    def test_cli_integration(self, capsys):
+        from repro.experiments.runner import main
+
+        # the CLI exposes the extension experiments too (smallest run)
+        assert main(["kway", "--runs", "2", "--seed", "5"]) == 0
+        assert "k-way" in capsys.readouterr().out

@@ -1,0 +1,154 @@
+"""Tests for the party/collector simulation framework."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.core.mechanism import randomize_column
+from repro.data.dataset import Dataset
+from repro.data.domain import Domain
+from repro.exceptions import ProtocolError
+from repro.mpc.parties import Collector, LocalNetwork, Party
+
+
+def _identity_randomizers(schema):
+    """Per-attribute randomizers that keep values (p=1 channels)."""
+    out = []
+    for j, attr in enumerate(schema):
+        matrix = keep_else_uniform_matrix(attr.size, 1.0)
+        out.append(((j,), lambda v, rng, m=matrix: randomize_column(v, m, rng)))
+    return out
+
+
+class TestParty:
+    def test_publish_requires_full_coverage(self, small_schema):
+        party = Party(small_schema, np.array([0, 1, 2]), rng=0)
+        # randomizers covering only one attribute must be rejected:
+        # anything else would leak true values.
+        partial = _identity_randomizers(small_schema)[:1]
+        with pytest.raises(ProtocolError, match="do not cover"):
+            party.publish(partial)
+
+    def test_publish_identity(self, small_schema):
+        party = Party(small_schema, np.array([1, 2, 3]), rng=0)
+        out = party.publish(_identity_randomizers(small_schema))
+        np.testing.assert_array_equal(out, [1, 2, 3])
+
+    def test_double_randomization_rejected(self, small_schema):
+        party = Party(small_schema, np.array([0, 0, 0]), rng=0)
+        randomizers = _identity_randomizers(small_schema)
+        randomizers.append(randomizers[0])
+        with pytest.raises(ProtocolError, match="twice"):
+            party.publish(randomizers)
+
+    def test_record_validation(self, small_schema):
+        with pytest.raises(ProtocolError, match="out of range"):
+            Party(small_schema, np.array([0, 9, 0]), rng=0)
+        with pytest.raises(ProtocolError, match="shape"):
+            Party(small_schema, np.array([0, 0]), rng=0)
+
+    def test_answer_indicator(self, small_schema):
+        party = Party(small_schema, np.array([1, 2, 3]), rng=0)
+        assert party.answer_indicator((0, 2), (1, 3)) == 1
+        assert party.answer_indicator((0, 2), (1, 2)) == 0
+        assert party.answer_indicator((1,), (2,)) == 1
+
+    def test_shape_changing_randomizer_rejected(self, small_schema):
+        party = Party(small_schema, np.array([0, 0, 0]), rng=0)
+        bad = [((0, 1, 2), lambda v, rng: v[:2])]
+        with pytest.raises(ProtocolError, match="shape"):
+            party.publish(bad)
+
+
+class TestCollector:
+    def test_pooling(self, small_schema):
+        collector = Collector(small_schema)
+        collector.receive(np.array([0, 0, 0]))
+        collector.receive(np.array([1, 2, 3]))
+        pooled = collector.pooled()
+        assert pooled.n_records == 2
+        assert collector.n_collected == 2
+
+    def test_empty_pool_rejected(self, small_schema):
+        with pytest.raises(ProtocolError, match="no responses"):
+            Collector(small_schema).pooled()
+
+    def test_bad_shape_rejected(self, small_schema):
+        with pytest.raises(ProtocolError, match="shape"):
+            Collector(small_schema).receive(np.array([0, 0]))
+
+
+class TestLocalNetwork:
+    def test_round_shape(self, small_dataset):
+        network = LocalNetwork(small_dataset, rng=1)
+        assert network.n_parties == small_dataset.n_records
+        pooled = network.broadcast_round(
+            _identity_randomizers(small_dataset.schema)
+        )
+        # identity channels: the pooled data equals the true data
+        assert pooled == small_dataset
+
+    def test_distributed_equals_vectorized_statistically(self, small_dataset):
+        # The same RR design run through the party framework and through
+        # the column-vectorized path must produce the same distribution.
+        schema = small_dataset.schema
+        p = 0.5
+        randomizers = []
+        for j, attr in enumerate(schema):
+            matrix = keep_else_uniform_matrix(attr.size, p)
+            randomizers.append(
+                ((j,), lambda v, rng, m=matrix: randomize_column(v, m, rng))
+            )
+        network = LocalNetwork(small_dataset, rng=2)
+        distributed = network.broadcast_round(randomizers)
+        vectorized_cols = [
+            randomize_column(
+                small_dataset.column(j),
+                keep_else_uniform_matrix(schema.attribute(j).size, p),
+                np.random.default_rng(3),
+            )
+            for j in range(schema.width)
+        ]
+        vectorized = Dataset(schema, np.stack(vectorized_cols, axis=1))
+        for name in schema.names:
+            a = distributed.marginal_distribution(name)
+            b = vectorized.marginal_distribution(name)
+            assert np.abs(a - b).max() < 0.12  # n=200, loose bound
+
+    def test_joint_randomizer_through_parties(self, small_dataset):
+        # a cluster randomizer (joint over two attributes) plugged into
+        # the party API: encode pair -> RR -> decode
+        schema = small_dataset.schema
+        domain = Domain.from_schema(schema, ["level", "color"])
+        matrix = keep_else_uniform_matrix(domain.size, 0.8)
+
+        def joint_fn(values, rng):
+            flat = domain.encode(values)
+            out = randomize_column(np.atleast_1d(flat), matrix, rng)
+            return domain.decode(out[0])
+
+        randomizers = [
+            ((0,), lambda v, rng: v),  # flag left untouched is rejected...
+        ]
+        # ...so use an identity channel for flag explicitly
+        flag_matrix = keep_else_uniform_matrix(2, 1.0)
+        randomizers = [
+            ((0,), lambda v, rng: randomize_column(v, flag_matrix, rng)),
+            ((1, 2), joint_fn),
+        ]
+        network = LocalNetwork(small_dataset, rng=4)
+        pooled = network.broadcast_round(randomizers)
+        assert pooled.n_records == small_dataset.n_records
+        # flag column untouched by identity channel
+        np.testing.assert_array_equal(
+            pooled.column("flag"), small_dataset.column("flag")
+        )
+
+    def test_indicator_contributions(self, small_dataset):
+        network = LocalNetwork(small_dataset, rng=5)
+        contributions = network.indicator_contributions((1, 2), (0, 0))
+        direct = (
+            (small_dataset.column("level") == 0)
+            & (small_dataset.column("color") == 0)
+        ).astype(int)
+        np.testing.assert_array_equal(contributions, direct)

@@ -1,0 +1,155 @@
+"""Tests for the §4.2 secure-sum protocols."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.secure_sum import (
+    PAIRWISE_LIMIT,
+    SecureSumProtocol,
+    secure_cell_frequency,
+    secure_contingency_table,
+    secure_sum,
+)
+from repro.exceptions import SecureSumError
+
+
+class TestPairwiseProtocol:
+    def test_correct_aggregate(self, rng):
+        contributions = rng.integers(0, 2, size=20)
+        protocol = SecureSumProtocol(20)
+        transcript = protocol.run(contributions, rng)
+        assert transcript.result == contributions.sum()
+
+    def test_share_rows_telescope(self, rng):
+        protocol = SecureSumProtocol(10)
+        transcript = protocol.run(np.ones(10, dtype=np.int64), rng)
+        # Step 1 invariant: each party's shares sum to 0 mod m.
+        np.testing.assert_array_equal(
+            transcript.shares.sum(axis=1) % transcript.modulus, 0
+        )
+
+    def test_broadcasts_hide_contributions(self, rng):
+        # With all shares public except party 0's *row*, party 0's
+        # broadcast is uniformly distributed regardless of her bit:
+        # two runs with opposite bits give identically-distributed
+        # broadcasts. Statistical check over many runs.
+        n = 8
+        ones = np.zeros(n, dtype=np.int64)
+        ones[0] = 1
+        collected = {0: [], 1: []}
+        for seed in range(600):
+            protocol = SecureSumProtocol(n)
+            zero_run = protocol.run(np.zeros(n, dtype=np.int64), seed)
+            one_run = protocol.run(ones, seed + 10_000)
+            collected[0].append(int(zero_run.broadcasts[0]))
+            collected[1].append(int(one_run.broadcasts[0]))
+        # same support and similar histogram over Z_{n+1}
+        hist0 = np.bincount(collected[0], minlength=n + 1) / 600
+        hist1 = np.bincount(collected[1], minlength=n + 1) / 600
+        assert np.abs(hist0 - hist1).max() < 0.08
+
+    def test_modulus_defaults_to_n_plus_one(self):
+        assert SecureSumProtocol(5).modulus == 6
+
+    def test_aggregate_overflow_rejected(self, rng):
+        protocol = SecureSumProtocol(4)
+        with pytest.raises(SecureSumError, match="overflows"):
+            protocol.run(np.array([2, 2, 2, 2]), rng)
+
+    def test_custom_modulus_allows_bigger_sums(self, rng):
+        protocol = SecureSumProtocol(4, modulus=100)
+        transcript = protocol.run(np.array([2, 2, 2, 2]), rng)
+        assert transcript.result == 8
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(SecureSumError, match="cannot represent"):
+            SecureSumProtocol(5, modulus=4)
+
+    def test_single_party_rejected(self):
+        with pytest.raises(SecureSumError, match="at least 2"):
+            SecureSumProtocol(1)
+
+    def test_pairwise_limit_enforced(self):
+        with pytest.raises(SecureSumError, match="limited"):
+            SecureSumProtocol(PAIRWISE_LIMIT + 1)
+
+    def test_wrong_contribution_shape(self, rng):
+        with pytest.raises(SecureSumError, match="shape"):
+            SecureSumProtocol(5).run(np.ones(4, dtype=np.int64), rng)
+
+    def test_negative_contribution_rejected(self, rng):
+        with pytest.raises(SecureSumError, match="non-negative"):
+            SecureSumProtocol(3).run(np.array([1, -1, 0]), rng)
+
+
+class TestSecureSumFacade:
+    @pytest.mark.parametrize("method", ["pairwise", "ring", "auto"])
+    def test_all_methods_correct(self, method, rng):
+        contributions = rng.integers(0, 2, size=50)
+        assert (
+            secure_sum(contributions, method=method, rng=rng)
+            == contributions.sum()
+        )
+
+    def test_ring_handles_large_n(self, rng):
+        contributions = rng.integers(0, 2, size=100_000)
+        assert (
+            secure_sum(contributions, method="ring", rng=rng)
+            == contributions.sum()
+        )
+
+    def test_auto_switches_to_ring(self, rng):
+        contributions = np.ones(5000, dtype=np.int64)
+        assert secure_sum(contributions, rng=rng) == 5000
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(SecureSumError, match="unknown method"):
+            secure_sum(np.array([1, 0]), method="quantum", rng=rng)
+
+    def test_scalar_overflow_rejected(self, rng):
+        with pytest.raises(SecureSumError, match="overflows"):
+            secure_sum(np.array([3, 3]), rng=rng)
+
+
+class TestCellFrequency:
+    def test_counts_matching_pairs(self, rng):
+        a = np.array([0, 0, 1, 1, 0])
+        b = np.array([1, 1, 0, 1, 0])
+        assert secure_cell_frequency(a, b, (0, 1), rng=rng) == 2
+        assert secure_cell_frequency(a, b, (1, 1), rng=rng) == 1
+        assert secure_cell_frequency(a, b, (1, 2), rng=rng) == 0
+
+    def test_mismatched_columns_rejected(self, rng):
+        with pytest.raises(SecureSumError, match="equal length"):
+            secure_cell_frequency(np.array([0, 1]), np.array([0]), (0, 0), rng=rng)
+
+
+class TestContingencyTable:
+    def test_equals_direct_table(self, small_dataset, rng):
+        direct = small_dataset.contingency_table("level", "color")
+        secure = secure_contingency_table(
+            small_dataset.column("level"),
+            small_dataset.column("color"),
+            3,
+            4,
+            rng=rng,
+        )
+        np.testing.assert_array_equal(secure, direct)
+
+    def test_ring_method_equals_direct(self, small_dataset, rng):
+        direct = small_dataset.contingency_table("flag", "color")
+        secure = secure_contingency_table(
+            small_dataset.column("flag"),
+            small_dataset.column("color"),
+            2,
+            4,
+            method="ring",
+            rng=rng,
+        )
+        np.testing.assert_array_equal(secure, direct)
+
+    def test_out_of_range_codes_rejected(self, rng):
+        with pytest.raises(SecureSumError, match="out of range"):
+            secure_contingency_table(
+                np.array([0, 3]), np.array([0, 1]), 2, 2, rng=rng
+            )

@@ -1,0 +1,79 @@
+"""Tests for the numeric binning codec."""
+
+import numpy as np
+import pytest
+
+from repro.numeric.codec import NumericCodec
+from repro.exceptions import DatasetError
+
+
+class TestConstruction:
+    def test_explicit_edges(self):
+        codec = NumericCodec("x", [0.0, 1.0, 2.0, 4.0])
+        assert codec.n_bins == 3
+        np.testing.assert_allclose(codec.midpoints(), [0.5, 1.5, 3.0])
+        np.testing.assert_allclose(codec.widths(), [1.0, 1.0, 2.0])
+
+    def test_equal_width(self, rng):
+        data = rng.normal(size=1000)
+        codec = NumericCodec.equal_width(data, 8, "z")
+        assert codec.n_bins == 8
+        assert codec.edges[0] == pytest.approx(data.min())
+        assert codec.edges[-1] == pytest.approx(data.max())
+
+    def test_equal_frequency(self, rng):
+        data = rng.random(5000)
+        codec = NumericCodec.equal_frequency(data, 5, "u")
+        counts = np.bincount(codec.encode(data), minlength=codec.n_bins)
+        assert counts.min() > 0.15 * data.size
+
+    def test_attribute_is_ordinal(self):
+        codec = NumericCodec("x", [0.0, 1.0, 2.0])
+        assert codec.attribute.is_ordinal
+        assert codec.attribute.size == 2
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(DatasetError, match="increasing"):
+            NumericCodec("x", [0.0, 0.0, 1.0])
+        with pytest.raises(DatasetError, match="at least 3"):
+            NumericCodec("x", [0.0, 1.0])
+
+    def test_constant_column_rejected(self):
+        with pytest.raises(DatasetError, match="constant"):
+            NumericCodec.equal_width(np.ones(10), 4)
+
+
+class TestEncodeDecode:
+    def test_encode_matches_discretizer(self, rng):
+        data = rng.normal(size=300)
+        codec = NumericCodec.equal_width(data, 6)
+        from repro.data.discretize import discretize_by_edges
+
+        expected, _ = discretize_by_edges(data, codec.edges)
+        np.testing.assert_array_equal(codec.encode(data), expected)
+
+    def test_decode_midpoints(self):
+        codec = NumericCodec("x", [0.0, 2.0, 4.0])
+        np.testing.assert_allclose(
+            codec.decode(np.array([0, 1, 0])), [1.0, 3.0, 1.0]
+        )
+
+    def test_decode_jitter_within_bins(self, rng):
+        codec = NumericCodec("x", [0.0, 2.0, 4.0])
+        codes = np.array([0] * 100 + [1] * 100)
+        values = codec.decode(codes, rng=rng)
+        assert (values[:100] >= 0).all() and (values[:100] < 2).all()
+        assert (values[100:] >= 2).all() and (values[100:] < 4).all()
+
+    def test_roundtrip_bin_stability(self, rng):
+        # decode then re-encode must land in the same bin
+        codec = NumericCodec("x", [0.0, 1.0, 3.0, 7.0])
+        codes = rng.integers(0, 3, 500)
+        for jitter in (None, rng):
+            values = codec.decode(codes, rng=jitter)
+            np.testing.assert_array_equal(codec.encode(values), codes)
+
+    def test_decode_out_of_range_rejected(self):
+        codec = NumericCodec("x", [0.0, 1.0, 2.0])
+        with pytest.raises(DatasetError, match="out of range"):
+            codec.decode(np.array([2]))

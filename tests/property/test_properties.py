@@ -1,0 +1,240 @@
+"""Hypothesis property-based tests on the core invariants.
+
+Each property here is one the paper's correctness rests on: matrix
+algebra (Eq. (1)-(2)), privacy accounting (Eq. (4)), projection
+geometry (§6.4), mixed-radix encoding, IPF mass conservation
+(Algorithm 2), secure-sum exactness (§4.2) and the clustering
+partition/threshold invariants (Algorithm 1).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.synthetic import deterministic_counts
+from repro.clustering.algorithm import cluster_attributes
+from repro.core.estimation import estimate_distribution
+from repro.core.matrices import (
+    cluster_matrix,
+    epsilon_optimal_matrix,
+    keep_else_uniform_matrix,
+)
+from repro.core.privacy import (
+    epsilon_for_keep_probability,
+    epsilon_of_matrix,
+    keep_probability_for_epsilon,
+)
+from repro.core.projection import clip_and_rescale, project_to_simplex
+from repro.data.domain import Domain
+from repro.data.schema import Attribute, Schema
+from repro.mpc.secure_sum import secure_sum
+from repro.protocols.adjustment import adjust_weights
+from repro.data.dataset import Dataset
+
+
+sizes = st.integers(min_value=2, max_value=12)
+keep_probs = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+epsilons = st.floats(min_value=0.01, max_value=20.0, allow_nan=False)
+
+
+def distributions(size):
+    return hnp.arrays(
+        np.float64,
+        (size,),
+        elements=st.floats(min_value=0.001, max_value=1.0),
+    ).map(lambda v: v / v.sum())
+
+
+class TestMatrixProperties:
+    @given(r=sizes, p=keep_probs)
+    def test_keep_else_uniform_row_stochastic(self, r, p):
+        dense = keep_else_uniform_matrix(r, p).dense()
+        assert (dense >= 0).all()
+        np.testing.assert_allclose(dense.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(r=sizes, eps=epsilons)
+    def test_epsilon_optimal_achieves_epsilon(self, r, eps):
+        matrix = epsilon_optimal_matrix(r, eps)
+        assert math.isclose(epsilon_of_matrix(matrix), eps, rel_tol=1e-9)
+
+    @given(r=sizes, p=st.floats(min_value=0.05, max_value=0.99))
+    @settings(max_examples=50)
+    def test_inversion_roundtrip(self, r, p):
+        matrix = keep_else_uniform_matrix(r, p)
+        rng = np.random.default_rng(abs(hash((r, round(p, 6)))) % 2**32)
+        pi = rng.dirichlet(np.ones(r))
+        lam = matrix.dense().T @ pi
+        recovered = estimate_distribution(lam, matrix)
+        np.testing.assert_allclose(recovered, pi, atol=1e-8)
+
+    @given(
+        cluster_sizes=st.lists(sizes, min_size=1, max_size=3),
+        eps=st.lists(epsilons, min_size=1, max_size=3),
+    )
+    def test_cluster_matrix_budget(self, cluster_sizes, eps):
+        k = min(len(cluster_sizes), len(eps))
+        matrix = cluster_matrix(cluster_sizes[:k], eps[:k])
+        assert math.isclose(
+            epsilon_of_matrix(matrix), sum(eps[:k]), rel_tol=1e-9
+        )
+
+    @given(r=sizes, p=st.floats(min_value=0.01, max_value=0.999))
+    def test_epsilon_p_conversion_roundtrip(self, r, p):
+        eps = epsilon_for_keep_probability(r, p)
+        assert math.isclose(
+            keep_probability_for_epsilon(r, eps), p, rel_tol=1e-9
+        )
+
+
+class TestProjectionProperties:
+    vectors = hnp.arrays(
+        np.float64,
+        st.integers(min_value=2, max_value=15),
+        elements=st.floats(min_value=-3.0, max_value=3.0),
+    )
+
+    @given(v=vectors)
+    def test_clip_and_rescale_proper(self, v):
+        out = clip_and_rescale(v)
+        assert (out >= 0).all()
+        assert math.isclose(out.sum(), 1.0, rel_tol=1e-9)
+
+    @given(v=vectors)
+    def test_simplex_projection_proper(self, v):
+        out = project_to_simplex(v)
+        assert (out >= -1e-12).all()
+        assert math.isclose(out.sum(), 1.0, rel_tol=1e-6)
+
+    @given(v=vectors)
+    def test_projection_idempotent(self, v):
+        once = project_to_simplex(v)
+        twice = project_to_simplex(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+    @given(r=st.integers(2, 10), n=st.integers(0, 5000))
+    def test_deterministic_counts_sum(self, r, n):
+        rng = np.random.default_rng(r * 7919 + n)
+        dist = rng.dirichlet(np.ones(r))
+        counts = deterministic_counts(dist, n)
+        assert counts.sum() == n
+        assert (np.abs(counts - dist * n) <= 1.0 + 1e-9).all()
+
+
+class TestDomainProperties:
+    @given(
+        dims=st.lists(st.integers(2, 6), min_size=1, max_size=5),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_encode_decode_roundtrip(self, dims, seed):
+        attrs = [Attribute(f"a{i}", tuple(range(s))) for i, s in enumerate(dims)]
+        domain = Domain(attrs)
+        rng = np.random.default_rng(seed)
+        flats = rng.integers(0, domain.size, size=64)
+        np.testing.assert_array_equal(
+            domain.encode(domain.decode(flats)), flats
+        )
+
+    @given(
+        dims=st.lists(st.integers(2, 5), min_size=2, max_size=4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_marginalization_preserves_mass(self, dims, seed):
+        attrs = [Attribute(f"a{i}", tuple(range(s))) for i, s in enumerate(dims)]
+        domain = Domain(attrs)
+        rng = np.random.default_rng(seed)
+        joint = rng.dirichlet(np.ones(domain.size))
+        for keep in ([attrs[0].name], [attrs[-1].name, attrs[0].name]):
+            marginal = domain.marginal_distribution(joint, keep)
+            assert math.isclose(marginal.sum(), 1.0, rel_tol=1e-9)
+
+
+class TestSecureSumProperties:
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=2, max_size=60),
+        seed=st.integers(0, 2**31 - 1),
+        method=st.sampled_from(["pairwise", "ring"]),
+    )
+    def test_exactness(self, bits, seed, method):
+        contributions = np.asarray(bits, dtype=np.int64)
+        assert (
+            secure_sum(contributions, method=method, rng=seed)
+            == contributions.sum()
+        )
+
+
+class TestAdjustmentProperties:
+    @given(
+        n=st.integers(10, 120),
+        seed=st.integers(0, 2**31 - 1),
+        iterations=st.integers(1, 20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mass_conserved_and_nonnegative(self, n, seed, iterations):
+        rng = np.random.default_rng(seed)
+        schema = Schema(
+            [
+                Attribute("x", tuple(range(3))),
+                Attribute("y", tuple(range(4))),
+            ]
+        )
+        codes = np.stack(
+            [rng.integers(0, 3, n), rng.integers(0, 4, n)], axis=1
+        )
+        ds = Dataset(schema, codes)
+        targets = [
+            (("x",), rng.dirichlet(np.ones(3))),
+            (("y",), rng.dirichlet(np.ones(4))),
+        ]
+        result = adjust_weights(ds, targets, max_iterations=iterations,
+                                tolerance=0.0)
+        assert (result.weights >= 0).all()
+        assert math.isclose(result.weights.sum(), 1.0, rel_tol=1e-9)
+        assert result.iterations == iterations
+
+
+class TestClusteringProperties:
+    @given(
+        m=st.integers(2, 7),
+        seed=st.integers(0, 2**31 - 1),
+        tv=st.integers(2, 1000),
+        td=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_and_thresholds(self, m, seed, tv, td):
+        rng = np.random.default_rng(seed)
+        sizes_vec = rng.integers(2, 6, size=m)
+        schema = Schema(
+            [
+                Attribute(f"a{i}", tuple(range(int(s))))
+                for i, s in enumerate(sizes_vec)
+            ]
+        )
+        dep = rng.random((m, m))
+        dep = (dep + dep.T) / 2
+        np.fill_diagonal(dep, 0.0)
+        clustering = cluster_attributes(schema, dep, tv, td)
+        # partition invariant
+        flat = sorted(n for c in clustering.clusters for n in c)
+        assert flat == sorted(schema.names)
+        # Tv invariant: merged clusters respect the cap (singletons are
+        # always allowed even if a single attribute exceeds Tv)
+        for cluster, cells in zip(
+            clustering.clusters, clustering.cluster_sizes()
+        ):
+            if len(cluster) > 1:
+                assert cells <= tv
+        # Td invariant: every merged pair had dependence >= td at merge
+        # time; since cluster dependence is a max over members, every
+        # multi-attribute cluster contains at least one pair >= td
+        for cluster in clustering.clusters:
+            if len(cluster) > 1:
+                positions = [schema.position(n) for n in cluster]
+                best = max(
+                    dep[i, j]
+                    for i in positions
+                    for j in positions
+                    if i != j
+                )
+                assert best >= td - 1e-12

@@ -1,0 +1,227 @@
+"""Tests for RR-Adjustment (Algorithm 2), including the paper's
+Example 1 walk-through."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import ProtocolError
+from repro.protocols.adjustment import (
+    adjust_weights,
+    weighted_pair_table,
+)
+from repro.protocols.independent import RRIndependent
+
+
+@pytest.fixture
+def example1_dataset():
+    """The randomized data set Y of the paper's Example 1 (§5):
+
+    (a11, a21) in the first 4 records, (a12, a21) in the next 2,
+    (a11, a22) in 0 records, (a12, a22) in the last 4.
+    """
+    schema = Schema(
+        [Attribute("A1", ("a11", "a12")), Attribute("A2", ("a21", "a22"))]
+    )
+    codes = np.array(
+        [[0, 0]] * 4 + [[1, 0]] * 2 + [[1, 1]] * 4, dtype=np.int64
+    )
+    return Dataset(schema, codes)
+
+
+class TestPaperExample:
+    """Example 1: target marginals (1/2, 1/2) for both attributes."""
+
+    def test_converges_to_distribution_14(self, example1_dataset):
+        targets = [
+            (("A1",), np.array([0.5, 0.5])),
+            (("A2",), np.array([0.5, 0.5])),
+        ]
+        result = adjust_weights(
+            example1_dataset, targets, max_iterations=2000, tolerance=1e-12
+        )
+        table = weighted_pair_table(
+            example1_dataset, result.weights, "A1", "A2"
+        )
+        # Distribution (14): Pr(a11,a21)=1/2, Pr(a12,a22)=1/2, rest 0.
+        # The IPF limit lies on the simplex boundary, so convergence is
+        # O(1/t) — hence the modest tolerance at 2000 sweeps.
+        np.testing.assert_allclose(
+            table, [[0.5, 0.0], [0.0, 0.5]], atol=2e-4
+        )
+
+    def test_weights_match_papers_limit(self, example1_dataset):
+        # "the first 4 records having weight 1/8, the next 2 weight 0,
+        # the last 4 weight 1/8"
+        targets = [
+            (("A1",), np.array([0.5, 0.5])),
+            (("A2",), np.array([0.5, 0.5])),
+        ]
+        result = adjust_weights(
+            example1_dataset, targets, max_iterations=2000, tolerance=1e-12
+        )
+        np.testing.assert_allclose(result.weights[:4], 1 / 8, atol=3e-4)
+        np.testing.assert_allclose(result.weights[4:6], 0.0, atol=3e-4)
+        np.testing.assert_allclose(result.weights[6:], 1 / 8, atol=3e-4)
+
+    def test_first_sweep_matches_papers_arithmetic(self, example1_dataset):
+        # After adjusting A1 only: first 4 weights 1/8, last 6 weights
+        # 1/12 (the numbers worked in Example 1).
+        targets = [(("A1",), np.array([0.5, 0.5]))]
+        result = adjust_weights(
+            example1_dataset, targets, max_iterations=1, tolerance=0.0
+        )
+        np.testing.assert_allclose(result.weights[:4], 1 / 8)
+        np.testing.assert_allclose(result.weights[4:], 1 / 12)
+
+    def test_rr_independent_estimate_would_be_uniform(self, example1_dataset):
+        # Distribution (15): the independence product gives 1/4 per cell
+        # — visibly worse than the adjusted Distribution (14) at
+        # matching Y's empirical structure.
+        marg_a = np.array([0.5, 0.5])
+        marg_b = np.array([0.5, 0.5])
+        product = np.outer(marg_a, marg_b)
+        np.testing.assert_allclose(product, 0.25)
+
+
+class TestAlgorithmProperties:
+    def test_marginals_match_targets_after_convergence(self, small_dataset, rng):
+        protocol = RRIndependent(small_dataset.schema, p=0.7)
+        released = protocol.randomize(small_dataset, rng=1)
+        marginals = protocol.estimate_marginals(released)
+        targets = [((n,), marginals[n]) for n in released.schema.names]
+        result = adjust_weights(released, targets, max_iterations=300,
+                                tolerance=1e-12)
+        for name in released.schema.names:
+            attr = released.schema.attribute(name)
+            weighted = np.bincount(
+                released.column(name), weights=result.weights,
+                minlength=attr.size,
+            )
+            np.testing.assert_allclose(weighted, marginals[name], atol=1e-5)
+
+    def test_weights_sum_to_one_every_time(self, small_dataset):
+        protocol = RRIndependent(small_dataset.schema, p=0.5)
+        released = protocol.randomize(small_dataset, rng=2)
+        marginals = protocol.estimate_marginals(released)
+        targets = [((n,), marginals[n]) for n in released.schema.names]
+        for iterations in (1, 3, 10):
+            result = adjust_weights(released, targets,
+                                    max_iterations=iterations, tolerance=0.0)
+            assert np.isclose(result.weights.sum(), 1.0)
+            assert (result.weights >= 0).all()
+
+    def test_cluster_level_targets(self, small_dataset):
+        # §5: "substitute clusters of attributes for attributes"
+        from repro.data.domain import Domain
+
+        domain = Domain.from_schema(small_dataset.schema, ["level", "color"])
+        joint_target = np.full(domain.size, 1.0 / domain.size)
+        targets = [
+            (("flag",), np.array([0.5, 0.5])),
+            (("level", "color"), joint_target),
+        ]
+        result = adjust_weights(small_dataset, targets, max_iterations=200)
+        flat = domain.encode(small_dataset.columns(["level", "color"]))
+        weighted = np.bincount(flat, weights=result.weights,
+                               minlength=domain.size)
+        # cells present in Y can be matched; absent cells cannot
+        support = np.bincount(flat, minlength=domain.size) > 0
+        np.testing.assert_allclose(
+            weighted[support],
+            joint_target[support] / joint_target[support].sum()
+            * weighted[support].sum(),
+            atol=0.02,
+        )
+
+    def test_single_iteration_allowed(self, example1_dataset):
+        targets = [(("A1",), np.array([0.5, 0.5]))]
+        result = adjust_weights(example1_dataset, targets, max_iterations=1)
+        assert result.iterations == 1
+
+    def test_convergence_flag(self, example1_dataset):
+        # Targets equal to Y's own marginals: the uniform weights are
+        # already the fixed point, so the first sweep converges.
+        self_targets = [
+            (("A1",), np.array([0.4, 0.6])),
+            (("A2",), np.array([0.6, 0.4])),
+        ]
+        fast = adjust_weights(example1_dataset, self_targets,
+                              max_iterations=500, tolerance=1e-10)
+        assert fast.converged
+        # The Example 1 boundary limit converges only as O(1/t): one
+        # sweep with zero tolerance must report not-converged.
+        boundary = [
+            (("A1",), np.array([0.5, 0.5])),
+            (("A2",), np.array([0.5, 0.5])),
+        ]
+        capped = adjust_weights(example1_dataset, boundary, max_iterations=1,
+                                tolerance=0.0)
+        assert not capped.converged
+
+    def test_unreachable_target_reported_in_gap(self, small_dataset):
+        # a category with zero support in Y but positive target mass
+        schema = small_dataset.schema
+        codes = small_dataset.codes.copy()
+        codes[:, 0] = 0  # flag always 'no' in Y
+        constant = Dataset(schema, codes)
+        targets = [(("flag",), np.array([0.5, 0.5]))]
+        result = adjust_weights(constant, targets, max_iterations=50)
+        assert result.max_marginal_gap == pytest.approx(0.5, abs=1e-9)
+
+    def test_weighted_pair_table_basics(self, small_dataset):
+        n = small_dataset.n_records
+        uniform = np.full(n, 1.0 / n)
+        table = weighted_pair_table(small_dataset, uniform, "level", "color")
+        truth = small_dataset.contingency_table("level", "color") / n
+        np.testing.assert_allclose(table, truth)
+
+
+class TestValidation:
+    def test_empty_targets_rejected(self, small_dataset):
+        with pytest.raises(ProtocolError, match="at least one"):
+            adjust_weights(small_dataset, [])
+
+    def test_overlapping_groups_rejected(self, small_dataset):
+        targets = [
+            (("flag",), np.array([0.5, 0.5])),
+            (("flag", "level"), np.full(6, 1 / 6)),
+        ]
+        with pytest.raises(ProtocolError, match="multiple target groups"):
+            adjust_weights(small_dataset, targets)
+
+    def test_improper_target_rejected(self, small_dataset):
+        with pytest.raises(ProtocolError, match="proper distribution"):
+            adjust_weights(
+                small_dataset, [(("flag",), np.array([0.7, 0.5]))]
+            )
+        with pytest.raises(ProtocolError, match="proper distribution"):
+            adjust_weights(
+                small_dataset, [(("flag",), np.array([-0.2, 1.2]))]
+            )
+
+    def test_wrong_target_shape_rejected(self, small_dataset):
+        with pytest.raises(ProtocolError, match="shape"):
+            adjust_weights(
+                small_dataset, [(("flag",), np.array([0.3, 0.3, 0.4]))]
+            )
+
+    def test_empty_dataset_rejected(self, small_schema):
+        empty = Dataset(small_schema, np.empty((0, 3), dtype=np.int64))
+        with pytest.raises(ProtocolError, match="empty"):
+            adjust_weights(empty, [(("flag",), np.array([0.5, 0.5]))])
+
+    def test_bad_weights_shape_in_pair_table(self, small_dataset):
+        with pytest.raises(ProtocolError, match="shape"):
+            weighted_pair_table(
+                small_dataset, np.ones(3), "level", "color"
+            )
+
+    def test_zero_iterations_rejected(self, small_dataset):
+        with pytest.raises(ProtocolError, match=">= 1"):
+            adjust_weights(
+                small_dataset,
+                [(("flag",), np.array([0.5, 0.5]))],
+                max_iterations=0,
+            )

@@ -1,0 +1,173 @@
+"""Tests for the repro-anonymize CLI."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import anonymize_csv, main
+from repro.exceptions import ReproError
+
+
+@pytest.fixture
+def survey_csv(tmp_path, rng):
+    """A small survey CSV with an id column and three categoricals."""
+    path = tmp_path / "survey.csv"
+    rows = []
+    for i in range(400):
+        rows.append(
+            [
+                str(i),
+                ["no", "yes"][rng.integers(0, 2)],
+                ["never", "monthly", "weekly"][rng.integers(0, 3)],
+                ["low", "mid", "high"][rng.integers(0, 3)],
+            ]
+        )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "smokes", "alcohol", "stress"])
+        writer.writerows(rows)
+    return path
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        return header, list(reader)
+
+
+class TestAnonymizeCsv:
+    def test_roundtrip_structure(self, survey_csv, tmp_path):
+        out = tmp_path / "out.csv"
+        report = anonymize_csv(
+            survey_csv, out, p=0.7,
+            columns=["smokes", "alcohol", "stress"], seed=1,
+        )
+        header, rows = read_csv(out)
+        assert header == ["id", "smokes", "alcohol", "stress"]
+        assert len(rows) == 400
+        assert report["n_records"] == 400
+        assert report["protocol"] == "RR-Independent"
+        assert report["epsilon_total"] > 0
+
+    def test_unselected_columns_untouched(self, survey_csv, tmp_path):
+        out = tmp_path / "out.csv"
+        anonymize_csv(
+            survey_csv, out, p=0.3,
+            columns=["smokes", "alcohol", "stress"], seed=2,
+        )
+        _, original = read_csv(survey_csv)
+        _, randomized = read_csv(out)
+        assert [r[0] for r in original] == [r[0] for r in randomized]
+
+    def test_values_stay_in_category_set(self, survey_csv, tmp_path):
+        out = tmp_path / "out.csv"
+        anonymize_csv(
+            survey_csv, out, p=0.2,
+            columns=["smokes", "alcohol", "stress"], seed=3,
+        )
+        _, rows = read_csv(out)
+        assert {r[1] for r in rows} <= {"no", "yes"}
+        assert {r[2] for r in rows} <= {"never", "monthly", "weekly"}
+
+    def test_randomization_actually_happens(self, survey_csv, tmp_path):
+        out = tmp_path / "out.csv"
+        anonymize_csv(
+            survey_csv, out, p=0.1,
+            columns=["smokes", "alcohol", "stress"], seed=4,
+        )
+        _, original = read_csv(survey_csv)
+        _, randomized = read_csv(out)
+        changed = sum(
+            1
+            for a, b in zip(original, randomized)
+            if a[1:] != b[1:]
+        )
+        assert changed > 100  # p=0.1: most records perturbed somewhere
+
+    def test_deterministic_given_seed(self, survey_csv, tmp_path):
+        out_a = tmp_path / "a.csv"
+        out_b = tmp_path / "b.csv"
+        cols = ["smokes", "alcohol", "stress"]
+        anonymize_csv(survey_csv, out_a, p=0.5, columns=cols, seed=7)
+        anonymize_csv(survey_csv, out_b, p=0.5, columns=cols, seed=7)
+        assert out_a.read_text() == out_b.read_text()
+
+    def test_clusters_mode(self, survey_csv, tmp_path):
+        out = tmp_path / "out.csv"
+        report = anonymize_csv(
+            survey_csv, out, p=0.6,
+            columns=["smokes", "alcohol", "stress"],
+            clusters="smokes+alcohol,stress", seed=5,
+        )
+        assert report["protocol"] == "RR-Clusters"
+        assert ["smokes", "alcohol"] in report["clusters"]
+
+    def test_report_file_written(self, survey_csv, tmp_path):
+        out = tmp_path / "out.csv"
+        report_path = tmp_path / "report.json"
+        anonymize_csv(
+            survey_csv, out, p=0.7,
+            columns=["smokes", "alcohol", "stress"], seed=6,
+            report_path=report_path,
+        )
+        payload = json.loads(report_path.read_text())
+        assert payload["attributes"]["smokes"]["size"] == 2
+        assert set(payload["epsilon_per_release"]) == {
+            "smokes", "alcohol", "stress"
+        }
+
+    def test_unknown_column_rejected(self, survey_csv, tmp_path):
+        with pytest.raises(ReproError, match="not in header"):
+            anonymize_csv(
+                survey_csv, tmp_path / "out.csv", p=0.5, columns=["ghost"]
+            )
+
+    def test_constant_column_rejected(self, tmp_path):
+        path = tmp_path / "constant.csv"
+        path.write_text("a,b\nx,1\nx,2\n")
+        with pytest.raises(ReproError, match="distinct value"):
+            anonymize_csv(path, tmp_path / "out.csv", p=0.5, columns=["a"])
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\nx,1\ny\n")
+        with pytest.raises(ReproError, match="fields"):
+            anonymize_csv(path, tmp_path / "out.csv", p=0.5)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            anonymize_csv(path, tmp_path / "out.csv", p=0.5)
+
+
+class TestMainEntry:
+    def test_happy_path(self, survey_csv, tmp_path, capsys):
+        out = tmp_path / "out.csv"
+        code = main(
+            [
+                str(survey_csv), "-o", str(out), "--p", "0.7",
+                "--columns", "smokes,alcohol,stress", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "RR-Independent" in capsys.readouterr().out
+
+    def test_bad_p_rejected(self, survey_csv, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(survey_csv), "-o", str(tmp_path / "o.csv"), "--p", "1.5"])
+
+    def test_error_path_returns_one(self, tmp_path, capsys):
+        code = main(
+            [
+                str(tmp_path / "missing.csv"),
+                "-o", str(tmp_path / "o.csv"),
+                "--p", "0.5",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
