@@ -1,7 +1,5 @@
 """Benchmarks / regeneration of the ablation experiments (E6-E9)."""
 
-import numpy as np
-
 from repro.experiments import ablations
 
 

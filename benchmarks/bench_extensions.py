@@ -1,7 +1,5 @@
 """Benchmarks / regeneration of the extension experiments (E10-E11)."""
 
-import numpy as np
-
 from repro.experiments import extensions
 
 

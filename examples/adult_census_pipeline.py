@@ -37,7 +37,7 @@ def main() -> None:
     protocol = repro.RRClusters.design(
         data, p=p, max_cells=50, min_dependence=0.1, dependences=dependences
     )
-    print(f"\nclusters (Tv=50, Td=0.1): ")
+    print("\nclusters (Tv=50, Td=0.1): ")
     for cluster, cells in zip(
         protocol.clustering.clusters, protocol.clustering.cluster_sizes()
     ):

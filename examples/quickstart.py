@@ -8,8 +8,6 @@ record.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 import repro
 
 

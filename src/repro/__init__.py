@@ -127,6 +127,12 @@ from repro.numeric import (
     estimate_variance,
     estimate_quantile,
 )
+# Engine last: it layers on protocols + analysis, both imported above.
+from repro.engine import (
+    ChunkPlan,
+    ColumnTask,
+    ShardedCollector,
+)
 
 __version__ = "1.0.0"
 
@@ -175,4 +181,6 @@ __all__ = [
     # numeric
     "NumericCodec", "NumericRRPipeline", "estimate_mean",
     "estimate_variance", "estimate_quantile",
+    # engine
+    "ChunkPlan", "ColumnTask", "ShardedCollector",
 ]

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro._rng import ensure_rng, spawn_rngs
 from repro.analysis.metrics import absolute_count_error, relative_count_error
-from repro.analysis.queries import PairQuery, count_from_table, random_pair_query
+from repro.analysis.queries import count_from_table, random_pair_query
 from repro.clustering.estimators import DependenceEstimate
 from repro.data.dataset import Dataset
 from repro.exceptions import ProtocolError, QueryError

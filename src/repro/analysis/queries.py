@@ -72,7 +72,7 @@ class PairQuery:
             or self.cells[:, 1].max() >= size_b
         ):
             raise QueryError(
-                f"query cells out of range for attributes "
+                "query cells out of range for attributes "
                 f"{self.name_a!r} ({size_a}) x {self.name_b!r} ({size_b})"
             )
 

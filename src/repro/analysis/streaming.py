@@ -14,7 +14,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.estimation import estimate_distribution
-from repro.core.matrices import ConstantDiagonalMatrix, validate_rr_matrix
+from repro.core.matrices import (
+    ConstantDiagonalMatrix,
+    matrices_equal,
+    validate_rr_matrix,
+)
 from repro.core.projection import clip_and_rescale
 from repro.data.schema import Schema
 from repro.exceptions import EstimationError
@@ -39,6 +43,11 @@ class StreamingFrequencyEstimator:
         return self._size
 
     @property
+    def matrix(self):
+        """The randomization matrix this estimator inverts against."""
+        return self._matrix
+
+    @property
     def n_observed(self) -> int:
         return int(self._counts.sum())
 
@@ -50,21 +59,79 @@ class StreamingFrequencyEstimator:
         """Fold in one randomized response or a batch of them."""
         codes = np.atleast_1d(np.asarray(values, dtype=np.int64))
         if codes.ndim != 1:
-            raise EstimationError(f"values must be scalar or 1-D")
+            raise EstimationError("values must be scalar or 1-D")
         if codes.size == 0:
             return
         if codes.min() < 0 or codes.max() >= self._size:
             raise EstimationError(f"values out of range [0, {self._size})")
         self._counts += np.bincount(codes, minlength=self._size)
 
-    def merge(self, other: "StreamingFrequencyEstimator") -> None:
-        """Absorb another collector's counts (same matrix required)."""
+    def validate_counts(self, counts) -> np.ndarray:
+        """Check a count vector's shape/dtype/sign; return it as int64.
+
+        Public so containers can validate a whole batch of vectors
+        before folding any of them in (validate-then-apply).
+        """
+        vector = np.asarray(counts)
+        if vector.shape != (self._size,):
+            raise EstimationError(
+                f"counts must have shape ({self._size},), got {vector.shape}"
+            )
+        if not np.issubdtype(vector.dtype, np.integer):
+            raise EstimationError(
+                f"counts must be integers, got dtype {vector.dtype}"
+            )
+        if (vector < 0).any():
+            raise EstimationError("counts must be non-negative")
+        return vector.astype(np.int64)
+
+    def add_counts(self, counts) -> None:
+        """Fold in a pre-aggregated category count vector.
+
+        This is the merge primitive for shard pipelines that count
+        responses without holding an estimator per chunk (e.g. the
+        engine's count mode).
+        """
+        self.add_validated_counts(self.validate_counts(counts))
+
+    def add_validated_counts(self, vector: np.ndarray) -> None:
+        """Fold in a vector previously returned by :meth:`validate_counts`.
+
+        Skips re-validation, so validate-then-apply containers don't
+        pay the shape/dtype/sign scan twice per vector.
+        """
+        self._counts += vector
+
+    def check_mergeable(self, other: "StreamingFrequencyEstimator") -> None:
+        """Raise unless ``other`` can be merged into this estimator.
+
+        Split out from :meth:`merge` so multi-attribute containers can
+        validate *every* attribute pair before mutating any state — a
+        failure halfway through a merge loop must not leave a partially
+        absorbed shard behind.
+        """
         if not isinstance(other, StreamingFrequencyEstimator):
             raise EstimationError("can only merge StreamingFrequencyEstimator")
         if other._size != self._size:
             raise EstimationError(
                 f"size mismatch: {self._size} vs {other._size}"
             )
+        if not matrices_equal(self._matrix, other._matrix):
+            raise EstimationError(
+                "matrix mismatch: cannot merge counts collected under "
+                "different randomization matrices — the pooled Eq. (2) "
+                "estimate would be wrong"
+            )
+
+    def merge(self, other: "StreamingFrequencyEstimator") -> None:
+        """Absorb another collector's counts (same matrix required).
+
+        Counts collected under different randomization matrices are not
+        poolable: Eq. (2) inverts one specific channel, and a merged
+        count vector silently mixes two, so the matrices themselves are
+        compared — not just their sizes.
+        """
+        self.check_mergeable(other)
         self._counts += other._counts
 
     def observed_distribution(self) -> np.ndarray:
@@ -116,8 +183,39 @@ class StreamingCollector:
         return self._schema
 
     @property
+    def n_observed_by_attribute(self) -> dict:
+        """Responses folded in so far, per attribute."""
+        return {
+            name: estimator.n_observed
+            for name, estimator in self._estimators.items()
+        }
+
+    @property
     def n_observed(self) -> int:
-        return next(iter(self._estimators.values())).n_observed
+        """Number of complete records observed.
+
+        Returns 0 for an empty schema. When attributes have been
+        updated unevenly (partial records fed through the per-attribute
+        estimators directly) there is no single record count, so the
+        disagreement is reported per attribute instead of silently
+        picking one.
+        """
+        per_attribute = self.n_observed_by_attribute
+        if not per_attribute:
+            return 0
+        distinct = set(per_attribute.values())
+        if len(distinct) > 1:
+            raise EstimationError(
+                f"attributes observed unevenly: {per_attribute}; "
+                "no single record count exists"
+            )
+        return distinct.pop()
+
+    def estimator(self, name: str) -> StreamingFrequencyEstimator:
+        """The per-attribute estimator (shard merge entry point)."""
+        if name not in self._estimators:
+            raise EstimationError(f"unknown attribute {name!r}")
+        return self._estimators[name]
 
     def receive(self, record) -> None:
         """Fold in one randomized record (length-m codes)."""
@@ -153,11 +251,25 @@ class StreamingCollector:
         }
 
     def merge(self, other: "StreamingCollector") -> None:
-        """Absorb another collector (e.g. a second ingestion node)."""
+        """Absorb another collector (e.g. a second ingestion node).
+
+        All attributes are validated before any counts move, so a
+        mismatch on one attribute cannot leave the master half-merged.
+        """
         if other._schema != self._schema:
             raise EstimationError("cannot merge collectors with different schemas")
         for name, estimator in self._estimators.items():
-            estimator.merge(other._estimators[name])
+            estimator.check_mergeable(other._estimators[name])
+        for name, estimator in self._estimators.items():
+            estimator.add_validated_counts(other._estimators[name]._counts)
 
     def __repr__(self) -> str:
-        return f"StreamingCollector(m={self._schema.width}, n={self.n_observed})"
+        per_attribute = self.n_observed_by_attribute
+        counts = set(per_attribute.values())
+        if len(counts) == 1:
+            n_text = str(counts.pop())
+        elif not counts:
+            n_text = "0"
+        else:
+            n_text = f"uneven {per_attribute}"
+        return f"StreamingCollector(m={self._schema.width}, n={n_text})"

@@ -92,12 +92,17 @@ def anonymize_csv(
     clusters: str | None = None,
     seed: int | None = None,
     report_path: Path | None = None,
+    chunk_size: int | None = None,
+    workers: int = 1,
 ) -> dict:
     """Randomize the categorical columns of a CSV file.
 
     Returns the report dictionary (also written to ``report_path`` when
     given). Columns not selected are passed through unchanged — callers
     are responsible for dropping direct identifiers beforehand.
+    ``chunk_size``/``workers`` route the randomization through the
+    chunked engine (:mod:`repro.engine`) for blockwise memory and
+    multi-process fan-out on large files.
     """
     header, rows, selected, positions = _read_csv(input_path, columns)
     schema = _build_schema(rows, selected, positions)
@@ -120,7 +125,9 @@ def anonymize_csv(
     else:
         protocol = RRIndependent(schema, p=p)
         ledger = protocol.accountant()
-    released = protocol.randomize(dataset, rng)
+    released = protocol.randomize(
+        dataset, rng, chunk_size=chunk_size, workers=workers
+    )
 
     with open(output_path, "w", encoding="utf-8", newline="") as handle:
         writer = csv.writer(handle)
@@ -158,6 +165,7 @@ def anonymize_csv(
             ledger.total_epsilon if np.isfinite(ledger.total_epsilon) else None
         ),
         "seed": seed,
+        "engine": {"chunk_size": chunk_size, "workers": workers},
     }
     if report_path is not None:
         with open(report_path, "w", encoding="utf-8") as handle:
@@ -197,10 +205,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--report", type=Path, default=None, help="write a JSON release report"
     )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="randomize in blocks of this many records (bounded memory; "
+        "default: whole file in one shot)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan chunks out across this many processes (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     if not 0.0 < args.p < 1.0:
         parser.error("--p must be strictly between 0 and 1")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        parser.error("--chunk-size must be >= 1")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
     columns = (
         [c.strip() for c in args.columns.split(",")] if args.columns else None
     )
@@ -213,6 +238,8 @@ def main(argv=None) -> int:
             clusters=args.clusters,
             seed=args.seed,
             report_path=args.report,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -39,6 +39,7 @@ __all__ = [
     "ConstantDiagonalMatrix",
     "validate_rr_matrix",
     "as_dense",
+    "matrices_equal",
     "warner_matrix",
     "keep_else_uniform_matrix",
     "constant_diagonal_matrix",
@@ -163,6 +164,31 @@ def as_dense(matrix) -> np.ndarray:
     if isinstance(matrix, ConstantDiagonalMatrix):
         return matrix.dense()
     return validate_rr_matrix(matrix)
+
+
+def matrices_equal(a, b, *, atol: float = 1e-9) -> bool:
+    """Whether two RR matrices define the same channel.
+
+    Constant-diagonal pairs compare in O(1) on their ``(size, d, o)``
+    parameters; any other combination compares densified forms with
+    ``numpy.allclose``. Used by the streaming layer to refuse merging
+    counts collected under different randomization designs.
+    """
+    if isinstance(a, ConstantDiagonalMatrix) and isinstance(
+        b, ConstantDiagonalMatrix
+    ):
+        return (
+            a.size == b.size
+            and math.isclose(a.diagonal, b.diagonal, abs_tol=atol)
+            and math.isclose(a.off_diagonal, b.off_diagonal, abs_tol=atol)
+        )
+    dense_a = as_dense(a)
+    dense_b = as_dense(b)
+    if dense_a.shape != dense_b.shape:
+        return False
+    # rtol=0 so the dense comparison applies the same absolute
+    # tolerance as the constant-diagonal fast path above.
+    return bool(np.allclose(dense_a, dense_b, rtol=0.0, atol=atol))
 
 
 def warner_matrix(p: float) -> ConstantDiagonalMatrix:

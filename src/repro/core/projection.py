@@ -40,6 +40,14 @@ def clip_and_rescale(pi_hat: np.ndarray) -> np.ndarray:
     vec = np.asarray(pi_hat, dtype=np.float64)
     if vec.ndim != 1:
         raise EstimationError(f"pi_hat must be 1-D, got shape {vec.shape}")
+    if not np.all(np.isfinite(vec)):
+        # NaN survives np.clip and the total <= 0 guard, so a non-finite
+        # input would come back as a NaN "distribution"; fail loudly
+        # instead of feeding garbage to an experiment sweep.
+        raise EstimationError(
+            "pi_hat contains non-finite values (NaN or inf); refusing to "
+            "repair a corrupted estimate"
+        )
     clipped = np.clip(vec, 0.0, None)
     total = clipped.sum()
     if total <= 0.0:
@@ -57,6 +65,11 @@ def project_to_simplex(pi_hat: np.ndarray) -> np.ndarray:
     vec = np.asarray(pi_hat, dtype=np.float64)
     if vec.ndim != 1:
         raise EstimationError(f"pi_hat must be 1-D, got shape {vec.shape}")
+    if not np.all(np.isfinite(vec)):
+        raise EstimationError(
+            "pi_hat contains non-finite values (NaN or inf); refusing to "
+            "repair a corrupted estimate"
+        )
     ordered = np.sort(vec)[::-1]
     cumulative = np.cumsum(ordered) - 1.0
     ranks = np.arange(1, vec.shape[0] + 1)

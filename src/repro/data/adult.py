@@ -26,7 +26,6 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro._rng import ensure_rng
 from repro.data.dataset import Dataset
 from repro.data.generators import BayesianNetworkSpec
 from repro.data.schema import Attribute, Schema, NOMINAL, ORDINAL

@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.data.domain import Domain
-from repro.data.schema import Attribute, Schema
+from repro.data.schema import Schema
 from repro.exceptions import DatasetError
 
 __all__ = ["Dataset"]

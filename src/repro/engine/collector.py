@@ -1,0 +1,153 @@
+"""Sharded collection: merge per-shard streaming state into one estimate.
+
+Eq. (2) estimation is linear in the observed counts, so a fleet of
+ingestion nodes (or a pool of chunk workers) can each keep a
+:class:`~repro.analysis.streaming.StreamingCollector` and a single
+reducer can fold their counts together before inverting once. The
+:class:`ShardedCollector` is that reducer: it owns a master collector,
+absorbs shard state (whole collectors, single estimators, or raw count
+vectors from an engine run), and answers estimates for the union of
+everything absorbed. Matrix identity across shards is enforced by the
+streaming layer's merge checks — counts gathered under different
+matrices would silently corrupt the Eq. (2) inversion.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.streaming import StreamingCollector, StreamingFrequencyEstimator
+from repro.data.schema import Schema
+from repro.engine.executor import run, single_column_tasks
+from repro.exceptions import EstimationError
+
+__all__ = ["ShardedCollector"]
+
+
+class ShardedCollector:
+    """Merge-tree root over per-shard streaming estimators.
+
+    Parameters
+    ----------
+    schema:
+        Schema of the randomized records being collected.
+    matrices:
+        ``{attribute name: matrix}`` mapping — the same design every
+        shard must be using.
+    """
+
+    def __init__(self, schema: Schema, matrices: Mapping) -> None:
+        self._schema = schema
+        self._matrices = {attr.name: matrices[attr.name] for attr in schema}
+        self._master = StreamingCollector(schema, self._matrices)
+
+    @classmethod
+    def for_protocol(cls, protocol) -> "ShardedCollector":
+        """Collector matching an :class:`~repro.protocols.independent.RRIndependent` design."""
+        matrices = {
+            name: protocol.matrix_for(name) for name in protocol.schema.names
+        }
+        return cls(protocol.schema, matrices)
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def merged(self) -> StreamingCollector:
+        """The master collector holding the union of all absorbed state."""
+        return self._master
+
+    @property
+    def n_observed(self) -> int:
+        return self._master.n_observed
+
+    # ------------------------------------------------------------------
+    def new_shard(self) -> StreamingCollector:
+        """A fresh shard collector with this design (hand to one worker)."""
+        return StreamingCollector(self._schema, self._matrices)
+
+    def absorb(self, shard: StreamingCollector) -> None:
+        """Fold a shard's whole per-attribute state into the master."""
+        self._master.merge(shard)
+
+    def absorb_estimator(
+        self, name: str, estimator: StreamingFrequencyEstimator
+    ) -> None:
+        """Fold one attribute's shard estimator into the master."""
+        if name not in self._matrices:
+            raise EstimationError(f"unknown attribute {name!r}")
+        self._master.estimator(name).merge(estimator)
+
+    def absorb_counts(self, counts: Mapping) -> None:
+        """Fold raw per-attribute count vectors (e.g. an engine shard).
+
+        Every vector is validated before any is applied, so one bad
+        attribute cannot leave the master partially merged.
+        """
+        validated = {}
+        for name, vector in counts.items():
+            if name not in self._matrices:
+                raise EstimationError(f"unknown attribute {name!r}")
+            validated[name] = self._master.estimator(name).validate_counts(
+                vector
+            )
+        for name, vector in validated.items():
+            self._master.estimator(name).add_validated_counts(vector)
+
+    def collect(
+        self,
+        codes: np.ndarray,
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
+    ) -> None:
+        """Count an already-randomized ``(k, m)`` code block, chunked/sharded."""
+        batch = np.asarray(codes, dtype=np.int64)
+        if batch.ndim != 2 or batch.shape[1] != self._schema.width:
+            raise EstimationError(
+                f"codes must have shape (k, {self._schema.width}), "
+                f"got {batch.shape}"
+            )
+        if batch.shape[0] == 0:
+            return
+        sizes = np.asarray(self._schema.sizes, dtype=np.int64)
+        if batch.min() < 0 or (batch >= sizes[None, :]).any():
+            bad = np.argwhere((batch < 0) | (batch >= sizes[None, :]))[0]
+            attr = self._schema.names[bad[1]]
+            raise EstimationError(
+                f"values out of range [0, {sizes[bad[1]]}) for attribute "
+                f"{attr!r} at record {bad[0]}"
+            )
+        tasks = single_column_tasks(self._schema, self._matrices)
+        result = run(
+            batch,
+            tasks,
+            chunk_size=chunk_size,
+            workers=workers,
+            randomize=False,
+            count=True,
+            keep_codes=False,
+        )
+        self.absorb_counts(
+            {
+                attr.name: vector
+                for attr, vector in zip(self._schema, result.counts)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def estimate_marginal(self, name: str, repair: str = "clip") -> np.ndarray:
+        return self._master.estimate_marginal(name, repair)
+
+    def estimate_marginals(self, repair: str = "clip") -> dict:
+        return self._master.estimate_marginals(repair)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedCollector(m={self._schema.width}, "
+            f"n={self._master.n_observed_by_attribute})"
+        )

@@ -1,0 +1,380 @@
+"""Chunked / sharded execution of randomize-and-count pipelines.
+
+The execution unit is a :class:`ColumnTask`: a set of dataset columns,
+optionally fused through a mixed-radix :class:`~repro.data.domain.Domain`
+into one flat code column, pushed through one RR matrix. RR-Independent
+is a list of single-column tasks; RR-Joint is one task over its product
+domain; RR-Clusters is one task per cluster. :func:`run` executes a
+list of tasks over a :class:`~repro.engine.plan.ChunkPlan`, either
+serially or fanned out across ``multiprocessing`` workers.
+
+Determinism contract: every task owns a child
+:class:`numpy.random.SeedSequence` (``SeedSequence.spawn`` from the run
+seed) and every record a fixed counter offset in that task's Philox
+stream (see :mod:`repro.engine.sampling`), so the output for a given
+seed is byte-identical across chunk sizes, worker counts and chunk
+scheduling order. Workers receive only seed sequences, never live
+generator state, which makes the fan-out safe under both the ``fork``
+and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matrices import ConstantDiagonalMatrix, validate_rr_matrix
+from repro.data.domain import Domain
+from repro.engine.plan import DEFAULT_CHUNK_SIZE, ChunkPlan
+from repro.engine.sampling import randomize_block
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ColumnTask",
+    "EngineResult",
+    "run",
+    "seed_sequence_from",
+    "single_column_tasks",
+    "count_and_estimate",
+]
+
+
+def seed_sequence_from(rng=None) -> np.random.SeedSequence:
+    """Normalize ``rng`` into a :class:`numpy.random.SeedSequence`.
+
+    ``None`` gives a fresh OS-entropy sequence; an ``int`` seed is fully
+    deterministic; an existing generator contributes one deterministic
+    draw of entropy (so a caller holding a generator still gets
+    reproducible engine output from it).
+    """
+    if rng is None:
+        return np.random.SeedSequence()
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ReproError(f"seed must be non-negative, got {rng}")
+        return np.random.SeedSequence(int(rng))
+    if isinstance(rng, np.random.Generator):
+        return np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+    raise ReproError(
+        f"rng must be None, an int seed, a SeedSequence or a "
+        f"numpy.random.Generator, got {type(rng)!r}"
+    )
+
+
+class ColumnTask:
+    """One randomization/counting unit of the engine.
+
+    Parameters
+    ----------
+    positions:
+        Dataset column indices this task covers, in encoding order.
+    matrix:
+        The RR matrix applied to the (flattened) column.
+    domain:
+        Mixed-radix domain fusing the columns; ``None`` for a plain
+        single-column task.
+    """
+
+    __slots__ = ("positions", "matrix", "domain", "size", "cumulative")
+
+    def __init__(self, positions: Sequence[int], matrix, domain: Domain | None = None):
+        self.positions = tuple(int(p) for p in positions)
+        if not self.positions:
+            raise ReproError("task needs at least one column position")
+        if any(p < 0 for p in self.positions):
+            raise ReproError(f"column positions must be >= 0: {self.positions}")
+        if len(set(self.positions)) != len(self.positions):
+            raise ReproError(f"duplicate column positions: {self.positions}")
+        if domain is None:
+            if len(self.positions) != 1:
+                raise ReproError(
+                    "multi-column tasks need a Domain to fuse the columns"
+                )
+        elif domain.width != len(self.positions):
+            raise ReproError(
+                f"domain covers {domain.width} attributes but task has "
+                f"{len(self.positions)} positions"
+            )
+        self.domain = domain
+        if isinstance(matrix, ConstantDiagonalMatrix):
+            self.matrix = matrix
+            self.size = matrix.size
+            self.cumulative = None
+        else:
+            self.matrix = validate_rr_matrix(matrix)
+            self.size = self.matrix.shape[0]
+            # Once per task, not once per chunk: the dense sampler's
+            # inverse-CDF rows come from this O(r²) cumsum.
+            self.cumulative = np.cumsum(self.matrix, axis=1)
+        if domain is not None and domain.size != self.size:
+            raise ReproError(
+                f"matrix size {self.size} does not match domain size "
+                f"{domain.size}"
+            )
+
+    @property
+    def width(self) -> int:
+        return len(self.positions)
+
+    def encode(self, block: np.ndarray) -> np.ndarray:
+        """Flat code column of this task for one record block."""
+        cols = block[:, list(self.positions)]
+        if self.domain is None:
+            return cols[:, 0]
+        return self.domain.encode(cols)
+
+    def decode(self, flat: np.ndarray) -> np.ndarray:
+        """Per-column codes, shape ``(len(flat), width)``."""
+        if self.domain is None:
+            return np.asarray(flat, dtype=np.int64)[:, None]
+        return self.domain.decode(flat)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnTask(positions={self.positions}, size={self.size})"
+        )
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Outcome of one engine run.
+
+    ``codes`` is the randomized ``(n, m)`` matrix (``None`` when the run
+    only counted, or was asked not to keep codes); ``counts`` holds one
+    per-task int64 count vector over the task's flat domain (``None``
+    when counting was not requested).
+    """
+
+    codes: Optional[np.ndarray]
+    counts: Optional[Tuple[np.ndarray, ...]]
+    n_records: int
+
+
+def _process_block(block, tasks, seed_seqs, start, randomize, count, keep_codes):
+    """Randomize/count one record block; pure function of its inputs."""
+    cols = [] if (randomize and keep_codes) else None
+    counts = [] if count else None
+    for index, task in enumerate(tasks):
+        flat = task.encode(block)
+        if randomize:
+            flat = randomize_block(
+                flat, task.matrix, seed_seqs[index], start,
+                cumulative=task.cumulative,
+            )
+        if counts is not None:
+            counts.append(np.bincount(flat, minlength=task.size))
+        if cols is not None:
+            cols.append(task.decode(flat))
+    return cols, counts
+
+
+# Worker-side state installed once per process by the pool initializer,
+# so per-chunk jobs only ship a (start, stop) pair each way (plus the
+# produced block, when codes are kept).
+_WORKER_STATE = None
+
+
+def _init_worker(codes, tasks, seed_seqs, randomize, count, keep_codes):
+    global _WORKER_STATE
+    _WORKER_STATE = (codes, tasks, seed_seqs, randomize, count, keep_codes)
+
+
+def _chunk_job(bounds):
+    start, stop = bounds
+    codes, tasks, seed_seqs, randomize, count, keep_codes = _WORKER_STATE
+    cols, counts = _process_block(
+        codes[start:stop], tasks, seed_seqs, start, randomize, count, keep_codes
+    )
+    return bounds, cols, counts
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    # fork is far cheaper to start and is safe here: workers rebuild
+    # their generators from pickled/inherited SeedSequences and never
+    # reuse inherited RNG state. Fall back to spawn elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run(
+    codes: np.ndarray,
+    tasks: Sequence[ColumnTask],
+    *,
+    rng=None,
+    chunk_size: int | None = None,
+    workers: int = 1,
+    randomize: bool = True,
+    count: bool = False,
+    keep_codes: bool = True,
+    mp_context: str | None = None,
+) -> EngineResult:
+    """Execute column tasks over a dataset in chunks, optionally sharded.
+
+    Parameters
+    ----------
+    codes:
+        ``(n, m)`` int64 record matrix (true codes when randomizing,
+        already-randomized codes when only counting).
+    tasks:
+        Column tasks to execute. When randomizing, their positions must
+        be disjoint.
+    rng:
+        Seed material for the run (see :func:`seed_sequence_from`);
+        ignored when ``randomize`` is false.
+    chunk_size:
+        Block length; ``None`` executes the whole dataset as one block
+        (unless ``workers > 1``, which defaults to
+        :data:`~repro.engine.plan.DEFAULT_CHUNK_SIZE` so the fan-out
+        actually has blocks to distribute). For a fixed seed the output
+        is byte-identical for every choice.
+    workers:
+        Process fan-out; ``1`` runs in-process.
+    randomize / count:
+        What to produce: randomized codes, per-task counts over the
+        (randomized) flat codes, or both in a single pass.
+    keep_codes:
+        Set false to drop the randomized codes (count-only pipelines
+        avoid assembling and shipping the output matrix).
+    mp_context:
+        ``multiprocessing`` start method (default: ``fork`` when
+        available, else ``spawn``).
+    """
+    arr = np.asarray(codes, dtype=np.int64)
+    if arr.ndim != 2:
+        raise ReproError(f"codes must be 2-D, got shape {arr.shape}")
+    if not tasks:
+        raise ReproError("engine run needs at least one task")
+    if not randomize and not count:
+        raise ReproError("nothing to do: enable randomize and/or count")
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    width = arr.shape[1]
+    covered: set = set()
+    for task in tasks:
+        if max(task.positions) >= width:
+            raise ReproError(
+                f"task positions {task.positions} out of range for "
+                f"{width} columns"
+            )
+        if randomize and covered.intersection(task.positions):
+            raise ReproError(
+                "randomizing tasks must cover disjoint columns; "
+                f"{sorted(covered.intersection(task.positions))} repeated"
+            )
+        covered.update(task.positions)
+
+    n = arr.shape[0]
+    if chunk_size is None and workers > 1:
+        # Asking for workers without a block size means "shard it for
+        # me": a single-chunk plan would silently run serially. Safe to
+        # default — output is chunk-size-invariant for a fixed seed.
+        chunk_size = DEFAULT_CHUNK_SIZE
+    plan = (
+        ChunkPlan(n, chunk_size) if chunk_size is not None
+        else ChunkPlan.single(n)
+    )
+    if randomize:
+        seed_seqs = list(seed_sequence_from(rng).spawn(len(tasks)))
+    else:
+        seed_seqs = [None] * len(tasks)
+    want_codes = randomize and keep_codes
+    out = np.array(arr, copy=True) if want_codes else None
+    totals = (
+        [np.zeros(task.size, dtype=np.int64) for task in tasks]
+        if count
+        else None
+    )
+
+    def _fold(bounds, cols, chunk_counts):
+        start, stop = bounds
+        if cols is not None:
+            for task, col in zip(tasks, cols):
+                out[start:stop, list(task.positions)] = col
+        if chunk_counts is not None:
+            for total, chunk_count in zip(totals, chunk_counts):
+                total += chunk_count
+
+    jobs = plan.bounds
+    if workers > 1 and len(jobs) > 1:
+        context = (
+            multiprocessing.get_context(mp_context)
+            if mp_context
+            else _default_context()
+        )
+        pool = context.Pool(
+            processes=min(workers, len(jobs)),
+            initializer=_init_worker,
+            initargs=(arr, tasks, seed_seqs, randomize, count, keep_codes),
+        )
+        try:
+            for bounds, cols, chunk_counts in pool.imap(_chunk_job, jobs):
+                _fold(bounds, cols, chunk_counts)
+        finally:
+            pool.close()
+            pool.join()
+    else:
+        for bounds in jobs:
+            start, stop = bounds
+            cols, chunk_counts = _process_block(
+                arr[start:stop], tasks, seed_seqs, start,
+                randomize, count, keep_codes,
+            )
+            _fold(bounds, cols, chunk_counts)
+
+    return EngineResult(
+        codes=out,
+        counts=tuple(totals) if totals is not None else None,
+        n_records=n,
+    )
+
+
+def single_column_tasks(schema, matrices) -> list:
+    """One plain engine task per schema attribute.
+
+    The canonical task layout for per-attribute protocols
+    (RR-Independent) and per-attribute collectors — shared so the
+    randomizing and counting sides can never drift apart.
+    """
+    return [
+        ColumnTask((j,), matrices[attr.name])
+        for j, attr in enumerate(schema)
+    ]
+
+
+def count_and_estimate(
+    codes: np.ndarray,
+    tasks: Sequence[ColumnTask],
+    *,
+    chunk_size: int | None = None,
+    workers: int = 1,
+) -> list:
+    """Chunked count pass + one raw Eq. (2) inversion per task.
+
+    The shared estimation pipeline behind every protocol's
+    ``chunk_size``/``workers`` estimate path: count the (already
+    randomized) flat codes blockwise, then invert each task's merged
+    counts against its own matrix. Repair is left to the caller.
+    """
+    from repro.core.estimation import (
+        distribution_from_counts,
+        estimate_distribution,
+    )
+
+    result = run(
+        codes,
+        tasks,
+        chunk_size=chunk_size,
+        workers=workers,
+        randomize=False,
+        count=True,
+        keep_codes=False,
+    )
+    return [
+        estimate_distribution(distribution_from_counts(counts), task.matrix)
+        for task, counts in zip(tasks, result.counts)
+    ]

@@ -304,7 +304,7 @@ def run_estimator_comparison(
 
 def render_estimator_comparison(result: EstimatorComparisonResult) -> str:
     lines = [
-        f"E8 (§4.1–§4.3): dependence estimators vs trusted baseline "
+        "E8 (§4.1–§4.3): dependence estimators vs trusted baseline "
         f"(n={result.n}, p={result.p})",
         f"{'method':>12s} {'rank corr':>10s} {'L1 gap':>8s} "
         f"{'same clustering':>16s} {'epsilon':>9s}",

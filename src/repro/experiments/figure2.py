@@ -80,7 +80,7 @@ def run(
 
 def render(result: Figure2Result) -> str:
     lines = [
-        f"Figure 2: count-query error vs coverage sigma "
+        "Figure 2: count-query error vs coverage sigma "
         f"(p={result.p}, median of {result.runs} runs)",
         "",
         f"{'sigma':>6s}  {'abs Randomized':>14s}  {'abs RR-Ind':>10s}  "

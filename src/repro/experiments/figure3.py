@@ -97,7 +97,7 @@ def run(
 
 def render(result: Figure3Result) -> str:
     lines = [
-        f"Figure 3: median relative error vs coverage sigma "
+        "Figure 3: median relative error vs coverage sigma "
         f"({result.runs} runs per point)",
     ]
     for p_key in (f"{p:g}" for p in result.p_grid):

@@ -19,7 +19,7 @@ distributed outputs.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -14,7 +14,6 @@ import numpy as np
 from repro.data.discretize import (
     discretize_by_edges,
     discretize_equal_frequency,
-    discretize_equal_width,
 )
 from repro.data.schema import Attribute
 from repro.exceptions import DatasetError

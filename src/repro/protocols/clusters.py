@@ -181,30 +181,77 @@ class RRClusters:
         return self._joints
 
     # ------------------------------------------------------------------
+    def engine_tasks(self) -> list:
+        """One fused-column engine task per cluster."""
+        return [joint.engine_task() for joint in self._joints]
+
     def randomize(
         self,
         dataset: Dataset,
         rng: "int | np.random.Generator | None" = None,
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> Dataset:
-        """Randomize each cluster jointly, clusters independently."""
+        """Randomize each cluster jointly, clusters independently.
+
+        ``chunk_size``/``workers`` route all clusters through one
+        chunked engine run (clusters cover disjoint columns, so they
+        randomize in a single pass); the default path is unchanged.
+        """
         if dataset.schema != self.schema:
             raise ProtocolError("dataset schema does not match protocol schema")
-        generator = ensure_rng(rng)
-        out = dataset
-        for joint in self._joints:
-            out = joint.randomize(out, generator)
-        return out
+        if chunk_size is None and workers == 1:
+            generator = ensure_rng(rng)
+            out = dataset
+            for joint in self._joints:
+                out = joint.randomize(out, generator)
+            return out
+        from repro.engine.executor import run as engine_run
+
+        result = engine_run(
+            dataset.codes,
+            self.engine_tasks(),
+            rng=rng,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        return Dataset(self.schema, result.codes, copy=False)
 
     # ------------------------------------------------------------------
     def estimate(
-        self, randomized: Dataset, repair: str = "clip"
+        self,
+        randomized: Dataset,
+        repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> ClusterEstimates:
         """Eq. (2) estimates of every cluster's joint distribution."""
         if randomized.schema != self.schema:
             raise ProtocolError("dataset schema does not match protocol schema")
-        joints = tuple(
-            joint.estimate_joint(randomized, repair) for joint in self._joints
-        )
+        if chunk_size is None and workers == 1:
+            joints = tuple(
+                joint.estimate_joint(randomized, repair) for joint in self._joints
+            )
+        else:
+            if repair not in ("clip", "none"):
+                raise ProtocolError(
+                    f"repair must be 'clip' or 'none', got {repair!r}"
+                )
+            from repro.core.projection import clip_and_rescale
+            from repro.engine.executor import count_and_estimate
+
+            estimates = count_and_estimate(
+                randomized.codes,
+                self.engine_tasks(),
+                chunk_size=chunk_size,
+                workers=workers,
+            )
+            joints = tuple(
+                clip_and_rescale(estimate) if repair == "clip" else estimate
+                for estimate in estimates
+            )
         domains = tuple(joint.domain for joint in self._joints)
         return ClusterEstimates(
             clustering=self._clustering, domains=domains, joints=joints

@@ -112,42 +112,112 @@ class RRIndependent:
         return ledger
 
     # ------------------------------------------------------------------
+    def engine_tasks(self) -> list:
+        """One single-column engine task per attribute."""
+        from repro.engine.executor import single_column_tasks
+
+        return single_column_tasks(self._schema, self._matrices)
+
+    def sharded_collector(self):
+        """A :class:`~repro.engine.collector.ShardedCollector` for this design."""
+        from repro.engine.collector import ShardedCollector
+
+        return ShardedCollector.for_protocol(self)
+
     def randomize(
         self,
         dataset: Dataset,
         rng: "int | np.random.Generator | None" = None,
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> Dataset:
-        """Run the randomization step of Protocol 1 on a dataset."""
+        """Run the randomization step of Protocol 1 on a dataset.
+
+        The default path (no ``chunk_size``, one worker) randomizes
+        each column in one shot from a shared sequential generator and
+        is byte-stable across library versions for a fixed seed. Giving
+        ``chunk_size`` and/or ``workers`` routes through the chunked
+        engine (O(chunk·r) memory, optional process fan-out) whose
+        output is byte-identical for a fixed seed across every
+        chunk-size/worker combination — but lies in a different random
+        stream than the default path.
+        """
         if dataset.schema != self._schema:
             raise ProtocolError("dataset schema does not match protocol schema")
-        generator = ensure_rng(rng)
-        columns = [
-            randomize_column(
-                dataset.column(attr.name), self._matrices[attr.name], generator
-            )
-            for attr in self._schema
-        ]
-        return Dataset(self._schema, np.stack(columns, axis=1), copy=False)
+        if chunk_size is None and workers == 1:
+            generator = ensure_rng(rng)
+            columns = [
+                randomize_column(
+                    dataset.column(attr.name), self._matrices[attr.name], generator
+                )
+                for attr in self._schema
+            ]
+            return Dataset(self._schema, np.stack(columns, axis=1), copy=False)
+        from repro.engine.executor import run as engine_run
+
+        result = engine_run(
+            dataset.codes,
+            self.engine_tasks(),
+            rng=rng,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        return Dataset(self._schema, result.codes, copy=False)
 
     # ------------------------------------------------------------------
     def estimate_marginal(
-        self, randomized: Dataset, name: str, repair: str = "clip"
+        self,
+        randomized: Dataset,
+        name: str,
+        repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> np.ndarray:
         """Eq. (2) estimate of one attribute's true marginal."""
         if randomized.schema != self._schema:
             raise ProtocolError("dataset schema does not match protocol schema")
-        estimate = estimate_from_responses(
-            randomized.column(name), self.matrix_for(name)
-        )
+        if chunk_size is None and workers == 1:
+            estimate = estimate_from_responses(
+                randomized.column(name), self.matrix_for(name)
+            )
+            return _repair(estimate, repair)
+        from repro.engine.executor import ColumnTask, count_and_estimate
+
+        task = ColumnTask((self._schema.position(name),), self.matrix_for(name))
+        estimate = count_and_estimate(
+            randomized.codes, [task], chunk_size=chunk_size, workers=workers
+        )[0]
         return _repair(estimate, repair)
 
     def estimate_marginals(
-        self, randomized: Dataset, repair: str = "clip"
+        self,
+        randomized: Dataset,
+        repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> dict:
         """All marginal estimates, keyed by attribute name."""
+        if chunk_size is None and workers == 1:
+            return {
+                attr.name: self.estimate_marginal(randomized, attr.name, repair)
+                for attr in self._schema
+            }
+        if randomized.schema != self._schema:
+            raise ProtocolError("dataset schema does not match protocol schema")
+        from repro.engine.executor import count_and_estimate
+
+        estimates = count_and_estimate(
+            randomized.codes,
+            self.engine_tasks(),
+            chunk_size=chunk_size,
+            workers=workers,
+        )
         return {
-            attr.name: self.estimate_marginal(randomized, attr.name, repair)
-            for attr in self._schema
+            attr.name: _repair(estimate, repair)
+            for attr, estimate in zip(self._schema, estimates)
         }
 
     def estimate_pair_table(

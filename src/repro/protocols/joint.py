@@ -126,23 +126,56 @@ class RRJoint:
         return epsilon_of_matrix(self._matrix)
 
     # ------------------------------------------------------------------
+    def engine_task(self):
+        """This joint mechanism as one fused-column engine task."""
+        from repro.engine.executor import ColumnTask
+
+        positions = tuple(
+            self._schema.position(name) for name in self._domain.names
+        )
+        return ColumnTask(positions, self._matrix, self._domain)
+
     def randomize(
         self,
         dataset: Dataset,
         rng: "int | np.random.Generator | None" = None,
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> Dataset:
-        """Randomize the covered attributes jointly; others untouched."""
+        """Randomize the covered attributes jointly; others untouched.
+
+        ``chunk_size``/``workers`` route through the chunked engine
+        (see :meth:`repro.protocols.independent.RRIndependent.randomize`
+        for the determinism contract); the default path is unchanged.
+        """
         if dataset.schema != self._schema:
             raise ProtocolError("dataset schema does not match protocol schema")
-        generator = ensure_rng(rng)
-        flat = self._domain.encode(dataset.columns(self._domain.names))
-        randomized_flat = randomize_column(flat, self._matrix, generator)
-        decoded = self._domain.decode(randomized_flat)
-        return dataset.replace_columns(list(self._domain.names), decoded)
+        if chunk_size is None and workers == 1:
+            generator = ensure_rng(rng)
+            flat = self._domain.encode(dataset.columns(self._domain.names))
+            randomized_flat = randomize_column(flat, self._matrix, generator)
+            decoded = self._domain.decode(randomized_flat)
+            return dataset.replace_columns(list(self._domain.names), decoded)
+        from repro.engine.executor import run as engine_run
+
+        result = engine_run(
+            dataset.codes,
+            [self.engine_task()],
+            rng=rng,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        return Dataset(self._schema, result.codes, copy=False)
 
     # ------------------------------------------------------------------
     def estimate_joint(
-        self, randomized: Dataset, repair: str = "clip"
+        self,
+        randomized: Dataset,
+        repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> np.ndarray:
         """Eq. (2) estimate of the joint distribution over the domain.
 
@@ -152,8 +185,18 @@ class RRJoint:
         """
         if randomized.schema != self._schema:
             raise ProtocolError("dataset schema does not match protocol schema")
-        flat = self._domain.encode(randomized.columns(self._domain.names))
-        estimate = estimate_from_responses(flat, self._matrix)
+        if chunk_size is None and workers == 1:
+            flat = self._domain.encode(randomized.columns(self._domain.names))
+            estimate = estimate_from_responses(flat, self._matrix)
+        else:
+            from repro.engine.executor import count_and_estimate
+
+            estimate = count_and_estimate(
+                randomized.codes,
+                [self.engine_task()],
+                chunk_size=chunk_size,
+                workers=workers,
+            )[0]
         if repair == "clip":
             return clip_and_rescale(estimate)
         if repair == "none":

@@ -10,7 +10,6 @@ from repro.analysis.marginals import (
     random_marginal_query,
 )
 from repro.clustering.algorithm import Clustering
-from repro.data.domain import Domain
 from repro.exceptions import QueryError
 from repro.protocols.clusters import RRClusters
 

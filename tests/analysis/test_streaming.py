@@ -74,6 +74,56 @@ class TestStreamingFrequencyEstimator:
         with pytest.raises(EstimationError, match="mismatch"):
             a.merge(b)
 
+    def test_merge_matrix_mismatch_rejected(self):
+        # Same size, different channel: pooling the counts would
+        # silently corrupt the Eq. (2) inversion.
+        a = StreamingFrequencyEstimator(keep_else_uniform_matrix(3, 0.5))
+        b = StreamingFrequencyEstimator(keep_else_uniform_matrix(3, 0.8))
+        b.update([0, 1, 2])
+        with pytest.raises(EstimationError, match="matrix mismatch"):
+            a.merge(b)
+
+    def test_merge_dense_matrix_mismatch_rejected(self):
+        dense_a = keep_else_uniform_matrix(3, 0.5).dense()
+        dense_b = keep_else_uniform_matrix(3, 0.6).dense()
+        a = StreamingFrequencyEstimator(dense_a)
+        b = StreamingFrequencyEstimator(dense_b)
+        with pytest.raises(EstimationError, match="matrix mismatch"):
+            a.merge(b)
+
+    def test_merge_mixed_representations_of_same_matrix(self, rng):
+        # A constant-diagonal matrix and its densified form are the
+        # same channel, so merging across representations is legal.
+        matrix = keep_else_uniform_matrix(4, 0.7)
+        compact = StreamingFrequencyEstimator(matrix)
+        dense = StreamingFrequencyEstimator(matrix.dense())
+        values = rng.integers(0, 4, 500)
+        compact.update(values[:250])
+        dense.update(values[250:])
+        compact.merge(dense)
+        assert compact.n_observed == 500
+
+    def test_add_counts(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.7)
+        values = rng.integers(0, 4, 1000)
+        direct = StreamingFrequencyEstimator(matrix)
+        direct.update(values)
+        from_counts = StreamingFrequencyEstimator(matrix)
+        from_counts.add_counts(np.bincount(values, minlength=4))
+        np.testing.assert_array_equal(direct.counts, from_counts.counts)
+        np.testing.assert_allclose(
+            direct.estimate(), from_counts.estimate(), atol=1e-12
+        )
+
+    def test_add_counts_validation(self):
+        estimator = StreamingFrequencyEstimator(keep_else_uniform_matrix(3, 0.5))
+        with pytest.raises(EstimationError, match="shape"):
+            estimator.add_counts(np.array([1, 2]))
+        with pytest.raises(EstimationError, match="non-negative"):
+            estimator.add_counts(np.array([1, -2, 3]))
+        with pytest.raises(EstimationError, match="integers"):
+            estimator.add_counts(np.array([1.0, 2.0, 3.0]))
+
 
 class TestStreamingCollector:
     @pytest.fixture
@@ -144,3 +194,47 @@ class TestStreamingCollector:
             collector.receive(np.array([0, 1]))
         with pytest.raises(EstimationError, match="shape"):
             collector.receive_batch(np.zeros((3, 2), dtype=np.int64))
+
+    def test_n_observed_fresh_collector_is_zero(self, small_schema, matrices):
+        collector = StreamingCollector(small_schema, matrices)
+        assert collector.n_observed == 0
+        assert collector.n_observed_by_attribute == {
+            name: 0 for name in small_schema.names
+        }
+
+    def test_n_observed_uneven_reported_per_attribute(
+        self, small_schema, matrices
+    ):
+        collector = StreamingCollector(small_schema, matrices)
+        collector.receive(np.zeros(small_schema.width, dtype=np.int64))
+        # Feed one attribute's estimator directly: no single record
+        # count exists any more, and the old code silently reported
+        # whichever estimator iterated first.
+        collector.estimator("flag").update(1)
+        assert collector.n_observed_by_attribute["flag"] == 2
+        with pytest.raises(EstimationError, match="unevenly"):
+            collector.n_observed
+        # repr must stay usable on the inconsistent state
+        assert "uneven" in repr(collector)
+
+    def test_failed_merge_leaves_master_untouched(
+        self, small_schema, matrices, rng
+    ):
+        # A shard matching on the first attribute but mismatched on a
+        # later one must be rejected atomically — no half-absorbed
+        # counts left behind.
+        master = StreamingCollector(small_schema, matrices)
+        master.receive(np.zeros(small_schema.width, dtype=np.int64))
+        rogue_matrices = dict(matrices)
+        rogue_matrices["color"] = keep_else_uniform_matrix(4, 0.2)
+        rogue = StreamingCollector(small_schema, rogue_matrices)
+        rogue.receive(np.zeros(small_schema.width, dtype=np.int64))
+        with pytest.raises(EstimationError, match="matrix mismatch"):
+            master.merge(rogue)
+        assert master.n_observed == 1  # not raised, not partially merged
+
+    def test_estimator_accessor(self, small_schema, matrices):
+        collector = StreamingCollector(small_schema, matrices)
+        assert collector.estimator("flag").size == 2
+        with pytest.raises(EstimationError, match="unknown"):
+            collector.estimator("nope")

@@ -9,7 +9,6 @@ from repro.core.matrices import (
     ConstantDiagonalMatrix,
     as_dense,
     cluster_matrix,
-    constant_diagonal_matrix,
     epsilon_optimal_matrix,
     frapp_matrix,
     keep_else_uniform_matrix,
@@ -218,3 +217,42 @@ class TestFrapp:
     def test_gamma_below_one_rejected(self):
         with pytest.raises(MatrixError, match=">= 1"):
             frapp_matrix(3, 0.5)
+
+
+class TestMatricesEqual:
+    def test_constant_diagonal_pairs(self):
+        from repro.core.matrices import matrices_equal
+
+        a = keep_else_uniform_matrix(4, 0.7)
+        assert matrices_equal(a, keep_else_uniform_matrix(4, 0.7))
+        assert not matrices_equal(a, keep_else_uniform_matrix(4, 0.6))
+        assert not matrices_equal(a, keep_else_uniform_matrix(5, 0.7))
+
+    def test_mixed_representations(self):
+        from repro.core.matrices import matrices_equal
+
+        a = keep_else_uniform_matrix(3, 0.5)
+        assert matrices_equal(a, a.dense())
+        assert matrices_equal(a.dense(), a)
+        assert not matrices_equal(a, keep_else_uniform_matrix(3, 0.9).dense())
+
+    def test_dense_pairs(self):
+        from repro.core.matrices import matrices_equal
+
+        a = keep_else_uniform_matrix(3, 0.5).dense()
+        b = keep_else_uniform_matrix(3, 0.5).dense()
+        assert matrices_equal(a, b)
+        assert not matrices_equal(a, keep_else_uniform_matrix(4, 0.5).dense())
+
+    def test_representation_independent_verdict(self):
+        # The dense comparison must apply the same absolute tolerance
+        # as the constant-diagonal fast path, not allclose's default
+        # relative tolerance — otherwise the same pair of channels
+        # compares unequal compactly but equal densified.
+        from repro.core.matrices import matrices_equal
+
+        a = keep_else_uniform_matrix(3, 0.7)
+        b = keep_else_uniform_matrix(3, 0.700001)
+        assert not matrices_equal(a, b)
+        assert not matrices_equal(a.dense(), b.dense())
+        assert not matrices_equal(a, b.dense())

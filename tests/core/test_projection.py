@@ -37,8 +37,24 @@ class TestClipAndRescale:
         with pytest.raises(EstimationError, match="1-D"):
             clip_and_rescale(np.zeros((2, 2)))
 
+    def test_nan_input_rejected(self):
+        # NaN survives np.clip and skips the total <= 0 fallback, so it
+        # used to come back as a NaN "distribution".
+        with pytest.raises(EstimationError, match="non-finite"):
+            clip_and_rescale(np.array([0.5, np.nan, 0.3]))
+
+    def test_inf_input_rejected(self):
+        with pytest.raises(EstimationError, match="non-finite"):
+            clip_and_rescale(np.array([0.5, np.inf, 0.3]))
+        with pytest.raises(EstimationError, match="non-finite"):
+            clip_and_rescale(np.array([0.5, -np.inf, 0.3]))
+
 
 class TestSimplexProjection:
+    def test_nan_input_rejected(self):
+        with pytest.raises(EstimationError, match="non-finite"):
+            project_to_simplex(np.array([0.5, np.nan, 0.3]))
+
     def test_proper_distribution_fixed_point(self):
         pi = np.array([0.1, 0.6, 0.3])
         np.testing.assert_allclose(project_to_simplex(pi), pi, atol=1e-12)

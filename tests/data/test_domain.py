@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.domain import Domain
-from repro.data.schema import Attribute, Schema
+from repro.data.schema import Attribute
 from repro.exceptions import DomainError
 
 

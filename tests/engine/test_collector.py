@@ -1,0 +1,109 @@
+"""Tests for the sharded collector (merge-tree over streaming state)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming import StreamingFrequencyEstimator
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.engine.collector import ShardedCollector
+from repro.exceptions import EstimationError
+from repro.protocols.independent import RRIndependent
+
+
+@pytest.fixture
+def protocol(small_schema):
+    return RRIndependent(small_schema, p=0.7)
+
+
+@pytest.fixture
+def released(protocol, small_dataset):
+    return protocol.randomize(small_dataset, rng=21)
+
+
+class TestShardedCollector:
+    def test_shard_merge_matches_monolithic(self, protocol, released):
+        collector = ShardedCollector.for_protocol(protocol)
+        shard_a = collector.new_shard()
+        shard_b = collector.new_shard()
+        shard_a.receive_batch(released.codes[:80])
+        shard_b.receive_batch(released.codes[80:])
+        collector.absorb(shard_a)
+        collector.absorb(shard_b)
+        assert collector.n_observed == released.n_records
+        for name in protocol.schema.names:
+            np.testing.assert_allclose(
+                collector.estimate_marginal(name),
+                protocol.estimate_marginal(released, name),
+                atol=1e-12,
+            )
+
+    def test_collect_chunked_and_sharded(self, protocol, released):
+        collector = ShardedCollector.for_protocol(protocol)
+        collector.collect(released.codes[:100], chunk_size=17)
+        collector.collect(released.codes[100:], chunk_size=17, workers=2)
+        assert collector.n_observed == released.n_records
+        for name in protocol.schema.names:
+            np.testing.assert_allclose(
+                collector.estimate_marginal(name),
+                protocol.estimate_marginal(released, name),
+                atol=1e-12,
+            )
+
+    def test_absorb_estimator(self, protocol, released):
+        collector = ShardedCollector.for_protocol(protocol)
+        estimator = StreamingFrequencyEstimator(protocol.matrix_for("flag"))
+        estimator.update(released.column("flag"))
+        collector.absorb_estimator("flag", estimator)
+        assert collector.merged.estimator("flag").n_observed == len(released)
+
+    def test_absorb_counts(self, protocol, released):
+        collector = ShardedCollector.for_protocol(protocol)
+        counts = {
+            name: np.bincount(
+                released.column(name),
+                minlength=protocol.schema.attribute(name).size,
+            )
+            for name in protocol.schema.names
+        }
+        collector.absorb_counts(counts)
+        assert collector.n_observed == released.n_records
+
+    def test_mismatched_shard_matrix_rejected(self, protocol, small_schema):
+        collector = ShardedCollector.for_protocol(protocol)
+        other_design = {
+            attr.name: keep_else_uniform_matrix(attr.size, 0.4)
+            for attr in small_schema
+        }
+        rogue = ShardedCollector(small_schema, other_design).new_shard()
+        rogue.receive(np.zeros(small_schema.width, dtype=np.int64))
+        with pytest.raises(EstimationError, match="matrix mismatch"):
+            collector.absorb(rogue)
+
+    def test_unknown_attribute_rejected(self, protocol):
+        collector = ShardedCollector.for_protocol(protocol)
+        with pytest.raises(EstimationError, match="unknown"):
+            collector.absorb_counts({"nope": np.array([1, 2])})
+        with pytest.raises(EstimationError, match="unknown"):
+            collector.absorb_estimator(
+                "nope", StreamingFrequencyEstimator(keep_else_uniform_matrix(2, 0.5))
+            )
+
+    def test_bad_codes_shape_rejected(self, protocol):
+        collector = ShardedCollector.for_protocol(protocol)
+        with pytest.raises(EstimationError, match="shape"):
+            collector.collect(np.zeros((4, 9), dtype=np.int64))
+
+    def test_out_of_range_codes_rejected(self, protocol, small_schema):
+        collector = ShardedCollector.for_protocol(protocol)
+        bad = np.zeros((2, small_schema.width), dtype=np.int64)
+        bad[1, 0] = 5  # "flag" has 2 categories
+        with pytest.raises(EstimationError, match="out of range.*'flag'"):
+            collector.collect(bad, chunk_size=1)
+        bad[1, 0] = -1
+        with pytest.raises(EstimationError, match="out of range"):
+            collector.collect(bad)
+
+    def test_empty_collect_noop(self, protocol, small_schema):
+        collector = ShardedCollector.for_protocol(protocol)
+        collector.collect(np.empty((0, small_schema.width), dtype=np.int64))
+        assert collector.n_observed == 0

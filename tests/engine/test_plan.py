@@ -1,0 +1,61 @@
+"""Tests for the chunk planner."""
+
+import pytest
+
+from repro.engine.plan import ChunkPlan, iter_chunks
+from repro.exceptions import ReproError
+
+
+class TestIterChunks:
+    def test_covers_exactly_once(self):
+        bounds = list(iter_chunks(10, 3))
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_exact_multiple(self):
+        assert list(iter_chunks(9, 3)) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_single_chunk_when_larger(self):
+        assert list(iter_chunks(5, 100)) == [(0, 5)]
+
+    def test_empty(self):
+        assert list(iter_chunks(0, 4)) == []
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ReproError, match="chunk_size"):
+            list(iter_chunks(5, 0))
+        with pytest.raises(ReproError, match="n_records"):
+            list(iter_chunks(-1, 3))
+
+
+class TestChunkPlan:
+    def test_n_chunks(self):
+        assert ChunkPlan(10, 3).n_chunks == 4
+        assert ChunkPlan(9, 3).n_chunks == 3
+        assert ChunkPlan(0, 3).n_chunks == 0
+
+    def test_bounds_partition_records(self):
+        plan = ChunkPlan(1001, 64)
+        bounds = plan.bounds
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 1001
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_iter_and_len(self):
+        plan = ChunkPlan(7, 2)
+        assert len(plan) == 4
+        assert list(plan) == list(plan.bounds)
+
+    def test_single(self):
+        plan = ChunkPlan.single(42)
+        assert plan.n_chunks == 1
+        assert plan.bounds == ((0, 42),)
+
+    def test_single_empty(self):
+        assert ChunkPlan.single(0).n_chunks == 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ReproError):
+            ChunkPlan(5, 0)
+        with pytest.raises(ReproError):
+            ChunkPlan(-2, 3)

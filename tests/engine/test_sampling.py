@@ -1,0 +1,154 @@
+"""Tests for the chunk-invariant counter-based sampler.
+
+Two properties matter: (1) the output is an *exact* function of
+(seed, record index) — so blockwise evaluation is bit-identical to
+whole-column evaluation for every block size — and (2) the sampler
+draws from the same distribution as the legacy sequential sampler in
+:mod:`repro.core.mechanism`, including at the edge parameters p ≈ 0,
+p ≈ 1 and r = 2 where the keep/redraw decomposition degenerates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import keep_else_uniform_matrix
+from repro.core.mechanism import randomize_column
+from repro.engine.sampling import WORDS_PER_RECORD, block_generator, randomize_block
+from repro.exceptions import MatrixError
+
+
+def _blockwise(values, matrix, seed_seq, chunk):
+    parts = [
+        randomize_block(values[start : start + chunk], matrix, seed_seq, start)
+        for start in range(0, len(values), chunk)
+    ]
+    return np.concatenate(parts)
+
+
+class TestChunkInvariance:
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 1000, 10_000])
+    def test_constant_diagonal_block_invariant(self, rng, chunk):
+        matrix = keep_else_uniform_matrix(5, 0.6)
+        values = rng.integers(0, 5, 2048)
+        seed_seq = np.random.SeedSequence(99)
+        whole = randomize_block(values, matrix, seed_seq, 0)
+        np.testing.assert_array_equal(
+            whole, _blockwise(values, matrix, seed_seq, chunk)
+        )
+
+    @pytest.mark.parametrize("chunk", [3, 100, 500])
+    def test_dense_block_invariant(self, rng, chunk):
+        dense = keep_else_uniform_matrix(4, 0.55).dense()
+        values = rng.integers(0, 4, 1500)
+        seed_seq = np.random.SeedSequence(7)
+        whole = randomize_block(values, dense, seed_seq, 0)
+        np.testing.assert_array_equal(
+            whole, _blockwise(values, dense, seed_seq, chunk)
+        )
+
+    def test_different_seeds_differ(self, rng):
+        matrix = keep_else_uniform_matrix(4, 0.3)
+        values = rng.integers(0, 4, 4000)
+        a = randomize_block(values, matrix, np.random.SeedSequence(1), 0)
+        b = randomize_block(values, matrix, np.random.SeedSequence(2), 0)
+        assert not np.array_equal(a, b)
+
+    def test_block_generator_alignment(self):
+        # One advance step must skip exactly one record's worth of words.
+        seed_seq = np.random.SeedSequence(5)
+        whole = block_generator(seed_seq, 0).random(WORDS_PER_RECORD * 10)
+        tail = block_generator(seed_seq, 3).random(WORDS_PER_RECORD * 7)
+        np.testing.assert_array_equal(whole[WORDS_PER_RECORD * 3 :], tail)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(MatrixError, match="start"):
+            block_generator(np.random.SeedSequence(0), -1)
+
+    def test_empty_block(self):
+        matrix = keep_else_uniform_matrix(3, 0.5)
+        out = randomize_block(
+            np.empty(0, dtype=np.int64), matrix, np.random.SeedSequence(0), 0
+        )
+        assert out.shape == (0,)
+
+    def test_out_of_range_rejected(self):
+        matrix = keep_else_uniform_matrix(3, 0.5)
+        with pytest.raises(MatrixError, match="out of range"):
+            randomize_block(
+                np.array([0, 3]), matrix, np.random.SeedSequence(0), 0
+            )
+
+
+class TestDistributionAgainstLegacySampler:
+    """Engine sampler vs legacy sampler: same channel, different streams."""
+
+    N = 120_000
+
+    def _freq(self, values, matrix, size, *, engine):
+        if engine:
+            out = randomize_block(values, matrix, np.random.SeedSequence(3), 0)
+        else:
+            out = randomize_column(values, matrix, np.random.default_rng(4))
+        return np.bincount(out, minlength=size) / values.size
+
+    @pytest.mark.parametrize("p", [0.001, 0.5, 0.999])
+    def test_constant_diagonal_matches(self, rng, p):
+        matrix = keep_else_uniform_matrix(6, p)
+        values = rng.integers(0, 6, self.N)
+        engine_freq = self._freq(values, matrix, 6, engine=True)
+        legacy_freq = self._freq(values, matrix, 6, engine=False)
+        np.testing.assert_allclose(engine_freq, legacy_freq, atol=0.012)
+
+    def test_dense_matches(self, rng):
+        dense = np.array(
+            [[0.8, 0.15, 0.05], [0.1, 0.85, 0.05], [0.25, 0.25, 0.5]]
+        )
+        values = rng.integers(0, 3, self.N)
+        engine_freq = self._freq(values, dense, 3, engine=True)
+        legacy_freq = self._freq(values, dense, 3, engine=False)
+        np.testing.assert_allclose(engine_freq, legacy_freq, atol=0.012)
+
+
+class TestDenseVsConstantDiagonalEdgeParameters:
+    """Satellite: the two execution paths are exact samplers of the same
+    distribution, checked against the matrix row at p ≈ 0, p ≈ 1, r = 2."""
+
+    N = 200_000
+
+    @pytest.mark.parametrize(
+        "size,p",
+        [(2, 0.001), (2, 0.999), (2, 0.5), (4, 0.001), (4, 0.999)],
+    )
+    def test_row_frequencies_match_matrix(self, size, p):
+        matrix = keep_else_uniform_matrix(size, p)
+        true_value = size - 1
+        values = np.full(self.N, true_value, dtype=np.int64)
+        expected = matrix.dense()[true_value]
+
+        fast = randomize_column(values, matrix, np.random.default_rng(11))
+        dense = randomize_column(
+            values, matrix.dense(), np.random.default_rng(12)
+        )
+        engine = randomize_block(values, matrix, np.random.SeedSequence(13), 0)
+
+        for out in (fast, dense, engine):
+            freq = np.bincount(out, minlength=size) / self.N
+            np.testing.assert_allclose(freq, expected, atol=0.01)
+
+    def test_near_identity_keeps_values(self, rng):
+        # p ≈ 1: both paths must keep essentially everything.
+        matrix = keep_else_uniform_matrix(3, 0.9999)
+        values = rng.integers(0, 3, 50_000)
+        fast = randomize_column(values, matrix, np.random.default_rng(0))
+        dense = randomize_column(values, matrix.dense(), np.random.default_rng(1))
+        assert (fast != values).mean() < 0.002
+        assert (dense != values).mean() < 0.002
+
+    def test_near_uniform_forgets_values(self, rng):
+        # p ≈ 0: the channel is almost the uniform channel on r = 2.
+        matrix = keep_else_uniform_matrix(2, 1e-6)
+        values = np.zeros(self.N, dtype=np.int64)
+        fast = randomize_column(values, matrix, np.random.default_rng(2))
+        dense = randomize_column(values, matrix.dense(), np.random.default_rng(3))
+        assert abs(fast.mean() - 0.5) < 0.01
+        assert abs(dense.mean() - 0.5) < 0.01

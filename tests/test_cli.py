@@ -3,7 +3,6 @@
 import csv
 import json
 
-import numpy as np
 import pytest
 
 from repro.cli import anonymize_csv, main
@@ -119,6 +118,32 @@ class TestAnonymizeCsv:
             "smokes", "alcohol", "stress"
         }
 
+    def test_chunked_deterministic_across_chunkings(self, survey_csv, tmp_path):
+        cols = ["smokes", "alcohol", "stress"]
+        outputs = []
+        for label, chunk_size, workers in [
+            ("mono", 10**9, 1), ("chunked", 64, 1), ("sharded", 64, 2),
+        ]:
+            out = tmp_path / f"{label}.csv"
+            report = anonymize_csv(
+                survey_csv, out, p=0.5, columns=cols, seed=9,
+                chunk_size=chunk_size, workers=workers,
+            )
+            assert report["engine"] == {
+                "chunk_size": chunk_size, "workers": workers
+            }
+            outputs.append(out.read_text())
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_chunked_clusters_mode(self, survey_csv, tmp_path):
+        report = anonymize_csv(
+            survey_csv, tmp_path / "out.csv", p=0.6,
+            columns=["smokes", "alcohol", "stress"],
+            clusters="smokes+alcohol,stress", seed=5,
+            chunk_size=50, workers=2,
+        )
+        assert report["protocol"] == "RR-Clusters"
+
     def test_unknown_column_rejected(self, survey_csv, tmp_path):
         with pytest.raises(ReproError, match="not in header"):
             anonymize_csv(
@@ -157,9 +182,28 @@ class TestMainEntry:
         assert out.exists()
         assert "RR-Independent" in capsys.readouterr().out
 
+    def test_engine_flags(self, survey_csv, tmp_path, capsys):
+        out = tmp_path / "out.csv"
+        code = main(
+            [
+                str(survey_csv), "-o", str(out), "--p", "0.7",
+                "--columns", "smokes,alcohol,stress", "--seed", "1",
+                "--chunk-size", "128", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
     def test_bad_p_rejected(self, survey_csv, tmp_path):
         with pytest.raises(SystemExit):
             main([str(survey_csv), "-o", str(tmp_path / "o.csv"), "--p", "1.5"])
+
+    def test_bad_engine_flags_rejected(self, survey_csv, tmp_path):
+        base = [str(survey_csv), "-o", str(tmp_path / "o.csv"), "--p", "0.5"]
+        with pytest.raises(SystemExit):
+            main(base + ["--chunk-size", "0"])
+        with pytest.raises(SystemExit):
+            main(base + ["--workers", "0"])
 
     def test_error_path_returns_one(self, tmp_path, capsys):
         code = main(
