@@ -1,0 +1,102 @@
+"""Collector service: encode -> crash -> recover -> query.
+
+The paper's collector pools all randomized responses and inverts the
+RR matrices once; a deployed collector receives reports as *bytes*,
+over time, and must survive restarts. This example walks the full
+service loop:
+
+1. parties randomize locally and encode reports as wire frames,
+2. a collector ingests them with a write-ahead log + checkpoints,
+3. the collector "crashes" mid-stream,
+4. a fresh process recovers (checkpoint + log tail) and finishes,
+5. a cached query front-end serves estimates — byte-identical to an
+   uninterrupted run.
+
+Run:  python examples/collector_service.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.service import CollectorService, ReportCodec
+
+
+def main() -> None:
+    data = repro.synthesize_adult(n=20_000, rng=7)
+    protocol = repro.RRIndependent(data.schema, p=0.7)
+
+    # --- 1. Party side: randomize locally, encode as wire frames ------
+    released = protocol.randomize(data, rng=0)
+    codec = ReportCodec(data.schema)
+    frames = [
+        codec.encode(released.codes[start : start + 500])
+        for start in range(0, released.n_records, 500)
+    ]
+    packed = codec.record_bytes
+    raw = 8 * data.schema.width
+    print(
+        f"encoded {released.n_records} reports into {len(frames)} frames: "
+        f"{packed} B/record packed vs {raw} B raw int64 "
+        f"({raw / packed:.0f}x smaller)"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        state_dir = Path(tmp) / "collector-state"
+
+        # --- 2. Collector: durable ingestion ---------------------------
+        service = CollectorService.for_protocol(
+            protocol, state_dir, checkpoint_every=10
+        )
+        for frame in frames[:27]:  # checkpoints fire at frames 10 and 20
+            service.ingest_frame(frame)
+        print(
+            f"ingested {service.frames_applied} frames "
+            f"({service.n_observed} reports), last checkpoint at frame 20"
+        )
+
+        # --- 3. Crash: the process dies. Frames 21-27 exist only in the
+        # write-ahead log; nothing else is saved. -----------------------
+        del service
+        print("collector crashed (no clean shutdown, no final checkpoint)")
+
+        # --- 4. Recovery: checkpoint counts + replay of the log tail ---
+        recovered = CollectorService.for_protocol(
+            protocol, state_dir, checkpoint_every=10
+        )
+        print(
+            f"recovered {recovered.frames_applied} frames "
+            f"({recovered.n_observed} reports) — nothing lost"
+        )
+        recovered.ingest(frames[27:])
+        recovered.checkpoint()
+
+        # --- 5. Cached queries -----------------------------------------
+        front = recovered.queries
+        income = front.marginal("income")
+        front.marginal("income")  # dashboard refresh: served from cache
+        table = front.pair_table("education", "income")
+        print(f"\nestimated income marginal: {np.round(income, 4)}")
+        print(f"pair table education x income: shape {table.shape}")
+        print(f"cache stats: {front.stats}")
+
+        # The recovered run matches an uninterrupted one byte for byte.
+        reference = CollectorService.for_protocol(
+            protocol, Path(tmp) / "reference"
+        )
+        reference.ingest(frames)
+        for name in data.schema.names:
+            assert (
+                recovered.estimate_marginal(name).tobytes()
+                == reference.estimate_marginal(name).tobytes()
+            )
+        print("\nrecovered estimates are byte-identical to an "
+              "uninterrupted run")
+        recovered.close()
+        reference.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,8 @@ from repro.exceptions import (
     ProtocolError,
     QueryError,
     SecureSumError,
+    ServiceError,
+    CodecError,
 )
 from repro.data import (
     Attribute,
@@ -133,6 +135,13 @@ from repro.engine import (
     ColumnTask,
     ShardedCollector,
 )
+# Service layers on the engine.
+from repro.service import (
+    ReportCodec,
+    CollectorService,
+    IngestionPipeline,
+    QueryFrontend,
+)
 
 __version__ = "1.0.0"
 
@@ -141,6 +150,7 @@ __all__ = [
     "ReproError", "SchemaError", "DomainError", "DatasetError",
     "MatrixError", "EstimationError", "PrivacyError", "ClusteringError",
     "ProtocolError", "QueryError", "SecureSumError",
+    "ServiceError", "CodecError",
     # data
     "Attribute", "Schema", "Dataset", "Domain",
     "adult_schema", "load_adult", "synthesize_adult", "replicate",
@@ -183,4 +193,6 @@ __all__ = [
     "estimate_variance", "estimate_quantile",
     # engine
     "ChunkPlan", "ColumnTask", "ShardedCollector",
+    # service
+    "ReportCodec", "CollectorService", "IngestionPipeline", "QueryFrontend",
 ]

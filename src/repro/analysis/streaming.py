@@ -239,6 +239,47 @@ class StreamingCollector:
         for j, attr in enumerate(self._schema):
             self._estimators[attr.name].update(batch[:, j])
 
+    def snapshot_counts(self) -> dict:
+        """Copy of every attribute's count vector (checkpoint hook).
+
+        The full streaming state is ``(schema, matrices, counts)``; the
+        first two are the collector's static design, so a checkpoint
+        only has to persist the counts returned here.
+        """
+        return {
+            name: estimator.counts
+            for name, estimator in self._estimators.items()
+        }
+
+    def restore_counts(self, counts) -> None:
+        """Replace state with checkpointed count vectors (recovery hook).
+
+        Only a *fresh* collector may be restored: restoring over
+        observed state would silently double-count, so that is refused.
+        Every vector is validated before any is applied.
+        """
+        if any(e.n_observed for e in self._estimators.values()):
+            raise EstimationError(
+                "cannot restore counts into a collector that has already "
+                "observed responses"
+            )
+        missing = set(self._estimators) - set(counts)
+        if missing:
+            raise EstimationError(
+                f"restore counts missing for {sorted(missing)}"
+            )
+        unknown = set(counts) - set(self._estimators)
+        if unknown:
+            raise EstimationError(
+                f"restore counts for unknown attributes {sorted(unknown)}"
+            )
+        validated = {
+            name: self._estimators[name].validate_counts(vector)
+            for name, vector in counts.items()
+        }
+        for name, vector in validated.items():
+            self._estimators[name].add_validated_counts(vector)
+
     def estimate_marginal(self, name: str, repair: str = "clip") -> np.ndarray:
         if name not in self._estimators:
             raise EstimationError(f"unknown attribute {name!r}")

@@ -7,6 +7,11 @@ plus a JSON report with the privacy ledger — everything a data
 controller needs to publish alongside the release so analysts can run
 Eq. (2) on their side.
 
+The collector-service subcommands (``encode``, ``ingest``, ``query``,
+see :mod:`repro.service.cli`) cover the streaming deployment instead:
+parties encode randomized reports as wire frames, a durable collector
+ingests them with crash recovery, and consumers query cached estimates.
+
 Examples::
 
     repro-anonymize survey.csv -o survey_rr.csv --p 0.7
@@ -14,6 +19,10 @@ Examples::
         --columns smokes,alcohol,therapy \
         --clusters "smokes+alcohol,therapy" \
         --report release.json --seed 42
+    repro-anonymize encode survey.csv -o reports.rrw \
+        --design design.json --p 0.7 --seed 42
+    repro-anonymize ingest reports.rrw -s state/ --design design.json
+    repro-anonymize query -s state/ --design design.json
 """
 
 from __future__ import annotations
@@ -34,7 +43,27 @@ from repro.exceptions import ReproError
 from repro.protocols.clusters import RRClusters
 from repro.protocols.independent import RRIndependent
 
-__all__ = ["main", "anonymize_csv"]
+__all__ = ["main", "anonymize_csv", "positive_int"]
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for strictly positive integer flags.
+
+    Rejects non-numeric and non-positive values at parse time with a
+    clear message instead of letting them surface as deep tracebacks
+    from the engine or service internals.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer (>= 1), got {value}"
+        )
+    return value
 
 
 def _read_csv(path: Path, columns: list | None):
@@ -174,9 +203,28 @@ def anonymize_csv(
 
 
 def main(argv=None) -> int:
+    """Entry point: dispatch service subcommands, else anonymize a CSV.
+
+    Dispatch is by the first argument only, keeping the original
+    positional-input interface intact. A CSV literally named
+    ``encode``/``ingest``/``query`` routes to the subcommand — pass it
+    as ``./encode`` to anonymize it.
+    """
+    args = list(sys.argv[1:]) if argv is None else list(argv)
+    if args and args[0] in ("encode", "ingest", "query"):
+        # Imported here (not at module top) to avoid a cycle:
+        # repro.service.cli imports the CSV helpers from this module.
+        from repro.service.cli import service_main
+
+        return service_main(args)
+    return _anonymize_main(args)
+
+
+def _anonymize_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-anonymize",
-        description="Locally anonymize a CSV with randomized response.",
+        description="Locally anonymize a CSV with randomized response "
+        "(subcommands encode/ingest/query drive the collector service).",
     )
     parser.add_argument("input", type=Path, help="input CSV (with header)")
     parser.add_argument(
@@ -207,14 +255,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--chunk-size",
-        type=int,
+        type=positive_int,
         default=None,
         help="randomize in blocks of this many records (bounded memory; "
         "default: whole file in one shot)",
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=positive_int,
         default=1,
         help="fan chunks out across this many processes (default: 1)",
     )
@@ -222,10 +270,6 @@ def main(argv=None) -> int:
 
     if not 0.0 < args.p < 1.0:
         parser.error("--p must be strictly between 0 and 1")
-    if args.chunk_size is not None and args.chunk_size < 1:
-        parser.error("--chunk-size must be >= 1")
-    if args.workers < 1:
-        parser.error("--workers must be >= 1")
     columns = (
         [c.strip() for c in args.columns.split(",")] if args.columns else None
     )

@@ -57,6 +57,15 @@ class ShardedCollector:
         return self._schema
 
     @property
+    def matrices(self) -> dict:
+        """The ``{attribute name: matrix}`` design this collector inverts.
+
+        Exposed for the service layer: checkpoints fingerprint these to
+        refuse restoring counts collected under a different design.
+        """
+        return dict(self._matrices)
+
+    @property
     def merged(self) -> StreamingCollector:
         """The master collector holding the union of all absorbed state."""
         return self._master

@@ -19,6 +19,8 @@ __all__ = [
     "ProtocolError",
     "QueryError",
     "SecureSumError",
+    "ServiceError",
+    "CodecError",
 ]
 
 
@@ -74,3 +76,13 @@ class QueryError(ReproError):
 class SecureSumError(ReproError):
     """Secure-sum protocol failure (share/modulus mismatch, wrong
     number of broadcasts, overflow of the additive group, ...)."""
+
+
+class ServiceError(ReproError):
+    """Collector-service failure (ingestion-log corruption, checkpoint
+    mismatch, state-directory misuse, ...)."""
+
+
+class CodecError(ServiceError):
+    """Invalid report wire frame (bad magic/version, schema fingerprint
+    mismatch, truncated or corrupted buffer, out-of-range codes, ...)."""

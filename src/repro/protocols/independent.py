@@ -101,6 +101,16 @@ class RRIndependent:
         return self._matrices[name]
 
     @property
+    def matrices(self) -> dict:
+        """The full ``{attribute name: matrix}`` design (copy).
+
+        The export hook for ``for_protocol``-style constructions: a
+        collector, service, or checkpoint validator needs the whole
+        design at once, not one ``matrix_for`` lookup per attribute.
+        """
+        return dict(self._matrices)
+
+    @property
     def epsilon(self) -> float:
         """Total budget: sequential composition over attributes (§4)."""
         return self.accountant().total_epsilon

@@ -1,0 +1,44 @@
+"""Collector service layer: wire codec, durable ingestion, cached queries.
+
+The paper's collector is a batch abstraction — pool everything, invert
+once. This package is the deployment-shaped counterpart (the RAPPOR-
+style loop of §7): parties ship randomized records as compact bytes,
+the collector survives crashes via a write-ahead log + checkpoints, and
+downstream consumers query estimates through an invalidation-aware
+cache.
+
+* :mod:`repro.service.codec` — versioned, bit-packed wire frames with a
+  schema fingerprint header and CRC trailer.
+* :mod:`repro.service.journal` — append-only ingestion log and
+  atomic checkpoint pairs (npz counts + JSON sidecar).
+* :mod:`repro.service.pipeline` — batched absorption through the
+  engine's sharded collector; :class:`CollectorService` ties codec,
+  log, checkpoints and queries into one durable process state.
+* :mod:`repro.service.query` — LRU cache over marginal / pair-table /
+  set-frequency estimates, keyed on (query, observed counts).
+* :mod:`repro.service.cli` — ``encode`` / ``ingest`` / ``query``
+  subcommands of ``repro-anonymize``.
+"""
+
+from repro.service.codec import (
+    ReportCodec,
+    design_fingerprint,
+    matrix_fingerprint,
+    schema_fingerprint,
+)
+from repro.service.journal import FrameWriter, IngestionLog, read_frames
+from repro.service.pipeline import CollectorService, IngestionPipeline
+from repro.service.query import QueryFrontend
+
+__all__ = [
+    "ReportCodec",
+    "schema_fingerprint",
+    "matrix_fingerprint",
+    "design_fingerprint",
+    "FrameWriter",
+    "IngestionLog",
+    "read_frames",
+    "IngestionPipeline",
+    "CollectorService",
+    "QueryFrontend",
+]

@@ -1,0 +1,393 @@
+"""``repro-anonymize encode|ingest|query`` — the collector service CLI.
+
+End-to-end wiring of the service layer on CSV input:
+
+* ``encode`` — the party side: randomize a CSV locally (RR-Independent)
+  and write the responses as wire frames plus a JSON *design file* (the
+  schema, ``p`` and fingerprints a collector needs to reconstruct the
+  matching matrices).
+* ``ingest`` — the collector side: stream a report file into a
+  checkpointed state directory (write-ahead log + periodic snapshots).
+  ``--stop-after`` aborts mid-stream without a final checkpoint — a
+  scriptable crash — and ``--resume`` recovers and continues where the
+  crashed run left off.
+* ``query`` — the consumer side: recover the collector from its state
+  directory and print Eq. (2) estimates as JSON.
+
+Examples::
+
+    repro-anonymize encode survey.csv -o reports.rrw \
+        --design design.json --p 0.7 --seed 42
+    repro-anonymize ingest reports.rrw -s state/ --design design.json \
+        --checkpoint-every 50
+    repro-anonymize query -s state/ --design design.json --marginal smokes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import _build_schema, _read_csv, positive_int
+from repro.data.dataset import Dataset
+from repro.exceptions import ReproError, ServiceError
+from repro.protocols.independent import RRIndependent
+from repro.service.codec import (
+    ReportCodec,
+    design_fingerprint,
+    schema_fingerprint,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.service.journal import (
+    CHECKPOINT_JSON,
+    LOG_NAME,
+    FrameWriter,
+    read_frames,
+)
+from repro.service.pipeline import DEFAULT_BATCH_SIZE, CollectorService
+
+__all__ = ["service_main", "SERVICE_COMMANDS"]
+
+_DESIGN_VERSION = 1
+#: Records per wire frame written by ``encode`` (one log entry each).
+DEFAULT_FRAME_RECORDS = 512
+
+
+# ----------------------------------------------------------------------
+# Design files
+# ----------------------------------------------------------------------
+def write_design(path: Path, protocol: RRIndependent, p: float, extra: dict) -> None:
+    payload = {
+        "version": _DESIGN_VERSION,
+        "protocol": "RR-Independent",
+        "p": p,
+        "schema": schema_to_dict(protocol.schema),
+        "schema_fingerprint": schema_fingerprint(protocol.schema),
+        "design_fingerprint": design_fingerprint(
+            protocol.schema, protocol.matrices
+        ),
+        **extra,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_design(path: Path) -> "tuple[RRIndependent, dict]":
+    """Rebuild the protocol a design file describes (and verify it)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"{path}: not valid JSON: {exc}") from None
+    if payload.get("version") != _DESIGN_VERSION:
+        raise ServiceError(
+            f"{path}: unsupported design version {payload.get('version')!r}"
+        )
+    if payload.get("protocol") != "RR-Independent":
+        raise ServiceError(
+            f"{path}: unsupported protocol {payload.get('protocol')!r}"
+        )
+    schema = schema_from_dict(payload.get("schema", ()))
+    if schema_fingerprint(schema) != payload.get("schema_fingerprint"):
+        raise ServiceError(
+            f"{path}: schema fingerprint does not match the schema body; "
+            "design file was edited or corrupted"
+        )
+    p = payload.get("p")
+    if not isinstance(p, (int, float)) or not 0.0 < p < 1.0:
+        raise ServiceError(f"{path}: p must be in (0, 1), got {p!r}")
+    protocol = RRIndependent(schema, p=float(p))
+    recomputed = design_fingerprint(schema, protocol.matrices)
+    if recomputed != payload.get("design_fingerprint"):
+        raise ServiceError(
+            f"{path}: design fingerprint mismatch; matrices cannot be "
+            "reconstructed from this file"
+        )
+    return protocol, payload
+
+
+def _service_from_design(args) -> CollectorService:
+    protocol, _ = load_design(args.design)
+    return CollectorService.for_protocol(
+        protocol,
+        args.state_dir,
+        batch_size=args.batch_size,
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+    )
+
+
+def _state_dir_has_state(state_dir: Path) -> bool:
+    if (state_dir / CHECKPOINT_JSON).exists():
+        return True
+    log = state_dir / LOG_NAME
+    return log.exists() and log.stat().st_size > 0
+
+
+# ----------------------------------------------------------------------
+# encode
+# ----------------------------------------------------------------------
+def _encode(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize encode",
+        description="Randomize a CSV and write wire-format report frames.",
+    )
+    parser.add_argument("input", type=Path, help="input CSV (with header)")
+    parser.add_argument(
+        "-o", "--output", type=Path, required=True,
+        help="binary report file (length-prefixed wire frames)",
+    )
+    parser.add_argument(
+        "--design", type=Path, required=True,
+        help="write the JSON design file the collector ingests with",
+    )
+    parser.add_argument(
+        "--p", type=float, required=True,
+        help="keep probability of the §6.3.1 matrix (0 < p < 1)",
+    )
+    parser.add_argument(
+        "--columns", type=str, default=None,
+        help="comma-separated columns to randomize (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--frame-records", type=positive_int, default=DEFAULT_FRAME_RECORDS,
+        help="records per wire frame (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=positive_int, default=None,
+        help="randomize in blocks of this many records",
+    )
+    parser.add_argument(
+        "--workers", type=positive_int, default=1,
+        help="fan randomization chunks across this many processes",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.p < 1.0:
+        parser.error("--p must be strictly between 0 and 1")
+
+    _, rows, selected, positions = _read_csv(args.input, _columns(args))
+    schema = _build_schema(rows, selected, positions)
+    codes = np.array(
+        [
+            [
+                schema.attribute(j).index_of(row[pos])
+                for j, pos in enumerate(positions)
+            ]
+            for row in rows
+        ],
+        dtype=np.int64,
+    )
+    dataset = Dataset(schema, codes, copy=False)
+    protocol = RRIndependent(schema, p=args.p)
+    released = protocol.randomize(
+        dataset, args.seed, chunk_size=args.chunk_size, workers=args.workers
+    )
+    codec = ReportCodec(schema)
+    n_frames = 0
+    with FrameWriter(args.output) as writer:
+        for start in range(0, released.n_records, args.frame_records):
+            stop = min(start + args.frame_records, released.n_records)
+            writer.write(codec.encode(released.codes[start:stop]))
+            n_frames += 1
+        writer.sync()
+    # The design file travels to the collector: it must carry only what
+    # estimation needs (schema + p). The randomization seed stays
+    # party-side — the sampler's draws are data-independent, so a seed
+    # in collector hands would reveal exactly which records were kept
+    # and void the RR guarantee.
+    write_design(
+        args.design, protocol, args.p, {"n_records": released.n_records}
+    )
+    print(
+        f"encoded {released.n_records} records into {n_frames} frames "
+        f"({codec.record_bytes} B/record packed) -> {args.output}"
+    )
+    return 0
+
+
+def _columns(args):
+    return (
+        [c.strip() for c in args.columns.split(",")] if args.columns else None
+    )
+
+
+# ----------------------------------------------------------------------
+# ingest
+# ----------------------------------------------------------------------
+def _ingest(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize ingest",
+        description="Stream report frames into a checkpointed collector.",
+    )
+    parser.add_argument("reports", type=Path, help="binary report file")
+    parser.add_argument(
+        "-s", "--state-dir", type=Path, required=True,
+        help="collector state directory (log + checkpoints)",
+    )
+    parser.add_argument(
+        "--design", type=Path, required=True,
+        help="design file written by encode",
+    )
+    parser.add_argument(
+        "--batch-size", type=positive_int, default=DEFAULT_BATCH_SIZE,
+        help="records buffered per absorption pass (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=positive_int, default=None,
+        help="snapshot state every N ingested frames (default: only at end)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="recover existing state and skip frames already ingested",
+    )
+    parser.add_argument(
+        "--stop-after", type=positive_int, default=None,
+        help="stop after N frames without a final checkpoint "
+        "(simulated crash; use --resume to continue)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.resume and _state_dir_has_state(args.state_dir):
+        print(
+            f"error: {args.state_dir} already holds collector state; "
+            "pass --resume to recover and continue",
+            file=sys.stderr,
+        )
+        return 1
+    service = _service_from_design(args)
+    try:
+        skip = service.frames_applied if args.resume else 0
+        reports_stream = read_frames(args.reports)
+        if skip:
+            # Resume skips by count, so bind the identity too: the
+            # skipped prefix must be byte-equal to what the log holds,
+            # or we would silently continue an unrelated stream (e.g.
+            # a re-encoded reports file with a fresh seed). Streamed
+            # frame-by-frame — neither file is materialized.
+            logged = service.log.replay(0)
+            for _ in range(skip):
+                if next(reports_stream, None) != next(logged, None):
+                    raise ServiceError(
+                        f"{args.reports}: the first {skip} frames do not "
+                        "match the frames already ingested into "
+                        f"{args.state_dir}; resume requires the same "
+                        "reports file the crashed run was ingesting"
+                    )
+            logged.close()
+        ingested = 0
+        stopped_early = False
+        for frame in reports_stream:
+            service.ingest_frame(frame)
+            ingested += 1
+            if args.stop_after is not None and ingested >= args.stop_after:
+                stopped_early = True
+                break
+        if not stopped_early:
+            service.checkpoint()
+        summary = {
+            "reports": str(args.reports),
+            "state_dir": str(args.state_dir),
+            "frames_skipped": skip,
+            "frames_ingested": ingested,
+            "frames_applied_total": service.frames_applied,
+            "n_observed": service.n_observed,
+            "checkpointed": not stopped_early,
+        }
+    finally:
+        service.close()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if stopped_early:
+        print(
+            f"stopped after {ingested} frames without checkpoint "
+            "(simulated crash); rerun with --resume to continue",
+            file=sys.stderr,
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# query
+# ----------------------------------------------------------------------
+def _query(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize query",
+        description="Recover a collector and print Eq. (2) estimates.",
+    )
+    parser.add_argument(
+        "-s", "--state-dir", type=Path, required=True,
+        help="collector state directory",
+    )
+    parser.add_argument(
+        "--design", type=Path, required=True,
+        help="design file written by encode",
+    )
+    parser.add_argument(
+        "--marginal", action="append", default=None, metavar="NAME",
+        help="estimate one attribute's marginal (repeatable; "
+        "default: all attributes)",
+    )
+    parser.add_argument(
+        "--pair", nargs=2, action="append", default=None,
+        metavar=("A", "B"), help="estimate a pair table (repeatable)",
+    )
+    parser.add_argument(
+        "--repair", choices=("clip", "none"), default="clip",
+        help="post-processing of raw Eq. (2) estimates (default: clip)",
+    )
+    parser.add_argument(
+        "--batch-size", type=positive_int, default=DEFAULT_BATCH_SIZE,
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the JSON answer here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    service = _service_from_design(args)
+    try:
+        front = service.queries
+        names = args.marginal or list(service.schema.names)
+        answer = {
+            "n_observed": service.n_observed,
+            "repair": args.repair,
+            "marginals": {
+                name: [float(x) for x in front.marginal(name, args.repair)]
+                for name in names
+            },
+        }
+        if args.pair:
+            answer["pairs"] = {
+                f"{a}|{b}": [
+                    [float(x) for x in row]
+                    for row in front.pair_table(a, b, args.repair)
+                ]
+                for a, b in args.pair
+            }
+        answer["cache"] = front.stats
+    finally:
+        service.close()
+    text = json.dumps(answer, indent=2, sort_keys=True)
+    if args.output is not None:
+        args.output.write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+SERVICE_COMMANDS = {"encode": _encode, "ingest": _ingest, "query": _query}
+
+
+def service_main(argv) -> int:
+    """Dispatch ``argv`` (starting with the subcommand name)."""
+    command, rest = argv[0], argv[1:]
+    try:
+        return SERVICE_COMMANDS[command](rest)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,277 @@
+"""Report wire codec — randomized records as compact, versioned bytes.
+
+A party that has randomized its record locally (§3.1 step 4) still has
+to move the result to the collector. This module defines that wire
+format: one *frame* carries a batch of ``k >= 1`` randomized records,
+each attribute's category code bit-packed to ``ceil(log2 |A|)`` bits,
+preceded by a fixed header and followed by a CRC-32 trailer::
+
+    offset  size  field
+    0       4     magic  b"MRR1"
+    4       1     format version (currently 1)
+    5       1     flags (reserved, must be 0)
+    6       8     schema fingerprint (little-endian u64)
+    14      4     record count k (little-endian u32)
+    18      k*b   payload, b = ceil(sum_j bits_j / 8) bytes per record
+    18+k*b  4     CRC-32 of everything before it (little-endian u32)
+
+The schema fingerprint pins the frame to one attribute layout: a
+collector built for a different schema rejects the frame instead of
+mis-slicing the bit stream. Decoding round-trips byte-exactly
+(``decode(encode(x)) == x`` and ``encode(decode(b)) == b``) and rejects
+truncated buffers, flipped bits (CRC), and codes outside an attribute's
+domain (reachable when ``|A|`` is not a power of two).
+
+The module also owns the canonical fingerprints (schema, matrix,
+design) shared by the checkpoint sidecar, plus JSON schema
+serialization for the CLI design files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+
+import numpy as np
+
+from repro.core.matrices import as_dense
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import CodecError
+
+__all__ = [
+    "WIRE_VERSION",
+    "ReportCodec",
+    "schema_fingerprint",
+    "matrix_fingerprint",
+    "design_fingerprint",
+    "schema_to_dict",
+    "schema_from_dict",
+]
+
+MAGIC = b"MRR1"
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct("<4sBBQI")  # magic, version, flags, fingerprint, k
+_TRAILER = struct.Struct("<I")  # crc32
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def schema_fingerprint(schema: Schema) -> int:
+    """Stable 64-bit fingerprint of a schema's attribute layout.
+
+    Covers names, ordered category labels and kinds — everything that
+    decides how a record is bit-packed and what its codes mean. Labels
+    hash through ``repr``, so any label with a stable repr (str, int,
+    ...) fingerprints deterministically across processes.
+    """
+    digest = hashlib.sha256()
+    for attr in schema:
+        digest.update(
+            repr((attr.name, attr.categories, attr.kind)).encode("utf-8")
+        )
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+def matrix_fingerprint(matrix) -> str:
+    """Representation-independent fingerprint of one RR matrix.
+
+    Densifies either representation and hashes the rounded entries, so
+    a :class:`~repro.core.matrices.ConstantDiagonalMatrix` and its
+    dense materialization fingerprint identically — the same channel
+    equivalence :func:`~repro.core.matrices.matrices_equal` enforces at
+    merge time, applied at checkpoint-validation time.
+    """
+    dense = np.round(as_dense(matrix), 12) + 0.0  # +0.0 folds -0.0 to 0.0
+    digest = hashlib.sha256(dense.tobytes())
+    digest.update(str(dense.shape[0]).encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+def design_fingerprint(schema: Schema, matrices) -> str:
+    """Fingerprint of a whole collection design (schema + all matrices)."""
+    digest = hashlib.sha256()
+    digest.update(schema_fingerprint(schema).to_bytes(8, "little"))
+    for attr in schema:
+        digest.update(matrix_fingerprint(matrices[attr.name]).encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Schema <-> JSON (CLI design files)
+# ----------------------------------------------------------------------
+def schema_to_dict(schema: Schema) -> list:
+    """JSON-serializable attribute list (labels must be JSON values)."""
+    return [
+        {
+            "name": attr.name,
+            "categories": list(attr.categories),
+            "kind": attr.kind,
+        }
+        for attr in schema
+    ]
+
+
+def schema_from_dict(payload) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output.
+
+    JSON round-trips turn label tuples into lists; this restores the
+    tuples so the fingerprint matches the original schema.
+    """
+    try:
+        return Schema(
+            Attribute(
+                entry["name"], tuple(entry["categories"]), entry["kind"]
+            )
+            for entry in payload
+        )
+    except (KeyError, TypeError) as exc:
+        raise CodecError(f"malformed schema payload: {exc!r}") from None
+
+
+# ----------------------------------------------------------------------
+# The codec
+# ----------------------------------------------------------------------
+class ReportCodec:
+    """Bit-packing encoder/decoder for one schema's randomized records."""
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._fingerprint = schema_fingerprint(schema)
+        self._bits = tuple(
+            max(1, (attr.size - 1).bit_length()) for attr in schema
+        )
+        self._record_bits = sum(self._bits)
+        self._record_bytes = (self._record_bits + 7) // 8
+        self._sizes = np.asarray(schema.sizes, dtype=np.int64)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def fingerprint(self) -> int:
+        return self._fingerprint
+
+    @property
+    def bits_per_attribute(self) -> tuple:
+        """Packed width ``ceil(log2 |A_j|)`` of each attribute."""
+        return self._bits
+
+    @property
+    def record_bytes(self) -> int:
+        """Packed payload bytes per record."""
+        return self._record_bytes
+
+    def frame_size(self, n_records: int) -> int:
+        """Total frame length in bytes for a batch of ``n_records``."""
+        return _HEADER.size + n_records * self._record_bytes + _TRAILER.size
+
+    # ------------------------------------------------------------------
+    def encode(self, records) -> bytes:
+        """One wire frame for a batch of randomized records.
+
+        ``records`` is a single length-m code vector or a ``(k, m)``
+        batch; codes must lie inside each attribute's domain.
+        """
+        raw = np.asarray(records)
+        if not np.issubdtype(raw.dtype, np.integer):
+            raise CodecError(
+                f"records must be integer codes, got dtype {raw.dtype}"
+            )
+        batch = np.atleast_2d(raw.astype(np.int64))
+        if batch.ndim != 2 or batch.shape[1] != self._schema.width:
+            raise CodecError(
+                f"records must have shape (k, {self._schema.width}), "
+                f"got {np.asarray(records).shape}"
+            )
+        if batch.shape[0] == 0:
+            raise CodecError("a frame must carry at least one record")
+        if batch.min() < 0 or (batch >= self._sizes[None, :]).any():
+            bad = np.argwhere(
+                (batch < 0) | (batch >= self._sizes[None, :])
+            )[0]
+            raise CodecError(
+                f"code out of range for attribute "
+                f"{self._schema.names[bad[1]]!r} at record {bad[0]}"
+            )
+        bits = np.empty((batch.shape[0], self._record_bits), dtype=np.uint8)
+        offset = 0
+        for j, width in enumerate(self._bits):
+            column = batch[:, j]
+            for b in range(width):  # most-significant bit first
+                bits[:, offset + b] = (column >> (width - 1 - b)) & 1
+            offset += width
+        payload = np.packbits(bits, axis=1).tobytes()
+        head = _HEADER.pack(
+            MAGIC, WIRE_VERSION, 0, self._fingerprint, batch.shape[0]
+        )
+        body = head + payload
+        return body + _TRAILER.pack(zlib.crc32(body))
+
+    def decode(self, frame: bytes) -> np.ndarray:
+        """Recover the ``(k, m)`` code batch from one wire frame.
+
+        Raises :class:`~repro.exceptions.CodecError` on any deviation:
+        short or oversized buffers, wrong magic/version/fingerprint,
+        CRC mismatch, or unpacked codes outside an attribute's domain.
+        """
+        buf = bytes(frame)
+        if len(buf) < _HEADER.size + _TRAILER.size:
+            raise CodecError(
+                f"frame truncated: {len(buf)} bytes is shorter than the "
+                f"{_HEADER.size + _TRAILER.size}-byte envelope"
+            )
+        magic, version, flags, fingerprint, count = _HEADER.unpack_from(buf)
+        if magic != MAGIC:
+            raise CodecError(f"bad magic {magic!r}; not a report frame")
+        if version != WIRE_VERSION:
+            raise CodecError(
+                f"unsupported wire version {version} (expected {WIRE_VERSION})"
+            )
+        if flags != 0:
+            raise CodecError(f"unsupported flags {flags:#x}")
+        if fingerprint != self._fingerprint:
+            raise CodecError(
+                "schema fingerprint mismatch: frame was encoded for a "
+                "different attribute layout"
+            )
+        if count < 1:
+            raise CodecError("frame claims zero records")
+        expected = self.frame_size(count)
+        if len(buf) != expected:
+            raise CodecError(
+                f"frame length {len(buf)} does not match header: "
+                f"{count} records need {expected} bytes"
+            )
+        (crc,) = _TRAILER.unpack_from(buf, expected - _TRAILER.size)
+        if crc != zlib.crc32(buf[: expected - _TRAILER.size]):
+            raise CodecError("CRC mismatch: frame corrupted in transit")
+        payload = np.frombuffer(
+            buf, dtype=np.uint8, count=count * self._record_bytes,
+            offset=_HEADER.size,
+        ).reshape(count, self._record_bytes)
+        bits = np.unpackbits(payload, axis=1)[:, : self._record_bits]
+        out = np.empty((count, self._schema.width), dtype=np.int64)
+        offset = 0
+        for j, width in enumerate(self._bits):
+            weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+            out[:, j] = bits[:, offset : offset + width] @ weights
+            offset += width
+        if (out >= self._sizes[None, :]).any():
+            bad = np.argwhere(out >= self._sizes[None, :])[0]
+            raise CodecError(
+                f"decoded code out of range for attribute "
+                f"{self._schema.names[bad[1]]!r} at record {bad[0]}; "
+                "frame corrupted"
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ReportCodec(m={self._schema.width}, "
+            f"record_bytes={self._record_bytes}, "
+            f"fingerprint={self._fingerprint:#018x})"
+        )

@@ -1,0 +1,428 @@
+"""Append-only ingestion log and checkpointed collector state.
+
+Durability layer of the collector service. Two artifacts live in a
+*state directory*:
+
+* ``ingest.log`` — an append-only sequence of length-prefixed wire
+  frames (:mod:`repro.service.codec`). Every frame is written *before*
+  it is folded into the in-memory collector, so the log is always a
+  superset of the absorbed state (write-ahead discipline).
+* ``checkpoint.npz`` + ``checkpoint.json`` — a periodic snapshot of the
+  per-attribute count vectors plus a sidecar recording how many log
+  frames the snapshot covers and the fingerprints of the schema and
+  every randomization matrix. The sidecar carries a CRC of the npz so
+  a torn checkpoint pair is detected instead of silently restoring
+  mismatched counts.
+
+Recovery is ``checkpoint counts + replay of the log tail``: because
+Eq. (2) estimation is a deterministic function of integer counts, the
+recovered estimate is byte-identical to an uninterrupted run over the
+same frames. A crash mid-append can leave a torn final log entry; the
+reader reports it and the log truncates it on reopen (the write was
+never acknowledged, so dropping it loses nothing that was confirmed).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Mapping
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "LOG_NAME",
+    "CHECKPOINT_NPZ",
+    "CHECKPOINT_JSON",
+    "SERVICE_META",
+    "FrameWriter",
+    "read_frames",
+    "scan_frames",
+    "IngestionLog",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_service_meta",
+    "load_service_meta",
+]
+
+LOG_NAME = "ingest.log"
+CHECKPOINT_NPZ = "checkpoint.npz"
+CHECKPOINT_JSON = "checkpoint.json"
+SERVICE_META = "service.json"
+
+_LENGTH = struct.Struct("<I")
+_CHECKPOINT_VERSION = 1
+_META_VERSION = 1
+
+
+def _replace_durably(tmp: Path, final: Path) -> None:
+    """``os.replace`` with the fsyncs that make it mean something.
+
+    The file's bytes are synced before the rename and the directory
+    entry after it, so a power cut cannot persist the new name over
+    unwritten content.
+    """
+    os.replace(tmp, final)
+    directory = os.open(final.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory)
+    finally:
+        os.close(directory)
+
+
+# ----------------------------------------------------------------------
+# Length-prefixed frame container (report files and the ingestion log)
+# ----------------------------------------------------------------------
+class FrameWriter:
+    """Append length-prefixed frames to a binary file."""
+
+    def __init__(self, path, *, append: bool = False):
+        self._path = Path(path)
+        self._handle = open(self._path, "ab" if append else "wb")
+
+    def write(self, frame: bytes) -> None:
+        if not frame:
+            raise ServiceError("refusing to write an empty frame")
+        self._handle.write(_LENGTH.pack(len(frame)))
+        self._handle.write(frame)
+
+    def sync(self) -> None:
+        """Flush to the OS and fsync — the durability point of a frame."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "FrameWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _iter_entries(path, handle) -> Iterator[bytes]:
+    """Yield complete frames sequentially; O(frame) memory.
+
+    A torn final entry ends iteration by raising ``_TornTail`` carrying
+    the good length, so callers choose between repair and refusal.
+    """
+    good = 0
+    while True:
+        head = handle.read(_LENGTH.size)
+        if not head:
+            return
+        if len(head) < _LENGTH.size:
+            raise _TornTail(good)
+        (length,) = _LENGTH.unpack(head)
+        if length == 0:
+            raise ServiceError(
+                f"{path}: zero-length frame at offset {good}; "
+                "container corrupted"
+            )
+        frame = handle.read(length)
+        if len(frame) < length:
+            raise _TornTail(good)
+        good += _LENGTH.size + length
+        yield frame
+
+
+class _TornTail(Exception):
+    """Internal: a partially written final entry, at ``good_length``."""
+
+    def __init__(self, good_length: int):
+        super().__init__(good_length)
+        self.good_length = good_length
+
+
+def scan_frames(path) -> "tuple[List[bytes], int, bool]":
+    """Read every complete frame of a container file.
+
+    Returns ``(frames, good_length, torn)`` where ``good_length`` is the
+    byte offset after the last complete frame and ``torn`` says whether
+    trailing bytes of a partially written entry follow it. Materializes
+    the frame list — use :func:`read_frames` to stream instead.
+    """
+    frames: List[bytes] = []
+    good = 0
+    torn = False
+    with open(path, "rb") as handle:
+        try:
+            for frame in _iter_entries(path, handle):
+                frames.append(frame)
+                good += _LENGTH.size + len(frame)
+        except _TornTail as tail:
+            good = tail.good_length
+            torn = True
+    return frames, good, torn
+
+
+def read_frames(path, *, start: int = 0) -> Iterator[bytes]:
+    """Stream complete frames of a container file, skipping ``start``.
+
+    O(frame) memory. Raises :class:`~repro.exceptions.ServiceError` on
+    a torn tail — report files written by ``encode`` are complete by
+    construction, so a torn tail there means the file was damaged, not
+    crash-truncated.
+    """
+    if start < 0:
+        raise ServiceError(f"start must be >= 0, got {start}")
+    with open(path, "rb") as handle:
+        try:
+            for index, frame in enumerate(_iter_entries(path, handle)):
+                if index >= start:
+                    yield frame
+        except _TornTail:
+            raise ServiceError(
+                f"{path}: torn trailing entry; file is truncated or "
+                "corrupted"
+            ) from None
+
+
+class IngestionLog:
+    """Append-only write-ahead log of ingested report frames.
+
+    Opening an existing log scans it once: complete frames are counted,
+    and a torn final entry (crash mid-append) is truncated away so new
+    appends extend a clean tail.
+    """
+
+    def __init__(self, path):
+        self._path = Path(path)
+        self._n_frames = 0
+        if self._path.exists():
+            good = 0
+            with open(self._path, "rb") as handle:
+                try:
+                    for frame in _iter_entries(self._path, handle):
+                        self._n_frames += 1
+                        good += _LENGTH.size + len(frame)
+                    torn = False
+                except _TornTail as tail:
+                    good = tail.good_length
+                    torn = True
+            if torn:
+                with open(self._path, "r+b") as handle:
+                    handle.truncate(good)
+        else:
+            self._path.touch()
+        self._writer = FrameWriter(self._path, append=True)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def n_frames(self) -> int:
+        """Number of durable (complete) frames in the log."""
+        return self._n_frames
+
+    def append(self, frame: bytes) -> int:
+        """Durably append one frame; returns its log index."""
+        self._writer.write(frame)
+        self._writer.sync()
+        index = self._n_frames
+        self._n_frames += 1
+        return index
+
+    def replay(self, start: int = 0) -> Iterator[bytes]:
+        """Stream frames from index ``start`` onward (recovery path).
+
+        O(frame) memory. The log's own tail is clean (truncated on
+        open, appends are whole frames), so a torn entry here means
+        outside interference and raises.
+        """
+        if start < 0 or start > self._n_frames:
+            raise ServiceError(
+                f"replay start {start} out of range for "
+                f"{self._n_frames} frames"
+            )
+        self._writer.sync()
+        with open(self._path, "rb") as handle:
+            try:
+                for index, frame in enumerate(
+                    _iter_entries(self._path, handle)
+                ):
+                    if index >= start:
+                        yield frame
+            except _TornTail:
+                raise ServiceError(
+                    f"{self._path}: torn entry in an open log; the file "
+                    "was modified outside this process"
+                ) from None
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "IngestionLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Checkpoint:
+    """A restored collector snapshot.
+
+    ``counts`` maps attribute name to its int64 count vector;
+    ``frames_applied`` is the number of log frames the snapshot covers
+    (replay resumes there); the fingerprints pin the design the counts
+    were collected under.
+    """
+
+    counts: Mapping
+    frames_applied: int
+    schema_fingerprint: int
+    matrix_fingerprints: Mapping
+
+
+def save_checkpoint(
+    state_dir,
+    *,
+    counts: Mapping,
+    order,
+    frames_applied: int,
+    schema_fp: int,
+    matrix_fps: Mapping,
+) -> None:
+    """Atomically write the checkpoint pair into ``state_dir``.
+
+    ``order`` fixes the attribute order of the npz keys (``counts_0``,
+    ``counts_1``, ...) so attribute names never have to be valid zip
+    member names. Both files go through ``os.replace``; the sidecar
+    carries a CRC of the npz bytes, so a crash between the two replaces
+    is detected at load time instead of restoring mismatched state.
+    """
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    order = list(order)
+    if set(order) != set(counts):
+        raise ServiceError(
+            f"checkpoint order {order} does not cover counts for "
+            f"{sorted(counts)}"
+        )
+    arrays = {
+        f"counts_{i}": np.asarray(counts[name], dtype=np.int64)
+        for i, name in enumerate(order)
+    }
+    npz_tmp = state / (CHECKPOINT_NPZ + ".tmp")
+    with open(npz_tmp, "wb") as handle:
+        np.savez(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    npz_crc = zlib.crc32(npz_tmp.read_bytes())
+    sidecar = {
+        "version": _CHECKPOINT_VERSION,
+        "attributes": order,
+        "frames_applied": int(frames_applied),
+        "schema_fingerprint": int(schema_fp),
+        "matrix_fingerprints": {
+            name: matrix_fps[name] for name in order
+        },
+        "npz_crc32": npz_crc,
+    }
+    json_tmp = state / (CHECKPOINT_JSON + ".tmp")
+    with open(json_tmp, "w", encoding="utf-8") as handle:
+        json.dump(sidecar, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    _replace_durably(npz_tmp, state / CHECKPOINT_NPZ)
+    _replace_durably(json_tmp, state / CHECKPOINT_JSON)
+
+
+def load_checkpoint(state_dir) -> "Checkpoint | None":
+    """Load and validate the checkpoint pair; ``None`` when absent."""
+    state = Path(state_dir)
+    json_path = state / CHECKPOINT_JSON
+    npz_path = state / CHECKPOINT_NPZ
+    if not json_path.exists():
+        return None
+    if not npz_path.exists():
+        raise ServiceError(
+            f"{state}: checkpoint sidecar present but {CHECKPOINT_NPZ} "
+            "missing; checkpoint is unusable"
+        )
+    try:
+        sidecar = json.loads(json_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"{json_path}: corrupt sidecar: {exc}") from None
+    if sidecar.get("version") != _CHECKPOINT_VERSION:
+        raise ServiceError(
+            f"unsupported checkpoint version {sidecar.get('version')!r}"
+        )
+    raw = npz_path.read_bytes()
+    if zlib.crc32(raw) != sidecar["npz_crc32"]:
+        raise ServiceError(
+            f"{npz_path}: CRC mismatch against sidecar; the checkpoint "
+            "pair is torn (crash between writes) or corrupted"
+        )
+    order = sidecar["attributes"]
+    with np.load(io.BytesIO(raw)) as archive:
+        counts = {
+            name: archive[f"counts_{i}"].astype(np.int64)
+            for i, name in enumerate(order)
+        }
+    return Checkpoint(
+        counts=counts,
+        frames_applied=int(sidecar["frames_applied"]),
+        schema_fingerprint=int(sidecar["schema_fingerprint"]),
+        matrix_fingerprints=dict(sidecar["matrix_fingerprints"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Service meta (the design a state directory was created for)
+# ----------------------------------------------------------------------
+def save_service_meta(state_dir, *, schema_fp: int, matrix_fps: Mapping) -> None:
+    """Pin a state directory to one collection design, durably.
+
+    Written once when the directory is first used. Checkpoints carry
+    the same fingerprints, but a crash before the first checkpoint
+    leaves only the log — and log frames are pinned to the *schema*
+    alone, not the matrices, so without this file a log-only directory
+    could be resumed under a different-matrix design and silently
+    invert the wrong channel.
+    """
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": _META_VERSION,
+        "schema_fingerprint": int(schema_fp),
+        "matrix_fingerprints": dict(matrix_fps),
+    }
+    tmp = state / (SERVICE_META + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    _replace_durably(tmp, state / SERVICE_META)
+
+
+def load_service_meta(state_dir) -> "dict | None":
+    """The design fingerprints a state directory is pinned to, if any."""
+    path = Path(state_dir) / SERVICE_META
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"{path}: corrupt service meta: {exc}") from None
+    if payload.get("version") != _META_VERSION:
+        raise ServiceError(
+            f"unsupported service meta version {payload.get('version')!r}"
+        )
+    return payload

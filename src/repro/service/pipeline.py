@@ -1,0 +1,422 @@
+"""Batched ingestion pipeline and the checkpointed collector service.
+
+Two layers:
+
+* :class:`IngestionPipeline` — a thin batching buffer between decoded
+  report batches and the engine's
+  :class:`~repro.engine.collector.ShardedCollector`. Reports accumulate
+  until ``batch_size`` records are pending, then one shard collector
+  (``new_shard``) absorbs them in a single vectorized pass (``absorb``).
+  ``submit`` returns the number of records still buffered, so a caller
+  driving a network loop can apply backpressure instead of queueing
+  unboundedly.
+
+* :class:`CollectorService` — the durable collector process state:
+  wire codec + write-ahead ingestion log + periodic checkpoints +
+  pipeline + cached query front-end, rooted in one state directory.
+  ``CollectorService.open`` both creates fresh state and recovers after
+  a crash (checkpoint counts + replay of the log tail); because every
+  frame is durably logged before it is absorbed, the recovered counts —
+  and therefore every Eq. (2) estimate — are byte-identical to an
+  uninterrupted run over the same frames.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+from typing import Iterable, List, Mapping
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.engine.collector import ShardedCollector
+from repro.exceptions import ServiceError
+from repro.service.codec import (
+    ReportCodec,
+    matrix_fingerprint,
+    schema_fingerprint,
+)
+from repro.service.journal import (
+    IngestionLog,
+    LOG_NAME,
+    load_checkpoint,
+    load_service_meta,
+    save_checkpoint,
+    save_service_meta,
+)
+from repro.service.query import QueryFrontend
+
+__all__ = ["IngestionPipeline", "CollectorService", "DEFAULT_BATCH_SIZE"]
+
+#: Records buffered before the pipeline absorbs them in one pass:
+#: large enough to amortize the per-shard merge validation, small
+#: enough that a crash replays at most a short log tail.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class IngestionPipeline:
+    """Buffer decoded report batches into sharded absorption passes."""
+
+    def __init__(
+        self,
+        collector: ShardedCollector,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        if batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
+        self._collector = collector
+        self._batch_size = batch_size
+        self._buffer: List[np.ndarray] = []
+        self._pending = 0
+
+    @property
+    def collector(self) -> ShardedCollector:
+        return self._collector
+
+    @property
+    def pending(self) -> int:
+        """Records buffered but not yet absorbed into the collector."""
+        return self._pending
+
+    def submit(self, codes: np.ndarray) -> int:
+        """Queue one decoded ``(k, m)`` batch; absorb when full.
+
+        Returns the number of records still pending after the call —
+        0 means the batch (and everything before it) has been absorbed,
+        anything else is the caller's backpressure signal.
+        """
+        batch = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        width = self._collector.schema.width
+        if batch.ndim != 2 or batch.shape[1] != width:
+            raise ServiceError(
+                f"batch must have shape (k, {width}), got {batch.shape}"
+            )
+        if batch.shape[0]:
+            self._buffer.append(batch)
+            self._pending += batch.shape[0]
+        if self._pending >= self._batch_size:
+            self.flush()
+        return self._pending
+
+    def flush(self) -> None:
+        """Absorb everything pending through one shard collector."""
+        if not self._pending:
+            return
+        block = (
+            self._buffer[0]
+            if len(self._buffer) == 1
+            else np.concatenate(self._buffer, axis=0)
+        )
+        shard = self._collector.new_shard()
+        shard.receive_batch(block)
+        self._collector.absorb(shard)
+        self._buffer = []
+        self._pending = 0
+
+
+class CollectorService:
+    """Durable, queryable collector rooted in a state directory.
+
+    Construct with :meth:`open` (create-or-recover) or
+    :meth:`for_protocol`. The write path is strictly write-ahead::
+
+        frame -> decode (validate) -> log.append (fsync) -> pipeline
+
+    so after any crash, ``checkpoint + log tail`` reconstructs exactly
+    the acknowledged frames.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        matrices: Mapping,
+        state_dir,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        checkpoint_every: "int | None" = None,
+    ):
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ServiceError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self._state_dir = Path(state_dir)
+        self._state_dir.mkdir(parents=True, exist_ok=True)
+        self._lock_handle = None
+        self._acquire_lock()
+        self._collector = ShardedCollector(schema, matrices)
+        self._codec = ReportCodec(schema)
+        self._schema_fp = schema_fingerprint(schema)
+        self._matrix_fps = {
+            name: matrix_fingerprint(matrix)
+            for name, matrix in self._collector.matrices.items()
+        }
+        self._pipeline = IngestionPipeline(
+            self._collector, batch_size=batch_size
+        )
+        self._checkpoint_every = checkpoint_every
+        self._queries = QueryFrontend(self._collector)
+        self._check_or_pin_design()
+        self._log = IngestionLog(self._state_dir / LOG_NAME)
+        self._frames_applied = 0
+        self._frames_at_checkpoint = 0
+        self._recover()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        schema: Schema,
+        matrices: Mapping,
+        state_dir,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        checkpoint_every: "int | None" = None,
+    ) -> "CollectorService":
+        """Create fresh state or recover whatever ``state_dir`` holds."""
+        return cls(
+            schema,
+            matrices,
+            state_dir,
+            batch_size=batch_size,
+            checkpoint_every=checkpoint_every,
+        )
+
+    @classmethod
+    def for_protocol(
+        cls,
+        protocol,
+        state_dir,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        checkpoint_every: "int | None" = None,
+    ) -> "CollectorService":
+        """Service matching a protocol exposing ``schema`` + ``matrices``."""
+        return cls(
+            protocol.schema,
+            protocol.matrices,
+            state_dir,
+            batch_size=batch_size,
+            checkpoint_every=checkpoint_every,
+        )
+
+    def _acquire_lock(self) -> None:
+        """Take an exclusive advisory lock on the state directory.
+
+        Two live services over one directory would interleave appends
+        into the same write-ahead log and silently double-count on the
+        next recovery — turned into a clean refusal here. Held for the
+        service's lifetime; released by :meth:`close` (or the OS when
+        a crashed process dies).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        handle = open(self._state_dir / "state.lock", "wb")
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise ServiceError(
+                f"{self._state_dir} is locked by another collector "
+                "process; a second writer would corrupt the ingestion log"
+            ) from None
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_handle is not None:
+            self._lock_handle.close()  # closing the fd drops the flock
+            self._lock_handle = None
+
+    def _check_or_pin_design(self) -> None:
+        """Pin this state directory to one design, or refuse a foreign one.
+
+        Runs before any log replay, so even a log-only directory (crash
+        before the first checkpoint) cannot be resumed under different
+        matrix fingerprints — the wire frames pin only the schema, and
+        counts inverted against the wrong channel would be silently
+        wrong.
+        """
+        meta = load_service_meta(self._state_dir)
+        if meta is None:
+            save_service_meta(
+                self._state_dir,
+                schema_fp=self._schema_fp,
+                matrix_fps=self._matrix_fps,
+            )
+            return
+        if (
+            meta["schema_fingerprint"] != self._schema_fp
+            or meta["matrix_fingerprints"] != self._matrix_fps
+        ):
+            raise ServiceError(
+                "state directory is pinned to different schema/matrix "
+                "fingerprints than this service's design; refusing to "
+                "mix counts across randomization channels"
+            )
+
+    def _recover(self) -> None:
+        try:
+            checkpoint = load_checkpoint(self._state_dir)
+        except ServiceError as exc:
+            # A torn or corrupted checkpoint pair is detected, not
+            # trusted — and the write-ahead log is a superset of any
+            # checkpoint, so full replay reconstructs identical state.
+            warnings.warn(
+                f"discarding unusable checkpoint ({exc}); recovering by "
+                "full log replay",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            checkpoint = None
+        start = 0
+        if checkpoint is not None:
+            if checkpoint.schema_fingerprint != self._schema_fp:
+                raise ServiceError(
+                    "checkpoint schema fingerprint does not match this "
+                    "service's schema; refusing to restore foreign counts"
+                )
+            if checkpoint.matrix_fingerprints != self._matrix_fps:
+                raise ServiceError(
+                    "checkpoint matrix fingerprints do not match this "
+                    "service's design; counts collected under a different "
+                    "randomization matrix are not restorable"
+                )
+            if checkpoint.frames_applied > self._log.n_frames:
+                raise ServiceError(
+                    f"checkpoint covers {checkpoint.frames_applied} frames "
+                    f"but the log only holds {self._log.n_frames}; state "
+                    "directory is inconsistent"
+                )
+            self._collector.merged.restore_counts(checkpoint.counts)
+            start = checkpoint.frames_applied
+        for frame in self._log.replay(start):
+            self._pipeline.submit(self._codec.decode(frame))
+        self._pipeline.flush()
+        self._frames_applied = self._log.n_frames
+        self._frames_at_checkpoint = start
+
+    # ------------------------------------------------------------------
+    @property
+    def state_dir(self) -> Path:
+        return self._state_dir
+
+    @property
+    def schema(self) -> Schema:
+        return self._collector.schema
+
+    @property
+    def codec(self) -> ReportCodec:
+        return self._codec
+
+    @property
+    def collector(self) -> ShardedCollector:
+        return self._collector
+
+    @property
+    def queries(self) -> QueryFrontend:
+        """Cached query front-end over the live collector.
+
+        Flushes the pipeline first, so an answer always reflects every
+        acknowledged frame (the cache keys on observed counts, so a
+        flush can never serve a stale entry — it only advances the key).
+        """
+        self._pipeline.flush()
+        return self._queries
+
+    @property
+    def log(self) -> IngestionLog:
+        """The write-ahead log (read access for resume verification)."""
+        return self._log
+
+    @property
+    def frames_applied(self) -> int:
+        """Durably logged frames (== frames reflected after recovery)."""
+        return self._frames_applied
+
+    @property
+    def n_observed(self) -> int:
+        self._pipeline.flush()
+        return self._collector.n_observed
+
+    # ------------------------------------------------------------------
+    def ingest_frame(self, frame: bytes) -> int:
+        """Validate, durably log, and queue one wire frame.
+
+        Returns the pipeline's pending-record count (backpressure
+        signal). The frame is decoded *before* it is logged: a corrupt
+        or foreign frame is rejected without poisoning the log.
+        """
+        batch = self._codec.decode(frame)
+        self._log.append(frame)
+        self._frames_applied += 1
+        pending = self._pipeline.submit(batch)
+        if (
+            self._checkpoint_every is not None
+            and self._frames_applied - self._frames_at_checkpoint
+            >= self._checkpoint_every
+        ):
+            self.checkpoint()
+        return pending
+
+    def ingest(self, frames: Iterable[bytes]) -> int:
+        """Ingest a stream of frames; returns how many were applied."""
+        count = 0
+        for frame in frames:
+            self.ingest_frame(frame)
+            count += 1
+        return count
+
+    def flush(self) -> None:
+        """Absorb every buffered report into the collector."""
+        self._pipeline.flush()
+
+    def checkpoint(self) -> None:
+        """Flush, then atomically snapshot counts + log position."""
+        self._pipeline.flush()
+        save_checkpoint(
+            self._state_dir,
+            counts=self._collector.merged.snapshot_counts(),
+            order=self.schema.names,
+            frames_applied=self._frames_applied,
+            schema_fp=self._schema_fp,
+            matrix_fps=self._matrix_fps,
+        )
+        self._frames_at_checkpoint = self._frames_applied
+
+    # ------------------------------------------------------------------
+    def estimate_marginal(self, name: str, repair: str = "clip") -> np.ndarray:
+        self._pipeline.flush()
+        return self._queries.marginal(name, repair)
+
+    def estimate_marginals(self, repair: str = "clip") -> dict:
+        self._pipeline.flush()
+        return self._queries.marginals(repair)
+
+    def close(self) -> None:
+        """Flush buffered reports and release the log handle.
+
+        Deliberately does *not* checkpoint: callers decide whether the
+        shutdown is clean (call :meth:`checkpoint` first) or simulated
+        crash (don't).
+        """
+        self._pipeline.flush()
+        self._log.close()
+        self._release_lock()
+
+    def __enter__(self) -> "CollectorService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectorService(state_dir={str(self._state_dir)!r}, "
+            f"frames={self._frames_applied})"
+        )

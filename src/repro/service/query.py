@@ -1,0 +1,194 @@
+"""Invalidation-aware query cache over a collector's estimates.
+
+Dashboard-style consumers ask the same handful of questions — marginal
+of one attribute, pair table of two, frequency of a cell set — far more
+often than new reports arrive. Every answer is a deterministic function
+of ``(query, per-attribute observed counts)``, so the front-end caches
+on exactly that key: when more reports are absorbed, the observed
+counts move and every stale entry misses *by construction* — there is
+no explicit invalidation protocol to get wrong. Entries are LRU-bounded
+and stored read-only so callers cannot mutate a cached answer in place.
+
+Pair tables and set frequencies follow Protocol 1's independence
+assumption (outer products of marginals, §3.1 step 10), matching
+:meth:`repro.protocols.independent.RRIndependent.estimate_pair_table`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.analysis.queries import PairQuery
+from repro.exceptions import ServiceError
+
+__all__ = ["QueryFrontend", "DEFAULT_CACHE_ENTRIES"]
+
+DEFAULT_CACHE_ENTRIES = 256
+
+_REPAIRS = ("clip", "none")
+
+
+class QueryFrontend:
+    """LRU-cached estimate queries over a (sharded or streaming) collector.
+
+    Parameters
+    ----------
+    collector:
+        Anything exposing ``schema``, ``estimate_marginal(name, repair)``
+        and per-attribute observed counts — both
+        :class:`~repro.engine.collector.ShardedCollector` and
+        :class:`~repro.analysis.streaming.StreamingCollector` qualify.
+    max_entries:
+        LRU bound on cached answers (stale entries age out here).
+    """
+
+    def __init__(self, collector, *, max_entries: int = DEFAULT_CACHE_ENTRIES):
+        if max_entries < 1:
+            raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
+        self._collector = collector
+        self._max_entries = max_entries
+        self._cache: OrderedDict = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def collector(self):
+        return self._collector
+
+    @property
+    def stats(self) -> dict:
+        """Cache counters: ``{"hits", "misses", "entries"}``."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": len(self._cache),
+        }
+
+    def invalidate(self) -> None:
+        """Drop every cached answer (stats survive)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def _n_by_attribute(self) -> dict:
+        merged = getattr(self._collector, "merged", self._collector)
+        return merged.n_observed_by_attribute
+
+    def _version(self, names) -> tuple:
+        """Cache-key component: observed counts of the involved attributes."""
+        observed = self._n_by_attribute()
+        try:
+            return tuple(observed[name] for name in names)
+        except KeyError as exc:
+            raise ServiceError(f"unknown attribute {exc.args[0]!r}") from None
+
+    def _cached(self, key, compute):
+        if key in self._cache:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self._misses += 1
+        value = compute()
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
+        self._cache[key] = value
+        while len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return value
+
+    @staticmethod
+    def _check_repair(repair: str) -> None:
+        if repair not in _REPAIRS:
+            raise ServiceError(
+                f"repair must be one of {_REPAIRS}, got {repair!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def marginal(self, name: str, repair: str = "clip") -> np.ndarray:
+        """Cached Eq. (2) marginal estimate of one attribute."""
+        self._check_repair(repair)
+        key = ("marginal", name, repair, self._version((name,)))
+        return self._cached(
+            key, lambda: self._collector.estimate_marginal(name, repair)
+        )
+
+    def marginals(self, repair: str = "clip") -> dict:
+        """Every attribute's cached marginal estimate."""
+        return {
+            name: self.marginal(name, repair)
+            for name in self._collector.schema.names
+        }
+
+    def pair_table(
+        self, name_a: str, name_b: str, repair: str = "clip"
+    ) -> np.ndarray:
+        """Cached bivariate estimate (independence assumption)."""
+        if name_a == name_b:
+            raise ServiceError("pair table needs two distinct attributes")
+        self._check_repair(repair)
+        key = (
+            "pair", name_a, name_b, repair, self._version((name_a, name_b)),
+        )
+        return self._cached(
+            key,
+            lambda: np.outer(
+                self.marginal(name_a, repair), self.marginal(name_b, repair)
+            ),
+        )
+
+    def set_frequency(self, names, cells, repair: str = "clip") -> float:
+        """Cached frequency estimate of a cell set ``S`` (§3.1 step 10)."""
+        self._check_repair(repair)
+        names = tuple(names)
+        if not names:
+            raise ServiceError("set frequency needs at least one attribute")
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate attributes in {names}")
+        grid = np.asarray(cells, dtype=np.int64)
+        if grid.ndim != 2 or grid.shape[1] != len(names):
+            raise ServiceError(
+                f"cells must have shape (k, {len(names)}), got {grid.shape}"
+            )
+        if grid.shape[0] == 0:
+            return 0.0  # empty S: frequency is exactly zero
+        key = (
+            "set", names, repair, grid.shape[0], grid.tobytes(),
+            self._version(names),
+        )
+
+        def compute() -> float:
+            marginals = [self.marginal(n, repair) for n in names]
+            for j, marginal in enumerate(marginals):
+                column = grid[:, j]
+                if column.min() < 0 or column.max() >= marginal.shape[0]:
+                    raise ServiceError(
+                        f"cells out of range for attribute {names[j]!r}"
+                    )
+            total = np.ones(grid.shape[0], dtype=np.float64)
+            for j, marginal in enumerate(marginals):
+                total *= marginal[grid[:, j]]
+            return float(total.sum())
+
+        return self._cached(key, compute)
+
+    def count_query(self, query: PairQuery, repair: str = "clip") -> float:
+        """Estimated count of a §6.5 pair query over the observed stream."""
+        frequency = self.set_frequency(
+            (query.name_a, query.name_b), query.cells, repair
+        )
+        version = self._version((query.name_a, query.name_b))
+        if len(set(version)) > 1:
+            raise ServiceError(
+                "attributes observed unevenly; no single record count "
+                "exists to scale the query estimate"
+            )
+        return float(version[0] * frequency)
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"QueryFrontend(entries={stats['entries']}, "
+            f"hits={stats['hits']}, misses={stats['misses']})"
+        )

@@ -238,3 +238,77 @@ class TestStreamingCollector:
         assert collector.estimator("flag").size == 2
         with pytest.raises(EstimationError, match="unknown"):
             collector.estimator("nope")
+
+
+class TestSnapshotRestore:
+    """Checkpoint hooks: snapshot_counts / restore_counts."""
+
+    @pytest.fixture
+    def matrices(self, small_schema):
+        return {
+            attr.name: keep_else_uniform_matrix(attr.size, 0.7)
+            for attr in small_schema
+        }
+
+    def test_roundtrip_restores_identical_state(
+        self, small_schema, matrices, rng
+    ):
+        source = StreamingCollector(small_schema, matrices)
+        batch = np.stack(
+            [rng.integers(0, s, 120) for s in small_schema.sizes], axis=1
+        )
+        source.receive_batch(batch)
+        snapshot = source.snapshot_counts()
+
+        restored = StreamingCollector(small_schema, matrices)
+        restored.restore_counts(snapshot)
+        assert restored.n_observed == source.n_observed
+        for name in small_schema.names:
+            assert (
+                restored.estimate_marginal(name).tobytes()
+                == source.estimate_marginal(name).tobytes()
+            )
+
+    def test_snapshot_is_a_copy(self, small_schema, matrices):
+        collector = StreamingCollector(small_schema, matrices)
+        collector.receive(np.zeros(small_schema.width, dtype=np.int64))
+        snapshot = collector.snapshot_counts()
+        snapshot["flag"][0] = 999
+        assert collector.estimator("flag").counts[0] == 1
+
+    def test_restore_refused_on_observed_collector(
+        self, small_schema, matrices
+    ):
+        collector = StreamingCollector(small_schema, matrices)
+        collector.receive(np.zeros(small_schema.width, dtype=np.int64))
+        with pytest.raises(EstimationError, match="already observed"):
+            collector.restore_counts(collector.snapshot_counts())
+
+    def test_restore_validates_before_applying(
+        self, small_schema, matrices
+    ):
+        collector = StreamingCollector(small_schema, matrices)
+        bad = {
+            "flag": np.array([1, 2], dtype=np.int64),
+            "level": np.array([1, 2, 3], dtype=np.int64),
+            "color": np.array([1], dtype=np.int64),  # wrong size
+        }
+        with pytest.raises(EstimationError, match="shape"):
+            collector.restore_counts(bad)
+        assert collector.estimator("flag").n_observed == 0
+
+    def test_restore_missing_or_unknown_attributes(
+        self, small_schema, matrices
+    ):
+        collector = StreamingCollector(small_schema, matrices)
+        with pytest.raises(EstimationError, match="missing"):
+            collector.restore_counts({"flag": np.array([0, 0])})
+        full = {
+            name: np.zeros(
+                small_schema.attribute(name).size, dtype=np.int64
+            )
+            for name in small_schema.names
+        }
+        full["ghost"] = np.array([0, 0])
+        with pytest.raises(EstimationError, match="unknown"):
+            collector.restore_counts(full)

@@ -107,3 +107,93 @@ class TestShardedCollector:
         collector = ShardedCollector.for_protocol(protocol)
         collector.collect(np.empty((0, small_schema.width), dtype=np.int64))
         assert collector.n_observed == 0
+
+    def test_matrices_property_is_a_copy(self, protocol):
+        collector = ShardedCollector.for_protocol(protocol)
+        exported = collector.matrices
+        assert set(exported) == set(protocol.schema.names)
+        exported["flag"] = None  # mutating the copy must not hurt
+        assert collector.matrices["flag"] is not None
+
+
+class TestAbsorbSchemaMismatch:
+    """Wrong attribute sets, wrong domain sizes, foreign matrices."""
+
+    def test_absorb_counts_wrong_attribute_set(self, protocol, small_schema):
+        collector = ShardedCollector.for_protocol(protocol)
+        good = {
+            attr.name: np.zeros(attr.size, dtype=np.int64)
+            for attr in small_schema
+        }
+        bad = dict(good)
+        del bad["flag"]
+        bad["ghost"] = np.zeros(2, dtype=np.int64)
+        with pytest.raises(EstimationError, match="unknown attribute"):
+            collector.absorb_counts(bad)
+        # nothing was applied: validate-then-apply held
+        assert collector.n_observed == 0
+
+    def test_absorb_counts_wrong_domain_size(self, protocol):
+        collector = ShardedCollector.for_protocol(protocol)
+        with pytest.raises(EstimationError, match="shape"):
+            collector.absorb_counts(
+                {"flag": np.zeros(5, dtype=np.int64)}  # flag has 2 cells
+            )
+
+    def test_absorb_counts_partial_failure_leaves_master_clean(
+        self, protocol, small_schema
+    ):
+        collector = ShardedCollector.for_protocol(protocol)
+        mixed = {
+            "flag": np.array([3, 4], dtype=np.int64),  # valid
+            "level": np.zeros(7, dtype=np.int64),  # wrong size
+        }
+        with pytest.raises(EstimationError, match="shape"):
+            collector.absorb_counts(mixed)
+        assert collector.merged.estimator("flag").n_observed == 0
+
+    def test_absorb_counts_negative_or_float_rejected(self, protocol):
+        collector = ShardedCollector.for_protocol(protocol)
+        with pytest.raises(EstimationError, match="non-negative"):
+            collector.absorb_counts({"flag": np.array([-1, 2])})
+        with pytest.raises(EstimationError, match="integer"):
+            collector.absorb_counts({"flag": np.array([0.5, 0.5])})
+
+    def test_absorb_estimator_wrong_domain_size(self, protocol):
+        collector = ShardedCollector.for_protocol(protocol)
+        wrong = StreamingFrequencyEstimator(keep_else_uniform_matrix(6, 0.7))
+        with pytest.raises(EstimationError, match="size mismatch"):
+            collector.absorb_estimator("flag", wrong)
+
+    def test_absorb_estimator_foreign_matrix(self, protocol):
+        collector = ShardedCollector.for_protocol(protocol)
+        # right size, different randomization design
+        foreign = StreamingFrequencyEstimator(keep_else_uniform_matrix(2, 0.3))
+        foreign.update([0, 1, 1])
+        with pytest.raises(EstimationError, match="matrix mismatch"):
+            collector.absorb_estimator("flag", foreign)
+        assert collector.merged.estimator("flag").n_observed == 0
+
+    def test_absorb_estimator_dense_equivalent_accepted(self, protocol):
+        """A dense copy of the same channel merges (representation-
+        independent matrix comparison)."""
+        collector = ShardedCollector.for_protocol(protocol)
+        dense_twin = StreamingFrequencyEstimator(
+            protocol.matrix_for("flag").dense()
+        )
+        dense_twin.update([0, 1])
+        collector.absorb_estimator("flag", dense_twin)
+        assert collector.merged.estimator("flag").n_observed == 2
+
+    def test_absorb_shard_with_reordered_schema(self, protocol, small_schema):
+        from repro.analysis.streaming import StreamingCollector
+        from repro.data.schema import Schema
+
+        collector = ShardedCollector.for_protocol(protocol)
+        reordered = Schema(list(reversed(small_schema.attributes)))
+        shard = StreamingCollector(
+            reordered,
+            {a.name: protocol.matrix_for(a.name) for a in reordered},
+        )
+        with pytest.raises(EstimationError, match="different schemas"):
+            collector.absorb(shard)

@@ -1,0 +1,176 @@
+"""Tests for the ingestion log and checkpoint persistence."""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.journal import (
+    CHECKPOINT_JSON,
+    CHECKPOINT_NPZ,
+    FrameWriter,
+    IngestionLog,
+    load_checkpoint,
+    read_frames,
+    save_checkpoint,
+    scan_frames,
+)
+
+
+@pytest.fixture
+def frames():
+    return [bytes([i]) * (10 + i) for i in range(8)]
+
+
+class TestFrameContainer:
+    def test_write_then_read(self, tmp_path, frames):
+        path = tmp_path / "reports.rrw"
+        with FrameWriter(path) as writer:
+            for frame in frames:
+                writer.write(frame)
+            writer.sync()
+        assert list(read_frames(path)) == frames
+        assert list(read_frames(path, start=5)) == frames[5:]
+
+    def test_empty_frame_refused(self, tmp_path):
+        with FrameWriter(tmp_path / "x.rrw") as writer:
+            with pytest.raises(ServiceError, match="empty"):
+                writer.write(b"")
+
+    def test_torn_tail_detected(self, tmp_path, frames):
+        path = tmp_path / "torn.rrw"
+        with FrameWriter(path) as writer:
+            for frame in frames:
+                writer.write(frame)
+        # chop mid-entry: strip the last 3 bytes of the final frame
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-3])
+        scanned, good, torn = scan_frames(path)
+        assert torn and len(scanned) == len(frames) - 1
+        assert good == len(raw) - (4 + len(frames[-1]))
+        with pytest.raises(ServiceError, match="torn"):
+            list(read_frames(path))
+
+    def test_zero_length_entry_is_corruption(self, tmp_path):
+        path = tmp_path / "bad.rrw"
+        path.write_bytes(b"\x00\x00\x00\x00rest")
+        with pytest.raises(ServiceError, match="zero-length"):
+            scan_frames(path)
+
+
+class TestIngestionLog:
+    def test_append_and_replay(self, tmp_path, frames):
+        log = IngestionLog(tmp_path / "ingest.log")
+        for i, frame in enumerate(frames):
+            assert log.append(frame) == i
+        assert log.n_frames == len(frames)
+        assert list(log.replay()) == frames
+        assert list(log.replay(6)) == frames[6:]
+        log.close()
+
+    def test_reopen_counts_existing_frames(self, tmp_path, frames):
+        path = tmp_path / "ingest.log"
+        with IngestionLog(path) as log:
+            for frame in frames[:5]:
+                log.append(frame)
+        with IngestionLog(path) as log:
+            assert log.n_frames == 5
+            log.append(frames[5])
+            assert list(log.replay()) == frames[:6]
+
+    def test_reopen_truncates_torn_tail(self, tmp_path, frames):
+        path = tmp_path / "ingest.log"
+        with IngestionLog(path) as log:
+            for frame in frames[:4]:
+                log.append(frame)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-2])  # crash mid-append of the 4th entry
+        with IngestionLog(path) as log:
+            assert log.n_frames == 3
+            # appends extend a clean tail: the torn bytes are gone
+            log.append(frames[4])
+            assert list(log.replay()) == frames[:3] + [frames[4]]
+
+    def test_replay_start_out_of_range(self, tmp_path, frames):
+        with IngestionLog(tmp_path / "ingest.log") as log:
+            log.append(frames[0])
+            with pytest.raises(ServiceError, match="out of range"):
+                list(log.replay(5))
+
+
+class TestCheckpoint:
+    @pytest.fixture
+    def payload(self):
+        return {
+            "counts": {
+                "flag": np.array([3, 7], dtype=np.int64),
+                "level": np.array([1, 2, 3], dtype=np.int64),
+            },
+            "order": ("flag", "level"),
+            "frames_applied": 12,
+            "schema_fp": 0xDEADBEEF,
+            "matrix_fps": {"flag": "aa", "level": "bb"},
+        }
+
+    def test_roundtrip(self, tmp_path, payload):
+        save_checkpoint(tmp_path, **payload)
+        checkpoint = load_checkpoint(tmp_path)
+        assert checkpoint.frames_applied == 12
+        assert checkpoint.schema_fingerprint == 0xDEADBEEF
+        assert checkpoint.matrix_fingerprints == {"flag": "aa", "level": "bb"}
+        for name, counts in payload["counts"].items():
+            np.testing.assert_array_equal(checkpoint.counts[name], counts)
+
+    def test_missing_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path) is None
+
+    def test_overwrite_keeps_latest(self, tmp_path, payload):
+        save_checkpoint(tmp_path, **payload)
+        payload["frames_applied"] = 99
+        save_checkpoint(tmp_path, **payload)
+        assert load_checkpoint(tmp_path).frames_applied == 99
+
+    def test_torn_pair_detected(self, tmp_path, payload):
+        """New npz + stale sidecar (crash between replaces) is refused."""
+        save_checkpoint(tmp_path, **payload)
+        sidecar = (tmp_path / CHECKPOINT_JSON).read_text()
+        payload["counts"]["flag"] = np.array([4, 8], dtype=np.int64)
+        save_checkpoint(tmp_path, **payload)
+        (tmp_path / CHECKPOINT_JSON).write_text(sidecar)  # roll sidecar back
+        with pytest.raises(ServiceError, match="CRC"):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_npz_detected(self, tmp_path, payload):
+        save_checkpoint(tmp_path, **payload)
+        npz = tmp_path / CHECKPOINT_NPZ
+        raw = bytearray(npz.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        npz.write_bytes(bytes(raw))
+        with pytest.raises(ServiceError, match="CRC"):
+            load_checkpoint(tmp_path)
+
+    def test_missing_npz_detected(self, tmp_path, payload):
+        save_checkpoint(tmp_path, **payload)
+        (tmp_path / CHECKPOINT_NPZ).unlink()
+        with pytest.raises(ServiceError, match="missing"):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_sidecar_detected(self, tmp_path, payload):
+        save_checkpoint(tmp_path, **payload)
+        (tmp_path / CHECKPOINT_JSON).write_text("{not json")
+        with pytest.raises(ServiceError, match="corrupt"):
+            load_checkpoint(tmp_path)
+
+    def test_order_must_cover_counts(self, tmp_path, payload):
+        payload["order"] = ("flag",)
+        with pytest.raises(ServiceError, match="cover"):
+            save_checkpoint(tmp_path, **payload)
+
+    def test_sidecar_crc_matches_file(self, tmp_path, payload):
+        save_checkpoint(tmp_path, **payload)
+        sidecar = json.loads((tmp_path / CHECKPOINT_JSON).read_text())
+        assert sidecar["npz_crc32"] == zlib.crc32(
+            (tmp_path / CHECKPOINT_NPZ).read_bytes()
+        )

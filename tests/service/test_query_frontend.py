@@ -1,0 +1,166 @@
+"""Tests for the cached query front-end."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queries import PairQuery
+from repro.analysis.streaming import StreamingCollector
+from repro.engine.collector import ShardedCollector
+from repro.exceptions import ServiceError
+from repro.protocols.independent import RRIndependent
+from repro.service.query import QueryFrontend
+
+
+@pytest.fixture
+def protocol(small_schema):
+    return RRIndependent(small_schema, p=0.7)
+
+
+@pytest.fixture
+def released(protocol, small_dataset):
+    return protocol.randomize(small_dataset, rng=5)
+
+
+@pytest.fixture
+def collector(protocol, released):
+    collector = ShardedCollector.for_protocol(protocol)
+    collector.collect(released.codes)
+    return collector
+
+
+@pytest.fixture
+def front(collector):
+    return QueryFrontend(collector)
+
+
+class TestCaching:
+    def test_repeat_marginal_hits(self, front):
+        first = front.marginal("flag")
+        second = front.marginal("flag")
+        assert front.stats == {"hits": 1, "misses": 1, "entries": 1}
+        assert first is second  # the cached object itself
+
+    def test_cached_arrays_are_read_only(self, front):
+        estimate = front.marginal("level")
+        with pytest.raises(ValueError):
+            estimate[0] = 99.0
+
+    def test_new_reports_invalidate_by_key(self, front, collector, released):
+        stale = front.marginal("flag")
+        collector.collect(released.codes[:40])  # observed counts move
+        fresh = front.marginal("flag")
+        assert front.stats["misses"] == 2  # second call could not hit
+        assert not np.array_equal(stale, fresh)
+
+    def test_marginal_matches_collector(self, front, collector):
+        np.testing.assert_array_equal(
+            front.marginal("color"), collector.estimate_marginal("color")
+        )
+
+    def test_repair_variants_cached_separately(self, front):
+        front.marginal("flag", "clip")
+        front.marginal("flag", "none")
+        assert front.stats["misses"] == 2
+
+    def test_lru_bound(self, collector):
+        front = QueryFrontend(collector, max_entries=2)
+        front.marginal("flag")
+        front.marginal("level")
+        front.marginal("color")  # evicts "flag"
+        front.marginal("color")
+        assert front.stats["entries"] == 2
+        front.marginal("flag")  # miss again after eviction
+        assert front.stats == {"hits": 1, "misses": 4, "entries": 2}
+
+    def test_invalidate_clears_entries(self, front):
+        front.marginal("flag")
+        front.invalidate()
+        assert front.stats["entries"] == 0
+        front.marginal("flag")
+        assert front.stats["misses"] == 2
+
+    def test_streaming_collector_also_supported(self, protocol, released):
+        streaming = StreamingCollector(
+            protocol.schema, protocol.matrices
+        )
+        streaming.receive_batch(released.codes)
+        front = QueryFrontend(streaming)
+        np.testing.assert_array_equal(
+            front.marginal("flag"), streaming.estimate_marginal("flag")
+        )
+
+
+class TestQueryShapes:
+    def test_pair_table_is_outer_product(self, front, protocol, released):
+        table = front.pair_table("flag", "level")
+        np.testing.assert_allclose(
+            table,
+            protocol.estimate_pair_table(released, "flag", "level"),
+            atol=1e-12,
+        )
+
+    def test_pair_table_cached(self, front):
+        front.pair_table("flag", "level")
+        front.pair_table("flag", "level")
+        # 1 pair hit; the first call also seeded the two marginals
+        assert front.stats["hits"] == 1
+
+    def test_pair_needs_distinct(self, front):
+        with pytest.raises(ServiceError, match="distinct"):
+            front.pair_table("flag", "flag")
+
+    def test_set_frequency_matches_protocol(self, front, protocol, released):
+        cells = np.array([[0, 0], [1, 2]])
+        expected = protocol.estimate_set_frequency(
+            released, ("flag", "level"), cells
+        )
+        assert front.set_frequency(("flag", "level"), cells) == pytest.approx(
+            expected, abs=1e-12
+        )
+
+    def test_set_frequency_cached_by_cells(self, front):
+        cells_a = np.array([[0, 0]])
+        cells_b = np.array([[1, 1]])
+        front.set_frequency(("flag", "level"), cells_a)
+        front.set_frequency(("flag", "level"), cells_b)
+        front.set_frequency(("flag", "level"), cells_a)
+        entries = [k for k in front._cache if k[0] == "set"]
+        assert len(entries) == 2
+
+    def test_set_frequency_empty_cells_is_zero(self, front):
+        cells = np.empty((0, 2), dtype=np.int64)
+        assert front.set_frequency(("flag", "level"), cells) == 0.0
+
+    def test_set_frequency_validation(self, front):
+        with pytest.raises(ServiceError, match="at least one"):
+            front.set_frequency((), np.empty((1, 0)))
+        with pytest.raises(ServiceError, match="duplicate"):
+            front.set_frequency(("flag", "flag"), np.array([[0, 0]]))
+        with pytest.raises(ServiceError, match="shape"):
+            front.set_frequency(("flag",), np.array([[0, 0]]))
+        with pytest.raises(ServiceError, match="out of range"):
+            front.set_frequency(("flag",), np.array([[7]]))
+
+    def test_unknown_attribute(self, front):
+        with pytest.raises(ServiceError, match="unknown"):
+            front.marginal("ghost")
+
+    def test_count_query_scales_by_n(self, front, collector):
+        query = PairQuery("flag", "level", np.array([[0, 0], [1, 1]]))
+        count = front.count_query(query)
+        frequency = front.set_frequency(
+            ("flag", "level"), query.cells
+        )
+        assert count == pytest.approx(collector.n_observed * frequency)
+
+    def test_marginals_covers_schema(self, front, collector):
+        answers = front.marginals()
+        assert set(answers) == set(collector.schema.names)
+
+    def test_bad_max_entries(self, collector):
+        with pytest.raises(ServiceError, match="max_entries"):
+            QueryFrontend(collector, max_entries=0)
+
+    def test_bad_repair(self, front):
+        with pytest.raises(ServiceError, match="repair"):
+            front.marginal("flag", "fix-it")

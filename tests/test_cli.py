@@ -215,3 +215,186 @@ class TestMainEntry:
         )
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestServiceCLI:
+    """encode / ingest / query subcommands end-to-end."""
+
+    @pytest.fixture
+    def encoded(self, survey_csv, tmp_path):
+        reports = tmp_path / "reports.rrw"
+        design = tmp_path / "design.json"
+        code = main(
+            [
+                "encode", str(survey_csv), "-o", str(reports),
+                "--design", str(design), "--p", "0.7",
+                "--columns", "smokes,alcohol,stress",
+                "--seed", "11", "--frame-records", "25",
+            ]
+        )
+        assert code == 0
+        return reports, design
+
+    def test_encode_writes_reports_and_design(self, encoded, capsys):
+        reports, design = encoded
+        assert reports.stat().st_size > 0
+        payload = json.loads(design.read_text())
+        assert payload["protocol"] == "RR-Independent"
+        assert payload["p"] == 0.7
+        assert [a["name"] for a in payload["schema"]] == [
+            "smokes", "alcohol", "stress"
+        ]
+        # the party's seed must never travel to the collector: with it,
+        # the data-independent keep mask (and thus every kept true
+        # value) could be regenerated
+        assert "seed" not in payload
+
+    def test_ingest_then_query(self, encoded, tmp_path, capsys):
+        reports, design = encoded
+        state = tmp_path / "state"
+        assert main(
+            [
+                "ingest", str(reports), "-s", str(state),
+                "--design", str(design), "--checkpoint-every", "4",
+            ]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["frames_ingested"] == 16  # 400 records / 25
+        assert summary["n_observed"] == 400
+        assert summary["checkpointed"] is True
+
+        out = tmp_path / "answer.json"
+        assert main(
+            [
+                "query", "-s", str(state), "--design", str(design),
+                "--marginal", "smokes", "--pair", "smokes", "alcohol",
+                "-o", str(out),
+            ]
+        ) == 0
+        answer = json.loads(out.read_text())
+        assert answer["n_observed"] == 400
+        assert set(answer["marginals"]) == {"smokes"}
+        assert abs(sum(answer["marginals"]["smokes"]) - 1.0) < 1e-9
+        table = answer["pairs"]["smokes|alcohol"]
+        assert len(table) == 2 and len(table[0]) == 3
+
+    def test_crash_resume_matches_uninterrupted(
+        self, encoded, tmp_path, capsys
+    ):
+        """CI acceptance flow: simulated crash + recovery produces a
+        byte-identical query answer."""
+        reports, design = encoded
+        base = ["--design", str(design)]
+        assert main(
+            ["ingest", str(reports), "-s", str(tmp_path / "a")]
+            + base + ["--checkpoint-every", "5"]
+        ) == 0
+        assert main(
+            ["ingest", str(reports), "-s", str(tmp_path / "b")]
+            + base + ["--checkpoint-every", "5", "--stop-after", "7"]
+        ) == 0
+        assert main(
+            ["ingest", str(reports), "-s", str(tmp_path / "b")]
+            + base + ["--checkpoint-every", "5", "--resume"]
+        ) == 0
+        capsys.readouterr()
+        answer_a = tmp_path / "a.json"
+        answer_b = tmp_path / "b.json"
+        for state, out in (("a", answer_a), ("b", answer_b)):
+            assert main(
+                ["query", "-s", str(tmp_path / state)] + base
+                + ["-o", str(out)]
+            ) == 0
+        assert answer_a.read_bytes() == answer_b.read_bytes()
+
+    def test_ingest_refuses_dirty_state_dir(self, encoded, tmp_path, capsys):
+        reports, design = encoded
+        state = tmp_path / "state"
+        args = ["ingest", str(reports), "-s", str(state), "--design", str(design)]
+        assert main(args) == 0
+        assert main(args) == 1
+        assert "--resume" in capsys.readouterr().err
+
+    def test_bad_positive_int_flags_rejected_at_parse(
+        self, encoded, tmp_path, survey_csv
+    ):
+        reports, design = encoded
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "encode", str(survey_csv), "-o", str(tmp_path / "r"),
+                    "--design", str(tmp_path / "d"), "--p", "0.5",
+                    "--frame-records", "0",
+                ]
+            )
+        for flag, value in (
+            ("--checkpoint-every", "0"),
+            ("--batch-size", "-2"),
+            ("--stop-after", "zero"),
+        ):
+            with pytest.raises(SystemExit):
+                main(
+                    [
+                        "ingest", str(reports), "-s", str(tmp_path / "s"),
+                        "--design", str(design), flag, value,
+                    ]
+                )
+
+    def test_resume_with_mismatched_reports_rejected(
+        self, encoded, survey_csv, tmp_path, capsys
+    ):
+        """--resume must refuse a reports file whose prefix differs
+        from what the log already ingested (e.g. re-encoded stream)."""
+        reports, design = encoded
+        state = tmp_path / "state"
+        assert main(
+            [
+                "ingest", str(reports), "-s", str(state),
+                "--design", str(design), "--stop-after", "5",
+            ]
+        ) == 0
+        other_reports = tmp_path / "other.rrw"
+        other_design = tmp_path / "other.json"
+        assert main(
+            [
+                "encode", str(survey_csv), "-o", str(other_reports),
+                "--design", str(other_design), "--p", "0.7",
+                "--columns", "smokes,alcohol,stress",
+                "--seed", "99", "--frame-records", "25",  # different stream
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "ingest", str(other_reports), "-s", str(state),
+                "--design", str(design), "--resume",
+            ]
+        )
+        assert code == 1
+        assert "do not match" in capsys.readouterr().err
+
+    def test_missing_design_errors_cleanly(self, encoded, tmp_path, capsys):
+        reports, _ = encoded
+        code = main(
+            [
+                "ingest", str(reports), "-s", str(tmp_path / "s"),
+                "--design", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_tampered_design_rejected(self, encoded, tmp_path, capsys):
+        reports, design = encoded
+        payload = json.loads(design.read_text())
+        payload["schema"][0]["categories"] = ["no", "yes", "maybe"]
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(payload))
+        code = main(
+            [
+                "ingest", str(reports), "-s", str(tmp_path / "s"),
+                "--design", str(tampered),
+            ]
+        )
+        assert code == 1
+        assert "fingerprint" in capsys.readouterr().err
