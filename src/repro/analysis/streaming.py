@@ -62,9 +62,20 @@ class StreamingFrequencyEstimator:
             raise EstimationError("values must be scalar or 1-D")
         if codes.size == 0:
             return
-        if codes.min() < 0 or codes.max() >= self._size:
+        # Contiguous first: batch callers hand in strided column views,
+        # and both reductions below degrade badly on those. One copy,
+        # then a max scan + counting pass replace the old min/max/count
+        # triple — bincount itself rejects negatives.
+        codes = np.ascontiguousarray(codes)
+        if codes.max() >= self._size:
             raise EstimationError(f"values out of range [0, {self._size})")
-        self._counts += np.bincount(codes, minlength=self._size)
+        try:
+            counts = np.bincount(codes, minlength=self._size)
+        except ValueError:
+            raise EstimationError(
+                f"values out of range [0, {self._size})"
+            ) from None
+        self._counts += counts
 
     def validate_counts(self, counts) -> np.ndarray:
         """Check a count vector's shape/dtype/sign; return it as int64.
@@ -236,8 +247,12 @@ class StreamingCollector:
                 f"batch must have shape (k, {self._schema.width}), "
                 f"got {batch.shape}"
             )
+        # One transposed copy up front: per-attribute updates then scan
+        # contiguous rows instead of strided column views (each of
+        # which update() would copy separately anyway).
+        columns = np.ascontiguousarray(batch.T)
         for j, attr in enumerate(self._schema):
-            self._estimators[attr.name].update(batch[:, j])
+            self._estimators[attr.name].update(columns[j])
 
     def snapshot_counts(self) -> dict:
         """Copy of every attribute's count vector (checkpoint hook).

@@ -10,7 +10,11 @@ the randomized codes: respondent ``i`` with true value ``u`` reports
   size. This is what makes cluster-wise RR-Joint over tens of
   thousands of cells cheap.
 * **General dense path** — per-row inverse-CDF sampling for arbitrary
-  matrices, O(n·r) memory.
+  matrices via :func:`inverse_cdf_codes`: records are radix-grouped by
+  their true code and each group binary-searches its own CDF row, so
+  the cost is O(n·log r) instead of the O(n·r) comparison-sum (which
+  survives as :func:`inverse_cdf_comparison_sum`, the reference the
+  property tests pin the fast path against).
 
 Both paths are exact samplers of the same distribution; the test suite
 checks them against each other.
@@ -24,7 +28,55 @@ from repro._rng import ensure_rng
 from repro.core.matrices import ConstantDiagonalMatrix, validate_rr_matrix
 from repro.exceptions import MatrixError
 
-__all__ = ["randomize_column", "RandomizedResponseMechanism"]
+__all__ = [
+    "randomize_column",
+    "RandomizedResponseMechanism",
+    "inverse_cdf_codes",
+    "inverse_cdf_comparison_sum",
+]
+
+
+def inverse_cdf_comparison_sum(
+    cumulative: np.ndarray, values: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """O(n·r) inverse-CDF draw: count CDF entries each uniform clears.
+
+    The original dense sampler, kept as the ground truth for
+    :func:`inverse_cdf_codes` — record ``i`` with true code ``c`` maps
+    uniform ``u[i]`` to ``#{k : cumulative[c, k] <= u[i]}``.
+    """
+    rows = cumulative[values]
+    return (u[:, None] >= rows).sum(axis=1)
+
+
+def inverse_cdf_codes(
+    cumulative: np.ndarray, values: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """O(n·log r) inverse-CDF draw, code-identical to the comparison-sum.
+
+    Groups records by true code (radix argsort — O(n) for int64) and
+    binary-searches each group's uniforms in that code's CDF row.
+    ``searchsorted(row, u, side="right")`` returns exactly
+    ``#{k : row[k] <= u}`` for a non-decreasing row — the same float
+    comparisons :func:`inverse_cdf_comparison_sum` makes, so the two
+    agree element-for-element (including ties on zero-probability
+    entries), not just in distribution.
+    """
+    n = values.size
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    group_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_values[1:] != sorted_values[:-1]))
+    )
+    bounds = np.append(group_starts, n)
+    for g in range(group_starts.size):
+        members = order[bounds[g] : bounds[g + 1]]
+        row = cumulative[sorted_values[bounds[g]]]
+        out[members] = np.searchsorted(row, u[members], side="right")
+    return out
 
 
 def _randomize_constant_diagonal(
@@ -43,9 +95,8 @@ def _randomize_dense(
     rng: np.random.Generator,
 ) -> np.ndarray:
     cumulative = np.cumsum(matrix, axis=1)
-    rows = cumulative[values]
     u = rng.random(values.shape[0])
-    codes = (u[:, None] >= rows).sum(axis=1)
+    codes = inverse_cdf_codes(cumulative, values, u)
     return np.minimum(codes, matrix.shape[1] - 1).astype(np.int64)
 
 

@@ -109,8 +109,12 @@ class ColumnTask:
             self.matrix = validate_rr_matrix(matrix)
             self.size = self.matrix.shape[0]
             # Once per task, not once per chunk: the dense sampler's
-            # inverse-CDF rows come from this O(r²) cumsum.
-            self.cumulative = np.cumsum(self.matrix, axis=1)
+            # searchsorted CDF rows come from this O(r²) cumsum; kept
+            # C-contiguous so every per-chunk handoff binary-searches
+            # contiguous rows.
+            self.cumulative = np.ascontiguousarray(
+                np.cumsum(self.matrix, axis=1)
+            )
         if domain is not None and domain.size != self.size:
             raise ReproError(
                 f"matrix size {self.size} does not match domain size "

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.matrices import ConstantDiagonalMatrix, validate_rr_matrix
+from repro.core.mechanism import inverse_cdf_codes
 from repro.exceptions import MatrixError
 
 __all__ = ["WORDS_PER_RECORD", "block_generator", "randomize_block"]
@@ -119,6 +120,9 @@ def randomize_block(
         return np.where(keep, codes, uniform).astype(np.int64)
     if cumulative is None:
         cumulative = np.cumsum(matrix, axis=1)
-    rows = cumulative[codes]
-    drawn = (words[:, 0][:, None] >= rows).sum(axis=1)
+    # Grouped searchsorted, O(n·log r): provably code-identical to the
+    # old (words >= rows).sum(axis=1) comparison-sum on the same Philox
+    # words, so the chunk-invariance/byte-identity contract holds (see
+    # inverse_cdf_codes; tests pin the equivalence).
+    drawn = inverse_cdf_codes(cumulative, codes, words[:, 0])
     return np.minimum(drawn, size - 1).astype(np.int64)

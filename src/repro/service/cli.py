@@ -49,7 +49,11 @@ from repro.service.journal import (
     FrameWriter,
     read_frames,
 )
-from repro.service.pipeline import DEFAULT_BATCH_SIZE, CollectorService
+from repro.service.pipeline import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_COMMIT_RECORDS,
+    CollectorService,
+)
 
 __all__ = ["service_main", "SERVICE_COMMANDS"]
 
@@ -233,12 +237,15 @@ def _ingest(argv) -> int:
         help="design file written by encode",
     )
     parser.add_argument(
-        "--batch-size", type=positive_int, default=DEFAULT_BATCH_SIZE,
-        help="records buffered per absorption pass (default: %(default)s)",
+        "--batch-size", type=positive_int, default=DEFAULT_COMMIT_RECORDS,
+        help="records per group commit: one fsync'd log write and one "
+        "absorption pass per batch — the durability window of bulk "
+        "ingestion (default: %(default)s)",
     )
     parser.add_argument(
         "--checkpoint-every", type=positive_int, default=None,
-        help="snapshot state every N ingested frames (default: only at end)",
+        help="snapshot state every N ingested frames, checked at group-"
+        "commit boundaries (default: only at end)",
     )
     parser.add_argument(
         "--resume", action="store_true",
@@ -278,14 +285,14 @@ def _ingest(argv) -> int:
                         "reports file the crashed run was ingesting"
                     )
             logged.close()
-        ingested = 0
-        stopped_early = False
-        for frame in reports_stream:
-            service.ingest_frame(frame)
-            ingested += 1
-            if args.stop_after is not None and ingested >= args.stop_after:
-                stopped_early = True
-                break
+        ingested = service.ingest_many(
+            reports_stream,
+            commit_records=args.batch_size,
+            limit=args.stop_after,
+        )
+        stopped_early = (
+            args.stop_after is not None and ingested >= args.stop_after
+        )
         if not stopped_early:
             service.checkpoint()
         summary = {

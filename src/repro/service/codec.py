@@ -22,6 +22,16 @@ mis-slicing the bit stream. Decoding round-trips byte-exactly
 truncated buffers, flipped bits (CRC), and codes outside an attribute's
 domain (reachable when ``|A|`` is not a power of two).
 
+Payload packing is fully vectorized. Records whose packed width fits a
+single machine word take the *uint64-lane* path: every record becomes
+one shift-or accumulated word, serialized through a byteswapped view —
+no per-bit work at all. Wider records fall back to a gather-based path
+(one fancy-indexing expression builds the whole bit matrix, then
+``np.packbits``/``np.unpackbits`` + ``np.add.reduceat``). Both produce
+frames byte-identical to the original per-bit Python loops, which are
+kept as ``_pack_payload_reference``/``_unpack_payload_reference`` so
+property tests can assert the equivalence forever.
+
 The module also owns the canonical fingerprints (schema, matrix,
 design) shared by the checkpoint sidecar, plus JSON schema
 serialization for the CLI design files.
@@ -42,6 +52,7 @@ from repro.exceptions import CodecError
 __all__ = [
     "WIRE_VERSION",
     "ReportCodec",
+    "column_extrema",
     "schema_fingerprint",
     "matrix_fingerprint",
     "design_fingerprint",
@@ -54,6 +65,39 @@ WIRE_VERSION = 1
 
 _HEADER = struct.Struct("<4sBBQI")  # magic, version, flags, fingerprint, k
 _TRAILER = struct.Struct("<I")  # crc32
+
+#: Rows per slab in the two-stage column-extrema reduction (validation).
+_EXTREMA_SLAB = 512
+
+#: Int64 elements per gather-path intermediate (~16 MiB): the wide-
+#: record (> 64-bit) pack/unpack paths process rows in slabs of
+#: ``_GATHER_SLAB_ELEMENTS // record_bits`` so a large decode_many
+#: window cannot balloon the k × record_bits temporaries.
+_GATHER_SLAB_ELEMENTS = 1 << 21
+
+
+def column_extrema(batch: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-column ``(min, max)`` of a non-empty ``(k, m)`` array, fast.
+
+    numpy's plain ``min(axis=0)`` on a C-contiguous ``(k, m)`` array
+    with small ``m`` degenerates into k tiny SIMD steps; reducing
+    ``(k//512, 512, m)`` slabs first keeps the inner loop 512·m wide
+    (~6x faster at m = 8). Shared by the codec's range validation and
+    the ingestion pipeline's absorption pass.
+    """
+    k, m = batch.shape
+    head = (k // _EXTREMA_SLAB) * _EXTREMA_SLAB
+    if head:
+        slab = batch[:head].reshape(-1, _EXTREMA_SLAB, m)
+        low = slab.min(axis=0).min(axis=0)
+        high = slab.max(axis=0).max(axis=0)
+    else:
+        low = high = batch[0]
+    if head < k:
+        tail = batch[head:]
+        low = np.minimum(low, tail.min(axis=0))
+        high = np.maximum(high, tail.max(axis=0))
+    return low, high
 
 
 # ----------------------------------------------------------------------
@@ -146,6 +190,40 @@ class ReportCodec:
         self._record_bits = sum(self._bits)
         self._record_bytes = (self._record_bits + 7) // 8
         self._sizes = np.asarray(schema.sizes, dtype=np.int64)
+        # Bit layout tables for the vectorized payload paths. The frame
+        # format is fixed: attribute fields concatenated MSB-first, the
+        # record left-aligned in record_bytes (padding bits are the low
+        # bits of the last byte, zero — exactly np.packbits' layout).
+        offsets = np.concatenate(
+            ([0], np.cumsum(self._bits))
+        ).astype(np.int64)
+        self._attr_starts = offsets[:-1]
+        if self._record_bits <= 64:
+            # uint64-lane path: the whole record is one word, each
+            # attribute a contiguous bit field at a fixed shift from
+            # the top of the record_bytes*8-bit window.
+            field_ends = offsets[1:]
+            self._word_shifts = (
+                8 * self._record_bytes - field_ends
+            ).astype(np.uint64)
+            self._word_masks = np.asarray(
+                [(1 << width) - 1 for width in self._bits], dtype=np.uint64
+            )
+        else:
+            self._word_shifts = None
+            self._word_masks = None
+        # Gather tables for the general path: record bit b belongs to
+        # attribute _bit_attr[b] and carries weight 2**_bit_shift[b].
+        self._bit_attr = np.repeat(
+            np.arange(len(self._bits), dtype=np.int64), self._bits
+        )
+        self._bit_shift = np.concatenate(
+            [np.arange(width - 1, -1, -1, dtype=np.int64)
+             for width in self._bits]
+        )
+        self._bit_weight = (
+            np.int64(1) << self._bit_shift
+        ).astype(np.int64)
 
     @property
     def schema(self) -> Schema:
@@ -170,6 +248,84 @@ class ReportCodec:
         return _HEADER.size + n_records * self._record_bytes + _TRAILER.size
 
     # ------------------------------------------------------------------
+    # Payload packing (vectorized fast paths + legacy reference)
+    # ------------------------------------------------------------------
+    def _pack_payload(self, batch: np.ndarray) -> bytes:
+        """Packed payload bytes of an in-range ``(k, m)`` int64 batch."""
+        if self._word_shifts is not None:
+            value = np.zeros(batch.shape[0], dtype=np.uint64)
+            for j in range(batch.shape[1]):
+                value |= (
+                    batch[:, j].astype(np.uint64) << self._word_shifts[j]
+                )
+            # Little-endian lanes -> big-endian (MSB-first) payload:
+            # record byte i is lane byte record_bytes-1-i.
+            lanes = value.astype("<u8")[:, None].view(np.uint8)
+            payload = np.ascontiguousarray(
+                lanes[:, self._record_bytes - 1 :: -1]
+            )
+            return payload.tobytes()
+        # Gather path, slab-wise: the (rows, record_bits) int64
+        # intermediates stay bounded however large the batch is.
+        slab = max(1, _GATHER_SLAB_ELEMENTS // self._record_bits)
+        parts = []
+        for start in range(0, batch.shape[0], slab):
+            rows = batch[start : start + slab]
+            bits = (
+                (rows[:, self._bit_attr] >> self._bit_shift) & 1
+            ).astype(np.uint8)
+            parts.append(np.packbits(bits, axis=1).tobytes())
+        return b"".join(parts)
+
+    def _unpack_payload(self, payload: np.ndarray) -> np.ndarray:
+        """``(k, m)`` int64 codes from ``(k, record_bytes)`` payload."""
+        count = payload.shape[0]
+        if self._word_shifts is not None:
+            lanes = np.zeros((count, 8), dtype=np.uint8)
+            lanes[:, : self._record_bytes] = payload[:, ::-1]
+            value = lanes.view("<u8").reshape(count)
+            # One broadcast shift for all attributes, mask in place,
+            # reinterpret as int64 (values < 2**63, so the view is
+            # exact) — two full passes over the output instead of four.
+            fields = value[:, None] >> self._word_shifts[None, :]
+            fields &= self._word_masks
+            return fields.view(np.int64)
+        # Gather path, slab-wise (see _pack_payload).
+        out = np.empty((count, self._schema.width), dtype=np.int64)
+        slab = max(1, _GATHER_SLAB_ELEMENTS // self._record_bits)
+        for start in range(0, count, slab):
+            rows = payload[start : start + slab]
+            bits = np.unpackbits(rows, axis=1)[:, : self._record_bits]
+            contrib = bits.astype(np.int64) * self._bit_weight
+            out[start : start + slab] = np.add.reduceat(
+                contrib, self._attr_starts, axis=1
+            )
+        return out
+
+    def _pack_payload_reference(self, batch: np.ndarray) -> bytes:
+        """The original per-bit packing loop, kept as the ground truth
+        the vectorized paths are property-tested against."""
+        bits = np.empty((batch.shape[0], self._record_bits), dtype=np.uint8)
+        offset = 0
+        for j, width in enumerate(self._bits):
+            column = batch[:, j]
+            for b in range(width):  # most-significant bit first
+                bits[:, offset + b] = (column >> (width - 1 - b)) & 1
+            offset += width
+        return np.packbits(bits, axis=1).tobytes()
+
+    def _unpack_payload_reference(self, payload: np.ndarray) -> np.ndarray:
+        """The original per-attribute unpacking loop (ground truth)."""
+        bits = np.unpackbits(payload, axis=1)[:, : self._record_bits]
+        out = np.empty((payload.shape[0], self._schema.width), dtype=np.int64)
+        offset = 0
+        for j, width in enumerate(self._bits):
+            weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+            out[:, j] = bits[:, offset : offset + width] @ weights
+            offset += width
+        return out
+
+    # ------------------------------------------------------------------
     def encode(self, records) -> bytes:
         """One wire frame for a batch of randomized records.
 
@@ -189,34 +345,42 @@ class ReportCodec:
             )
         if batch.shape[0] == 0:
             raise CodecError("a frame must carry at least one record")
-        if batch.min() < 0 or (batch >= self._sizes[None, :]).any():
-            bad = np.argwhere(
-                (batch < 0) | (batch >= self._sizes[None, :])
-            )[0]
+        bad_col = self._first_out_of_range_column(batch)
+        if bad_col is not None:
+            column = batch[:, bad_col]
+            record = int(
+                np.flatnonzero(
+                    (column < 0) | (column >= self._sizes[bad_col])
+                )[0]
+            )
             raise CodecError(
                 f"code out of range for attribute "
-                f"{self._schema.names[bad[1]]!r} at record {bad[0]}"
+                f"{self._schema.names[bad_col]!r} at record {record}"
             )
-        bits = np.empty((batch.shape[0], self._record_bits), dtype=np.uint8)
-        offset = 0
-        for j, width in enumerate(self._bits):
-            column = batch[:, j]
-            for b in range(width):  # most-significant bit first
-                bits[:, offset + b] = (column >> (width - 1 - b)) & 1
-            offset += width
-        payload = np.packbits(bits, axis=1).tobytes()
+        payload = self._pack_payload(batch)
         head = _HEADER.pack(
             MAGIC, WIRE_VERSION, 0, self._fingerprint, batch.shape[0]
         )
         body = head + payload
         return body + _TRAILER.pack(zlib.crc32(body))
 
-    def decode(self, frame: bytes) -> np.ndarray:
-        """Recover the ``(k, m)`` code batch from one wire frame.
+    def _first_out_of_range_column(self, batch):
+        """Index of the first attribute with a code outside its domain.
 
-        Raises :class:`~repro.exceptions.CodecError` on any deviation:
-        short or oversized buffers, wrong magic/version/fingerprint,
-        CRC mismatch, or unpacked codes outside an attribute's domain.
+        Works from per-column extrema (:func:`column_extrema`) — no
+        boolean (k, m) temporary; the detailed error is only assembled
+        on failure.
+        """
+        low, high = column_extrema(batch)
+        violated = np.flatnonzero((low < 0) | (high >= self._sizes))
+        return int(violated[0]) if violated.size else None
+
+    def _validated_payload(self, frame) -> np.ndarray:
+        """Envelope-validate one frame; return its ``(k, b)`` payload.
+
+        Runs every integrity check except the code-range scan: buffer
+        length, magic, version, flags, schema fingerprint, record
+        count, exact frame size, and CRC.
         """
         buf = bytes(frame)
         if len(buf) < _HEADER.size + _TRAILER.size:
@@ -249,24 +413,73 @@ class ReportCodec:
         (crc,) = _TRAILER.unpack_from(buf, expected - _TRAILER.size)
         if crc != zlib.crc32(buf[: expected - _TRAILER.size]):
             raise CodecError("CRC mismatch: frame corrupted in transit")
-        payload = np.frombuffer(
+        return np.frombuffer(
             buf, dtype=np.uint8, count=count * self._record_bytes,
             offset=_HEADER.size,
         ).reshape(count, self._record_bytes)
-        bits = np.unpackbits(payload, axis=1)[:, : self._record_bits]
-        out = np.empty((count, self._schema.width), dtype=np.int64)
-        offset = 0
-        for j, width in enumerate(self._bits):
-            weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
-            out[:, j] = bits[:, offset : offset + width] @ weights
-            offset += width
-        if (out >= self._sizes[None, :]).any():
-            bad = np.argwhere(out >= self._sizes[None, :])[0]
+
+    def _check_decoded_range(self, out: np.ndarray) -> None:
+        """Reject unpacked codes outside an attribute's domain.
+
+        Codes are non-negative by construction, so only the upper bound
+        can be violated (|A| not a power of two).
+        """
+        bad_col = self._first_out_of_range_column(out)
+        if bad_col is not None:
+            record = int(
+                np.flatnonzero(out[:, bad_col] >= self._sizes[bad_col])[0]
+            )
             raise CodecError(
                 f"decoded code out of range for attribute "
-                f"{self._schema.names[bad[1]]!r} at record {bad[0]}; "
+                f"{self._schema.names[bad_col]!r} at record {record}; "
                 "frame corrupted"
             )
+
+    def peek_record_count(self, frame) -> int:
+        """Record count claimed by a frame's header, without validation.
+
+        A sizing hint for group-commit windowing only — a corrupt frame
+        can claim anything here and is still rejected by
+        :meth:`decode`/:meth:`decode_many` before it is logged. Returns
+        0 for buffers too short to carry a header.
+        """
+        buf = bytes(frame)
+        if len(buf) < _HEADER.size:
+            return 0
+        return _HEADER.unpack_from(buf)[4]
+
+    def decode(self, frame: bytes) -> np.ndarray:
+        """Recover the ``(k, m)`` code batch from one wire frame.
+
+        Raises :class:`~repro.exceptions.CodecError` on any deviation:
+        short or oversized buffers, wrong magic/version/fingerprint,
+        CRC mismatch, or unpacked codes outside an attribute's domain.
+        """
+        out = self._unpack_payload(self._validated_payload(frame))
+        self._check_decoded_range(out)
+        return out
+
+    def decode_many(self, frames) -> np.ndarray:
+        """Decode a batch of frames into one concatenated code matrix.
+
+        The group-commit fast path: every frame's envelope (length,
+        magic, version, fingerprint, CRC) is validated individually,
+        then the payloads are unpacked and range-checked in a single
+        vectorized pass — small frames no longer pay per-frame numpy
+        overhead. Any invalid frame rejects the whole call before
+        anything is returned. Record indices in range errors refer to
+        the concatenated batch. Returns a ``(sum k_i, m)`` int64 array.
+        """
+        payloads = [self._validated_payload(frame) for frame in frames]
+        if not payloads:
+            return np.zeros((0, self._schema.width), dtype=np.int64)
+        stacked = (
+            payloads[0]
+            if len(payloads) == 1
+            else np.concatenate(payloads, axis=0)
+        )
+        out = self._unpack_payload(stacked)
+        self._check_decoded_range(out)
         return out
 
     def __repr__(self) -> str:

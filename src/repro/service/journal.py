@@ -63,6 +63,15 @@ _CHECKPOINT_VERSION = 1
 _META_VERSION = 1
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Persist a directory's entries (the second half of a durable rename)."""
+    handle = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(handle)
+    finally:
+        os.close(handle)
+
+
 def _replace_durably(tmp: Path, final: Path) -> None:
     """``os.replace`` with the fsyncs that make it mean something.
 
@@ -71,11 +80,7 @@ def _replace_durably(tmp: Path, final: Path) -> None:
     unwritten content.
     """
     os.replace(tmp, final)
-    directory = os.open(final.parent, os.O_RDONLY)
-    try:
-        os.fsync(directory)
-    finally:
-        os.close(directory)
+    _fsync_dir(final.parent)
 
 
 # ----------------------------------------------------------------------
@@ -87,17 +92,47 @@ class FrameWriter:
     def __init__(self, path, *, append: bool = False):
         self._path = Path(path)
         self._handle = open(self._path, "ab" if append else "wb")
+        self._dirty = False
 
     def write(self, frame: bytes) -> None:
         if not frame:
             raise ServiceError("refusing to write an empty frame")
         self._handle.write(_LENGTH.pack(len(frame)))
         self._handle.write(frame)
+        self._dirty = True
+
+    def write_many(self, frames) -> int:
+        """Append a batch of frames as one contiguous buffered write.
+
+        The group-commit building block: the length-prefixed entries
+        are joined in memory and handed to the OS in a single
+        ``write``, so a batch costs one syscall instead of two per
+        frame. Durability still requires a :meth:`sync`.
+        """
+        frames = list(frames)
+        if any(not frame for frame in frames):
+            raise ServiceError("refusing to write an empty frame")
+        if frames:
+            self._handle.write(
+                b"".join(
+                    _LENGTH.pack(len(frame)) + frame for frame in frames
+                )
+            )
+            self._dirty = True
+        return len(frames)
 
     def sync(self) -> None:
-        """Flush to the OS and fsync — the durability point of a frame."""
+        """Flush to the OS and fsync — the durability point of a frame.
+
+        A no-op when nothing was written since the last sync, so read
+        paths that sync defensively (e.g. replay) don't pay an fsync
+        on an already-clean log.
+        """
+        if not self._dirty:
+            return
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        self._dirty = False
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -235,6 +270,26 @@ class IngestionLog:
         self._n_frames += 1
         return index
 
+    def append_many(self, frames) -> range:
+        """Group-commit: durably append a batch under a single fsync.
+
+        All frames go down in one buffered write followed by one
+        ``fsync`` — the whole batch becomes durable (and acknowledged)
+        together. A crash mid-commit can leave a prefix of the batch,
+        or a torn final entry, on disk; neither was acknowledged, and
+        reopening truncates the torn entry, so the write-ahead
+        contract (log ⊇ absorbed state) is unchanged. Returns the
+        batch's log index range.
+        """
+        frames = list(frames)
+        start = self._n_frames
+        if not frames:
+            return range(start, start)
+        self._writer.write_many(frames)
+        self._writer.sync()
+        self._n_frames += len(frames)
+        return range(start, self._n_frames)
+
     def replay(self, start: int = 0) -> Iterator[bytes]:
         """Stream frames from index ``start`` onward (recovery path).
 
@@ -319,12 +374,17 @@ def save_checkpoint(
         f"counts_{i}": np.asarray(counts[name], dtype=np.int64)
         for i, name in enumerate(order)
     }
+    # Serialize the npz in memory once: the same bytes feed the CRC and
+    # the file write, instead of writing then re-reading for the CRC.
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    raw = buffer.getvalue()
     npz_tmp = state / (CHECKPOINT_NPZ + ".tmp")
     with open(npz_tmp, "wb") as handle:
-        np.savez(handle, **arrays)
+        handle.write(raw)
         handle.flush()
         os.fsync(handle.fileno())
-    npz_crc = zlib.crc32(npz_tmp.read_bytes())
+    npz_crc = zlib.crc32(raw)
     sidecar = {
         "version": _CHECKPOINT_VERSION,
         "attributes": order,
@@ -340,8 +400,14 @@ def save_checkpoint(
         json.dump(sidecar, handle, indent=2)
         handle.flush()
         os.fsync(handle.fileno())
-    _replace_durably(npz_tmp, state / CHECKPOINT_NPZ)
-    _replace_durably(json_tmp, state / CHECKPOINT_JSON)
+    # Both file bodies are already fsynced; rename the pair and persist
+    # the directory entries with ONE fsync. A crash between the two
+    # renames leaves a mixed pair, which the sidecar's npz CRC detects
+    # at load time — the same guarantee two directory fsyncs gave, at
+    # half the cost on the checkpoint hot path.
+    os.replace(npz_tmp, state / CHECKPOINT_NPZ)
+    os.replace(json_tmp, state / CHECKPOINT_JSON)
+    _fsync_dir(state)
 
 
 def load_checkpoint(state_dir) -> "Checkpoint | None":

@@ -19,6 +19,12 @@ Two layers:
   frame is durably logged before it is absorbed, the recovered counts —
   and therefore every Eq. (2) estimate — are byte-identical to an
   uninterrupted run over the same frames.
+
+Two write paths share that contract: ``ingest_frame`` (one fsync per
+frame, per-frame acknowledgement) and the bulk ``ingest_many`` group
+commit (one buffered log write + one fsync + one absorption pass per
+:data:`DEFAULT_COMMIT_RECORDS`-record window — the durability window
+for high-throughput CSV/report-file ingestion).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.engine.collector import ShardedCollector
 from repro.exceptions import ServiceError
 from repro.service.codec import (
     ReportCodec,
+    column_extrema,
     matrix_fingerprint,
     schema_fingerprint,
 )
@@ -52,12 +59,30 @@ from repro.service.journal import (
 )
 from repro.service.query import QueryFrontend
 
-__all__ = ["IngestionPipeline", "CollectorService", "DEFAULT_BATCH_SIZE"]
+__all__ = [
+    "IngestionPipeline",
+    "CollectorService",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_COMMIT_RECORDS",
+]
 
 #: Records buffered before the pipeline absorbs them in one pass:
 #: large enough to amortize the per-shard merge validation, small
 #: enough that a crash replays at most a short log tail.
 DEFAULT_BATCH_SIZE = 1024
+
+#: Records per group commit on the bulk-ingest path: one buffered log
+#: write + one fsync + one absorption pass per this many records. The
+#: durability window — a crash loses at most this many *unacknowledged*
+#: records, never an acknowledged one. Sized for bulk report-file
+#: ingestion — the decoded window buffers records as int64 codes
+#: (131072 records × 8 attributes × 8 B = 8 MiB; the wire frames
+#: themselves are far smaller); latency-sensitive callers pass
+#: something smaller.
+DEFAULT_COMMIT_RECORDS = 131_072
+
+#: Distinguishes "iterator exhausted" from any frame value.
+_END_OF_STREAM = object()
 
 
 class IngestionPipeline:
@@ -75,6 +100,14 @@ class IngestionPipeline:
         self._batch_size = batch_size
         self._buffer: List[np.ndarray] = []
         self._pending = 0
+        self._buffer_validated = True
+        # Flat-count layout: attribute j's categories own the bin range
+        # [offset_j, offset_j + size_j) of one merged bincount.
+        self._sizes = np.asarray(collector.schema.sizes, dtype=np.int64)
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(self._sizes[:-1]))
+        ).astype(np.int64)
+        self._total_bins = int(self._sizes.sum())
 
     @property
     def collector(self) -> ShardedCollector:
@@ -85,12 +118,19 @@ class IngestionPipeline:
         """Records buffered but not yet absorbed into the collector."""
         return self._pending
 
-    def submit(self, codes: np.ndarray) -> int:
+    def submit(self, codes: np.ndarray, *, validated: bool = False) -> int:
         """Queue one decoded ``(k, m)`` batch; absorb when full.
 
         Returns the number of records still pending after the call —
         0 means the batch (and everything before it) has been absorbed,
         anything else is the caller's backpressure signal.
+
+        ``validated=True`` certifies every code is already inside its
+        attribute's domain (true straight out of
+        :meth:`~repro.service.codec.ReportCodec.decode`), letting
+        :meth:`flush` skip its range rescan for the batch. The flag is
+        sticky per flush: one unvalidated batch re-arms the scan for
+        the whole buffered block.
         """
         batch = np.atleast_2d(np.asarray(codes, dtype=np.int64))
         width = self._collector.schema.width
@@ -101,12 +141,22 @@ class IngestionPipeline:
         if batch.shape[0]:
             self._buffer.append(batch)
             self._pending += batch.shape[0]
+            self._buffer_validated = self._buffer_validated and validated
         if self._pending >= self._batch_size:
             self.flush()
         return self._pending
 
     def flush(self) -> None:
-        """Absorb everything pending through one shard collector."""
+        """Absorb everything pending in one vectorized counting pass.
+
+        Validates per-column ranges from slab extrema, then counts all
+        attributes with a *single* ``bincount`` over the block shifted
+        into disjoint per-attribute bin ranges — no per-column strided
+        scans, no shard-collector objects. The per-attribute slices
+        fold in through the collector's validate-then-apply
+        ``absorb_counts``, so the observable state transition is the
+        same as pushing the block through a shard collector.
+        """
         if not self._pending:
             return
         block = (
@@ -114,11 +164,33 @@ class IngestionPipeline:
             if len(self._buffer) == 1
             else np.concatenate(self._buffer, axis=0)
         )
-        shard = self._collector.new_shard()
-        shard.receive_batch(block)
-        self._collector.absorb(shard)
+        if not self._buffer_validated:
+            low, high = column_extrema(block)
+            violated = np.flatnonzero((low < 0) | (high >= self._sizes))
+            if violated.size:
+                j = int(violated[0])
+                raise ServiceError(
+                    f"codes out of range [0, {self._sizes[j]}) for "
+                    f"attribute {self._collector.schema.names[j]!r}"
+                )
+        merged = np.bincount(
+            (block + self._offsets).ravel(), minlength=self._total_bins
+        )
+        if merged.size > self._total_bins:
+            # Only reachable if a validated=True certification was a
+            # lie; interior mis-binning is covered by the rescan above.
+            raise ServiceError(
+                "codes beyond the last attribute's domain in a batch "
+                "submitted as pre-validated"
+            )
+        counts = {
+            name: merged[self._offsets[j] : self._offsets[j] + self._sizes[j]]
+            for j, name in enumerate(self._collector.schema.names)
+        }
+        self._collector.absorb_counts(counts)
         self._buffer = []
         self._pending = 0
+        self._buffer_validated = True
 
 
 class CollectorService:
@@ -296,7 +368,7 @@ class CollectorService:
             self._collector.merged.restore_counts(checkpoint.counts)
             start = checkpoint.frames_applied
         for frame in self._log.replay(start):
-            self._pipeline.submit(self._codec.decode(frame))
+            self._pipeline.submit(self._codec.decode(frame), validated=True)
         self._pipeline.flush()
         self._frames_applied = self._log.n_frames
         self._frames_at_checkpoint = start
@@ -355,22 +427,118 @@ class CollectorService:
         batch = self._codec.decode(frame)
         self._log.append(frame)
         self._frames_applied += 1
-        pending = self._pipeline.submit(batch)
+        pending = self._pipeline.submit(batch, validated=True)
+        self._maybe_checkpoint()
+        return pending
+
+    def _maybe_checkpoint(self) -> None:
+        """Checkpoint when ``checkpoint_every`` frames have accumulated
+        since the last snapshot (shared by both ingest paths)."""
         if (
             self._checkpoint_every is not None
             and self._frames_applied - self._frames_at_checkpoint
             >= self._checkpoint_every
         ):
             self.checkpoint()
-        return pending
 
-    def ingest(self, frames: Iterable[bytes]) -> int:
-        """Ingest a stream of frames; returns how many were applied."""
+    def ingest(self, frames: Iterable[bytes], *, sync: str = "batch") -> int:
+        """Ingest a stream of frames; returns how many were applied.
+
+        ``sync`` picks the durability window:
+
+        * ``"batch"`` (default) — group commit via :meth:`ingest_many`:
+          frames are decoded and validated individually, but logged
+          under one buffered write + one ``fsync`` per
+          :data:`DEFAULT_COMMIT_RECORDS`-record window and absorbed in
+          one batched pass. Frames become durable (acknowledged) at
+          commit boundaries; a crash mid-window loses only frames that
+          were never acknowledged.
+        * ``"frame"`` — the original one-``fsync``-per-frame path
+          (:meth:`ingest_frame` in a loop) for callers that must
+          acknowledge each frame individually, e.g. a network loop
+          replying per request.
+        """
+        if sync == "batch":
+            return self.ingest_many(frames)
+        if sync == "frame":
+            count = 0
+            for frame in frames:
+                self.ingest_frame(frame)
+                count += 1
+            return count
+        raise ServiceError(
+            f"sync must be 'batch' or 'frame', got {sync!r}"
+        )
+
+    def ingest_many(
+        self,
+        frames: Iterable[bytes],
+        *,
+        commit_records: "int | None" = None,
+        limit: "int | None" = None,
+    ) -> int:
+        """Group-commit ingestion of a frame stream.
+
+        Frames are decoded (validated) one by one, buffered until the
+        decoded window reaches ``commit_records`` records, then
+        committed: every buffered frame goes into the write-ahead log
+        under a *single* buffered write + ``fsync``, and the decoded
+        records are absorbed in one batched pass. The WAL-first
+        contract is untouched — a window is logged durably before any
+        of it is absorbed, so ``checkpoint + log tail`` still replays
+        to byte-identical estimates after any crash.
+
+        A corrupt or foreign frame raises before its window is
+        committed: previously committed windows stay durable, the
+        offending window is discarded (none of it was acknowledged).
+
+        ``limit`` stops after that many frames (the CLI's
+        ``--stop-after`` crash simulation); the final partial window is
+        committed before returning. Returns the number of frames
+        ingested.
+        """
+        if commit_records is None:
+            commit_records = DEFAULT_COMMIT_RECORDS
+        if commit_records < 1:
+            raise ServiceError(
+                f"commit_records must be >= 1, got {commit_records}"
+            )
+        if limit is not None and limit < 0:
+            raise ServiceError(f"limit must be >= 0, got {limit}")
+        iterator = iter(frames)
+        window_frames: List[bytes] = []
+        window_records = 0
         count = 0
-        for frame in frames:
-            self.ingest_frame(frame)
+        while limit is None or count < limit:
+            frame = next(iterator, _END_OF_STREAM)
+            if frame is _END_OF_STREAM:
+                break
+            window_frames.append(bytes(frame))
+            # Sizing hint only — full validation happens in decode_many
+            # before anything is logged, so a lying header can at worst
+            # mis-size its own window, never poison the log. Every
+            # frame advances the window by at least 1 (valid frames
+            # always carry >= 1 record), so a stream of forged
+            # zero-count headers still hits commit boundaries instead
+            # of buffering unboundedly with validation deferred to
+            # end-of-stream.
+            window_records += max(1, self._codec.peek_record_count(frame))
             count += 1
+            if window_records >= commit_records:
+                self._commit_window(window_frames)
+                window_frames = []
+                window_records = 0
+        if window_frames:
+            self._commit_window(window_frames)
         return count
+
+    def _commit_window(self, frames: List[bytes]) -> None:
+        """Validate, durably log, then absorb one window (WAL-first)."""
+        block = self._codec.decode_many(frames)
+        self._log.append_many(frames)
+        self._frames_applied += len(frames)
+        self._pipeline.submit(block, validated=True)
+        self._maybe_checkpoint()
 
     def flush(self) -> None:
         """Absorb every buffered report into the collector."""

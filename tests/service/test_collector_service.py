@@ -266,3 +266,126 @@ class TestCollectorService:
             marginal = front.marginal(protocol.schema.names[0])
             assert marginal.shape[0] == protocol.schema.attribute(0).size
             assert svc.n_observed > 0
+
+
+class TestGroupCommitIngestion:
+    """The bulk ingest_many path: same state, fewer fsyncs."""
+
+    def test_matches_per_frame_ingest(self, protocol, frames, tmp_path):
+        with CollectorService.for_protocol(
+            protocol, tmp_path / "frame"
+        ) as per_frame:
+            per_frame.ingest(frames, sync="frame")
+            frame_estimates = per_frame.estimate_marginals()
+        with CollectorService.for_protocol(
+            protocol, tmp_path / "batch"
+        ) as batched:
+            batched.ingest(frames)  # sync="batch" is the default
+            batch_estimates = batched.estimate_marginals()
+            assert batched.frames_applied == len(frames)
+        # identical counts => byte-identical estimates
+        for name in protocol.schema.names:
+            np.testing.assert_array_equal(
+                frame_estimates[name], batch_estimates[name]
+            )
+        # and a byte-identical write-ahead log
+        assert (tmp_path / "frame" / LOG_NAME).read_bytes() == (
+            tmp_path / "batch" / LOG_NAME
+        ).read_bytes()
+
+    def test_small_commit_windows(self, protocol, frames, released, tmp_path):
+        """Windows smaller than a frame still commit every frame."""
+        with CollectorService.for_protocol(protocol, tmp_path / "s") as svc:
+            ingested = svc.ingest_many(frames, commit_records=5)
+            assert ingested == len(frames)
+            assert svc.frames_applied == len(frames)
+            assert svc.n_observed == released.n_records
+
+    def test_limit_stops_exactly_and_commits_partial_window(
+        self, protocol, frames, tmp_path
+    ):
+        with CollectorService.for_protocol(protocol, tmp_path / "l") as svc:
+            stream = iter(frames)
+            assert svc.ingest_many(stream, limit=3) == 3
+            # the limited run is durable and the iterator undisturbed
+            assert svc.frames_applied == 3
+            assert next(stream) == frames[3]
+
+    def test_crash_recovery_after_group_commit(
+        self, protocol, frames, released, tmp_path
+    ):
+        """Kill the service right after ingest_many (no checkpoint):
+        recovery must replay to byte-identical estimates."""
+        state = tmp_path / "crash"
+        svc = CollectorService.for_protocol(protocol, state)
+        svc.ingest_many(frames, commit_records=64)
+        reference = svc.estimate_marginals()
+        svc.close()  # close() never checkpoints — simulated crash
+
+        with CollectorService.for_protocol(protocol, state) as recovered:
+            assert recovered.frames_applied == len(frames)
+            assert recovered.n_observed == released.n_records
+            for name, expected in reference.items():
+                np.testing.assert_array_equal(
+                    recovered.estimate_marginal(name), expected
+                )
+
+    def test_corrupt_frame_discards_only_its_window(
+        self, protocol, frames, tmp_path
+    ):
+        corrupt = bytearray(frames[2])
+        corrupt[-1] ^= 0xFF
+        stream = [frames[0], frames[1], bytes(corrupt), frames[3]]
+        with CollectorService.for_protocol(protocol, tmp_path / "c") as svc:
+            from repro.exceptions import CodecError
+
+            with pytest.raises(CodecError, match="CRC"):
+                # window = whole stream: validation precedes logging
+                svc.ingest_many(stream)
+            assert svc.frames_applied == 0
+            # earlier *committed* windows survive a later bad window
+            with pytest.raises(CodecError, match="CRC"):
+                svc.ingest_many(stream, commit_records=1)
+            assert svc.frames_applied == 2
+
+    def test_bad_sync_flag_rejected(self, protocol, frames, tmp_path):
+        with CollectorService.for_protocol(protocol, tmp_path / "x") as svc:
+            with pytest.raises(ServiceError, match="sync"):
+                svc.ingest(frames, sync="never")
+
+    def test_bad_commit_records_rejected(self, protocol, frames, tmp_path):
+        with CollectorService.for_protocol(protocol, tmp_path / "y") as svc:
+            with pytest.raises(ServiceError, match="commit_records"):
+                svc.ingest_many(frames, commit_records=0)
+            with pytest.raises(ServiceError, match="limit"):
+                svc.ingest_many(frames, limit=-1)
+
+    def test_checkpoint_every_at_window_boundaries(
+        self, protocol, frames, tmp_path
+    ):
+        state = tmp_path / "ckpt"
+        with CollectorService.for_protocol(
+            protocol, state, checkpoint_every=2
+        ) as svc:
+            svc.ingest_many(frames[:4], commit_records=1)
+            assert (state / CHECKPOINT_JSON).exists()
+
+    def test_forged_zero_count_headers_still_commit_windows(
+        self, protocol, frames, tmp_path
+    ):
+        """A header claiming k=0 must still advance the commit window
+        (bounded buffering) and be rejected before anything is logged."""
+        import struct
+
+        forged = bytearray(frames[0])
+        struct.pack_into("<I", forged, 14, 0)  # count field of the header
+        with CollectorService.for_protocol(protocol, tmp_path / "z") as svc:
+            from repro.exceptions import CodecError
+
+            with pytest.raises(CodecError):
+                # window of 1: the forged frame's window commits (and
+                # fails validation) immediately, not at end-of-stream
+                svc.ingest_many(
+                    [frames[0], bytes(forged), frames[1]], commit_records=1
+                )
+            assert svc.frames_applied == 1

@@ -174,3 +174,57 @@ class TestCheckpoint:
         assert sidecar["npz_crc32"] == zlib.crc32(
             (tmp_path / CHECKPOINT_NPZ).read_bytes()
         )
+
+
+class TestGroupCommit:
+    def test_append_many_indices_and_replay(self, tmp_path, frames):
+        log = IngestionLog(tmp_path / "wal")
+        assert log.append(frames[0]) == 0
+        indices = log.append_many(frames[1:5])
+        assert indices == range(1, 5)
+        assert log.n_frames == 5
+        assert list(log.replay(0)) == frames[:5]
+        log.close()
+
+    def test_append_many_bytes_identical_to_sequential(self, tmp_path, frames):
+        one = IngestionLog(tmp_path / "one")
+        for frame in frames:
+            one.append(frame)
+        one.close()
+        many = IngestionLog(tmp_path / "many")
+        many.append_many(frames)
+        many.close()
+        assert (tmp_path / "one").read_bytes() == (tmp_path / "many").read_bytes()
+
+    def test_append_many_empty_batch(self, tmp_path, frames):
+        log = IngestionLog(tmp_path / "wal")
+        assert log.append_many([]) == range(0, 0)
+        assert log.n_frames == 0
+        log.append_many(frames[:2])
+        assert log.n_frames == 2
+        log.close()
+
+    def test_append_many_refuses_empty_frame(self, tmp_path, frames):
+        log = IngestionLog(tmp_path / "wal")
+        with pytest.raises(ServiceError, match="empty frame"):
+            log.append_many([frames[0], b""])
+        log.close()
+
+    def test_append_many_durable_across_reopen(self, tmp_path, frames):
+        log = IngestionLog(tmp_path / "wal")
+        log.append_many(frames)
+        log.close()
+        reopened = IngestionLog(tmp_path / "wal")
+        assert reopened.n_frames == len(frames)
+        assert list(reopened.replay(0)) == frames
+        reopened.close()
+
+    def test_write_many_matches_write_loop(self, tmp_path, frames):
+        with FrameWriter(tmp_path / "a") as writer:
+            for frame in frames:
+                writer.write(frame)
+        with FrameWriter(tmp_path / "b") as writer:
+            assert writer.write_many(frames) == len(frames)
+        assert (tmp_path / "a").read_bytes() == (tmp_path / "b").read_bytes()
+        scanned, _, torn = scan_frames(tmp_path / "b")
+        assert scanned == frames and not torn

@@ -229,3 +229,132 @@ class TestFingerprints:
     def test_malformed_schema_payload_rejected(self):
         with pytest.raises(CodecError, match="malformed"):
             schema_from_dict([{"name": "x"}])
+
+
+def wide_schema(bits_per_attr, n_attrs):
+    """A schema whose packed record width is bits_per_attr * n_attrs."""
+    size = 1 << bits_per_attr
+    return Schema(
+        [
+            Attribute(f"w{j}", tuple(range(size)))
+            for j in range(n_attrs)
+        ]
+    )
+
+
+class TestVectorizedMatchesReference:
+    """Property: the vectorized payload paths are byte-for-byte the
+    per-bit reference loops, over random designs and both word paths
+    (uint64-lane for records <= 64 bits, gather/packbits above)."""
+
+    @pytest.mark.parametrize("trial", range(25))
+    def test_random_schemas(self, trial):
+        rng = np.random.default_rng(4000 + trial)
+        schema = random_schema(rng)
+        codec = ReportCodec(schema)
+        batch = random_batch(rng, schema, int(rng.integers(1, 300)))
+        assert codec._pack_payload(batch) == codec._pack_payload_reference(
+            batch
+        )
+        frame = codec.encode(batch)
+        payload = np.frombuffer(
+            frame, dtype=np.uint8,
+            count=batch.shape[0] * codec.record_bytes, offset=18,
+        ).reshape(batch.shape[0], codec.record_bytes)
+        np.testing.assert_array_equal(
+            codec._unpack_payload(payload),
+            codec._unpack_payload_reference(payload),
+        )
+        np.testing.assert_array_equal(codec.decode(frame), batch)
+
+    @pytest.mark.parametrize(
+        "bits,attrs",
+        [
+            (1, 1),    # single 1-bit attribute (minimum record)
+            (1, 8),    # exactly one packed byte of 1-bit fields
+            (1, 64),   # exactly one uint64 lane of 1-bit fields
+            (1, 65),   # one bit past the lane path
+            (5, 7),    # >32-bit record, still on the lane path
+            (7, 12),   # 84-bit record on the gather path
+            (17, 5),   # wide categorical domains, gather path
+        ],
+    )
+    def test_boundary_widths(self, bits, attrs):
+        rng = np.random.default_rng(bits * 100 + attrs)
+        schema = wide_schema(bits, attrs)
+        codec = ReportCodec(schema)
+        expected_path = "lane" if bits * attrs <= 64 else "gather"
+        assert (codec._word_shifts is not None) == (expected_path == "lane")
+        batch = random_batch(rng, schema, 97)
+        # extremes in every attribute: all-zero and all-max records
+        batch[0] = 0
+        batch[1] = np.asarray(schema.sizes) - 1
+        assert codec._pack_payload(batch) == codec._pack_payload_reference(
+            batch
+        )
+        frame = codec.encode(batch)
+        np.testing.assert_array_equal(codec.decode(frame), batch)
+        assert codec.encode(codec.decode(frame)) == frame
+
+    def test_range_error_still_names_attribute(self, small_schema):
+        codec = ReportCodec(small_schema)
+        bad = np.array([[0, 1, 2], [1, 3, 0]])  # level has only 3 codes
+        with pytest.raises(CodecError, match=r"'level'.*record 1"):
+            codec.encode(bad)
+
+
+class TestDecodeMany:
+    def test_matches_frame_by_frame(self, rng):
+        schema = random_schema(rng, width=4)
+        codec = ReportCodec(schema)
+        batches = [
+            random_batch(rng, schema, int(rng.integers(1, 50)))
+            for _ in range(12)
+        ]
+        frames = [codec.encode(batch) for batch in batches]
+        combined = codec.decode_many(frames)
+        np.testing.assert_array_equal(
+            combined, np.concatenate(batches, axis=0)
+        )
+
+    def test_empty_iterable(self, small_schema):
+        codec = ReportCodec(small_schema)
+        out = codec.decode_many([])
+        assert out.shape == (0, small_schema.width)
+        assert out.dtype == np.int64
+
+    def test_any_bad_frame_rejects_the_call(self, small_schema, rng):
+        codec = ReportCodec(small_schema)
+        good = codec.encode(random_batch(rng, small_schema, 5))
+        corrupt = bytearray(good)
+        corrupt[-1] ^= 0xFF
+        with pytest.raises(CodecError, match="CRC"):
+            codec.decode_many([good, bytes(corrupt), good])
+
+    def test_out_of_domain_bits_rejected(self):
+        schema = Schema([Attribute("tri", ("a", "b", "c"))])  # 2 bits, 3 codes
+        codec = ReportCodec(schema)
+        frame = bytearray(codec.encode(np.array([[0], [1]])))
+        # force the second record's field to the unreachable code 3
+        frame[18 + 1] |= 0b1100_0000
+        import zlib as _z
+        frame[-4:] = _z.crc32(bytes(frame[:-4])).to_bytes(4, "little")
+        with pytest.raises(CodecError, match=r"'tri'.*record 1"):
+            codec.decode_many([bytes(frame)])
+
+    def test_peek_record_count(self, small_schema, rng):
+        codec = ReportCodec(small_schema)
+        frame = codec.encode(random_batch(rng, small_schema, 37))
+        assert codec.peek_record_count(frame) == 37
+        assert codec.peek_record_count(b"short") == 0
+
+
+class TestColumnExtrema:
+    @pytest.mark.parametrize("k", [1, 2, 511, 512, 513, 1024, 5000])
+    def test_matches_plain_reduction(self, k, rng):
+        from repro.service.codec import column_extrema
+
+        batch = rng.integers(-50, 50, (k, 5))
+        low, high = column_extrema(batch)
+        np.testing.assert_array_equal(low, batch.min(axis=0))
+        np.testing.assert_array_equal(high, batch.max(axis=0))
