@@ -6,10 +6,13 @@ over time, and must survive restarts. This example walks the full
 service loop:
 
 1. parties randomize locally and encode reports as wire frames,
-2. a collector ingests them with a write-ahead log + checkpoints,
+2. a collector ingests them with a segmented write-ahead log +
+   checkpoints,
 3. the collector "crashes" mid-stream,
 4. a fresh process recovers (checkpoint + log tail) and finishes,
-5. a cached query front-end serves estimates — byte-identical to an
+5. compaction retires the log segments the checkpoint covers,
+   bounding disk for a collector that never stops,
+6. a cached query front-end serves estimates — byte-identical to an
    uninterrupted run.
 
 Run:  python examples/collector_service.py
@@ -47,8 +50,10 @@ def main() -> None:
         state_dir = Path(tmp) / "collector-state"
 
         # --- 2. Collector: durable ingestion ---------------------------
+        # A tiny segment size so this small stream rotates the log the
+        # way months of traffic would rotate 64 MiB segments.
         service = CollectorService.for_protocol(
-            protocol, state_dir, checkpoint_every=10
+            protocol, state_dir, checkpoint_every=10, segment_bytes=16_384
         )
         for frame in frames[:27]:  # checkpoints fire at frames 10 and 20
             service.ingest_frame(frame)
@@ -64,16 +69,32 @@ def main() -> None:
 
         # --- 4. Recovery: checkpoint counts + replay of the log tail ---
         recovered = CollectorService.for_protocol(
-            protocol, state_dir, checkpoint_every=10
+            protocol, state_dir, checkpoint_every=10, segment_bytes=16_384
         )
         print(
             f"recovered {recovered.frames_applied} frames "
             f"({recovered.n_observed} reports) — nothing lost"
         )
         recovered.ingest(frames[27:])
-        recovered.checkpoint()
 
-        # --- 5. Cached queries -----------------------------------------
+        # --- 5. Compaction: checkpoint, then retire covered segments ---
+        def log_files():
+            return sorted(
+                p.name
+                for p in state_dir.iterdir()
+                if p.name.startswith("ingest.log")
+            )
+
+        before = log_files()
+        stats = recovered.compact()
+        print(
+            f"\ncompacted: retired {stats['segments_retired']} log "
+            f"segments ({stats['bytes_freed']} bytes) covered by the "
+            f"checkpoint at frame {stats['covered_frames']}"
+        )
+        print(f"log files before: {len(before)}, after: {len(log_files())}")
+
+        # --- 6. Cached queries -----------------------------------------
         front = recovered.queries
         income = front.marginal("income")
         front.marginal("income")  # dashboard refresh: served from cache

@@ -9,15 +9,16 @@ cache.
 
 * :mod:`repro.service.codec` — versioned, bit-packed wire frames with a
   schema fingerprint header and CRC trailer.
-* :mod:`repro.service.journal` — append-only ingestion log and
-  atomic checkpoint pairs (npz counts + JSON sidecar).
+* :mod:`repro.service.journal` — segmented, append-only ingestion log
+  (manifest + bounded segments, O(tail) restart, checkpoint-covered
+  compaction) and atomic checkpoint pairs (npz counts + JSON sidecar).
 * :mod:`repro.service.pipeline` — batched absorption through the
   engine's sharded collector; :class:`CollectorService` ties codec,
   log, checkpoints and queries into one durable process state.
 * :mod:`repro.service.query` — LRU cache over marginal / pair-table /
   set-frequency estimates, keyed on (query, observed counts).
-* :mod:`repro.service.cli` — ``encode`` / ``ingest`` / ``query``
-  subcommands of ``repro-anonymize``.
+* :mod:`repro.service.cli` — ``encode`` / ``ingest`` / ``query`` /
+  ``compact`` subcommands of ``repro-anonymize``.
 """
 
 from repro.service.codec import (

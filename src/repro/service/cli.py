@@ -1,4 +1,4 @@
-"""``repro-anonymize encode|ingest|query`` — the collector service CLI.
+"""``repro-anonymize encode|ingest|query|compact`` — the service CLI.
 
 End-to-end wiring of the service layer on CSV input:
 
@@ -13,6 +13,9 @@ End-to-end wiring of the service layer on CSV input:
   crashed run left off.
 * ``query`` — the consumer side: recover the collector from its state
   directory and print Eq. (2) estimates as JSON.
+* ``compact`` — maintenance: checkpoint, then retire the write-ahead
+  log segments the checkpoint covers, bounding the state directory's
+  disk footprint.
 
 Examples::
 
@@ -45,8 +48,10 @@ from repro.service.codec import (
 )
 from repro.service.journal import (
     CHECKPOINT_JSON,
+    DEFAULT_SEGMENT_BYTES,
     LOG_NAME,
     FrameWriter,
+    log_exists,
     read_frames,
 )
 from repro.service.pipeline import (
@@ -121,14 +126,16 @@ def _service_from_design(args) -> CollectorService:
         args.state_dir,
         batch_size=args.batch_size,
         checkpoint_every=getattr(args, "checkpoint_every", None),
+        segment_bytes=getattr(args, "segment_bytes", DEFAULT_SEGMENT_BYTES),
     )
 
 
 def _state_dir_has_state(state_dir: Path) -> bool:
     if (state_dir / CHECKPOINT_JSON).exists():
         return True
-    log = state_dir / LOG_NAME
-    return log.exists() and log.stat().st_size > 0
+    # log_exists also recognizes a rotated/compacted log whose bare
+    # ingest.log segment has been retired (manifest present).
+    return log_exists(state_dir / LOG_NAME)
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +255,17 @@ def _ingest(argv) -> int:
         "commit boundaries (default: only at end)",
     )
     parser.add_argument(
+        "--segment-bytes", type=positive_int, default=DEFAULT_SEGMENT_BYTES,
+        help="rotate the write-ahead log into segments of about this "
+        "many bytes; restart cost is O(segments + tail) "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--compact", action="store_true",
+        help="after the final checkpoint, delete log segments it covers "
+        "(bounds disk; the checkpoint then becomes required for recovery)",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="recover existing state and skip frames already ingested",
     )
@@ -274,9 +292,23 @@ def _ingest(argv) -> int:
             # skipped prefix must be byte-equal to what the log holds,
             # or we would silently continue an unrelated stream (e.g.
             # a re-encoded reports file with a fresh seed). Streamed
-            # frame-by-frame — neither file is materialized.
-            logged = service.log.replay(0)
-            for _ in range(skip):
+            # frame-by-frame — neither file is materialized. Frames
+            # compacted out of the log head can no longer be compared
+            # byte-for-byte; they are consumed uncheckable (their
+            # counts are pinned inside the covering checkpoint).
+            verified_from = min(skip, service.log.first_retained_frame)
+            for _ in range(verified_from):
+                if next(reports_stream, None) is None:
+                    # Exhaustion is still checkable even when the
+                    # frame bytes no longer are.
+                    raise ServiceError(
+                        f"{args.reports}: fewer frames than the {skip} "
+                        f"already ingested into {args.state_dir}; resume "
+                        "requires the same reports file the crashed run "
+                        "was ingesting"
+                    )
+            logged = service.log.replay(verified_from)
+            for _ in range(skip - verified_from):
                 if next(reports_stream, None) != next(logged, None):
                     raise ServiceError(
                         f"{args.reports}: the first {skip} frames do not "
@@ -293,8 +325,12 @@ def _ingest(argv) -> int:
         stopped_early = (
             args.stop_after is not None and ingested >= args.stop_after
         )
+        compaction = None
         if not stopped_early:
-            service.checkpoint()
+            if args.compact:
+                compaction = service.compact()  # checkpoints first
+            else:
+                service.checkpoint()
         summary = {
             "reports": str(args.reports),
             "state_dir": str(args.state_dir),
@@ -304,6 +340,8 @@ def _ingest(argv) -> int:
             "n_observed": service.n_observed,
             "checkpointed": not stopped_early,
         }
+        if compaction is not None:
+            summary["compaction"] = compaction
     finally:
         service.close()
     print(json.dumps(summary, indent=2, sort_keys=True))
@@ -313,6 +351,56 @@ def _ingest(argv) -> int:
             "(simulated crash); rerun with --resume to continue",
             file=sys.stderr,
         )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# compact
+# ----------------------------------------------------------------------
+def _compact(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize compact",
+        description="Checkpoint a collector and retire the log segments "
+        "the checkpoint covers, bounding the state directory's disk.",
+    )
+    parser.add_argument(
+        "-s", "--state-dir", type=Path, required=True,
+        help="collector state directory",
+    )
+    parser.add_argument(
+        "--design", type=Path, required=True,
+        help="design file written by encode",
+    )
+    parser.add_argument(
+        "--segment-bytes", type=positive_int, default=DEFAULT_SEGMENT_BYTES,
+        help="rotation threshold for future appends (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--batch-size", type=positive_int, default=DEFAULT_BATCH_SIZE,
+        help=argparse.SUPPRESS,
+    )
+    args = parser.parse_args(argv)
+
+    if not _state_dir_has_state(args.state_dir):
+        # Opening would create fresh (empty) collector state — turn a
+        # typo'd path into an error instead of a pinned empty dir.
+        print(
+            f"error: {args.state_dir} holds no collector state to compact",
+            file=sys.stderr,
+        )
+        return 1
+    service = _service_from_design(args)
+    try:
+        stats = service.compact()
+        summary = {
+            "state_dir": str(args.state_dir),
+            "frames_applied": service.frames_applied,
+            "segments_remaining": service.log.n_segments,
+            **stats,
+        }
+    finally:
+        service.close()
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 
@@ -387,7 +475,12 @@ def _query(argv) -> int:
 
 
 # ----------------------------------------------------------------------
-SERVICE_COMMANDS = {"encode": _encode, "ingest": _ingest, "query": _query}
+SERVICE_COMMANDS = {
+    "encode": _encode,
+    "ingest": _ingest,
+    "query": _query,
+    "compact": _compact,
+}
 
 
 def service_main(argv) -> int:

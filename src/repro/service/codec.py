@@ -448,6 +448,34 @@ class ReportCodec:
             return 0
         return _HEADER.unpack_from(buf)[4]
 
+    def iter_frame_windows(self, frames, *, window_records: int):
+        """Group a frame stream into bounded-record windows, lazily.
+
+        The shared windowing step of group-commit ingestion and
+        recovery replay: frames accumulate until their headers claim
+        ``window_records`` records, then the window is yielded for one
+        :meth:`decode_many` pass. Headers are a sizing hint only
+        (validation happens in ``decode_many``), but every frame
+        advances the window by at least one record, so a stream of
+        forged zero-count headers still hits window boundaries instead
+        of buffering unboundedly. O(window) memory.
+        """
+        if window_records < 1:
+            raise CodecError(
+                f"window_records must be >= 1, got {window_records}"
+            )
+        window: list = []
+        records = 0
+        for frame in frames:
+            window.append(bytes(frame))
+            records += max(1, self.peek_record_count(frame))
+            if records >= window_records:
+                yield window
+                window = []
+                records = 0
+        if window:
+            yield window
+
     def decode(self, frame: bytes) -> np.ndarray:
         """Recover the ``(k, m)`` code batch from one wire frame.
 

@@ -1,12 +1,15 @@
-"""Append-only ingestion log and checkpointed collector state.
+"""Segmented log-structured ingestion journal and checkpointed state.
 
-Durability layer of the collector service. Two artifacts live in a
+Durability layer of the collector service. Three artifacts live in a
 *state directory*:
 
-* ``ingest.log`` — an append-only sequence of length-prefixed wire
-  frames (:mod:`repro.service.codec`). Every frame is written *before*
-  it is folded into the in-memory collector, so the log is always a
-  superset of the absorbed state (write-ahead discipline).
+* ``ingest.log`` (+ sealed ``ingest.log.NNNNNNNN`` segments and the
+  ``ingest.log.manifest.json`` manifest) — the write-ahead ingestion
+  log, an append-only sequence of length-prefixed wire frames
+  (:mod:`repro.service.codec`) rotated into bounded *segments*. Every
+  frame is written *before* it is folded into the in-memory collector,
+  so the log is always a superset of the absorbed state (write-ahead
+  discipline).
 * ``checkpoint.npz`` + ``checkpoint.json`` — a periodic snapshot of the
   per-attribute count vectors plus a sidecar recording how many log
   frames the snapshot covers and the fingerprints of the schema and
@@ -14,12 +17,40 @@ Durability layer of the collector service. Two artifacts live in a
   a torn checkpoint pair is detected instead of silently restoring
   mismatched counts.
 
+Segmented log layout
+--------------------
+Appends always go to the *active* segment. When it exceeds
+``segment_bytes`` it is *sealed*: its frame count and byte length are
+recorded in the manifest (one durable JSON replace) and a fresh active
+segment is opened. Segment 0 keeps the plain ``ingest.log`` name, so a
+log that never rotates — and any state directory written before
+segmentation existed — is byte-identical to the single-file layout and
+opens with no migration step. The manifest is only ever created by the
+first rotation.
+
+Opening a segmented log is O(#segments) I/O and O(1) memory: sealed
+segments are validated by a single ``stat`` against their manifest
+entry (they were fsynced before the manifest named them, so their
+bytes are settled), and only the active tail segment is scanned —
+payload bytes are seeked over, not read. A torn final entry in the
+tail (crash mid-append) is truncated away; the write was never
+acknowledged, so dropping it loses nothing that was confirmed.
+``replay(start)`` skips whole segments by their manifest frame counts
+and seeks over skipped payloads inside the first relevant segment, so
+recovery reads only the checkpoint tail.
+
+``retire(upto_frame)`` bounds disk for an immortal collector: sealed
+segments wholly covered by the latest durable checkpoint are dropped
+from the manifest (durably, first) and then unlinked. Frame indices
+stay *global* — manifest entries carry their base frame — so
+checkpoint bookkeeping survives any number of compactions. A crash
+between the manifest write and the unlinks leaves orphan segment
+files, which the next open deletes.
+
 Recovery is ``checkpoint counts + replay of the log tail``: because
 Eq. (2) estimation is a deterministic function of integer counts, the
 recovered estimate is byte-identical to an uninterrupted run over the
-same frames. A crash mid-append can leave a torn final log entry; the
-reader reports it and the log truncates it on reopen (the write was
-never acknowledged, so dropping it loses nothing that was confirmed).
+same frames.
 """
 
 from __future__ import annotations
@@ -27,6 +58,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import re
 import struct
 import zlib
 from dataclasses import dataclass
@@ -39,12 +71,16 @@ from repro.exceptions import ServiceError
 
 __all__ = [
     "LOG_NAME",
+    "MANIFEST_SUFFIX",
     "CHECKPOINT_NPZ",
     "CHECKPOINT_JSON",
     "SERVICE_META",
+    "DEFAULT_SEGMENT_BYTES",
+    "SegmentInfo",
     "FrameWriter",
     "read_frames",
     "scan_frames",
+    "log_exists",
     "IngestionLog",
     "Checkpoint",
     "save_checkpoint",
@@ -54,13 +90,33 @@ __all__ = [
 ]
 
 LOG_NAME = "ingest.log"
+MANIFEST_SUFFIX = ".manifest.json"
 CHECKPOINT_NPZ = "checkpoint.npz"
 CHECKPOINT_JSON = "checkpoint.json"
 SERVICE_META = "service.json"
 
+#: Rotation threshold of the active segment. Restart cost is
+#: O(#segments + tail): large enough that a long-lived log stays a
+#: handful of files, small enough that the tail scan stays trivial.
+DEFAULT_SEGMENT_BYTES = 64 * 1024 * 1024
+
 _LENGTH = struct.Struct("<I")
 _CHECKPOINT_VERSION = 1
 _META_VERSION = 1
+_MANIFEST_VERSION = 1
+
+#: Sealed-segment file suffix: ``<log name>.NNNNNNNN`` (8 digits).
+_SEGMENT_SUFFIX = re.compile(r"\.(\d{8})$")
+
+
+def _crash_point(label: str) -> None:
+    """Deterministic fault-injection hook — a no-op in production.
+
+    Called at every ordering point inside segment rotation and
+    compaction. Crash-recovery property tests monkeypatch it to raise
+    at a named point, proving that every intermediate on-disk state a
+    real crash could leave recovers byte-identically.
+    """
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -172,6 +228,30 @@ def _iter_entries(path, handle) -> Iterator[bytes]:
         yield frame
 
 
+def _skip_entries(path, handle, count: int) -> None:
+    """Seek ``handle`` past ``count`` complete frames without reading them.
+
+    Payload bytes are seeked over, so skipping a prefix costs one tiny
+    read per frame however large the frames are. The prefix is known
+    complete (manifest-counted or already scanned), so a short read
+    here means the file changed underneath us.
+    """
+    for _ in range(count):
+        head = handle.read(_LENGTH.size)
+        if len(head) < _LENGTH.size:
+            raise ServiceError(
+                f"{path}: frame container shorter than its recorded "
+                "frame count; the file was modified outside this process"
+            )
+        (length,) = _LENGTH.unpack(head)
+        if length == 0:
+            raise ServiceError(
+                f"{path}: zero-length frame while skipping a replay "
+                "prefix; container corrupted"
+            )
+        handle.seek(length, os.SEEK_CUR)
+
+
 class _TornTail(Exception):
     """Internal: a partially written final entry, at ``good_length``."""
 
@@ -180,26 +260,41 @@ class _TornTail(Exception):
         self.good_length = good_length
 
 
-def scan_frames(path) -> "tuple[List[bytes], int, bool]":
-    """Read every complete frame of a container file.
+def scan_frames(path) -> "tuple[int, int, bool]":
+    """Count the complete frames of a container file, O(1) memory.
 
-    Returns ``(frames, good_length, torn)`` where ``good_length`` is the
-    byte offset after the last complete frame and ``torn`` says whether
-    trailing bytes of a partially written entry follow it. Materializes
-    the frame list — use :func:`read_frames` to stream instead.
+    Returns ``(n_frames, good_length, torn)`` where ``good_length`` is
+    the byte offset after the last complete frame and ``torn`` says
+    whether trailing bytes of a partially written entry follow it.
+    Payload bytes are seeked over, never read or materialized, so
+    scanning costs O(n_frames) small reads regardless of file size —
+    use :func:`read_frames` to stream the frame contents.
     """
-    frames: List[bytes] = []
+    size = os.path.getsize(path)
+    n_frames = 0
     good = 0
     torn = False
     with open(path, "rb") as handle:
-        try:
-            for frame in _iter_entries(path, handle):
-                frames.append(frame)
-                good += _LENGTH.size + len(frame)
-        except _TornTail as tail:
-            good = tail.good_length
-            torn = True
-    return frames, good, torn
+        while True:
+            head = handle.read(_LENGTH.size)
+            if not head:
+                break
+            if len(head) < _LENGTH.size:
+                torn = True
+                break
+            (length,) = _LENGTH.unpack(head)
+            if length == 0:
+                raise ServiceError(
+                    f"{path}: zero-length frame at offset {good}; "
+                    "container corrupted"
+                )
+            if good + _LENGTH.size + length > size:
+                torn = True
+                break
+            handle.seek(length, os.SEEK_CUR)
+            good += _LENGTH.size + length
+            n_frames += 1
+    return n_frames, good, torn
 
 
 def read_frames(path, *, start: int = 0) -> Iterator[bytes]:
@@ -224,50 +319,267 @@ def read_frames(path, *, start: int = 0) -> Iterator[bytes]:
             ) from None
 
 
-class IngestionLog:
-    """Append-only write-ahead log of ingested report frames.
+# ----------------------------------------------------------------------
+# Segment bookkeeping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One log segment: where its frames sit in the global log order.
 
-    Opening an existing log scans it once: complete frames are counted,
-    and a torn final entry (crash mid-append) is truncated away so new
-    appends extend a clean tail.
+    ``base_frame`` is the global index of the segment's first frame —
+    global indices survive compaction, so checkpoint bookkeeping never
+    shifts when the log head is retired.
     """
 
-    def __init__(self, path):
-        self._path = Path(path)
-        self._n_frames = 0
-        if self._path.exists():
-            good = 0
-            with open(self._path, "rb") as handle:
-                try:
-                    for frame in _iter_entries(self._path, handle):
-                        self._n_frames += 1
-                        good += _LENGTH.size + len(frame)
-                    torn = False
-                except _TornTail as tail:
-                    good = tail.good_length
-                    torn = True
-            if torn:
-                with open(self._path, "r+b") as handle:
-                    handle.truncate(good)
-        else:
-            self._path.touch()
-        self._writer = FrameWriter(self._path, append=True)
+    seq: int
+    base_frame: int
+    n_frames: int
+    n_bytes: int
 
     @property
+    def end_frame(self) -> int:
+        return self.base_frame + self.n_frames
+
+
+def _segment_path(base: Path, seq: int) -> Path:
+    """Segment 0 keeps the bare log name (single-file compatibility)."""
+    return base if seq == 0 else base.with_name(f"{base.name}.{seq:08d}")
+
+
+def _manifest_path(base: Path) -> Path:
+    return base.with_name(base.name + MANIFEST_SUFFIX)
+
+
+def log_exists(path) -> bool:
+    """Whether a log base path holds any durable state.
+
+    After a rotation the manifest is the authoritative marker — a
+    fully compacted log may have retired the bare segment-0 file while
+    later segments (or only the manifest) remain.
+    """
+    base = Path(path)
+    if _manifest_path(base).exists():
+        return True
+    return base.exists() and base.stat().st_size > 0
+
+
+def _load_manifest(base: Path) -> "tuple[List[SegmentInfo], int, int]":
+    """Sealed segments + the active segment's (seq, base frame).
+
+    A missing manifest is the never-rotated (or pre-segmentation)
+    layout: no sealed segments, active segment 0 starting at frame 0.
+    """
+    path = _manifest_path(base)
+    if not path.exists():
+        return [], 0, 0
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"{path}: corrupt manifest: {exc}") from None
+    if payload.get("version") != _MANIFEST_VERSION:
+        raise ServiceError(
+            f"unsupported log manifest version {payload.get('version')!r}"
+        )
+    try:
+        next_seq = int(payload["next_seq"])
+        next_base = int(payload["next_base_frame"])
+        sealed = [
+            SegmentInfo(
+                seq=int(entry["seq"]),
+                base_frame=int(entry["base_frame"]),
+                n_frames=int(entry["frames"]),
+                n_bytes=int(entry["bytes"]),
+            )
+            for entry in payload["segments"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"{path}: malformed manifest: {exc!r}") from None
+    expected_seq, expected_base = None, None
+    for segment in sealed:
+        if segment.seq >= next_seq or segment.n_frames < 0:
+            raise ServiceError(f"{path}: inconsistent manifest entries")
+        if expected_seq is not None and (
+            segment.seq < expected_seq or segment.base_frame != expected_base
+        ):
+            raise ServiceError(
+                f"{path}: manifest segments out of order or with "
+                "non-contiguous frame ranges"
+            )
+        expected_seq = segment.seq + 1
+        expected_base = segment.end_frame
+    if sealed and sealed[-1].end_frame != next_base:
+        raise ServiceError(
+            f"{path}: manifest next_base_frame does not continue the "
+            "last sealed segment"
+        )
+    return sealed, next_seq, next_base
+
+
+def _save_manifest(
+    base: Path, sealed: List[SegmentInfo], next_seq: int, next_base: int
+) -> None:
+    """Durably replace the manifest (tmp + fsync + rename + dir fsync)."""
+    path = _manifest_path(base)
+    payload = {
+        "version": _MANIFEST_VERSION,
+        "next_seq": next_seq,
+        "next_base_frame": next_base,
+        "segments": [
+            {
+                "seq": segment.seq,
+                "base_frame": segment.base_frame,
+                "frames": segment.n_frames,
+                "bytes": segment.n_bytes,
+            }
+            for segment in sealed
+        ],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    _replace_durably(tmp, path)
+
+
+class IngestionLog:
+    """Segmented, append-only write-ahead log of ingested report frames.
+
+    ``path`` names the *active* segment (conventionally
+    ``state_dir/ingest.log``); sealed segments and the manifest derive
+    their names from it. ``segment_bytes`` is the rotation threshold —
+    ``None`` never rotates (the legacy single-file behavior), but an
+    existing manifest is always honored regardless.
+
+    Opening is O(#segments) I/O and O(1) memory: sealed segments are
+    validated by size against the manifest, only the active tail is
+    scanned (seeking over payloads), and a torn final entry there
+    (crash mid-append) is truncated away so new appends extend a clean
+    tail. Orphan segment files from an interrupted compaction are
+    deleted.
+    """
+
+    def __init__(self, path, *, segment_bytes: "int | None" = None):
+        if segment_bytes is not None and segment_bytes < 1:
+            raise ServiceError(
+                f"segment_bytes must be >= 1, got {segment_bytes}"
+            )
+        self._base = Path(path)
+        self._dir = self._base.parent
+        self._segment_bytes = segment_bytes
+        self._sealed, self._active_seq, self._active_base = _load_manifest(
+            self._base
+        )
+        for segment in self._sealed:
+            seg_path = _segment_path(self._base, segment.seq)
+            if (
+                not seg_path.exists()
+                or seg_path.stat().st_size != segment.n_bytes
+            ):
+                raise ServiceError(
+                    f"{seg_path}: sealed segment missing or resized "
+                    f"(manifest records {segment.n_bytes} bytes); the "
+                    "log was modified outside this process"
+                )
+        self._remove_orphans()
+        active = _segment_path(self._base, self._active_seq)
+        if active.exists():
+            self._active_frames, self._active_bytes, torn = scan_frames(
+                active
+            )
+            if torn:
+                with open(active, "r+b") as handle:
+                    handle.truncate(self._active_bytes)
+        else:
+            # Either a fresh log or a crash between sealing the last
+            # segment and creating its successor — an empty tail both
+            # ways.
+            active.touch()
+            _fsync_dir(self._dir)
+            self._active_frames = 0
+            self._active_bytes = 0
+        self._writer = FrameWriter(active, append=True)
+        # A crash between filling the active segment and sealing it
+        # leaves an oversized tail; seal it now so segment sizes stay
+        # bounded no matter where the last run stopped.
+        self._maybe_rotate()
+
+    def _remove_orphans(self) -> None:
+        """Delete segment files the manifest no longer owns.
+
+        A crash between compaction's manifest write and its unlinks
+        leaves retired files behind; finishing the deletion here keeps
+        the disk bound. A segment file *newer* than the manifest's
+        active sequence cannot exist by the rotation ordering, so it is
+        outside interference and refused.
+        """
+        retained = {segment.seq for segment in self._sealed}
+        retained.add(self._active_seq)
+        for candidate in self._dir.glob(self._base.name + ".*"):
+            match = _SEGMENT_SUFFIX.search(candidate.name)
+            if not match or candidate.name[: match.start()] != self._base.name:
+                continue
+            seq = int(match.group(1))
+            if seq in retained:
+                continue
+            if seq > self._active_seq:
+                raise ServiceError(
+                    f"{candidate}: segment file newer than the manifest's "
+                    "active segment; the log was modified outside this "
+                    "process"
+                )
+            candidate.unlink()
+        if 0 not in retained and self._base.exists():
+            self._base.unlink()
+
+    # ------------------------------------------------------------------
+    @property
     def path(self) -> Path:
-        return self._path
+        """The log's base path (the name of segment 0 / the state file)."""
+        return self._base
 
     @property
     def n_frames(self) -> int:
-        """Number of durable (complete) frames in the log."""
-        return self._n_frames
+        """Global number of durable frames ever appended (incl. retired)."""
+        return self._active_base + self._active_frames
 
+    @property
+    def first_retained_frame(self) -> int:
+        """Global index of the oldest frame still on disk.
+
+        0 until a compaction retires the log head; replay can never
+        start before this.
+        """
+        if self._sealed:
+            return self._sealed[0].base_frame
+        return self._active_base
+
+    @property
+    def segments(self) -> "List[SegmentInfo]":
+        """Sealed segments plus the active tail, in log order."""
+        return [*self._sealed, self._active_info()]
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._sealed) + 1
+
+    def _active_info(self) -> SegmentInfo:
+        return SegmentInfo(
+            seq=self._active_seq,
+            base_frame=self._active_base,
+            n_frames=self._active_frames,
+            n_bytes=self._active_bytes,
+        )
+
+    # ------------------------------------------------------------------
     def append(self, frame: bytes) -> int:
-        """Durably append one frame; returns its log index."""
+        """Durably append one frame; returns its global log index."""
         self._writer.write(frame)
         self._writer.sync()
-        index = self._n_frames
-        self._n_frames += 1
+        index = self.n_frames
+        self._active_frames += 1
+        self._active_bytes += _LENGTH.size + len(frame)
+        self._maybe_rotate()
         return index
 
     def append_many(self, frames) -> range:
@@ -278,43 +590,142 @@ class IngestionLog:
         together. A crash mid-commit can leave a prefix of the batch,
         or a torn final entry, on disk; neither was acknowledged, and
         reopening truncates the torn entry, so the write-ahead
-        contract (log ⊇ absorbed state) is unchanged. Returns the
-        batch's log index range.
+        contract (log ⊇ absorbed state) is unchanged. Rotation is
+        checked after the batch, so a segment can overshoot
+        ``segment_bytes`` by at most one commit window. Returns the
+        batch's global log index range.
         """
         frames = list(frames)
-        start = self._n_frames
+        start = self.n_frames
         if not frames:
             return range(start, start)
         self._writer.write_many(frames)
         self._writer.sync()
-        self._n_frames += len(frames)
-        return range(start, self._n_frames)
+        self._active_frames += len(frames)
+        self._active_bytes += sum(
+            _LENGTH.size + len(frame) for frame in frames
+        )
+        self._maybe_rotate()
+        return range(start, self.n_frames)
 
-    def replay(self, start: int = 0) -> Iterator[bytes]:
-        """Stream frames from index ``start`` onward (recovery path).
+    def _maybe_rotate(self) -> None:
+        if (
+            self._segment_bytes is None
+            or self._active_bytes < self._segment_bytes
+        ):
+            return
+        self._rotate()
 
-        O(frame) memory. The log's own tail is clean (truncated on
-        open, appends are whole frames), so a torn entry here means
-        outside interference and raises.
+    def _rotate(self) -> None:
+        """Seal the active segment and open its successor.
+
+        Ordering (each step durable before the next): sync + close the
+        active file, record it in the manifest, create the new active
+        file. A crash before the manifest write leaves an oversized
+        tail that reopen re-seals; a crash after it leaves a manifest
+        whose active segment does not exist yet, which reopen creates
+        empty. Frames are never moved or rewritten.
         """
-        if start < 0 or start > self._n_frames:
+        _crash_point("rotate:before-seal")
+        self._writer.sync()
+        self._writer.close()
+        _crash_point("rotate:sealed")
+        self._sealed.append(self._active_info())
+        self._active_seq += 1
+        self._active_base = self._sealed[-1].end_frame
+        self._active_frames = 0
+        self._active_bytes = 0
+        _save_manifest(
+            self._base, self._sealed, self._active_seq, self._active_base
+        )
+        _crash_point("rotate:manifest-written")
+        active = _segment_path(self._base, self._active_seq)
+        active.touch()
+        _fsync_dir(self._dir)
+        _crash_point("rotate:active-created")
+        self._writer = FrameWriter(active, append=True)
+
+    # ------------------------------------------------------------------
+    def retire(self, upto_frame: int) -> "tuple[int, int]":
+        """Delete sealed segments wholly covered by ``upto_frame``.
+
+        ``upto_frame`` must be the frame count of a *durable*
+        checkpoint: once a segment is retired the log alone can no
+        longer reconstruct it, so recovery depends on that checkpoint.
+        The manifest drops the segments first (durably), then the
+        files are unlinked — a crash in between leaves orphans the
+        next open deletes. The active segment is never retired.
+        Returns ``(segments_retired, bytes_freed)``.
+        """
+        if upto_frame < 0 or upto_frame > self.n_frames:
+            raise ServiceError(
+                f"retire upto_frame {upto_frame} out of range for "
+                f"{self.n_frames} frames"
+            )
+        retirable = [
+            segment
+            for segment in self._sealed
+            if segment.end_frame <= upto_frame
+        ]
+        if not retirable:
+            return 0, 0
+        _crash_point("retire:before-manifest")
+        self._sealed = self._sealed[len(retirable):]
+        _save_manifest(
+            self._base, self._sealed, self._active_seq, self._active_base
+        )
+        _crash_point("retire:manifest-written")
+        freed = 0
+        for segment in retirable:
+            seg_path = _segment_path(self._base, segment.seq)
+            try:
+                seg_path.unlink()
+            except FileNotFoundError:
+                pass
+            freed += segment.n_bytes
+            _crash_point("retire:unlinked-one")
+        _fsync_dir(self._dir)
+        return len(retirable), freed
+
+    # ------------------------------------------------------------------
+    def replay(self, start: int = 0) -> Iterator[bytes]:
+        """Stream frames from global index ``start`` onward (recovery).
+
+        O(frame) memory and O(tail) I/O: segments ending at or before
+        ``start`` are skipped entirely (no reads), and inside the
+        first relevant segment the skipped prefix is seeked over.
+        ``start`` below :attr:`first_retained_frame` is refused —
+        those frames were retired under a checkpoint and no longer
+        exist. A torn entry mid-log means outside interference (the
+        tail was truncated clean on open; appends are whole frames)
+        and raises.
+        """
+        if start < 0 or start > self.n_frames:
             raise ServiceError(
                 f"replay start {start} out of range for "
-                f"{self._n_frames} frames"
+                f"{self.n_frames} frames"
+            )
+        if start < self.first_retained_frame:
+            raise ServiceError(
+                f"replay start {start} precedes the first retained frame "
+                f"{self.first_retained_frame}; earlier frames were "
+                "compacted away under a checkpoint"
             )
         self._writer.sync()
-        with open(self._path, "rb") as handle:
-            try:
-                for index, frame in enumerate(
-                    _iter_entries(self._path, handle)
-                ):
-                    if index >= start:
-                        yield frame
-            except _TornTail:
-                raise ServiceError(
-                    f"{self._path}: torn entry in an open log; the file "
-                    "was modified outside this process"
-                ) from None
+        for segment in self.segments:
+            if segment.end_frame <= start or segment.n_frames == 0:
+                continue
+            path = _segment_path(self._base, segment.seq)
+            skip = max(0, start - segment.base_frame)
+            with open(path, "rb") as handle:
+                _skip_entries(path, handle, skip)
+                try:
+                    yield from _iter_entries(path, handle)
+                except _TornTail:
+                    raise ServiceError(
+                        f"{path}: torn entry in an open log; the file "
+                        "was modified outside this process"
+                    ) from None
 
     def close(self) -> None:
         self._writer.close()

@@ -30,6 +30,7 @@ for high-throughput CSV/report-file ingestion).
 from __future__ import annotations
 
 import warnings
+from itertools import islice
 from pathlib import Path
 from typing import Iterable, List, Mapping
 
@@ -50,6 +51,7 @@ from repro.service.codec import (
     schema_fingerprint,
 )
 from repro.service.journal import (
+    DEFAULT_SEGMENT_BYTES,
     IngestionLog,
     LOG_NAME,
     load_checkpoint,
@@ -80,10 +82,6 @@ DEFAULT_BATCH_SIZE = 1024
 #: themselves are far smaller); latency-sensitive callers pass
 #: something smaller.
 DEFAULT_COMMIT_RECORDS = 131_072
-
-#: Distinguishes "iterator exhausted" from any frame value.
-_END_OF_STREAM = object()
-
 
 class IngestionPipeline:
     """Buffer decoded report batches into sharded absorption passes."""
@@ -213,6 +211,8 @@ class CollectorService:
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
         checkpoint_every: "int | None" = None,
+        segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
+        auto_compact: bool = False,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ServiceError(
@@ -233,9 +233,12 @@ class CollectorService:
             self._collector, batch_size=batch_size
         )
         self._checkpoint_every = checkpoint_every
+        self._auto_compact = bool(auto_compact)
         self._queries = QueryFrontend(self._collector)
         self._check_or_pin_design()
-        self._log = IngestionLog(self._state_dir / LOG_NAME)
+        self._log = IngestionLog(
+            self._state_dir / LOG_NAME, segment_bytes=segment_bytes
+        )
         self._frames_applied = 0
         self._frames_at_checkpoint = 0
         self._recover()
@@ -250,6 +253,8 @@ class CollectorService:
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
         checkpoint_every: "int | None" = None,
+        segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
+        auto_compact: bool = False,
     ) -> "CollectorService":
         """Create fresh state or recover whatever ``state_dir`` holds."""
         return cls(
@@ -258,6 +263,8 @@ class CollectorService:
             state_dir,
             batch_size=batch_size,
             checkpoint_every=checkpoint_every,
+            segment_bytes=segment_bytes,
+            auto_compact=auto_compact,
         )
 
     @classmethod
@@ -268,6 +275,8 @@ class CollectorService:
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
         checkpoint_every: "int | None" = None,
+        segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
+        auto_compact: bool = False,
     ) -> "CollectorService":
         """Service matching a protocol exposing ``schema`` + ``matrices``."""
         return cls(
@@ -276,6 +285,8 @@ class CollectorService:
             state_dir,
             batch_size=batch_size,
             checkpoint_every=checkpoint_every,
+            segment_bytes=segment_bytes,
+            auto_compact=auto_compact,
         )
 
     def _acquire_lock(self) -> None:
@@ -337,8 +348,9 @@ class CollectorService:
             checkpoint = load_checkpoint(self._state_dir)
         except ServiceError as exc:
             # A torn or corrupted checkpoint pair is detected, not
-            # trusted — and the write-ahead log is a superset of any
-            # checkpoint, so full replay reconstructs identical state.
+            # trusted — and before any compaction the write-ahead log
+            # is a superset of any checkpoint, so full replay
+            # reconstructs identical state.
             warnings.warn(
                 f"discarding unusable checkpoint ({exc}); recovering by "
                 "full log replay",
@@ -346,6 +358,16 @@ class CollectorService:
                 stacklevel=2,
             )
             checkpoint = None
+        if checkpoint is None and self._log.first_retained_frame > 0:
+            # Compaction traded the log head for the checkpoint that
+            # covered it; without a usable checkpoint those frames are
+            # unreconstructable and partial counts would be silently
+            # wrong.
+            raise ServiceError(
+                f"log frames before {self._log.first_retained_frame} were "
+                "compacted away under a checkpoint that is now missing or "
+                "unusable; state directory is unrecoverable"
+            )
         start = 0
         if checkpoint is not None:
             if checkpoint.schema_fingerprint != self._schema_fp:
@@ -367,8 +389,17 @@ class CollectorService:
                 )
             self._collector.merged.restore_counts(checkpoint.counts)
             start = checkpoint.frames_applied
-        for frame in self._log.replay(start):
-            self._pipeline.submit(self._codec.decode(frame), validated=True)
+        # Replay the tail at decoded-ingest speed: frames stream out of
+        # the log in bounded windows and each window goes through one
+        # vectorized decode_many + absorption pass, instead of paying
+        # per-frame Python and numpy overhead. Same frames, same
+        # submit(validated=True) transitions — byte-identical counts.
+        for window in self._codec.iter_frame_windows(
+            self._log.replay(start), window_records=DEFAULT_COMMIT_RECORDS
+        ):
+            self._pipeline.submit(
+                self._codec.decode_many(window), validated=True
+            )
         self._pipeline.flush()
         self._frames_applied = self._log.n_frames
         self._frames_at_checkpoint = start
@@ -506,30 +537,16 @@ class CollectorService:
         if limit is not None and limit < 0:
             raise ServiceError(f"limit must be >= 0, got {limit}")
         iterator = iter(frames)
-        window_frames: List[bytes] = []
-        window_records = 0
+        if limit is not None:
+            # islice pulls exactly `limit` frames and leaves the
+            # caller's iterator undisturbed past that point.
+            iterator = islice(iterator, limit)
         count = 0
-        while limit is None or count < limit:
-            frame = next(iterator, _END_OF_STREAM)
-            if frame is _END_OF_STREAM:
-                break
-            window_frames.append(bytes(frame))
-            # Sizing hint only — full validation happens in decode_many
-            # before anything is logged, so a lying header can at worst
-            # mis-size its own window, never poison the log. Every
-            # frame advances the window by at least 1 (valid frames
-            # always carry >= 1 record), so a stream of forged
-            # zero-count headers still hits commit boundaries instead
-            # of buffering unboundedly with validation deferred to
-            # end-of-stream.
-            window_records += max(1, self._codec.peek_record_count(frame))
-            count += 1
-            if window_records >= commit_records:
-                self._commit_window(window_frames)
-                window_frames = []
-                window_records = 0
-        if window_frames:
-            self._commit_window(window_frames)
+        for window in self._codec.iter_frame_windows(
+            iterator, window_records=commit_records
+        ):
+            self._commit_window(window)
+            count += len(window)
         return count
 
     def _commit_window(self, frames: List[bytes]) -> None:
@@ -545,7 +562,18 @@ class CollectorService:
         self._pipeline.flush()
 
     def checkpoint(self) -> None:
-        """Flush, then atomically snapshot counts + log position."""
+        """Flush, then atomically snapshot counts + log position.
+
+        With ``auto_compact=True`` every checkpoint also retires the
+        log segments it covers, bounding disk without a separate
+        maintenance step.
+        """
+        self._write_checkpoint()
+        if self._auto_compact:
+            self._log.retire(self._frames_at_checkpoint)
+
+    def _write_checkpoint(self) -> None:
+        """Snapshot counts + log position (no compaction side effects)."""
         self._pipeline.flush()
         save_checkpoint(
             self._state_dir,
@@ -556,6 +584,29 @@ class CollectorService:
             matrix_fps=self._matrix_fps,
         )
         self._frames_at_checkpoint = self._frames_applied
+
+    def compact(self, *, checkpoint: bool = True) -> dict:
+        """Retire log segments covered by a durable checkpoint.
+
+        By default takes a fresh checkpoint first, so everything but
+        the active tail segment becomes retirable; with
+        ``checkpoint=False`` only segments already covered by the last
+        durable checkpoint are dropped. Either way the recovery
+        contract is intact — retired frames live on in the checkpoint
+        counts, and replay resumes after them. Returns
+        ``{"segments_retired", "bytes_freed", "covered_frames"}``.
+        """
+        if checkpoint:
+            # The bare snapshot, not checkpoint(): under auto_compact
+            # that would retire the segments itself and leave this
+            # call's stats reporting 0 for files it just deleted.
+            self._write_checkpoint()
+        retired, freed = self._log.retire(self._frames_at_checkpoint)
+        return {
+            "segments_retired": retired,
+            "bytes_freed": freed,
+            "covered_frames": self._frames_at_checkpoint,
+        }
 
     # ------------------------------------------------------------------
     def estimate_marginal(self, name: str, repair: str = "clip") -> np.ndarray:

@@ -7,7 +7,10 @@ of ``(query, per-attribute observed counts)``, so the front-end caches
 on exactly that key: when more reports are absorbed, the observed
 counts move and every stale entry misses *by construction* — there is
 no explicit invalidation protocol to get wrong. Entries are LRU-bounded
-and stored read-only so callers cannot mutate a cached answer in place.
+both by count (``max_entries``) and by total payload size
+(``max_bytes``, so a flood of large pair tables cannot pin unbounded
+memory), and stored read-only so callers cannot mutate a cached answer
+in place.
 
 Pair tables and set frequencies follow Protocol 1's independence
 assumption (outer products of marginals, §3.1 step 10), matching
@@ -23,11 +26,27 @@ import numpy as np
 from repro.analysis.queries import PairQuery
 from repro.exceptions import ServiceError
 
-__all__ = ["QueryFrontend", "DEFAULT_CACHE_ENTRIES"]
+__all__ = ["QueryFrontend", "DEFAULT_CACHE_ENTRIES", "DEFAULT_CACHE_BYTES"]
 
 DEFAULT_CACHE_ENTRIES = 256
 
+#: Total-bytes budget across cached answers. 256 pair tables of two
+#: 1024-category attributes would otherwise pin ~2 GiB; the byte bound
+#: caps the cache by what entries actually weigh, not how many there
+#: are.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Accounting weight of a non-array entry (floats plus key overhead).
+_SCALAR_BYTES = 64
+
 _REPAIRS = ("clip", "none")
+
+
+def _entry_bytes(value) -> int:
+    """Accounting size of one cached answer."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    return _SCALAR_BYTES
 
 
 class QueryFrontend:
@@ -41,15 +60,29 @@ class QueryFrontend:
         :class:`~repro.engine.collector.ShardedCollector` and
         :class:`~repro.analysis.streaming.StreamingCollector` qualify.
     max_entries:
-        LRU bound on cached answers (stale entries age out here).
+        LRU bound on the number of cached answers.
+    max_bytes:
+        LRU bound on the total payload bytes of cached answers. An
+        answer larger than the whole budget is served but never
+        cached.
     """
 
-    def __init__(self, collector, *, max_entries: int = DEFAULT_CACHE_ENTRIES):
+    def __init__(
+        self,
+        collector,
+        *,
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+    ):
         if max_entries < 1:
             raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ServiceError(f"max_bytes must be >= 1, got {max_bytes}")
         self._collector = collector
         self._max_entries = max_entries
+        self._max_bytes = max_bytes
         self._cache: OrderedDict = OrderedDict()
+        self._bytes = 0
         self._hits = 0
         self._misses = 0
 
@@ -60,16 +93,18 @@ class QueryFrontend:
 
     @property
     def stats(self) -> dict:
-        """Cache counters: ``{"hits", "misses", "entries"}``."""
+        """Cache counters: ``{"hits", "misses", "entries", "bytes"}``."""
         return {
             "hits": self._hits,
             "misses": self._misses,
             "entries": len(self._cache),
+            "bytes": self._bytes,
         }
 
     def invalidate(self) -> None:
         """Drop every cached answer (stats survive)."""
         self._cache.clear()
+        self._bytes = 0
 
     # ------------------------------------------------------------------
     def _n_by_attribute(self) -> dict:
@@ -93,9 +128,20 @@ class QueryFrontend:
         value = compute()
         if isinstance(value, np.ndarray):
             value.setflags(write=False)
+        size = _entry_bytes(value)
+        if size > self._max_bytes:
+            # Larger than the whole budget: serve it, never cache it —
+            # admitting it would evict everything and still bust the
+            # bound.
+            return value
         self._cache[key] = value
-        while len(self._cache) > self._max_entries:
-            self._cache.popitem(last=False)
+        self._bytes += size
+        while (
+            len(self._cache) > self._max_entries
+            or self._bytes > self._max_bytes
+        ):
+            _, evicted = self._cache.popitem(last=False)
+            self._bytes -= _entry_bytes(evicted)
         return value
 
     @staticmethod

@@ -47,11 +47,20 @@ class TestFrameContainer:
         # chop mid-entry: strip the last 3 bytes of the final frame
         raw = path.read_bytes()
         path.write_bytes(raw[:-3])
-        scanned, good, torn = scan_frames(path)
-        assert torn and len(scanned) == len(frames) - 1
+        n_frames, good, torn = scan_frames(path)
+        assert torn and n_frames == len(frames) - 1
         assert good == len(raw) - (4 + len(frames[-1]))
         with pytest.raises(ServiceError, match="torn"):
             list(read_frames(path))
+
+    def test_scan_counts_without_materializing(self, tmp_path, frames):
+        path = tmp_path / "clean.rrw"
+        with FrameWriter(path) as writer:
+            for frame in frames:
+                writer.write(frame)
+        n_frames, good, torn = scan_frames(path)
+        assert (n_frames, torn) == (len(frames), False)
+        assert good == path.stat().st_size
 
     def test_zero_length_entry_is_corruption(self, tmp_path):
         path = tmp_path / "bad.rrw"
@@ -98,6 +107,199 @@ class TestIngestionLog:
             log.append(frames[0])
             with pytest.raises(ServiceError, match="out of range"):
                 list(log.replay(5))
+
+
+class TestSegmentedLog:
+    """Rotation, manifest bookkeeping, seeking replay, and retire()."""
+
+    @pytest.fixture
+    def big_frames(self):
+        # ~54 bytes per entry -> a 128-byte segment holds 2 entries
+        return [bytes([i]) * 50 for i in range(20)]
+
+    def test_rotation_creates_segments_and_manifest(
+        self, tmp_path, big_frames
+    ):
+        log = IngestionLog(tmp_path / "ingest.log", segment_bytes=128)
+        for frame in big_frames:
+            log.append(frame)
+        assert log.n_frames == len(big_frames)
+        assert log.n_segments > 1
+        assert (tmp_path / "ingest.log.manifest.json").exists()
+        assert (tmp_path / "ingest.log").exists()  # segment 0 keeps its name
+        assert (tmp_path / "ingest.log.00000001").exists()
+        # sealed segments + active tail tile the global frame range
+        segments = log.segments
+        assert segments[0].base_frame == 0
+        for before, after in zip(segments, segments[1:]):
+            assert after.base_frame == before.end_frame
+        assert segments[-1].end_frame == log.n_frames
+        assert list(log.replay()) == big_frames
+        log.close()
+
+    def test_no_rotation_keeps_single_file_layout(self, tmp_path, frames):
+        """Until the first rotation the on-disk layout is byte-identical
+        to the pre-segmentation single-file log — no manifest at all."""
+        log = IngestionLog(tmp_path / "ingest.log", segment_bytes=1 << 20)
+        for frame in frames:
+            log.append(frame)
+        log.close()
+        assert not (tmp_path / "ingest.log.manifest.json").exists()
+        reference = IngestionLog(tmp_path / "mono.log")
+        for frame in frames:
+            reference.append(frame)
+        reference.close()
+        assert (tmp_path / "ingest.log").read_bytes() == (
+            tmp_path / "mono.log"
+        ).read_bytes()
+
+    def test_segmented_log_bytes_equal_monolithic(self, tmp_path, big_frames):
+        """Rotation never rewrites frames: the segment files concatenate
+        to exactly the monolithic log bytes."""
+        seg = IngestionLog(tmp_path / "seg.log", segment_bytes=128)
+        seg.append_many(big_frames)
+        seg.close()
+        mono = IngestionLog(tmp_path / "mono.log")
+        mono.append_many(big_frames)
+        mono.close()
+        parts = b"".join(
+            (
+                tmp_path / ("seg.log" if s.seq == 0 else f"seg.log.{s.seq:08d}")
+            ).read_bytes()
+            for s in IngestionLog(tmp_path / "seg.log").segments
+        )
+        assert parts == (tmp_path / "mono.log").read_bytes()
+
+    def test_reopen_resumes_from_manifest(self, tmp_path, big_frames):
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            for frame in big_frames[:15]:
+                log.append(frame)
+            n_segments = log.n_segments
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            assert log.n_frames == 15
+            assert log.n_segments == n_segments
+            for frame in big_frames[15:]:
+                log.append(frame)
+            assert list(log.replay()) == big_frames
+
+    def test_replay_seeks_into_the_right_segment(self, tmp_path, big_frames):
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            for frame in big_frames:
+                log.append(frame)
+            for start in (0, 1, 7, len(big_frames) - 1, len(big_frames)):
+                assert list(log.replay(start)) == big_frames[start:]
+
+    def test_torn_active_tail_truncated_on_reopen(self, tmp_path, big_frames):
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            for frame in big_frames[:5]:
+                log.append(frame)
+            active_seq = log.segments[-1].seq
+        active = tmp_path / f"ingest.log.{active_seq:08d}"
+        active.write_bytes(active.read_bytes()[:-3])  # crash mid-append
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            assert log.n_frames == 4
+            log.append(big_frames[5])
+            assert list(log.replay()) == big_frames[:4] + [big_frames[5]]
+
+    def test_sealed_segment_resized_is_refused(self, tmp_path, big_frames):
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            for frame in big_frames[:8]:
+                log.append(frame)
+        first = tmp_path / "ingest.log"
+        first.write_bytes(first.read_bytes()[:-1])
+        with pytest.raises(ServiceError, match="sealed segment"):
+            IngestionLog(tmp_path / "ingest.log", segment_bytes=128)
+
+    def test_retire_deletes_covered_segments_only(self, tmp_path, big_frames):
+        log = IngestionLog(tmp_path / "ingest.log", segment_bytes=128)
+        for frame in big_frames:
+            log.append(frame)
+        segments = log.segments
+        covered = segments[1].end_frame  # everything through segment 1
+        removed, freed = log.retire(covered)
+        assert removed == 2
+        assert freed == segments[0].n_bytes + segments[1].n_bytes
+        assert not (tmp_path / "ingest.log").exists()
+        assert not (tmp_path / "ingest.log.00000001").exists()
+        assert log.first_retained_frame == covered
+        assert log.n_frames == len(big_frames)  # global count survives
+        assert list(log.replay(covered)) == big_frames[covered:]
+        with pytest.raises(ServiceError, match="compacted away"):
+            list(log.replay(0))
+        # idempotent: nothing else is covered
+        assert log.retire(covered) == (0, 0)
+        log.close()
+
+    def test_retire_survives_reopen(self, tmp_path, big_frames):
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            for frame in big_frames:
+                log.append(frame)
+            covered = log.segments[0].end_frame
+            log.retire(covered)
+            total = log.n_frames
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            assert log.n_frames == total
+            assert log.first_retained_frame == covered
+            assert list(log.replay(covered)) == big_frames[covered:]
+
+    def test_retire_never_touches_active_segment(self, tmp_path, frames):
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=1 << 20) as log:
+            for frame in frames:
+                log.append(frame)
+            assert log.retire(log.n_frames) == (0, 0)
+            assert list(log.replay()) == frames
+        # a never-rotated log still has no manifest after retire()
+        assert not (tmp_path / "ingest.log.manifest.json").exists()
+
+    def test_retire_out_of_range(self, tmp_path, frames):
+        with IngestionLog(tmp_path / "ingest.log") as log:
+            log.append(frames[0])
+            with pytest.raises(ServiceError, match="out of range"):
+                log.retire(2)
+
+    def test_orphan_segment_from_interrupted_retire_removed(
+        self, tmp_path, big_frames
+    ):
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            for frame in big_frames:
+                log.append(frame)
+            covered = log.segments[0].end_frame
+        # simulate crash between manifest write and unlink: put the
+        # retired segment's bytes back after a completed retire
+        raw = (tmp_path / "ingest.log").read_bytes()
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            log.retire(covered)
+        (tmp_path / "ingest.log").write_bytes(raw)
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            assert log.first_retained_frame == covered
+        assert not (tmp_path / "ingest.log").exists()
+
+    def test_future_segment_file_is_refused(self, tmp_path, big_frames):
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            for frame in big_frames[:6]:
+                log.append(frame)
+            active_seq = log.segments[-1].seq
+        rogue = tmp_path / f"ingest.log.{active_seq + 3:08d}"
+        rogue.write_bytes(b"\x01\x00\x00\x00x")
+        with pytest.raises(ServiceError, match="newer than the manifest"):
+            IngestionLog(tmp_path / "ingest.log", segment_bytes=128)
+
+    def test_oversized_tail_resealed_on_reopen(self, tmp_path, big_frames):
+        """Crash between filling the active segment and sealing it: the
+        next open seals the oversized tail so segment sizes stay
+        bounded."""
+        with IngestionLog(tmp_path / "ingest.log") as log:  # no rotation
+            for frame in big_frames[:6]:
+                log.append(frame)
+        with IngestionLog(tmp_path / "ingest.log", segment_bytes=128) as log:
+            assert log.n_segments == 2  # sealed the big tail + fresh active
+            assert log.segments[0].n_frames == 6
+            log.append(big_frames[6])
+            assert list(log.replay()) == big_frames[:7]
+
+    def test_bad_segment_bytes_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="segment_bytes"):
+            IngestionLog(tmp_path / "ingest.log", segment_bytes=0)
 
 
 class TestCheckpoint:
@@ -226,5 +428,5 @@ class TestGroupCommit:
         with FrameWriter(tmp_path / "b") as writer:
             assert writer.write_many(frames) == len(frames)
         assert (tmp_path / "a").read_bytes() == (tmp_path / "b").read_bytes()
-        scanned, _, torn = scan_frames(tmp_path / "b")
-        assert scanned == frames and not torn
+        n_frames, _, torn = scan_frames(tmp_path / "b")
+        assert n_frames == len(frames) and not torn

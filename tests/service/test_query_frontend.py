@@ -37,7 +37,9 @@ class TestCaching:
     def test_repeat_marginal_hits(self, front):
         first = front.marginal("flag")
         second = front.marginal("flag")
-        assert front.stats == {"hits": 1, "misses": 1, "entries": 1}
+        stats = front.stats
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (1, 1, 1)
+        assert stats["bytes"] == first.nbytes
         assert first is second  # the cached object itself
 
     def test_cached_arrays_are_read_only(self, front):
@@ -70,7 +72,8 @@ class TestCaching:
         front.marginal("color")
         assert front.stats["entries"] == 2
         front.marginal("flag")  # miss again after eviction
-        assert front.stats == {"hits": 1, "misses": 4, "entries": 2}
+        stats = front.stats
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (1, 4, 2)
 
     def test_invalidate_clears_entries(self, front):
         front.marginal("flag")
@@ -161,6 +164,67 @@ class TestQueryShapes:
         with pytest.raises(ServiceError, match="max_entries"):
             QueryFrontend(collector, max_entries=0)
 
+    def test_bad_max_bytes(self, collector):
+        with pytest.raises(ServiceError, match="max_bytes"):
+            QueryFrontend(collector, max_bytes=0)
+
     def test_bad_repair(self, front):
         with pytest.raises(ServiceError, match="repair"):
             front.marginal("flag", "fix-it")
+
+
+class TestBytesBudget:
+    """Eviction also respects a total-bytes budget, not just a count."""
+
+    @pytest.fixture
+    def wide_front(self):
+        """A collector whose pair tables are big (64x64 float64 = 32 KiB)."""
+        from repro.data.schema import Attribute, Schema
+
+        schema = Schema(
+            Attribute(f"a{j}", tuple(range(64))) for j in range(6)
+        )
+        protocol = RRIndependent(schema, p=0.9)
+        collector = ShardedCollector.for_protocol(protocol)
+        rng = np.random.default_rng(0)
+        collector.collect(rng.integers(0, 64, size=(500, 6)))
+        return collector
+
+    def test_flood_of_pair_tables_stays_within_budget(self, wide_front):
+        budget = 100_000  # three 32 KiB tables fit, a flood must not
+        front = QueryFrontend(wide_front, max_bytes=budget)
+        names = wide_front.schema.names
+        for a in names:
+            for b in names:
+                if a != b:
+                    front.pair_table(a, b)
+                    assert front.stats["bytes"] <= budget
+        # the budget forced evictions well below max_entries
+        assert front.stats["entries"] < 30
+
+    def test_evicted_bytes_are_released(self, wide_front):
+        front = QueryFrontend(wide_front, max_bytes=70_000)
+        names = wide_front.schema.names
+        front.pair_table(names[0], names[1])
+        high = front.stats["bytes"]
+        front.pair_table(names[2], names[3])  # evicts older entries
+        assert front.stats["bytes"] <= 70_000
+        assert front.stats["bytes"] > 0
+        assert high <= 70_000
+
+    def test_oversized_answer_served_but_not_cached(self, wide_front):
+        front = QueryFrontend(wide_front, max_bytes=1_000)  # < one table
+        names = wide_front.schema.names
+        table = front.pair_table(names[0], names[1])
+        assert table.shape == (64, 64)
+        # the marginals (512 B each) fit; the 32 KiB table was not kept
+        assert all(key[0] == "marginal" for key in front._cache)
+        repeat = front.pair_table(names[0], names[1])
+        np.testing.assert_array_equal(table, repeat)
+
+    def test_invalidate_resets_bytes(self, wide_front):
+        front = QueryFrontend(wide_front)
+        front.marginal(wide_front.schema.names[0])
+        assert front.stats["bytes"] > 0
+        front.invalidate()
+        assert front.stats["bytes"] == 0

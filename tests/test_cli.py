@@ -373,6 +373,87 @@ class TestServiceCLI:
         assert code == 1
         assert "do not match" in capsys.readouterr().err
 
+    def test_compact_bounds_state_dir(self, encoded, tmp_path, capsys):
+        """ingest with tiny segments, compact, query — disk shrinks and
+        the answer still reflects every report."""
+        reports, design = encoded
+        state = tmp_path / "state"
+        assert main(
+            [
+                "ingest", str(reports), "-s", str(state),
+                "--design", str(design), "--segment-bytes", "256",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "compact", "-s", str(state), "--design", str(design),
+                "--segment-bytes", "256",
+            ]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["segments_retired"] > 0
+        assert summary["bytes_freed"] > 0
+        assert main(
+            ["query", "-s", str(state), "--design", str(design)]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["n_observed"] == 400
+
+    def test_ingest_compact_flag_reports_stats(
+        self, encoded, tmp_path, capsys
+    ):
+        reports, design = encoded
+        assert main(
+            [
+                "ingest", str(reports), "-s", str(tmp_path / "state"),
+                "--design", str(design), "--segment-bytes", "256",
+                "--compact",
+            ]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["compaction"]["segments_retired"] > 0
+
+    def test_compact_refuses_missing_state_dir(
+        self, encoded, tmp_path, capsys
+    ):
+        """A typo'd path must error, not silently pin a fresh empty
+        state directory."""
+        _, design = encoded
+        missing = tmp_path / "state-typo"
+        code = main(["compact", "-s", str(missing), "--design", str(design)])
+        assert code == 1
+        assert "no collector state" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_resume_with_short_reports_after_compaction_rejected(
+        self, encoded, tmp_path, capsys
+    ):
+        """Frames retired by compaction can't be byte-compared on
+        resume, but a reports file shorter than the ingested prefix is
+        still detectably wrong."""
+        from repro.service.journal import FrameWriter
+
+        reports, design = encoded
+        state = tmp_path / "state"
+        assert main(
+            [
+                "ingest", str(reports), "-s", str(state),
+                "--design", str(design), "--segment-bytes", "256",
+                "--compact",
+            ]
+        ) == 0
+        capsys.readouterr()
+        empty = tmp_path / "empty.rrw"
+        FrameWriter(empty).close()
+        code = main(
+            [
+                "ingest", str(empty), "-s", str(state),
+                "--design", str(design), "--resume",
+            ]
+        )
+        assert code == 1
+        assert "fewer frames" in capsys.readouterr().err
+
     def test_missing_design_errors_cleanly(self, encoded, tmp_path, capsys):
         reports, _ = encoded
         code = main(
