@@ -118,6 +118,46 @@ def main() -> None:
         recovered.close()
         reference.close()
 
+        # --- 7. Any protocol, one design document ----------------------
+        # The same service stack serves RR-Clusters (or RR-Joint): the
+        # design travels as a versioned JSON document, the collector
+        # rebuilds the protocol from it, and queries route through the
+        # cluster layout — a pair table inside a cluster comes from the
+        # cluster's joint estimate, not an independence assumption.
+        clustered = repro.RRClusters.design(
+            data, p=0.7, max_cells=50, min_dependence=0.1)
+        design_path = Path(tmp) / "design.json"
+        clustered.to_design().write(design_path)
+        served, _ = repro.load_design(design_path)
+        print(
+            f"\ndesign document round trip: {design_path.name} -> "
+            f"{served!r}"
+        )
+
+        released_c = clustered.randomize(data, rng=1)
+        codec_c = ReportCodec(served.schema)
+        cluster_service = CollectorService.for_protocol(
+            served, Path(tmp) / "cluster-state"
+        )
+        cluster_service.ingest(
+            codec_c.encode(released_c.codes[i : i + 500])
+            for i in range(0, released_c.n_records, 500)
+        )
+        front_c = cluster_service.queries
+        fused = next(
+            (c for c in front_c.layout.clusters if len(c) >= 2),
+            front_c.layout.clusters[0],
+        )
+        a, b = (fused[0], fused[1]) if len(fused) >= 2 else (
+            "education", "income")
+        pair = front_c.pair_table(a, b)  # joint-backed, not outer product
+        print(
+            f"served {cluster_service.n_observed} RR-Clusters reports; "
+            f"clusters: {front_c.layout.clusters}; "
+            f"pair {a} x {b}: shape {pair.shape}"
+        )
+        cluster_service.close()
+
 
 if __name__ == "__main__":
     main()

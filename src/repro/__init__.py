@@ -21,6 +21,11 @@ Quickstart::
     estimates = clustered.estimate(clustered.randomize(data, rng=0))
     table = estimates.pair_table("education", "income")
 
+    # Every protocol implements the same `Protocol` interface and
+    # round-trips through a versioned design document:
+    clustered.to_design().write("design.json")
+    protocol, document = repro.load_design("design.json")
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
@@ -77,6 +82,9 @@ from repro.core import (
     relative_error_bound,
 )
 from repro.protocols import (
+    Protocol,
+    CollectionLayout,
+    ProtocolEstimator,
     RRIndependent,
     RRJoint,
     RRClusters,
@@ -142,6 +150,8 @@ from repro.service import (
     IngestionPipeline,
     QueryFrontend,
 )
+# Design documents layer on protocols + the service codec.
+from repro.design import DesignDocument, load_design, write_design
 
 __version__ = "1.0.0"
 
@@ -165,6 +175,7 @@ __all__ = [
     "PrivacyAccountant", "chi_square_b", "sqrt_b_factor",
     "absolute_error_bound", "relative_error_bound",
     # protocols
+    "Protocol", "CollectionLayout", "ProtocolEstimator",
     "RRIndependent", "RRJoint", "RRClusters",
     "AdjustmentResult", "adjust_weights", "weighted_pair_table",
     # clustering
@@ -195,4 +206,6 @@ __all__ = [
     "ChunkPlan", "ColumnTask", "ShardedCollector",
     # service
     "ReportCodec", "CollectorService", "IngestionPipeline", "QueryFrontend",
+    # design documents
+    "DesignDocument", "load_design", "write_design",
 ]

@@ -18,9 +18,10 @@ Examples::
     repro-anonymize survey.csv -o out.csv --p 0.7 \
         --columns smokes,alcohol,therapy \
         --clusters "smokes+alcohol,therapy" \
-        --report release.json --seed 42
+        --report release.json --design design.json --seed 42
     repro-anonymize encode survey.csv -o reports.rrw \
-        --design design.json --p 0.7 --seed 42
+        --design design.json --p 0.7 --seed 42 \
+        --protocol clusters --clusters "smokes+alcohol,therapy"
     repro-anonymize ingest reports.rrw -s state/ --design design.json
     repro-anonymize query -s state/ --design design.json
 """
@@ -123,6 +124,7 @@ def anonymize_csv(
     report_path: Path | None = None,
     chunk_size: int | None = None,
     workers: int = 1,
+    design_path: Path | None = None,
 ) -> dict:
     """Randomize the categorical columns of a CSV file.
 
@@ -131,7 +133,11 @@ def anonymize_csv(
     are responsible for dropping direct identifiers beforehand.
     ``chunk_size``/``workers`` route the randomization through the
     chunked engine (:mod:`repro.engine`) for blockwise memory and
-    multi-process fan-out on large files.
+    multi-process fan-out on large files. ``design_path`` additionally
+    writes the protocol's versioned design document
+    (:mod:`repro.design`) so analysts — or a collector service — can
+    reconstruct the estimation matrices without this process's state
+    (the seed never enters the document).
     """
     header, rows, selected, positions = _read_csv(input_path, columns)
     schema = _build_schema(rows, selected, positions)
@@ -199,6 +205,14 @@ def anonymize_csv(
     if report_path is not None:
         with open(report_path, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)
+    if design_path is not None:
+        # Imported here (not at module top) to avoid a cycle: the
+        # design module layers on the protocols imported above.
+        from repro.design import write_design
+
+        write_design(
+            design_path, protocol, {"n_records": dataset.n_records}
+        )
     return report
 
 
@@ -254,6 +268,11 @@ def _anonymize_main(argv) -> int:
         "--report", type=Path, default=None, help="write a JSON release report"
     )
     parser.add_argument(
+        "--design", type=Path, default=None,
+        help="write the versioned design document analysts (or a "
+        "collector service) estimate with",
+    )
+    parser.add_argument(
         "--chunk-size",
         type=positive_int,
         default=None,
@@ -284,6 +303,7 @@ def _anonymize_main(argv) -> int:
             report_path=args.report,
             chunk_size=args.chunk_size,
             workers=args.workers,
+            design_path=args.design,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -45,7 +45,19 @@ class ShardedCollector:
 
     @classmethod
     def for_protocol(cls, protocol) -> "ShardedCollector":
-        """Collector matching an :class:`~repro.protocols.independent.RRIndependent` design."""
+        """Collector matching any :class:`~repro.protocols.base.Protocol`.
+
+        The collector counts over the protocol's *collection schema* —
+        one (possibly fused) attribute per release unit — and inverts
+        with the protocol's cluster-aware ``matrices``. For
+        RR-Independent that is exactly the wire schema with one matrix
+        per attribute; for RR-Joint / RR-Clusters each cluster is one
+        fused attribute over its product domain.
+        """
+        layout = getattr(protocol, "collection", None)
+        if layout is not None:
+            return cls(layout.collection_schema(), protocol.matrices)
+        # Duck-typed legacy designs: per-attribute matrix_for lookups.
         matrices = {
             name: protocol.matrix_for(name) for name in protocol.schema.names
         }

@@ -10,12 +10,23 @@
   iterative reweighting of the randomized records to the RR-estimated
   marginals, recovering part of the lost joint structure.
 
-Every protocol follows the same life cycle: construct the design (the
-matrices), ``randomize(dataset)`` to obtain the released data, then
-call the ``estimate_*`` methods on the released data. Estimation never
-touches the true dataset.
+Every protocol implements the unified :class:`~repro.protocols.base.Protocol`
+interface: construct the design (the matrices), ``randomize(dataset)``
+to obtain the released data, then query with the uniform
+``estimate_marginal`` / ``estimate_pair_table`` /
+``estimate_set_frequency`` trio (or incrementally via
+``make_estimator()``). Estimation never touches the true dataset.
+Designs round-trip through versioned JSON design documents
+(``to_design()`` / ``Protocol.from_design()``, :mod:`repro.design`).
 """
 
+from repro.protocols.base import (
+    CollectionLayout,
+    Protocol,
+    ProtocolEstimator,
+    protocol_for_tag,
+    protocol_tags,
+)
 from repro.protocols.independent import RRIndependent
 from repro.protocols.joint import RRJoint
 from repro.protocols.clusters import RRClusters
@@ -26,6 +37,11 @@ from repro.protocols.adjustment import (
 )
 
 __all__ = [
+    "Protocol",
+    "CollectionLayout",
+    "ProtocolEstimator",
+    "protocol_for_tag",
+    "protocol_tags",
     "RRIndependent",
     "RRJoint",
     "RRClusters",

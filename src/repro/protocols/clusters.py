@@ -12,18 +12,22 @@ exactly — tested).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro._rng import ensure_rng
 from repro.clustering.algorithm import Clustering, cluster_attributes
 from repro.clustering.estimators import DependenceEstimate, exact_dependences
-from repro.core.privacy import PrivacyAccountant
 from repro.data.dataset import Dataset
 from repro.data.domain import Domain
 from repro.data.schema import Schema
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, ServiceError
+from repro.protocols.base import (
+    CollectionLayout,
+    Protocol,
+    _validate_design_p,
+)
 from repro.protocols.joint import RRJoint
 
 __all__ = ["RRClusters", "ClusterEstimates"]
@@ -104,7 +108,7 @@ class ClusterEstimates:
         return float(total.sum())
 
 
-class RRClusters:
+class RRClusters(Protocol):
     """Cluster-wise joint randomized response.
 
     Parameters
@@ -118,11 +122,14 @@ class RRClusters:
         RR-Independent epsilons.
     """
 
+    design_tag = "RR-Clusters"
+
     def __init__(self, clustering: Clustering, p: float):
         if not 0.0 < p < 1.0:
             raise ProtocolError(f"p must be in (0, 1), got {p}")
         self._clustering = clustering
-        self._p = p
+        self._p = float(p)
+        self._layout: "CollectionLayout | None" = None
         self._joints = tuple(
             RRJoint.calibrated_to_independent(
                 clustering.schema, cluster, p
@@ -166,15 +173,25 @@ class RRClusters:
         return self._p
 
     @property
-    def epsilon(self) -> float:
-        """Total budget: one joint release per cluster, composed."""
-        return self.accountant().total_epsilon
+    def collection(self) -> CollectionLayout:
+        """One release unit per cluster of the partition."""
+        if self._layout is None:
+            self._layout = CollectionLayout(
+                self._clustering.schema, self._clustering.clusters
+            )
+        return self._layout
 
-    def accountant(self) -> PrivacyAccountant:
-        ledger = PrivacyAccountant()
-        for cluster, joint in zip(self._clustering.clusters, self._joints):
-            ledger.record("+".join(cluster), joint.epsilon)
-        return ledger
+    @property
+    def matrices(self) -> dict:
+        """Cluster-aware design: one fused matrix per cluster, keyed by
+        the ``"+"``-joined member names."""
+        return {
+            "+".join(cluster): joint._matrix
+            for cluster, joint in zip(self._clustering.clusters, self._joints)
+        }
+
+    # epsilon / accountant: inherited from Protocol — one joint release
+    # per cluster, sequentially composed.
 
     def cluster_mechanisms(self) -> tuple:
         """The per-cluster :class:`~repro.protocols.joint.RRJoint` designs."""
@@ -183,7 +200,7 @@ class RRClusters:
     # ------------------------------------------------------------------
     def engine_tasks(self) -> list:
         """One fused-column engine task per cluster."""
-        return [joint.engine_task() for joint in self._joints]
+        return [joint._engine_task() for joint in self._joints]
 
     def randomize(
         self,
@@ -258,9 +275,17 @@ class RRClusters:
         )
 
     def estimate_marginal(
-        self, randomized: Dataset, name: str, repair: str = "clip"
+        self,
+        randomized: Dataset,
+        name: str,
+        repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> np.ndarray:
-        return self.estimate(randomized, repair).marginal(name)
+        return self.estimate(
+            randomized, repair, chunk_size=chunk_size, workers=workers
+        ).marginal(name)
 
     def estimate_pair_table(
         self,
@@ -268,8 +293,13 @@ class RRClusters:
         name_a: str,
         name_b: str,
         repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> np.ndarray:
-        return self.estimate(randomized, repair).pair_table(name_a, name_b)
+        return self.estimate(
+            randomized, repair, chunk_size=chunk_size, workers=workers
+        ).pair_table(name_a, name_b)
 
     def estimate_set_frequency(
         self,
@@ -277,8 +307,51 @@ class RRClusters:
         names: Sequence,
         cells: np.ndarray,
         repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> float:
-        return self.estimate(randomized, repair).set_frequency(names, cells)
+        return self.estimate(
+            randomized, repair, chunk_size=chunk_size, workers=workers
+        ).set_frequency(names, cells)
+
+    # ------------------------------------------------------------------
+    def _design_params(self) -> dict:
+        return {
+            "p": self._p,
+            "clusters": [list(cluster) for cluster in self._clustering.clusters],
+        }
+
+    @classmethod
+    def _from_design_params(cls, schema: Schema, params: Mapping) -> "RRClusters":
+        clustering = Clustering(
+            schema=schema,
+            clusters=tuple(tuple(c) for c in params["clusters"]),
+        )
+        return cls(clustering, p=params["p"])
+
+    @classmethod
+    def _params_from_payload(cls, payload: Mapping, source: str) -> dict:
+        p = _validate_design_p(payload, source)
+        clusters = payload.get("clusters")
+        if not (
+            isinstance(clusters, list)
+            and clusters
+            and all(
+                isinstance(c, list)
+                and c
+                and all(isinstance(n, str) for n in c)
+                for c in clusters
+            )
+        ):
+            raise ServiceError(
+                f"{source}: clusters must be a non-empty list of non-empty "
+                f"attribute-name lists, got {clusters!r}"
+            )
+        return {
+            "p": p,
+            "clusters": [list(c) for c in clusters],
+        }
 
     def __repr__(self) -> str:
         inner = ", ".join(

@@ -18,11 +18,15 @@ from repro._rng import ensure_rng
 from repro.core.estimation import estimate_from_responses
 from repro.core.matrices import ConstantDiagonalMatrix, keep_else_uniform_matrix
 from repro.core.mechanism import randomize_column
-from repro.core.privacy import PrivacyAccountant, epsilon_of_matrix
 from repro.core.projection import clip_and_rescale
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, ServiceError
+from repro.protocols.base import (
+    CollectionLayout,
+    Protocol,
+    _validate_design_p,
+)
 
 __all__ = ["RRIndependent"]
 
@@ -37,7 +41,7 @@ def _repair(estimate: np.ndarray, repair: str) -> np.ndarray:
     raise ProtocolError(f"repair must be one of {_REPAIRS}, got {repair!r}")
 
 
-class RRIndependent:
+class RRIndependent(Protocol):
     """Separate randomized response per attribute.
 
     Parameters
@@ -53,6 +57,8 @@ class RRIndependent:
         dense arrays) for callers that need non-uniform designs.
     """
 
+    design_tag = "RR-Independent"
+
     def __init__(
         self,
         schema: Schema,
@@ -62,6 +68,8 @@ class RRIndependent:
         if (p is None) == (matrices is None):
             raise ProtocolError("provide exactly one of p or matrices")
         self._schema = schema
+        self._p = None if p is None else float(p)
+        self._layout: "CollectionLayout | None" = None
         if p is not None:
             self._matrices = {
                 attr.name: keep_else_uniform_matrix(attr.size, p)
@@ -94,6 +102,19 @@ class RRIndependent:
     def schema(self) -> Schema:
         return self._schema
 
+    @property
+    def collection(self) -> CollectionLayout:
+        """All-singleton layout: every attribute is its own release unit."""
+        if self._layout is None:
+            self._layout = CollectionLayout.identity(self._schema)
+        return self._layout
+
+    @property
+    def p(self) -> "float | None":
+        """Keep probability of the uniform design (``None`` when built
+        from explicit matrices)."""
+        return self._p
+
     def matrix_for(self, name: str):
         """The randomization matrix of one attribute."""
         if name not in self._matrices:
@@ -110,16 +131,8 @@ class RRIndependent:
         """
         return dict(self._matrices)
 
-    @property
-    def epsilon(self) -> float:
-        """Total budget: sequential composition over attributes (§4)."""
-        return self.accountant().total_epsilon
-
-    def accountant(self) -> PrivacyAccountant:
-        ledger = PrivacyAccountant()
-        for name, matrix in self._matrices.items():
-            ledger.record(name, epsilon_of_matrix(matrix))
-        return ledger
+    # epsilon / accountant: inherited from Protocol — sequential
+    # composition over the (here: singleton) release units (§4).
 
     # ------------------------------------------------------------------
     def engine_tasks(self) -> list:
@@ -236,6 +249,9 @@ class RRIndependent:
         name_a: str,
         name_b: str,
         repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> np.ndarray:
         """Estimated bivariate distribution of two attributes.
 
@@ -244,8 +260,12 @@ class RRIndependent:
         """
         if name_a == name_b:
             raise ProtocolError("pair table needs two distinct attributes")
-        pi_a = self.estimate_marginal(randomized, name_a, repair)
-        pi_b = self.estimate_marginal(randomized, name_b, repair)
+        pi_a = self.estimate_marginal(
+            randomized, name_a, repair, chunk_size=chunk_size, workers=workers
+        )
+        pi_b = self.estimate_marginal(
+            randomized, name_b, repair, chunk_size=chunk_size, workers=workers
+        )
         return np.outer(pi_a, pi_b)
 
     def estimate_set_frequency(
@@ -254,6 +274,9 @@ class RRIndependent:
         names: Sequence,
         cells: np.ndarray,
         repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> float:
         """Estimated relative frequency of ``S`` (§3.1, step 10).
 
@@ -265,7 +288,10 @@ class RRIndependent:
             ``(k, len(names))`` array of code combinations in ``S``.
         """
         marginals = [
-            self.estimate_marginal(randomized, n, repair) for n in names
+            self.estimate_marginal(
+                randomized, n, repair, chunk_size=chunk_size, workers=workers
+            )
+            for n in names
         ]
         grid = np.asarray(cells, dtype=np.int64)
         if grid.ndim != 2 or grid.shape[1] != len(marginals):
@@ -279,6 +305,24 @@ class RRIndependent:
                 product *= marginal[value]
             total += product
         return float(total)
+
+    # ------------------------------------------------------------------
+    def _design_params(self) -> dict:
+        if self._p is None:
+            raise ServiceError(
+                "an RRIndependent design built from explicit matrices has "
+                "no serializable parameters; construct with p=... to write "
+                "a design document"
+            )
+        return {"p": self._p}
+
+    @classmethod
+    def _from_design_params(cls, schema: Schema, params: Mapping) -> "RRIndependent":
+        return cls(schema, p=params["p"])
+
+    @classmethod
+    def _params_from_payload(cls, payload: Mapping, source: str) -> dict:
+        return {"p": _validate_design_p(payload, source)}
 
     def __repr__(self) -> str:
         return f"RRIndependent(m={self._schema.width})"

@@ -12,7 +12,7 @@ cluster is simply an :class:`RRJoint` over a sub-schema.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -29,7 +29,14 @@ from repro.core.projection import clip_and_rescale
 from repro.data.dataset import Dataset
 from repro.data.domain import Domain
 from repro.data.schema import Schema
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, ServiceError
+from repro.protocols.base import (
+    CollectionLayout,
+    Protocol,
+    _deprecated,
+    _name_list_or_none,
+    _validate_design_p,
+)
 
 __all__ = ["RRJoint"]
 
@@ -40,7 +47,7 @@ __all__ = ["RRJoint"]
 MAX_JOINT_CELLS = 1_000_000
 
 
-class RRJoint:
+class RRJoint(Protocol):
     """Joint randomized response over a product domain.
 
     Parameters
@@ -61,6 +68,8 @@ class RRJoint:
         RR-Independent with a given ``p``.
     """
 
+    design_tag = "RR-Joint"
+
     def __init__(
         self,
         schema: Schema,
@@ -74,6 +83,13 @@ class RRJoint:
             )
         self._schema = schema
         self._domain = Domain.from_schema(schema, names)
+        self._p = None if p is None else float(p)
+        self._attribute_epsilons = (
+            None
+            if attribute_epsilons is None
+            else tuple(float(e) for e in attribute_epsilons)
+        )
+        self._layout: "CollectionLayout | None" = None
         if self._domain.size > MAX_JOINT_CELLS:
             raise ProtocolError(
                 f"joint domain has {self._domain.size} cells, beyond the "
@@ -117,7 +133,28 @@ class RRJoint:
         return self._domain
 
     @property
+    def collection(self) -> CollectionLayout:
+        """One release unit: the whole covered product domain."""
+        if self._layout is None:
+            self._layout = CollectionLayout(
+                self._schema, (self._domain.names,)
+            )
+        return self._layout
+
+    @property
+    def cluster_name(self) -> str:
+        """Collection-schema name of the single release unit."""
+        return "+".join(self._domain.names)
+
+    @property
+    def matrices(self) -> dict:
+        """The cluster-aware design: one fused entry for the domain."""
+        return {self.cluster_name: self._matrix}
+
+    @property
     def matrix(self) -> ConstantDiagonalMatrix:
+        """Deprecated: use :attr:`matrices` (uniform across protocols)."""
+        _deprecated("RRJoint.matrix", "RRJoint.matrices")
         return self._matrix
 
     @property
@@ -126,14 +163,22 @@ class RRJoint:
         return epsilon_of_matrix(self._matrix)
 
     # ------------------------------------------------------------------
-    def engine_task(self):
-        """This joint mechanism as one fused-column engine task."""
+    def _engine_task(self):
         from repro.engine.executor import ColumnTask
 
         positions = tuple(
             self._schema.position(name) for name in self._domain.names
         )
         return ColumnTask(positions, self._matrix, self._domain)
+
+    def engine_tasks(self) -> list:
+        """This joint mechanism as a one-element engine task list."""
+        return [self._engine_task()]
+
+    def engine_task(self):
+        """Deprecated: use :meth:`engine_tasks` (uniform across protocols)."""
+        _deprecated("RRJoint.engine_task", "RRJoint.engine_tasks")
+        return self._engine_task()
 
     def randomize(
         self,
@@ -161,7 +206,7 @@ class RRJoint:
 
         result = engine_run(
             dataset.codes,
-            [self.engine_task()],
+            self.engine_tasks(),
             rng=rng,
             chunk_size=chunk_size,
             workers=workers,
@@ -193,7 +238,7 @@ class RRJoint:
 
             estimate = count_and_estimate(
                 randomized.codes,
-                [self.engine_task()],
+                self.engine_tasks(),
                 chunk_size=chunk_size,
                 workers=workers,
             )[0]
@@ -204,10 +249,18 @@ class RRJoint:
         raise ProtocolError(f"repair must be 'clip' or 'none', got {repair!r}")
 
     def estimate_marginal(
-        self, randomized: Dataset, name: str, repair: str = "clip"
+        self,
+        randomized: Dataset,
+        name: str,
+        repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> np.ndarray:
         """Marginal of one covered attribute from the joint estimate."""
-        joint = self.estimate_joint(randomized, repair)
+        joint = self.estimate_joint(
+            randomized, repair, chunk_size=chunk_size, workers=workers
+        )
         return self._domain.marginal_distribution(joint, [name])
 
     def estimate_pair_table(
@@ -216,9 +269,14 @@ class RRJoint:
         name_a: str,
         name_b: str,
         repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> np.ndarray:
         """Estimated bivariate distribution of two covered attributes."""
-        joint = self.estimate_joint(randomized, repair)
+        joint = self.estimate_joint(
+            randomized, repair, chunk_size=chunk_size, workers=workers
+        )
         sizes = (
             self._schema.attribute(name_a).size,
             self._schema.attribute(name_b).size,
@@ -227,15 +285,121 @@ class RRJoint:
         return flat.reshape(sizes)
 
     def estimate_set_frequency(
-        self, randomized: Dataset, cells: np.ndarray, repair: str = "clip"
+        self,
+        randomized: Dataset,
+        names=None,
+        cells: "np.ndarray | None" = None,
+        repair: str = "clip",
+        *,
+        chunk_size: int | None = None,
+        workers: int = 1,
     ) -> float:
-        """Estimated relative frequency of a set of domain cells
-        (§3.2, step 7: sum of estimated cell frequencies)."""
-        joint = self.estimate_joint(randomized, repair)
-        flat_cells = np.asarray(cells, dtype=np.int64)
-        if flat_cells.ndim == 2:
-            flat_cells = self._domain.encode(flat_cells)
-        return float(joint[flat_cells].sum())
+        """Estimated relative frequency of a set of cells.
+
+        The uniform form names the attributes explicitly::
+
+            protocol.estimate_set_frequency(released, ["a", "b"], cells)
+
+        with ``cells`` a ``(k, len(names))`` array of code combinations
+        over ``names`` (a subset of the covered attributes); the joint
+        estimate is marginalized onto ``names`` and summed over the
+        cells (§3.2, step 7). The pre-unification call
+        ``estimate_set_frequency(released, cells)`` — cells over the
+        *whole* domain, per-attribute rows or flat mixed-radix codes —
+        still works but emits a :class:`DeprecationWarning`.
+        """
+        legacy_cells = None
+        name_list = None if names is None else _name_list_or_none(names)
+        if names is not None and name_list is None:
+            # Legacy positional call: the second argument is the cell
+            # array itself (possibly with repair third).
+            if isinstance(cells, str):
+                repair = cells
+            elif cells is not None:
+                raise ProtocolError(
+                    "pass cells via estimate_set_frequency(randomized, "
+                    "names, cells) — the legacy form takes them as the "
+                    "second argument only"
+                )
+            legacy_cells = names
+        elif names is None and cells is not None:
+            # Legacy keyword call: estimate_set_frequency(released,
+            # cells=...) under the pre-unification signature.
+            legacy_cells = cells
+        if legacy_cells is not None:
+            _deprecated(
+                "RRJoint.estimate_set_frequency(randomized, cells)",
+                "estimate_set_frequency(randomized, names, cells)",
+            )
+            flat_cells = np.asarray(legacy_cells, dtype=np.int64)
+            joint = self.estimate_joint(
+                randomized, repair, chunk_size=chunk_size, workers=workers
+            )
+            if flat_cells.ndim == 2:
+                flat_cells = self._domain.encode(flat_cells)
+            return float(joint[flat_cells].sum())
+        if name_list is None or cells is None:
+            raise ProtocolError(
+                "estimate_set_frequency needs both names and cells"
+            )
+        joint = self.estimate_joint(
+            randomized, repair, chunk_size=chunk_size, workers=workers
+        )
+        return self.collection.set_frequency_from_joints(
+            lambda k: joint, name_list, cells
+        )
+
+    # ------------------------------------------------------------------
+    def _design_params(self) -> dict:
+        params: dict = {"names": list(self._domain.names)}
+        if self._p is not None:
+            params["p"] = self._p
+        else:
+            params["attribute_epsilons"] = list(self._attribute_epsilons)
+        return params
+
+    @classmethod
+    def _from_design_params(cls, schema: Schema, params: Mapping) -> "RRJoint":
+        names = params.get("names")
+        if "p" in params:
+            return cls(schema, names=names, p=params["p"])
+        return cls(
+            schema,
+            names=names,
+            attribute_epsilons=params["attribute_epsilons"],
+        )
+
+    @classmethod
+    def _params_from_payload(cls, payload: Mapping, source: str) -> dict:
+        names = payload.get("names")
+        if names is not None and not (
+            isinstance(names, list) and all(isinstance(n, str) for n in names)
+        ):
+            raise ServiceError(
+                f"{source}: names must be a list of attribute names, "
+                f"got {names!r}"
+            )
+        has_p = "p" in payload
+        has_eps = "attribute_epsilons" in payload
+        if has_p == has_eps:
+            raise ServiceError(
+                f"{source}: an RR-Joint design carries exactly one of "
+                "p or attribute_epsilons"
+            )
+        params: dict = {} if names is None else {"names": list(names)}
+        if has_p:
+            params["p"] = _validate_design_p(payload, source)
+        else:
+            eps = payload["attribute_epsilons"]
+            if not isinstance(eps, list) or not all(
+                isinstance(e, (int, float)) and e > 0 for e in eps
+            ):
+                raise ServiceError(
+                    f"{source}: attribute_epsilons must be a list of "
+                    f"positive numbers, got {eps!r}"
+                )
+            params["attribute_epsilons"] = [float(e) for e in eps]
+        return params
 
     def __repr__(self) -> str:
         return f"RRJoint(domain={self._domain!r})"

@@ -19,6 +19,12 @@ cache.
   set-frequency estimates, keyed on (query, observed counts).
 * :mod:`repro.service.cli` — ``encode`` / ``ingest`` / ``query`` /
   ``compact`` subcommands of ``repro-anonymize``.
+
+The whole stack is keyed on the unified
+:class:`~repro.protocols.base.Protocol` interface: any protocol —
+RR-Independent, RR-Joint or RR-Clusters — serves end to end from a
+single versioned design document (:mod:`repro.design`), with queries
+routed through its cluster layout.
 """
 
 from repro.service.codec import (

@@ -2,17 +2,22 @@
 
 End-to-end wiring of the service layer on CSV input:
 
-* ``encode`` — the party side: randomize a CSV locally (RR-Independent)
-  and write the responses as wire frames plus a JSON *design file* (the
-  schema, ``p`` and fingerprints a collector needs to reconstruct the
-  matching matrices).
+* ``encode`` — the party side: randomize a CSV locally with **any** of
+  the paper's protocols (``--protocol independent|joint|clusters``) and
+  write the responses as wire frames plus a versioned JSON *design
+  document* (:mod:`repro.design` — the schema, the protocol tag, its
+  mechanism parameters and fingerprints; everything a collector needs
+  to reconstruct the matching matrices, and never the party seed).
 * ``ingest`` — the collector side: stream a report file into a
   checkpointed state directory (write-ahead log + periodic snapshots).
   ``--stop-after`` aborts mid-stream without a final checkpoint — a
   scriptable crash — and ``--resume`` recovers and continues where the
   crashed run left off.
 * ``query`` — the consumer side: recover the collector from its state
-  directory and print Eq. (2) estimates as JSON.
+  directory and print Eq. (2) estimates as JSON. Queries route through
+  the protocol's collection layout: pair tables inside a cluster come
+  from the cluster's joint estimate, across clusters from the §4
+  independence composition.
 * ``compact`` — maintenance: checkpoint, then retire the write-ahead
   log segments the checkpoint covers, bounding the state directory's
   disk footprint.
@@ -21,6 +26,9 @@ Examples::
 
     repro-anonymize encode survey.csv -o reports.rrw \
         --design design.json --p 0.7 --seed 42
+    repro-anonymize encode survey.csv -o reports.rrw \
+        --design design.json --p 0.7 \
+        --protocol clusters --clusters "smokes+alcohol,stress"
     repro-anonymize ingest reports.rrw -s state/ --design design.json \
         --checkpoint-every 50
     repro-anonymize query -s state/ --design design.json --marginal smokes
@@ -35,17 +43,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.cli import _build_schema, _read_csv, positive_int
+from repro.cli import _build_schema, _parse_clusters, _read_csv, positive_int
 from repro.data.dataset import Dataset
+from repro.design import load_design as _load_design
+from repro.design import write_design as _write_design
 from repro.exceptions import ReproError, ServiceError
+from repro.protocols.clusters import RRClusters
 from repro.protocols.independent import RRIndependent
-from repro.service.codec import (
-    ReportCodec,
-    design_fingerprint,
-    schema_fingerprint,
-    schema_from_dict,
-    schema_to_dict,
-)
+from repro.protocols.joint import RRJoint
+from repro.service.codec import ReportCodec
 from repro.service.journal import (
     CHECKPOINT_JSON,
     DEFAULT_SEGMENT_BYTES,
@@ -60,67 +66,74 @@ from repro.service.pipeline import (
     CollectorService,
 )
 
-__all__ = ["service_main", "SERVICE_COMMANDS"]
+__all__ = ["service_main", "SERVICE_COMMANDS", "load_design", "write_design"]
 
-_DESIGN_VERSION = 1
 #: Records per wire frame written by ``encode`` (one log entry each).
 DEFAULT_FRAME_RECORDS = 512
 
+#: ``--protocol`` choices of the encode subcommand.
+ENCODE_PROTOCOLS = ("independent", "joint", "clusters")
+
 
 # ----------------------------------------------------------------------
-# Design files
+# Deprecated re-exports (the design-file API now lives in repro.design)
 # ----------------------------------------------------------------------
-def write_design(path: Path, protocol: RRIndependent, p: float, extra: dict) -> None:
-    payload = {
-        "version": _DESIGN_VERSION,
-        "protocol": "RR-Independent",
-        "p": p,
-        "schema": schema_to_dict(protocol.schema),
-        "schema_fingerprint": schema_fingerprint(protocol.schema),
-        "design_fingerprint": design_fingerprint(
-            protocol.schema, protocol.matrices
-        ),
-        **extra,
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+def load_design(path):
+    """Deprecated: use :func:`repro.design.load_design`.
+
+    Kept for pre-unification callers; returns ``(protocol, payload
+    dict)`` — the old contract — rather than the new
+    ``(protocol, DesignDocument)``.
+    """
+    from repro.protocols.base import _deprecated
+
+    _deprecated("repro.service.cli.load_design", "repro.design.load_design")
+    protocol, document = _load_design(path)
+    return protocol, document.payload()
 
 
-def load_design(path: Path) -> "tuple[RRIndependent, dict]":
-    """Rebuild the protocol a design file describes (and verify it)."""
-    try:
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise ServiceError(f"{path}: not valid JSON: {exc}") from None
-    if payload.get("version") != _DESIGN_VERSION:
-        raise ServiceError(
-            f"{path}: unsupported design version {payload.get('version')!r}"
+def write_design(path, protocol, p_or_extra=None, extra=None, *, p=None):
+    """Deprecated: use :func:`repro.design.write_design`.
+
+    The pre-unification signature took ``p`` as a separate argument
+    that could silently disagree with ``protocol.p``; it is now
+    derived from the protocol object and ignored here (with a
+    warning) whether passed positionally or as ``p=``.
+    """
+    from repro.protocols.base import _deprecated
+
+    if p is not None or extra is not None or isinstance(p_or_extra, (int, float)):
+        _deprecated(
+            "the p argument to write_design (now derived from the "
+            "protocol and ignored)",
+            "repro.design.write_design(path, protocol, extra)",
         )
-    if payload.get("protocol") != "RR-Independent":
-        raise ServiceError(
-            f"{path}: unsupported protocol {payload.get('protocol')!r}"
+        payload_extra = extra
+    else:
+        _deprecated(
+            "repro.service.cli.write_design", "repro.design.write_design"
         )
-    schema = schema_from_dict(payload.get("schema", ()))
-    if schema_fingerprint(schema) != payload.get("schema_fingerprint"):
-        raise ServiceError(
-            f"{path}: schema fingerprint does not match the schema body; "
-            "design file was edited or corrupted"
-        )
-    p = payload.get("p")
-    if not isinstance(p, (int, float)) or not 0.0 < p < 1.0:
-        raise ServiceError(f"{path}: p must be in (0, 1), got {p!r}")
-    protocol = RRIndependent(schema, p=float(p))
-    recomputed = design_fingerprint(schema, protocol.matrices)
-    if recomputed != payload.get("design_fingerprint"):
-        raise ServiceError(
-            f"{path}: design fingerprint mismatch; matrices cannot be "
-            "reconstructed from this file"
-        )
-    return protocol, payload
+        payload_extra = p_or_extra
+    _write_design(path, protocol, payload_extra)
+
+
+def _build_protocol(args, schema, parser):
+    """The protocol an encode invocation asked for, over ``schema``."""
+    if args.protocol == "independent":
+        if args.clusters:
+            parser.error("--clusters requires --protocol clusters")
+        return RRIndependent(schema, p=args.p)
+    if args.protocol == "joint":
+        if args.clusters:
+            parser.error("--clusters requires --protocol clusters")
+        return RRJoint(schema, p=args.p)
+    if not args.clusters:
+        parser.error("--protocol clusters requires --clusters 'a+b,c'")
+    return RRClusters(_parse_clusters(args.clusters, schema), p=args.p)
 
 
 def _service_from_design(args) -> CollectorService:
-    protocol, _ = load_design(args.design)
+    protocol, _ = _load_design(args.design)
     return CollectorService.for_protocol(
         protocol,
         args.state_dir,
@@ -160,6 +173,16 @@ def _encode(argv) -> int:
         help="keep probability of the §6.3.1 matrix (0 < p < 1)",
     )
     parser.add_argument(
+        "--protocol", choices=ENCODE_PROTOCOLS, default="independent",
+        help="randomization protocol: independent RR per attribute, "
+        "joint RR over the full product domain, or cluster-wise joint "
+        "RR calibrated to the same budget (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--clusters", type=str, default=None,
+        help="attribute clusters for --protocol clusters, e.g. 'a+b,c'",
+    )
+    parser.add_argument(
         "--columns", type=str, default=None,
         help="comma-separated columns to randomize (default: all)",
     )
@@ -193,7 +216,7 @@ def _encode(argv) -> int:
         dtype=np.int64,
     )
     dataset = Dataset(schema, codes, copy=False)
-    protocol = RRIndependent(schema, p=args.p)
+    protocol = _build_protocol(args, schema, parser)
     released = protocol.randomize(
         dataset, args.seed, chunk_size=args.chunk_size, workers=args.workers
     )
@@ -205,14 +228,13 @@ def _encode(argv) -> int:
             writer.write(codec.encode(released.codes[start:stop]))
             n_frames += 1
         writer.sync()
-    # The design file travels to the collector: it must carry only what
-    # estimation needs (schema + p). The randomization seed stays
+    # The design document travels to the collector: it must carry only
+    # what estimation needs (schema + mechanism parameters, all derived
+    # from the protocol object itself). The randomization seed stays
     # party-side — the sampler's draws are data-independent, so a seed
     # in collector hands would reveal exactly which records were kept
     # and void the RR guarantee.
-    write_design(
-        args.design, protocol, args.p, {"n_records": released.n_records}
-    )
+    _write_design(args.design, protocol, {"n_records": released.n_records})
     print(
         f"encoded {released.n_records} records into {n_frames} frames "
         f"({codec.record_bytes} B/record packed) -> {args.output}"
@@ -446,7 +468,7 @@ def _query(argv) -> int:
     service = _service_from_design(args)
     try:
         front = service.queries
-        names = args.marginal or list(service.schema.names)
+        names = args.marginal or list(front.names)
         answer = {
             "n_observed": service.n_observed,
             "repair": args.repair,

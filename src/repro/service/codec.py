@@ -134,12 +134,33 @@ def matrix_fingerprint(matrix) -> str:
     return digest.hexdigest()[:16]
 
 
-def design_fingerprint(schema: Schema, matrices) -> str:
-    """Fingerprint of a whole collection design (schema + all matrices)."""
+def design_fingerprint(schema: Schema, matrices, names=None) -> str:
+    """Fingerprint of a whole collection design (schema + all matrices).
+
+    ``names`` fixes the iteration order over ``matrices`` — the
+    protocol's collection-attribute names (``"a+b"`` for fused
+    clusters). Defaults to the schema's own attribute order, which is
+    exactly the RR-Independent collection, so pre-cluster fingerprints
+    are unchanged.
+
+    For any layout *other* than that identity default the names
+    themselves are folded into the digest: two clusterings of
+    equal-size attributes produce byte-identical matrix sequences, so
+    without the names a tampered ``clusters`` assignment would pass
+    fingerprint verification. The identity layout is the unique
+    arrangement with ``names == schema.names``, so skipping the name
+    bytes there cannot collide with any fused layout — and keeps every
+    pre-unification RR-Independent fingerprint valid.
+    """
+    names = schema.names if names is None else tuple(names)
     digest = hashlib.sha256()
     digest.update(schema_fingerprint(schema).to_bytes(8, "little"))
-    for attr in schema:
-        digest.update(matrix_fingerprint(matrices[attr.name]).encode("ascii"))
+    if names != schema.names:
+        for name in names:
+            digest.update(b"\x00")  # delimiter: ("a","bc") != ("ab","c")
+            digest.update(str(name).encode("utf-8"))
+    for name in names:
+        digest.update(matrix_fingerprint(matrices[name]).encode("ascii"))
     return digest.hexdigest()[:16]
 
 

@@ -44,6 +44,7 @@ import numpy as np
 from repro.data.schema import Schema
 from repro.engine.collector import ShardedCollector
 from repro.exceptions import ServiceError
+from repro.protocols.base import CollectionLayout
 from repro.service.codec import (
     ReportCodec,
     column_extrema,
@@ -194,13 +195,23 @@ class IngestionPipeline:
 class CollectorService:
     """Durable, queryable collector rooted in a state directory.
 
-    Construct with :meth:`open` (create-or-recover) or
-    :meth:`for_protocol`. The write path is strictly write-ahead::
+    Construct with :meth:`for_protocol` (any
+    :class:`~repro.protocols.base.Protocol` — RR-Independent, RR-Joint
+    or RR-Clusters) or :meth:`open` (raw schema + matrices, the
+    all-singleton case). The write path is strictly write-ahead::
 
         frame -> decode (validate) -> log.append (fsync) -> pipeline
 
     so after any crash, ``checkpoint + log tail`` reconstructs exactly
     the acknowledged frames.
+
+    Wire frames always carry the *wire schema* — per-attribute codes,
+    whatever the protocol — while counting and estimation run over the
+    protocol's *collection schema* (one possibly-fused attribute per
+    release unit). The :class:`~repro.protocols.base.CollectionLayout`
+    bridges the two on ingestion; for RR-Independent they coincide and
+    the translation is a no-op, so pre-unification state directories
+    open byte-identically.
     """
 
     def __init__(
@@ -209,6 +220,7 @@ class CollectorService:
         matrices: Mapping,
         state_dir,
         *,
+        layout: "CollectionLayout | None" = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         checkpoint_every: "int | None" = None,
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
@@ -218,11 +230,19 @@ class CollectorService:
             raise ServiceError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if layout is None:
+            layout = CollectionLayout.identity(schema)
+        elif layout.schema != schema:
+            raise ServiceError(
+                "layout's wire schema does not match the service schema"
+            )
         self._state_dir = Path(state_dir)
         self._state_dir.mkdir(parents=True, exist_ok=True)
         self._lock_handle = None
         self._acquire_lock()
-        self._collector = ShardedCollector(schema, matrices)
+        self._wire_schema = schema
+        self._layout = layout
+        self._collector = ShardedCollector(layout.collection_schema(), matrices)
         self._codec = ReportCodec(schema)
         self._schema_fp = schema_fingerprint(schema)
         self._matrix_fps = {
@@ -234,7 +254,7 @@ class CollectorService:
         )
         self._checkpoint_every = checkpoint_every
         self._auto_compact = bool(auto_compact)
-        self._queries = QueryFrontend(self._collector)
+        self._queries = QueryFrontend(self._collector, layout=layout)
         self._check_or_pin_design()
         self._log = IngestionLog(
             self._state_dir / LOG_NAME, segment_bytes=segment_bytes
@@ -251,6 +271,7 @@ class CollectorService:
         matrices: Mapping,
         state_dir,
         *,
+        layout: "CollectionLayout | None" = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         checkpoint_every: "int | None" = None,
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
@@ -261,6 +282,7 @@ class CollectorService:
             schema,
             matrices,
             state_dir,
+            layout=layout,
             batch_size=batch_size,
             checkpoint_every=checkpoint_every,
             segment_bytes=segment_bytes,
@@ -278,11 +300,19 @@ class CollectorService:
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
         auto_compact: bool = False,
     ) -> "CollectorService":
-        """Service matching a protocol exposing ``schema`` + ``matrices``."""
+        """Service matching any :class:`~repro.protocols.base.Protocol`.
+
+        The protocol's :attr:`~repro.protocols.base.Protocol.collection`
+        layout keys the whole stack: wire frames are decoded against
+        the protocol's schema, fused into release-unit codes, counted
+        under the collection schema, and queries route through the
+        cluster-aware front-end.
+        """
         return cls(
             protocol.schema,
             protocol.matrices,
             state_dir,
+            layout=getattr(protocol, "collection", None),
             batch_size=batch_size,
             checkpoint_every=checkpoint_every,
             segment_bytes=segment_bytes,
@@ -398,7 +428,8 @@ class CollectorService:
             self._log.replay(start), window_records=DEFAULT_COMMIT_RECORDS
         ):
             self._pipeline.submit(
-                self._codec.decode_many(window), validated=True
+                self._layout.encode_records(self._codec.decode_many(window)),
+                validated=True,
             )
         self._pipeline.flush()
         self._frames_applied = self._log.n_frames
@@ -411,7 +442,18 @@ class CollectorService:
 
     @property
     def schema(self) -> Schema:
+        """The wire schema parties encode reports against."""
+        return self._wire_schema
+
+    @property
+    def collection_schema(self) -> Schema:
+        """The schema the collector counts under (fused release units)."""
         return self._collector.schema
+
+    @property
+    def layout(self) -> CollectionLayout:
+        """The protocol's collection layout bridging the two schemas."""
+        return self._layout
 
     @property
     def codec(self) -> ReportCodec:
@@ -455,7 +497,7 @@ class CollectorService:
         signal). The frame is decoded *before* it is logged: a corrupt
         or foreign frame is rejected without poisoning the log.
         """
-        batch = self._codec.decode(frame)
+        batch = self._layout.encode_records(self._codec.decode(frame))
         self._log.append(frame)
         self._frames_applied += 1
         pending = self._pipeline.submit(batch, validated=True)
@@ -551,7 +593,7 @@ class CollectorService:
 
     def _commit_window(self, frames: List[bytes]) -> None:
         """Validate, durably log, then absorb one window (WAL-first)."""
-        block = self._codec.decode_many(frames)
+        block = self._layout.encode_records(self._codec.decode_many(frames))
         self._log.append_many(frames)
         self._frames_applied += len(frames)
         self._pipeline.submit(block, validated=True)
@@ -578,7 +620,7 @@ class CollectorService:
         save_checkpoint(
             self._state_dir,
             counts=self._collector.merged.snapshot_counts(),
-            order=self.schema.names,
+            order=self._collector.schema.names,
             frames_applied=self._frames_applied,
             schema_fp=self._schema_fp,
             matrix_fps=self._matrix_fps,

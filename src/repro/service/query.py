@@ -12,9 +12,15 @@ both by count (``max_entries``) and by total payload size
 memory), and stored read-only so callers cannot mutate a cached answer
 in place.
 
-Pair tables and set frequencies follow Protocol 1's independence
-assumption (outer products of marginals, §3.1 step 10), matching
-:meth:`repro.protocols.independent.RRIndependent.estimate_pair_table`.
+Queries are routed through the protocol's
+:class:`~repro.protocols.base.CollectionLayout`: a marginal (or the
+within-cluster part of a pair table / set frequency) is answered by
+marginalizing the covering cluster's cached *joint* estimate, and
+queries spanning clusters compose by independence (§4) — outer
+products of marginals, which for the all-singleton RR-Independent
+layout degenerates to Protocol 1's §3.1-step-10 rule exactly. Without
+an explicit layout the front-end assumes the all-singleton one, which
+is the pre-unification behavior bit for bit.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import numpy as np
 
 from repro.analysis.queries import PairQuery
 from repro.exceptions import ServiceError
+from repro.protocols.base import CollectionLayout
 
 __all__ = ["QueryFrontend", "DEFAULT_CACHE_ENTRIES", "DEFAULT_CACHE_BYTES"]
 
@@ -56,9 +63,15 @@ class QueryFrontend:
     ----------
     collector:
         Anything exposing ``schema``, ``estimate_marginal(name, repair)``
-        and per-attribute observed counts — both
-        :class:`~repro.engine.collector.ShardedCollector` and
-        :class:`~repro.analysis.streaming.StreamingCollector` qualify.
+        and per-attribute observed counts over the layout's *collection
+        schema* — both :class:`~repro.engine.collector.ShardedCollector`
+        and :class:`~repro.analysis.streaming.StreamingCollector`
+        qualify.
+    layout:
+        The protocol's :class:`~repro.protocols.base.CollectionLayout`
+        mapping queried (wire-schema) attributes onto the collector's
+        release units. ``None`` assumes the all-singleton layout over
+        the collector's schema (the RR-Independent case).
     max_entries:
         LRU bound on the number of cached answers.
     max_bytes:
@@ -71,6 +84,7 @@ class QueryFrontend:
         self,
         collector,
         *,
+        layout: "CollectionLayout | None" = None,
         max_entries: int = DEFAULT_CACHE_ENTRIES,
         max_bytes: int = DEFAULT_CACHE_BYTES,
     ):
@@ -78,7 +92,16 @@ class QueryFrontend:
             raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
         if max_bytes < 1:
             raise ServiceError(f"max_bytes must be >= 1, got {max_bytes}")
+        if layout is None:
+            layout = CollectionLayout.identity(collector.schema)
+        elif layout.collection_schema().names != collector.schema.names:
+            raise ServiceError(
+                "layout's collection schema does not match the collector: "
+                f"{layout.collection_schema().names} vs "
+                f"{collector.schema.names}"
+            )
         self._collector = collector
+        self._layout = layout
         self._max_entries = max_entries
         self._max_bytes = max_bytes
         self._cache: OrderedDict = OrderedDict()
@@ -90,6 +113,15 @@ class QueryFrontend:
     @property
     def collector(self):
         return self._collector
+
+    @property
+    def layout(self) -> CollectionLayout:
+        return self._layout
+
+    @property
+    def names(self) -> tuple:
+        """Queryable (wire-schema) attribute names."""
+        return self._layout.member_names
 
     @property
     def stats(self) -> dict:
@@ -111,13 +143,53 @@ class QueryFrontend:
         merged = getattr(self._collector, "merged", self._collector)
         return merged.n_observed_by_attribute
 
-    def _version(self, names) -> tuple:
-        """Cache-key component: observed counts of the involved attributes."""
-        observed = self._n_by_attribute()
+    def _cluster_of(self, name: str) -> int:
+        """Index of the release unit covering ``name`` (or a clean error)."""
         try:
-            return tuple(observed[name] for name in names)
-        except KeyError as exc:
-            raise ServiceError(f"unknown attribute {exc.args[0]!r}") from None
+            return self._layout.cluster_of(name)
+        except Exception:
+            raise ServiceError(f"unknown attribute {name!r}") from None
+
+    def _version(self, names) -> tuple:
+        """Cache-key component: observed counts of the release units
+        backing the involved (wire-schema) attributes."""
+        observed = self._n_by_attribute()
+        cluster_names = self._layout.cluster_names
+        return tuple(
+            observed[cluster_names[self._cluster_of(name)]] for name in names
+        )
+
+    def _joint(self, k: int, repair: str) -> np.ndarray:
+        """Cached joint estimate of one fused release unit."""
+        cluster_name = self._layout.cluster_names[k]
+        key = (
+            "joint", cluster_name, repair,
+            (self._n_by_attribute()[cluster_name],),
+        )
+        return self._cached(
+            key,
+            lambda: self._collector.estimate_marginal(cluster_name, repair),
+        )
+
+    def _joint_of(self, repair: str):
+        """Cached per-release-unit estimates for the layout helpers.
+
+        Singleton units cache under the attribute's marginal key (their
+        joint *is* the marginal — and the entry is shared with direct
+        ``marginal`` calls); fused units cache under the joint key.
+        """
+
+        def joint_of(k: int) -> np.ndarray:
+            if self._layout.is_singleton(k):
+                name = self._layout.clusters[k][0]
+                key = ("marginal", name, repair, self._version((name,)))
+                return self._cached(
+                    key,
+                    lambda: self._collector.estimate_marginal(name, repair),
+                )
+            return self._joint(k, repair)
+
+        return joint_of
 
     def _cached(self, key, compute):
         if key in self._cache:
@@ -153,34 +225,51 @@ class QueryFrontend:
 
     # ------------------------------------------------------------------
     def marginal(self, name: str, repair: str = "clip") -> np.ndarray:
-        """Cached Eq. (2) marginal estimate of one attribute."""
+        """Cached Eq. (2) marginal estimate of one attribute.
+
+        For an attribute randomized jointly with others (a fused
+        release unit), the cluster's cached joint estimate is
+        marginalized onto the attribute — the §4 within-cluster rule.
+        """
         self._check_repair(repair)
+        k = self._cluster_of(name)
+        joint_of = self._joint_of(repair)
+        if self._layout.is_singleton(k):
+            return joint_of(k)  # cached under this marginal's own key
         key = ("marginal", name, repair, self._version((name,)))
         return self._cached(
-            key, lambda: self._collector.estimate_marginal(name, repair)
+            key,
+            lambda: self._layout.marginal_from_joints(joint_of, name),
         )
 
     def marginals(self, repair: str = "clip") -> dict:
-        """Every attribute's cached marginal estimate."""
+        """Every queryable attribute's cached marginal estimate."""
         return {
-            name: self.marginal(name, repair)
-            for name in self._collector.schema.names
+            name: self.marginal(name, repair) for name in self.names
         }
 
     def pair_table(
         self, name_a: str, name_b: str, repair: str = "clip"
     ) -> np.ndarray:
-        """Cached bivariate estimate (independence assumption)."""
+        """Cached bivariate estimate (§4 composition rules).
+
+        Attributes sharing a release unit: the cluster's joint estimate
+        marginalized onto the pair — no independence assumption.
+        Attributes in different units: independence across clusters,
+        outer product of the marginals.
+        """
         if name_a == name_b:
             raise ServiceError("pair table needs two distinct attributes")
         self._check_repair(repair)
+        self._cluster_of(name_a)  # unknown attributes fail as ServiceError
+        self._cluster_of(name_b)
         key = (
             "pair", name_a, name_b, repair, self._version((name_a, name_b)),
         )
         return self._cached(
             key,
-            lambda: np.outer(
-                self.marginal(name_a, repair), self.marginal(name_b, repair)
+            lambda: self._layout.pair_table_from_joints(
+                self._joint_of(repair), name_a, name_b
             ),
         )
 
@@ -205,17 +294,23 @@ class QueryFrontend:
         )
 
         def compute() -> float:
-            marginals = [self.marginal(n, repair) for n in names]
-            for j, marginal in enumerate(marginals):
+            # Validate the cells against the wire schema up front (the
+            # layout helper would surface a DomainError deep inside the
+            # mixed-radix encode), then delegate the §4 composition —
+            # within-unit restriction from the cached joint, across
+            # units independence — to the layout. For the all-singleton
+            # layout this is exactly the product-of-marginals rule
+            # (§3.1 step 10).
+            for j, name in enumerate(names):
                 column = grid[:, j]
-                if column.min() < 0 or column.max() >= marginal.shape[0]:
+                size = self._layout.schema.attribute(name).size
+                if column.min() < 0 or column.max() >= size:
                     raise ServiceError(
-                        f"cells out of range for attribute {names[j]!r}"
+                        f"cells out of range for attribute {name!r}"
                     )
-            total = np.ones(grid.shape[0], dtype=np.float64)
-            for j, marginal in enumerate(marginals):
-                total *= marginal[grid[:, j]]
-            return float(total.sum())
+            return self._layout.set_frequency_from_joints(
+                self._joint_of(repair), names, grid
+            )
 
         return self._cached(key, compute)
 

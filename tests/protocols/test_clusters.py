@@ -72,8 +72,9 @@ class TestSingletonEquivalence:
             singleton.clusters, clustered.cluster_mechanisms()
         ):
             reference = independent.matrix_for(cluster[0])
-            assert joint.matrix.diagonal == pytest.approx(reference.diagonal)
-            assert joint.matrix.off_diagonal == pytest.approx(
+            matrix = joint.matrices[joint.cluster_name]
+            assert matrix.diagonal == pytest.approx(reference.diagonal)
+            assert matrix.off_diagonal == pytest.approx(
                 reference.off_diagonal
             )
 
