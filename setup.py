@@ -23,9 +23,13 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.lint": ["api_snapshot.json"]},
     python_requires=">=3.10",
     install_requires=["numpy", "scipy"],
     entry_points={
-        "console_scripts": ["repro-anonymize=repro.cli:main"],
+        "console_scripts": [
+            "repro-anonymize=repro.cli:main",
+            "repro-lint=repro.lint.runner:main",
+        ],
     },
 )

@@ -51,7 +51,9 @@ def seed_sequence_from(rng=None) -> np.random.SeedSequence:
     reproducible engine output from it).
     """
     if rng is None:
-        return np.random.SeedSequence()
+        # rng=None is the caller explicitly requesting OS entropy, the
+        # same escape hatch ensure_rng offers.
+        return np.random.SeedSequence()  # repro-lint: ignore[RPL202]
     if isinstance(rng, np.random.SeedSequence):
         return rng
     if isinstance(rng, (int, np.integer)):

@@ -13,6 +13,7 @@ from functools import lru_cache
 
 from repro.data.adult import load_adult, replicate
 from repro.data.dataset import Dataset
+from repro.exceptions import ReproError
 
 __all__ = [
     "P_GRID",
@@ -59,9 +60,9 @@ def default_runs() -> int:
     try:
         runs = int(raw)
     except ValueError as exc:
-        raise ValueError(f"REPRO_RUNS must be an integer, got {raw!r}") from exc
+        raise ReproError(f"REPRO_RUNS must be an integer, got {raw!r}") from exc
     if runs < 1:
-        raise ValueError(f"REPRO_RUNS must be >= 1, got {runs}")
+        raise ReproError(f"REPRO_RUNS must be >= 1, got {runs}")
     return runs
 
 

@@ -1,0 +1,50 @@
+"""repro.lint — AST-based invariant checker for the repro codebase.
+
+The reproduction's core guarantees — the party seed never reaches the
+collector (paper §3), byte-identical replay across chunk sizes, worker
+counts and restarts (PR 1/PR 4), WAL-first durability ordering
+(PR 2-4), and a deliberate public API (PR 5) — are enforced at runtime
+by tier-1 tests, but only for code that exists today. This package
+checks them *statically*, so a future protocol plug-in or storage
+backend that violates one fails review before it ships a byte.
+
+Usage::
+
+    python -m repro.lint src/repro            # or the repro-lint script
+    python -m repro.lint --list-rules
+    python -m repro.lint src --format json
+    python -m repro.lint src --baseline lint-baseline.json
+
+Rule families::
+
+    RPL1xx  seed hygiene        (taint-tracked seed flows)
+    RPL2xx  determinism         (no ambient entropy or ordering)
+    RPL3xx  durability ordering (fsync-before-rename, WAL-first)
+    RPL4xx  API discipline      (typed errors, honest deprecations,
+                                 pinned __all__)
+
+Suppress a deliberate exception inline, with a reason::
+
+    handle = open(lock_path, "wb")  # repro-lint: ignore[RPL302] -- lock file
+
+New rules register through :func:`repro.lint.registry.rule`; see the
+README's "Static analysis" section for the full rule table.
+"""
+
+from repro.lint.errors import LintError
+from repro.lint.registry import FAMILIES, Rule, all_rules, rule
+from repro.lint.report import JSON_SCHEMA_VERSION, Finding
+from repro.lint.runner import LintResult, lint_paths, main
+
+__all__ = [
+    "FAMILIES",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintError",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "main",
+    "rule",
+]

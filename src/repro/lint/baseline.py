@@ -1,0 +1,92 @@
+"""Baseline files — grandfathered findings.
+
+A baseline lets the linter gate *new* violations while known ones are
+burned down: ``--write-baseline`` records today's findings, later runs
+with ``--baseline`` subtract them and fail only on what's new. Entries
+match on ``(path, code, stripped source line)`` — line numbers shift
+with every edit, the offending code itself rarely does — and each
+entry absorbs at most as many findings as it has occurrences, so
+*adding* a second identical violation still fails the gate.
+
+Policy (ISSUE 6): a baseline is for inherited debt only. Anything
+*intentionally* exempt belongs in an inline
+``# repro-lint: ignore[RPLxxx]`` with a comment saying why.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.errors import LintError
+
+__all__ = ["load_baseline", "write_baseline", "partition_findings",
+           "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def _normalize(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def load_baseline(path) -> Counter:
+    """Multiset of grandfathered ``(path, code, context)`` keys."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise LintError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise LintError(f"{path}: corrupt baseline: {exc}") from None
+    if payload.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"unsupported baseline version {payload.get('version')!r}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise LintError(f"{path}: baseline findings must be a list")
+    keys: Counter = Counter()
+    for entry in entries:
+        try:
+            keys[
+                (_normalize(entry["path"]), entry["code"], entry["context"])
+            ] += 1
+        except (TypeError, KeyError) as exc:
+            raise LintError(
+                f"{path}: malformed baseline entry {entry!r}: {exc!r}"
+            ) from None
+    return keys
+
+
+def write_baseline(path, findings) -> None:
+    """Record ``findings`` as the new baseline (sorted, stable diffs)."""
+    entries = [
+        {
+            "path": _normalize(finding.path),
+            "code": finding.code,
+            "context": finding.context,
+        }
+        for finding in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def partition_findings(findings, baseline: Counter) -> tuple:
+    """Split findings into ``(new, baselined)`` against the multiset."""
+    remaining = Counter(baseline)
+    new = []
+    baselined = []
+    for finding in findings:
+        key = (_normalize(finding.path), finding.code, finding.context)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

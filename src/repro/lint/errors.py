@@ -1,0 +1,16 @@
+"""Lint-subsystem errors.
+
+Separate from the rule findings: a :class:`LintError` means the linter
+itself could not do its job (duplicate rule code, unreadable baseline,
+bad CLI usage), not that checked code is wrong.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+__all__ = ["LintError"]
+
+
+class LintError(ReproError):
+    """Linter misuse or internal failure (never a code finding)."""

@@ -1,0 +1,111 @@
+"""The rule registry.
+
+Rules register through the :func:`rule` decorator — the same
+declare-yourself pattern as the protocol design-tag registry
+(:mod:`repro.protocols.base`): a rule module imports nothing from the
+runner, the runner discovers every rule through the registry, and a
+duplicate code is a hard error instead of a silent shadow.
+
+A rule is a callable ``check(ctx) -> iterable[Finding]`` over one
+:class:`~repro.lint.walker.ModuleContext`. Codes are grouped into the
+four invariant families::
+
+    RPL1xx  seed hygiene      (the party seed never reaches the collector)
+    RPL2xx  determinism       (byte-identical replay has no hidden entropy)
+    RPL3xx  durability        (fsync-before-rename, WAL-first ordering)
+    RPL4xx  API discipline    (typed errors, honest deprecations, __all__)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.lint.errors import LintError
+
+__all__ = ["Rule", "rule", "all_rules", "rules_matching", "FAMILIES"]
+
+#: Family prefix -> what the family protects.
+FAMILIES = {
+    "RPL1": "seed hygiene",
+    "RPL2": "determinism",
+    "RPL3": "durability ordering",
+    "RPL4": "API discipline",
+}
+
+_CODE = re.compile(r"^RPL[1-9]\d{2}$")
+
+_RULES: dict = {}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named invariant check."""
+
+    code: str
+    name: str
+    summary: str
+    check: Callable
+
+    @property
+    def family(self) -> str:
+        return FAMILIES.get(self.code[:4], "unknown")
+
+
+def rule(code: str, name: str, summary: str):
+    """Register ``check(ctx)`` under a stable rule code.
+
+    ``name`` is a short kebab-case identifier, ``summary`` the one-line
+    description shown by ``--list-rules`` and the README table.
+    """
+    if not _CODE.match(code):
+        raise LintError(f"rule code must match RPLxxx, got {code!r}")
+    if code[:4] not in FAMILIES:
+        raise LintError(
+            f"rule code {code} outside the known families "
+            f"{sorted(FAMILIES)}"
+        )
+
+    def register(check: Callable) -> Callable:
+        registered = _RULES.get(code)
+        if registered is not None and registered.check is not check:
+            raise LintError(
+                f"rule code {code} is already registered to "
+                f"{registered.name!r}"
+            )
+        _RULES[code] = Rule(code=code, name=name, summary=summary, check=check)
+        return check
+
+    return register
+
+
+def all_rules() -> tuple:
+    """Every registered rule, ordered by code."""
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+def rules_matching(select=None, ignore=None) -> tuple:
+    """Registered rules filtered by code or code-prefix sets.
+
+    ``select``/``ignore`` entries may be full codes (``RPL101``) or
+    prefixes (``RPL1``, ``RPL10``); unknown entries raise so a typo in
+    a CI invocation fails loudly instead of silently checking nothing.
+    """
+
+    def expand(entries) -> set:
+        expanded: set = set()
+        for entry in entries:
+            matched = [c for c in _RULES if c.startswith(entry)]
+            if not matched:
+                raise LintError(
+                    f"unknown rule or prefix {entry!r}; known rules: "
+                    f"{sorted(_RULES)}"
+                )
+            expanded.update(matched)
+        return expanded
+
+    chosen = expand(select) if select else set(_RULES)
+    if ignore:
+        chosen -= expand(ignore)
+    return tuple(_RULES[code] for code in sorted(chosen))

@@ -1,0 +1,78 @@
+"""Findings and their renderings.
+
+A :class:`Finding` is one rule violation at one source location. The
+two output formats are *text* (one human-readable line per finding,
+``path:line:col: CODE message``, the shape editors and CI annotations
+already parse) and *json* (a stable machine-readable document whose
+schema is pinned by ``JSON_SCHEMA_VERSION`` and a test).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["JSON_SCHEMA_VERSION", "Finding", "render_text", "render_json"]
+
+#: Version of the ``--format json`` document; bump on breaking change.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+    #: The stripped source line — the location-independent identity a
+    #: baseline entry matches on (line numbers shift, code rarely does).
+    context: str = field(default="", compare=False)
+
+    def key(self) -> tuple:
+        """Baseline identity: where-independent, content-dependent."""
+        return (self.path, self.code, self.context)
+
+
+def render_text(
+    findings, *, files_checked: int, baselined: int = 0
+) -> str:
+    """The human-readable report, one finding per line plus a summary."""
+    lines = []
+    for finding in findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.code} {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    noun = "finding" if len(findings) == 1 else "findings"
+    summary = f"{len(findings)} {noun} in {files_checked} files"
+    if baselined:
+        summary += f" ({baselined} baselined, not shown)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings, *, files_checked: int, baselined: int = 0
+) -> str:
+    """The machine-readable report (schema pinned by a test)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "files_checked": files_checked,
+        "baselined": baselined,
+        "findings": [
+            {
+                key: value
+                for key, value in asdict(finding).items()
+                if key != "context"
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

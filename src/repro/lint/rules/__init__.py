@@ -1,0 +1,10 @@
+"""Rule modules — importing this package populates the registry."""
+
+from repro.lint.rules import (  # noqa: F401  — registration side effects
+    api_discipline,
+    determinism,
+    durability,
+    seed_hygiene,
+)
+
+__all__ = ["seed_hygiene", "determinism", "durability", "api_discipline"]

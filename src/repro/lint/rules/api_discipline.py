@@ -1,0 +1,289 @@
+"""RPL4xx — API discipline.
+
+The public surface is a contract: errors are catchable as
+:class:`~repro.exceptions.ReproError`, deprecations point at the
+caller that must migrate, and ``__all__`` is both honest (every entry
+exists) and deliberate (pinned modules change only with the committed
+snapshot).
+
+* RPL401 — a public function in a public module raises a builtin
+  exception type instead of a :mod:`repro.exceptions` /
+  :mod:`repro.core.errors` type.
+* RPL402 — a ``DeprecationWarning`` without ``stacklevel >= 2``
+  (the warning would blame the shim, not the caller who must migrate).
+* RPL403 — an ``__all__`` entry that names nothing defined or imported
+  in the module (a static ``from m import *`` NameError).
+* RPL404 — a pinned module's ``__all__`` drifted from the committed
+  snapshot (``src/repro/lint/api_snapshot.json``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from functools import lru_cache
+from pathlib import Path
+
+from repro.lint.registry import rule
+from repro.lint.walker import ModuleContext
+
+__all__ = [
+    "API_SNAPSHOT_PATH",
+    "check_builtin_raises",
+    "check_deprecation_stacklevel",
+    "check_all_entries_exist",
+    "check_all_snapshot",
+]
+
+#: The committed public-API snapshot RPL404 compares against.
+API_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "api_snapshot.json"
+
+#: Builtin exception types public surfaces must not raise directly.
+#: NotImplementedError is excluded: it is the idiomatic abstract-method
+#: marker, not an error contract.
+_BUILTIN_EXCEPTIONS = frozenset(
+    {"Exception", "BaseException", "ValueError", "TypeError", "KeyError",
+     "IndexError", "AttributeError", "RuntimeError", "ArithmeticError",
+     "ZeroDivisionError", "OSError", "IOError", "LookupError",
+     "StopIteration", "AssertionError"}
+)
+
+
+def _module_is_public(module: str) -> bool:
+    return not any(part.startswith("_") for part in module.split("."))
+
+
+@lru_cache(maxsize=1)
+def _snapshot() -> dict:
+    if not API_SNAPSHOT_PATH.exists():
+        return {}
+    return json.loads(API_SNAPSHOT_PATH.read_text(encoding="utf-8"))
+
+
+def _literal_all(tree: ast.Module) -> "tuple[ast.AST, list] | None":
+    """The module's top-level ``__all__`` assignment and its entries."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    return node, node.value.elts
+    return None
+
+
+def _top_level_bindings(tree: ast.Module) -> set:
+    """Names bound at module top level (descending into if/try arms)."""
+    bound: set = set()
+
+    def visit(statements) -> None:
+        for statement in statements:
+            if isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                bound.add(statement.name)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    _bind_target(target)
+            elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+                _bind_target(statement.target)
+            elif isinstance(statement, ast.Import):
+                for name in statement.names:
+                    bound.add(name.asname or name.name.split(".", 1)[0])
+            elif isinstance(statement, ast.ImportFrom):
+                for name in statement.names:
+                    if name.name == "*":
+                        bound.add("*")
+                    else:
+                        bound.add(name.asname or name.name)
+            elif isinstance(statement, ast.If):
+                visit(statement.body)
+                visit(statement.orelse)
+            elif isinstance(statement, ast.Try):
+                visit(statement.body)
+                for handler in statement.handlers:
+                    visit(handler.body)
+                visit(statement.orelse)
+                visit(statement.finalbody)
+            elif isinstance(statement, (ast.For, ast.While, ast.With)):
+                if isinstance(statement, ast.For):
+                    _bind_target(statement.target)
+                if isinstance(statement, ast.With):
+                    for item in statement.items:
+                        if item.optional_vars is not None:
+                            _bind_target(item.optional_vars)
+                visit(statement.body)
+
+    def _bind_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                _bind_target(element)
+
+    visit(tree.body)
+    return bound
+
+
+@rule(
+    "RPL401",
+    "builtin-raise",
+    "public surface raises a builtin exception instead of a "
+    "repro.exceptions type",
+)
+def check_builtin_raises(ctx: ModuleContext):
+    if not _module_is_public(ctx.module):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        qualname = ctx.resolve(exc)
+        if qualname not in _BUILTIN_EXCEPTIONS:
+            continue
+        if not ctx.is_public_context(node):
+            continue
+        yield ctx.finding(
+            node,
+            "RPL401",
+            f"public surface raises builtin {qualname}; callers cannot "
+            "catch it as ReproError",
+            hint="raise the matching repro.exceptions / repro.core.errors "
+            "type so `except ReproError` keeps its contract",
+        )
+
+
+@rule(
+    "RPL402",
+    "deprecation-stacklevel",
+    "DeprecationWarning without stacklevel >= 2 blames the shim, not "
+    "the caller",
+)
+def check_deprecation_stacklevel(ctx: ModuleContext):
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if ctx.resolve(node.func) != "warnings.warn":
+            continue
+        mentions_deprecation = any(
+            ctx.resolve(argument) in ("DeprecationWarning",
+                                      "PendingDeprecationWarning")
+            for argument in [
+                *node.args,
+                *[keyword.value for keyword in node.keywords],
+            ]
+        )
+        if not mentions_deprecation:
+            continue
+        stacklevel = None
+        for keyword in node.keywords:
+            if keyword.arg == "stacklevel":
+                stacklevel = keyword.value
+        if stacklevel is None:
+            yield ctx.finding(
+                node,
+                "RPL402",
+                "DeprecationWarning without stacklevel; the warning will "
+                "point at the shim instead of the caller",
+                hint="pass stacklevel=2 (plus one per wrapper frame) so "
+                "the caller sees their own line",
+            )
+        elif (
+            isinstance(stacklevel, ast.Constant)
+            and isinstance(stacklevel.value, int)
+            and stacklevel.value < 2
+        ):
+            yield ctx.finding(
+                node,
+                "RPL402",
+                f"DeprecationWarning with stacklevel="
+                f"{stacklevel.value}; the caller never sees their own "
+                "line",
+                hint="stacklevel must be >= 2 (plus one per wrapper frame)",
+            )
+
+
+@rule(
+    "RPL403",
+    "phantom-export",
+    "__all__ entry names nothing defined or imported in the module",
+)
+def check_all_entries_exist(ctx: ModuleContext):
+    found = _literal_all(ctx.tree)
+    if found is None:
+        return
+    node, elements = found
+    bound = _top_level_bindings(ctx.tree)
+    if "*" in bound:
+        return  # star imports defeat static resolution; stay silent
+    for element in elements:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            yield ctx.finding(
+                element if hasattr(element, "lineno") else node,
+                "RPL403",
+                "__all__ entry is not a string literal",
+                hint="__all__ must be a literal list of exported names",
+            )
+            continue
+        if element.value not in bound:
+            yield ctx.finding(
+                element,
+                "RPL403",
+                f"__all__ exports {element.value!r} which the module "
+                "never defines or imports",
+                hint="`from module import *` would raise AttributeError; "
+                "drop the entry or define the name",
+            )
+
+
+@rule(
+    "RPL404",
+    "api-snapshot-drift",
+    "pinned module's __all__ differs from the committed API snapshot",
+)
+def check_all_snapshot(ctx: ModuleContext):
+    pinned = _snapshot().get(ctx.module)
+    if pinned is None:
+        return
+    found = _literal_all(ctx.tree)
+    if found is None:
+        yield ctx.finding(
+            ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+            "RPL404",
+            f"pinned public module {ctx.module} has no literal __all__",
+            hint="declare __all__ and record it in "
+            "src/repro/lint/api_snapshot.json",
+        )
+        return
+    node, elements = found
+    actual = [
+        element.value
+        for element in elements
+        if isinstance(element, ast.Constant)
+        and isinstance(element.value, str)
+    ]
+    added = sorted(set(actual) - set(pinned))
+    removed = sorted(set(pinned) - set(actual))
+    if added or removed:
+        detail = []
+        if added:
+            detail.append(f"added {added}")
+        if removed:
+            detail.append(f"removed {removed}")
+        yield ctx.finding(
+            node,
+            "RPL404",
+            f"{ctx.module}.__all__ drifted from the API snapshot: "
+            + "; ".join(detail),
+            hint="extending the public surface is deliberate: update "
+            "src/repro/lint/api_snapshot.json in the same commit",
+        )

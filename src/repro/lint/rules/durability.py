@@ -1,0 +1,171 @@
+"""RPL3xx — durability ordering.
+
+The WAL-first contract (PR 2-4): a frame is durable before it is
+acknowledged, a rename means its content, and the manifest never
+stops covering bytes that still exist. Crash-recovery tests prove the
+orderings that exist; these rules keep *new* storage code from
+introducing orderings the tests have never seen.
+
+* RPL301 — ``os.replace``/``os.rename`` not preceded by an fsync in
+  the same function (a rename without a content fsync can persist the
+  name over unwritten bytes).
+* RPL302 — raw binary-write ``open()`` in ``repro.service`` outside
+  the journal module (frame data must go through ``FrameWriter`` to
+  inherit length-prefix + group-commit discipline).
+* RPL303 — in a function that updates the manifest/checkpoint, a
+  segment ``unlink`` before the manifest write (delete-then-record
+  loses frames on a crash between the two).
+
+Scope: ``repro.service.*`` and ``repro.design`` — the modules that own
+durable state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import rule
+from repro.lint.walker import ModuleContext
+
+__all__ = ["check_fsync_before_rename", "check_raw_binary_writes",
+           "check_manifest_before_unlink"]
+
+_SCOPE_PREFIXES = ("repro.service", "repro.design")
+
+_RENAMES = frozenset({"os.replace", "os.rename", "shutil.move"})
+
+#: Calls that establish content durability before a rename.
+_SYNC_MARKERS = frozenset({"os.fsync"})
+_SYNC_METHODS = frozenset({"sync"})
+
+#: Calls that durably record state coverage (manifest/checkpoint).
+_MANIFEST_WRITERS = frozenset({"_save_manifest", "save_checkpoint"})
+
+
+def _in_scope(ctx: ModuleContext) -> bool:
+    return ctx.module.startswith(_SCOPE_PREFIXES)
+
+
+def _calls_in(ctx: ModuleContext, scope: ast.AST) -> list:
+    return [
+        node
+        for node in ctx.scope_nodes(scope)
+        if isinstance(node, ast.Call)
+    ]
+
+
+def _is_sync_call(ctx: ModuleContext, call: ast.Call) -> bool:
+    qualname = ctx.resolve(call.func)
+    if qualname in _SYNC_MARKERS:
+        return True
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in _SYNC_METHODS
+    )
+
+
+@rule(
+    "RPL301",
+    "rename-without-fsync",
+    "os.replace/os.rename not dominated by an fsync in the same "
+    "function",
+)
+def check_fsync_before_rename(ctx: ModuleContext):
+    if not _in_scope(ctx):
+        return
+    for scope in ctx.scopes():
+        calls = _calls_in(ctx, scope)
+        sync_lines = [
+            call.lineno for call in calls if _is_sync_call(ctx, call)
+        ]
+        first_sync = min(sync_lines) if sync_lines else None
+        for call in calls:
+            qualname = ctx.resolve(call.func)
+            if qualname not in _RENAMES:
+                continue
+            if first_sync is None or call.lineno < first_sync:
+                yield ctx.finding(
+                    call,
+                    "RPL301",
+                    f"{qualname} without a preceding fsync; a crash can "
+                    "persist the new name over unwritten content",
+                    hint="fsync the file's bytes first (or route through "
+                    "the journal's _replace_durably with pre-synced "
+                    "content)",
+                )
+
+
+@rule(
+    "RPL302",
+    "raw-binary-write",
+    "raw binary-write open() in repro.service outside the journal "
+    "module",
+)
+def check_raw_binary_writes(ctx: ModuleContext):
+    if not ctx.module.startswith("repro.service"):
+        return
+    if ctx.module == "repro.service.journal":
+        return  # the journal IS the sanctioned write layer
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if ctx.resolve(node.func) != "open":
+            continue
+        mode = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            mode = node.args[1].value
+        for keyword in node.keywords:
+            if keyword.arg == "mode" and isinstance(
+                keyword.value, ast.Constant
+            ):
+                mode = keyword.value.value
+        if (
+            isinstance(mode, str)
+            and "b" in mode
+            and any(flag in mode for flag in "wax")
+        ):
+            yield ctx.finding(
+                node,
+                "RPL302",
+                f"raw binary write open(..., {mode!r}) bypasses "
+                "FrameWriter",
+                hint="frame data must go through "
+                "repro.service.journal.FrameWriter for length-prefix and "
+                "group-commit durability",
+            )
+
+
+@rule(
+    "RPL303",
+    "unlink-before-manifest",
+    "segment deletion before the manifest/checkpoint write that stops "
+    "covering it",
+)
+def check_manifest_before_unlink(ctx: ModuleContext):
+    if not _in_scope(ctx):
+        return
+    for scope in ctx.scopes():
+        calls = _calls_in(ctx, scope)
+        manifest_lines = [
+            call.lineno
+            for call in calls
+            if (ctx.resolve(call.func) or "").split(".")[-1]
+            in _MANIFEST_WRITERS
+        ]
+        if not manifest_lines:
+            continue
+        first_manifest = min(manifest_lines)
+        for call in calls:
+            is_unlink = (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "unlink"
+            ) or ctx.resolve(call.func) in ("os.unlink", "os.remove")
+            if is_unlink and call.lineno < first_manifest:
+                yield ctx.finding(
+                    call,
+                    "RPL303",
+                    "file deleted before the manifest write that drops it; "
+                    "a crash in between strands recovery",
+                    hint="record the retirement durably first, unlink "
+                    "second — orphans are reclaimable, lost frames are not",
+                )

@@ -1,0 +1,217 @@
+"""RPL1xx — seed hygiene.
+
+The party seed must never leave the randomization layer (paper §3: the
+collector sees randomized responses only; a seed in collector hands
+reveals which records were kept). These rules taint-track seed-carrying
+values (:mod:`repro.lint.taint`) and flag the three escape routes:
+
+* RPL101 — a seed flows into a log/print/warning or an exception
+  message (operators read those; so do log shippers).
+* RPL102 — a seed flows into serialization: ``json.dump(s)``, a design
+  document, or a ``__repr__``/``__str__`` return value.
+* RPL103 — the collector surface (:mod:`repro.design`,
+  ``repro.service.*``) *accepts* a seed at all: a seed-named
+  parameter, a ``--seed`` CLI flag, or a seed-named payload key.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import rule
+from repro.lint.taint import expression_is_tainted, seedlike, tainted_names
+from repro.lint.walker import ModuleContext
+
+__all__ = ["check_seed_logging", "check_seed_serialization",
+           "check_collector_seed_surface"]
+
+#: Fully qualified log-sink callables.
+_LOG_SINKS = frozenset(
+    {"print", "warnings.warn",
+     "logging.debug", "logging.info", "logging.warning", "logging.error",
+     "logging.critical", "logging.exception", "logging.log"}
+)
+
+#: Method names that count as logging when called on a logger-ish name.
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "critical", "exception", "log"}
+)
+_LOGGERISH = frozenset({"log", "logger", "_log", "_logger"})
+
+#: Fully qualified serialization sinks.
+_SERIALIZE_SINKS = frozenset({"json.dump", "json.dumps"})
+
+#: Method/constructor names that build collector-facing documents.
+_DESIGN_SINKS = frozenset({"to_design", "write_design", "DesignDocument"})
+
+#: Modules forming the collector surface (RPL103 scope).
+_COLLECTOR_PREFIXES = ("repro.design", "repro.service")
+
+
+def _call_arguments(call: ast.Call) -> list:
+    return [*call.args, *[keyword.value for keyword in call.keywords]]
+
+
+def _is_log_sink(ctx: ModuleContext, call: ast.Call) -> bool:
+    qualname = ctx.resolve(call.func)
+    if qualname in _LOG_SINKS:
+        return True
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _LOG_METHODS:
+        base = ctx.resolve(call.func.value)
+        return base is not None and base.split(".")[-1] in _LOGGERISH
+    return False
+
+
+def _serialization_sink(ctx: ModuleContext, call: ast.Call) -> "str | None":
+    qualname = ctx.resolve(call.func)
+    if qualname in _SERIALIZE_SINKS:
+        return qualname
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _DESIGN_SINKS:
+        return call.func.attr
+    if qualname is not None and qualname.split(".")[-1] in _DESIGN_SINKS:
+        return qualname.split(".")[-1]
+    return None
+
+
+def _scoped_taint(ctx: ModuleContext) -> list:
+    """``(scope, tainted, calls-and-raises in that scope)`` triples."""
+    out = []
+    for scope in ctx.scopes():
+        tainted = tainted_names(ctx, scope)
+        nodes = ctx.scope_nodes(scope)
+        out.append((scope, tainted, nodes))
+    return out
+
+
+@rule(
+    "RPL101",
+    "seed-in-log",
+    "seed-carrying value flows into a log, warning, print or exception "
+    "message",
+)
+def check_seed_logging(ctx: ModuleContext):
+    for _scope, tainted, nodes in _scoped_taint(ctx):
+        for node in nodes:
+            if isinstance(node, ast.Call) and _is_log_sink(ctx, node):
+                for argument in _call_arguments(node):
+                    if expression_is_tainted(ctx, argument, tainted):
+                        yield ctx.finding(
+                            node,
+                            "RPL101",
+                            "seed-carrying value reaches a logging sink",
+                            hint="log a digest or drop the value; the party "
+                            "seed must never be observable collector-side",
+                        )
+                        break
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                if isinstance(exc, ast.Call) and any(
+                    expression_is_tainted(ctx, argument, tainted)
+                    for argument in _call_arguments(exc)
+                ):
+                    yield ctx.finding(
+                        node,
+                        "RPL101",
+                        "seed-carrying value embedded in an exception "
+                        "message",
+                        hint="exceptions end up in collector logs; describe "
+                        "the problem without echoing the seed",
+                    )
+
+
+@rule(
+    "RPL102",
+    "seed-in-serialization",
+    "seed-carrying value flows into JSON, a design document, or a repr",
+)
+def check_seed_serialization(ctx: ModuleContext):
+    for scope, tainted, nodes in _scoped_taint(ctx):
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                sink = _serialization_sink(ctx, node)
+                if sink is None:
+                    continue
+                if any(
+                    expression_is_tainted(ctx, argument, tainted)
+                    for argument in _call_arguments(node)
+                ):
+                    yield ctx.finding(
+                        node,
+                        "RPL102",
+                        f"seed-carrying value serialized via {sink}",
+                        hint="design documents and wire payloads must carry "
+                        "only what estimation needs — never a seed",
+                    )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if (
+                    isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and scope.name in ("__repr__", "__str__")
+                    and expression_is_tainted(ctx, node.value, tainted)
+                ):
+                    yield ctx.finding(
+                        node,
+                        "RPL102",
+                        f"seed-carrying value returned from {scope.name}",
+                        hint="reprs get logged; omit the seed from the "
+                        "rendering",
+                    )
+
+
+@rule(
+    "RPL103",
+    "collector-accepts-seed",
+    "collector-surface module (repro.design / repro.service) accepts a "
+    "seed",
+)
+def check_collector_seed_surface(ctx: ModuleContext):
+    if not ctx.module.startswith(_COLLECTOR_PREFIXES):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            arguments = node.args
+            for arg in [
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ]:
+                if seedlike(arg.arg):
+                    yield ctx.finding(
+                        arg,
+                        "RPL103",
+                        f"collector-surface function {node.name}() takes a "
+                        f"seed parameter {arg.arg!r}",
+                        hint="randomization happens party-side; the "
+                        "collector layer must not accept seeds",
+                    )
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                for argument in node.args:
+                    if (
+                        isinstance(argument, ast.Constant)
+                        and isinstance(argument.value, str)
+                        and seedlike(argument.value.lstrip("-"))
+                    ):
+                        yield ctx.finding(
+                            node,
+                            "RPL103",
+                            f"collector-surface CLI exposes a "
+                            f"{argument.value!r} flag",
+                            hint="seeds belong to party-side commands only",
+                        )
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and seedlike(key.value)
+                ):
+                    yield ctx.finding(
+                        key,
+                        "RPL103",
+                        f"collector-surface payload carries a "
+                        f"{key.value!r} key",
+                        hint="strip seeds from collector-facing payloads",
+                    )

@@ -1,0 +1,202 @@
+"""File discovery, rule dispatch, and the command-line front end.
+
+``python -m repro.lint src/repro`` (or the installed ``repro-lint``)
+walks the given files/directories, runs every registered rule over
+each module's AST, subtracts inline suppressions and the optional
+baseline, renders text or JSON, and exits non-zero iff any
+non-baselined finding remains. A file that does not parse is itself a
+finding (``RPL900``), not a crash — the linter must be runnable on a
+broken tree to say *what* is broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro.lint.rules  # noqa: F401  — populates the rule registry
+from repro.lint.baseline import (
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.lint.errors import LintError
+from repro.lint.registry import all_rules, rules_matching
+from repro.lint.report import Finding, render_json, render_text
+from repro.lint.walker import ModuleContext
+
+__all__ = ["LintResult", "lint_paths", "main", "PARSE_ERROR_CODE"]
+
+#: Pseudo-code for files the linter could not parse.
+PARSE_ERROR_CODE = "RPL900"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list = field(default_factory=list)
+    baselined: list = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths) -> list:
+    """Every ``.py`` file under ``paths``, sorted, caches skipped."""
+    files: list = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+    return sorted(set(files))
+
+
+def lint_paths(
+    paths,
+    *,
+    select=None,
+    ignore=None,
+    baseline=None,
+) -> LintResult:
+    """Run the registered rules over ``paths``.
+
+    ``select``/``ignore`` filter by rule code or family prefix;
+    ``baseline`` is a pre-loaded baseline multiset
+    (:func:`~repro.lint.baseline.load_baseline`) whose matches are
+    reported separately instead of failing the run.
+    """
+    chosen = rules_matching(select, ignore)
+    findings: list = []
+    files = iter_python_files(paths)
+    for path in files:
+        try:
+            ctx = ModuleContext.from_path(path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="fix the syntax error; nothing else was checked",
+                    context="",
+                )
+            )
+            continue
+        for chosen_rule in chosen:
+            for finding in chosen_rule.check(ctx):
+                if not ctx.is_suppressed(finding.line, finding.code):
+                    findings.append(finding)
+    findings.sort()
+    result = LintResult(files_checked=len(files))
+    if baseline:
+        result.findings, result.baselined = partition_findings(
+            findings, baseline
+        )
+    else:
+        result.findings = findings
+    return result
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the repro codebase: seed "
+            "hygiene (RPL1xx), determinism (RPL2xx), durability ordering "
+            "(RPL3xx), API discipline (RPL4xx)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule codes or family prefixes to run "
+        "(e.g. RPL1,RPL301)",
+    )
+    parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule codes or family prefixes to skip",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline", type=Path, default=None, metavar="PATH",
+        help="record the run's findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered rule and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: "str | None") -> "list | None":
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for registered in all_rules():
+            print(
+                f"{registered.code}  [{registered.family}] "
+                f"{registered.name}: {registered.summary}"
+            )
+        return 0
+    try:
+        baseline = (
+            load_baseline(args.baseline) if args.baseline is not None else None
+        )
+        result = lint_paths(
+            args.paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+            baseline=baseline,
+        )
+        if args.write_baseline is not None:
+            all_found = [*result.findings, *result.baselined]
+            write_baseline(args.write_baseline, all_found)
+            print(
+                f"wrote {len(all_found)} findings to baseline "
+                f"{args.write_baseline}",
+                file=sys.stderr,
+            )
+            return 0
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(
+        render(
+            result.findings,
+            files_checked=result.files_checked,
+            baselined=len(result.baselined),
+        )
+    )
+    return 0 if result.clean else 1

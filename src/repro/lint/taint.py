@@ -1,0 +1,155 @@
+"""Seed-taint analysis.
+
+The invariant (paper §3, PR 2/PR 5): randomization seeds live with the
+parties; the collector side must never see one — a seed in collector
+hands reveals exactly which records were kept and voids the RR
+guarantee. This module statically tracks *seed-carrying values* inside
+each scope so the RPL1xx rules can flag flows into logging,
+serialization and collector-facing surfaces.
+
+The analysis is deliberately intra-procedural with a *call barrier*:
+
+* **Sources** — any name whose ``_``-separated tokens contain ``seed``
+  (``seed``, ``party_seed``, ``seed_seq``, ``base_seed``...), whether
+  a parameter, a local, or an attribute access (``args.seed``). Name
+  *tokens* match, not substrings: ``seeded``/``reseed`` do not taint.
+  String constants never taint (docstrings may discuss seeds freely).
+* **Propagation** — assignments whose right-hand side carries taint
+  taint their targets. Taint flows through pure *carrier* expressions
+  (names, attributes, subscripts, f-strings, dict/list/tuple/set
+  displays, binary ops, ``str``/``repr``/``format``/``int`` calls) but
+  **not** through arbitrary calls: a function's return value is not
+  assumed to be the seed just because the seed went in. That barrier
+  is what keeps ``result = run(runs, args.seed)`` from poisoning every
+  later use of ``result``.
+* A dict display with a seed-named **string key** is itself tainted
+  (``{"party_seed": s}`` carries the seed by construction).
+
+Sinks are the rules' business — this module only answers "does this
+expression carry a seed here?".
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.walker import ModuleContext
+
+__all__ = ["seedlike", "tainted_names", "expression_is_tainted"]
+
+#: Calls that pass taint through (value-preserving conversions).
+_CARRIER_CALLS = frozenset(
+    {"str", "repr", "format", "int", "float", "bytes", "dict", "list",
+     "tuple", "set", "frozenset", "sorted", "abs", "hex", "oct"}
+)
+
+
+def seedlike(name: str) -> bool:
+    """Whether an identifier names a seed (token match, not substring)."""
+    tokens = name.lower().split("_")
+    return "seed" in tokens or "seeds" in tokens
+
+
+def _assignment_targets(node: ast.AST) -> list:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+        return [node.target]
+    return []
+
+
+def _target_names(target: ast.AST) -> list:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+def expression_is_tainted(
+    ctx: ModuleContext, node: ast.AST, tainted: frozenset
+) -> bool:
+    """Whether an expression carries a seed under ``tainted`` locals."""
+    if isinstance(node, ast.Constant):
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in tainted or seedlike(node.id)
+    if isinstance(node, ast.Attribute):
+        return seedlike(node.attr) or expression_is_tainted(
+            ctx, node.value, tainted
+        )
+    if isinstance(node, ast.Call):
+        qualname = ctx.resolve(node.func)
+        if qualname not in _CARRIER_CALLS:
+            return False  # the call barrier
+        return any(
+            expression_is_tainted(ctx, arg, tainted) for arg in node.args
+        ) or any(
+            expression_is_tainted(ctx, keyword.value, tainted)
+            for keyword in node.keywords
+        )
+    if isinstance(node, ast.Dict):
+        for key in node.keys:
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and seedlike(key.value)
+            ):
+                return True
+        return any(
+            expression_is_tainted(ctx, child, tainted)
+            for child in [*node.keys, *node.values]
+            if child is not None
+        )
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return False
+    return any(
+        expression_is_tainted(ctx, child, tainted)
+        for child in ast.iter_child_nodes(node)
+    )
+
+
+def tainted_names(ctx: ModuleContext, scope: ast.AST) -> frozenset:
+    """Seed-carrying local names of one scope, to a fixpoint.
+
+    Parameters with seed-like names seed the set; assignments whose
+    right-hand side is tainted extend it. Iterated to a fixpoint so
+    chains (``s = seed; payload = {"s": s}``) resolve independently of
+    statement order quirks.
+    """
+    tainted: set = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        arguments = scope.args
+        for arg in [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+            *([arguments.vararg] if arguments.vararg else []),
+            *([arguments.kwarg] if arguments.kwarg else []),
+        ]:
+            if seedlike(arg.arg):
+                tainted.add(arg.arg)
+    assignments = [
+        node
+        for node in ctx.scope_nodes(scope)
+        if isinstance(
+            node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.NamedExpr)
+        )
+        and node.value is not None
+    ]
+    changed = True
+    while changed:
+        changed = False
+        frozen = frozenset(tainted)
+        for assignment in assignments:
+            if not expression_is_tainted(ctx, assignment.value, frozen):
+                continue
+            for target in _assignment_targets(assignment):
+                for name in _target_names(target):
+                    if name not in tainted:
+                        tainted.add(name)
+                        changed = True
+    return frozenset(tainted)

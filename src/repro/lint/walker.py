@@ -1,0 +1,239 @@
+"""Per-module AST context shared by every rule.
+
+One :class:`ModuleContext` per checked file: the parsed tree, a
+parent map, the module's dotted name (derived from the ``__init__.py``
+chain on disk, so ``src/repro/service/journal.py`` is
+``repro.service.journal`` wherever the tree is checked out), resolved
+import aliases for qualified-name matching (``np.random.default_rng``
+-> ``numpy.random.default_rng``), enclosing-scope lookups, and inline
+suppression comments.
+
+Suppression syntax::
+
+    do_thing()  # repro-lint: ignore[RPL204] -- wall-clock is reporting-only
+    # repro-lint: ignore[RPL301]
+    os.replace(tmp, final)
+
+A trailing comment suppresses its own line; a standalone comment line
+suppresses the next line. ``ignore[*]`` suppresses every rule. For a
+multi-line statement, put the suppression on the line the finding
+anchors to (the statement's first line).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+from repro.lint.report import Finding
+
+__all__ = ["ModuleContext", "module_name_for"]
+
+_SUPPRESS = re.compile(r"repro-lint:\s*ignore\[([^\]]*)\]")
+
+
+def module_name_for(path) -> str:
+    """Dotted module name implied by the ``__init__.py`` chain on disk."""
+    path = Path(path)
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _suppressions(source: str) -> dict:
+    """``{lineno: set of codes (or "*")}`` from suppression comments."""
+    by_line: dict = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS.search(token.string)
+            if not match:
+                continue
+            codes = {
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            line = token.start[0]
+            # A comment-only line shields the *next* line instead.
+            if token.line[: token.start[1]].strip() == "":
+                line += 1
+            by_line.setdefault(line, set()).update(codes)
+    except tokenize.TokenError:  # pragma: no cover - parse already failed
+        pass
+    return by_line
+
+
+def _import_aliases(tree: ast.AST, module: str) -> dict:
+    """Local name -> fully qualified dotted origin, from every import."""
+    aliases: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    root = name.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: resolve against this module's package.
+                package_parts = module.split(".")
+                if node.level <= len(package_parts):
+                    base_parts = package_parts[: len(package_parts) - node.level + 1]
+                else:
+                    base_parts = []
+                base = ".".join(base_parts)
+                origin = f"{base}.{node.module}" if node.module else base
+            else:
+                origin = node.module or ""
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{origin}.{name.name}" if origin else name.name
+    return aliases
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one checked file."""
+
+    def __init__(self, path, source: str, *, module: "str | None" = None):
+        self.path = str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.module = module if module is not None else module_name_for(path)
+        self.tree = ast.parse(source, filename=self.path)
+        self.suppressions = _suppressions(source)
+        self.aliases = _import_aliases(self.tree, self.module)
+        self._parents: dict = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    @classmethod
+    def from_path(cls, path) -> "ModuleContext":
+        return cls(path, Path(path).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # Tree navigation
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> "ast.AST | None":
+        return self._parents.get(id(node))
+
+    def enclosing_function(self, node: ast.AST):
+        """Nearest enclosing function definition, or ``None``."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent(current)
+        return None
+
+    def is_public_context(self, node: ast.AST) -> bool:
+        """Whether ``node`` sits on the module's public surface.
+
+        True when no enclosing function or class has a single-leading-
+        underscore name (dunders count as public: ``__init__`` raising
+        is caller-visible API).
+        """
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                name = current.name
+                if name.startswith("_") and not (
+                    name.startswith("__") and name.endswith("__")
+                ):
+                    return False
+            current = self.parent(current)
+        return True
+
+    def scopes(self) -> list:
+        """The module node plus every function definition node."""
+        return [self.tree] + [
+            node
+            for node in ast.walk(self.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def scope_nodes(self, scope: ast.AST) -> list:
+        """``scope``'s own nodes in source order, not descending into
+        nested function/class/lambda scopes."""
+        collected: list = []
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (
+                        ast.FunctionDef,
+                        ast.AsyncFunctionDef,
+                        ast.ClassDef,
+                        ast.Lambda,
+                    ),
+                ):
+                    continue
+                collected.append(child)
+                visit(child)
+
+        visit(scope)
+        return collected
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.AST) -> "str | None":
+        """Dotted qualified name of an expression, aliases resolved.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        a bare local name resolves to itself. ``None`` for anything
+        that is not a plain name/attribute chain.
+        """
+        parts: list = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------
+    # Findings
+    # ------------------------------------------------------------------
+    def is_suppressed(self, line: int, code: str) -> bool:
+        codes = self.suppressions.get(line)
+        return bool(codes) and ("*" in codes or code in codes)
+
+    def finding(
+        self, node: ast.AST, code: str, message: str, hint: str = ""
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        context = (
+            self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        )
+        return Finding(
+            path=self.path,
+            line=line,
+            col=col,
+            code=code,
+            message=message,
+            hint=hint,
+            context=context,
+        )

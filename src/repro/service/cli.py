@@ -186,7 +186,10 @@ def _encode(argv) -> int:
         "--columns", type=str, default=None,
         help="comma-separated columns to randomize (default: all)",
     )
-    parser.add_argument("--seed", type=int, default=None)
+    # `encode` runs on the party's side of the trust boundary: the seed
+    # stays in this process and never enters the emitted frames or the
+    # design document (tested in tests/test_cli.py).
+    parser.add_argument("--seed", type=int, default=None)  # repro-lint: ignore[RPL103]
     parser.add_argument(
         "--frame-records", type=positive_int, default=DEFAULT_FRAME_RECORDS,
         help="records per wire frame (default: %(default)s)",

@@ -135,7 +135,10 @@ def _replace_durably(tmp: Path, final: Path) -> None:
     entry after it, so a power cut cannot persist the new name over
     unwritten content.
     """
-    os.replace(tmp, final)
+    # Callers fsync tmp's bytes before handing it over (see the
+    # checkpoint/manifest writers); this helper owns only the rename and
+    # the directory sync.
+    os.replace(tmp, final)  # repro-lint: ignore[RPL301]
     _fsync_dir(final.parent)
 
 

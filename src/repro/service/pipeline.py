@@ -330,7 +330,9 @@ class CollectorService:
         """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             return
-        handle = open(self._state_dir / "state.lock", "wb")
+        # An flock target, not frame data: nothing is ever written to
+        # it, so FrameWriter's prefix/CRC discipline does not apply.
+        handle = open(self._state_dir / "state.lock", "wb")  # repro-lint: ignore[RPL302]
         try:
             fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
         except OSError:

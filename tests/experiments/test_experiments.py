@@ -21,6 +21,7 @@ from repro.experiments import (
     run_figure3,
     run_table1,
 )
+from repro.exceptions import ReproError
 from repro.experiments.table1 import best_parameters
 from repro.experiments import table2
 
@@ -39,10 +40,10 @@ class TestConfig:
 
     def test_default_runs_invalid(self, monkeypatch):
         monkeypatch.setenv("REPRO_RUNS", "zero")
-        with pytest.raises(ValueError, match="integer"):
+        with pytest.raises(ReproError, match="integer"):
             config.default_runs()
         monkeypatch.setenv("REPRO_RUNS", "0")
-        with pytest.raises(ValueError, match=">= 1"):
+        with pytest.raises(ReproError, match=">= 1"):
             config.default_runs()
 
 

@@ -1,0 +1,59 @@
+"""Shared helpers for the lint-subsystem tests.
+
+Fixture snippets are written under ``tmp_path`` with the package
+``__init__.py`` chain a rule's module-scoping expects (the linter
+derives dotted module names from the directory layout, so a snippet
+"inside" ``repro.service`` is just a file under ``tmp/repro/service/``).
+Tests pass ``select=`` so only the rule under test runs — a fixture for
+RPL301 should not fail because its throwaway code also trips RPL401.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint.runner import lint_paths
+
+
+def _write_module(tmp_path, source, *, module):
+    parts = module.split(".")
+    root = tmp_path
+    for package in parts[:-1]:
+        root = root / package
+        root.mkdir(exist_ok=True)
+        init = root / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    path = root / f"{parts[-1]}.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def write_module(tmp_path):
+    """``write_module(source, module=...)`` -> path under ``tmp_path``."""
+
+    def write(source, *, module="fixturepkg.mod"):
+        return _write_module(tmp_path, source, module=module)
+
+    return write
+
+
+@pytest.fixture
+def lint_snippet(write_module):
+    """``lint_snippet(source, module=..., select=[...])`` -> LintResult."""
+
+    def run(source, *, module="fixturepkg.mod", select=None, ignore=None,
+            baseline=None):
+        path = write_module(source, module=module)
+        return lint_paths(
+            [path], select=select, ignore=ignore, baseline=baseline
+        )
+
+    return run
+
+
+@pytest.fixture
+def codes():
+    """``codes(result)`` -> the finding codes, in report order."""
+    return lambda result: [finding.code for finding in result.findings]

@@ -1,0 +1,247 @@
+"""RPL4xx fixtures: API contracts future code could silently erode.
+
+`except ReproError` catching everything the package raises, warnings
+blaming the caller, `from m import *` not exploding, and a public
+surface that changes only on purpose — each is a contract the runtime
+suite checks for existing modules only. The fixtures here are the
+not-yet-written module that would erode them.
+"""
+
+import json
+
+from repro.lint.rules.api_discipline import API_SNAPSHOT_PATH
+
+
+class TestBuiltinRaises:
+    def test_public_valueerror_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def scale(value):
+                if value < 0:
+                    raise ValueError("negative")
+                return value * 2
+            """,
+            select=["RPL401"],
+        )
+        assert codes(result) == ["RPL401"]
+
+    def test_private_helper_exempt(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def _scale(value):
+                if value < 0:
+                    raise ValueError("negative")
+                return value * 2
+            """,
+            select=["RPL401"],
+        )
+        assert result.clean
+
+    def test_notimplementederror_exempt(self, lint_snippet):
+        result = lint_snippet(
+            """
+            class Base:
+                def randomize(self, dataset):
+                    raise NotImplementedError
+            """,
+            select=["RPL401"],
+        )
+        assert result.clean
+
+    def test_typed_error_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.exceptions import PrivacyError
+
+            def scale(value):
+                if value < 0:
+                    raise PrivacyError("negative")
+                return value * 2
+            """,
+            select=["RPL401"],
+        )
+        assert result.clean
+
+    def test_bare_reraise_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def forward(fn):
+                try:
+                    return fn()
+                except Exception:
+                    raise
+            """,
+            select=["RPL401"],
+        )
+        assert result.clean
+
+
+class TestDeprecationStacklevel:
+    def test_missing_stacklevel_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import warnings
+
+            def old():
+                warnings.warn("old() is deprecated", DeprecationWarning)
+            """,
+            select=["RPL402"],
+        )
+        assert codes(result) == ["RPL402"]
+
+    def test_stacklevel_one_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import warnings
+
+            def old():
+                warnings.warn(
+                    "old() is deprecated", DeprecationWarning, stacklevel=1
+                )
+            """,
+            select=["RPL402"],
+        )
+        assert codes(result) == ["RPL402"]
+
+    def test_stacklevel_two_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import warnings
+
+            def old():
+                warnings.warn(
+                    "old() is deprecated", DeprecationWarning, stacklevel=2
+                )
+            """,
+            select=["RPL402"],
+        )
+        assert result.clean
+
+    def test_non_deprecation_warn_exempt(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import warnings
+
+            def check(x):
+                warnings.warn("slow path taken")
+            """,
+            select=["RPL402"],
+        )
+        assert result.clean
+
+
+class TestPhantomExports:
+    def test_unknown_entry_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            __all__ = ["exists", "phantom"]
+
+            def exists():
+                return 1
+            """,
+            select=["RPL403"],
+        )
+        assert codes(result) == ["RPL403"]
+
+    def test_defined_and_imported_entries_pass(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import os
+            from json import dumps as render
+
+            __all__ = ["os", "render", "VALUE", "helper"]
+
+            VALUE = 3
+
+            def helper():
+                return VALUE
+            """,
+            select=["RPL403"],
+        )
+        assert result.clean
+
+    def test_conditional_binding_counts(self, lint_snippet):
+        result = lint_snippet(
+            """
+            __all__ = ["fast_path"]
+
+            try:
+                from fictional_accel import fast_path
+            except ImportError:
+                def fast_path(x):
+                    return x
+            """,
+            select=["RPL403"],
+        )
+        assert result.clean
+
+    def test_star_import_silences(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from os.path import *
+
+            __all__ = ["join"]
+            """,
+            select=["RPL403"],
+        )
+        assert result.clean
+
+
+class TestApiSnapshot:
+    def test_snapshot_exists_and_pins_repro(self):
+        payload = json.loads(API_SNAPSHOT_PATH.read_text(encoding="utf-8"))
+        assert "repro" in payload
+        assert "repro.lint" in payload
+        assert all(isinstance(v, list) for v in payload.values())
+
+    def test_drifted_all_flagged(self, lint_snippet, codes):
+        # tmp/repro.py resolves to module "repro", which IS pinned: a
+        # drifted __all__ must be reported with the delta.
+        result = lint_snippet(
+            """
+            __all__ = ["bogus_export"]
+
+            def bogus_export():
+                return 0
+            """,
+            module="repro",
+            select=["RPL404"],
+        )
+        assert codes(result) == ["RPL404"]
+        assert "drifted" in result.findings[0].message
+
+    def test_pinned_module_without_all_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def anything():
+                return 0
+            """,
+            module="repro",
+            select=["RPL404"],
+        )
+        assert codes(result) == ["RPL404"]
+
+    def test_unpinned_module_ignored(self, lint_snippet):
+        result = lint_snippet(
+            """
+            __all__ = ["whatever"]
+
+            def whatever():
+                return 0
+            """,
+            module="unpinned_fixture_module",
+            select=["RPL404"],
+        )
+        assert result.clean
+
+    def test_matching_all_passes(self, lint_snippet):
+        pinned = json.loads(
+            API_SNAPSHOT_PATH.read_text(encoding="utf-8")
+        )["repro.lint"]
+        body = "\n".join(f"{name} = None" for name in pinned)
+        result = lint_snippet(
+            f"__all__ = {pinned!r}\n\n{body}\n",
+            module="repro.lint",
+            select=["RPL404"],
+        )
+        assert result.clean

@@ -1,0 +1,112 @@
+"""Baseline round-trip: grandfather old debt, still gate new debt."""
+
+import json
+
+import pytest
+
+from repro.lint import LintError
+from repro.lint.baseline import (
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.lint.runner import lint_paths
+
+DIRTY = """
+import time
+
+def measure():
+    return time.time()
+"""
+
+
+class TestRoundTrip:
+    def test_baselined_run_is_clean(self, write_module, tmp_path):
+        path = write_module(DIRTY)
+        first = lint_paths([path], select=["RPL204"])
+        assert not first.clean
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.findings)
+        second = lint_paths(
+            [path],
+            select=["RPL204"],
+            baseline=load_baseline(baseline_path),
+        )
+        assert second.clean
+        assert len(second.baselined) == 1
+
+    def test_baseline_survives_line_shifts(self, write_module, tmp_path):
+        path = write_module(DIRTY)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_path, lint_paths([path], select=["RPL204"]).findings
+        )
+        # Same offending statement, different line number: entries key
+        # on (path, code, source context), so the baseline still holds.
+        write_module("\n\n\n" + DIRTY)
+        shifted = lint_paths(
+            [path],
+            select=["RPL204"],
+            baseline=load_baseline(baseline_path),
+        )
+        assert shifted.clean
+
+    def test_second_identical_violation_still_fails(
+        self, write_module, tmp_path, codes
+    ):
+        path = write_module(DIRTY)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_path, lint_paths([path], select=["RPL204"]).findings
+        )
+        # The baseline entry is a multiset with one occurrence: adding
+        # a second copy of the grandfathered line must not ride along.
+        write_module(DIRTY + "\n\ndef again():\n    return time.time()\n")
+        doubled = lint_paths(
+            [path],
+            select=["RPL204"],
+            baseline=load_baseline(baseline_path),
+        )
+        assert codes(doubled) == ["RPL204"]
+        assert len(doubled.baselined) == 1
+
+
+class TestPartition:
+    def test_empty_baseline_passes_everything_through(
+        self, write_module
+    ):
+        path = write_module(DIRTY)
+        findings = lint_paths([path], select=["RPL204"]).findings
+        new, baselined = partition_findings(findings, {})
+        assert new == findings
+        assert baselined == []
+
+
+class TestBaselineFileValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LintError, match="not found"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(LintError, match="corrupt"):
+            load_baseline(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 99, "findings": []}), encoding="utf-8"
+        )
+        with pytest.raises(LintError, match="version"):
+            load_baseline(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": [{"path": "x"}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(LintError, match="malformed"):
+            load_baseline(path)

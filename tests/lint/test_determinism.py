@@ -1,0 +1,201 @@
+"""RPL2xx fixtures: ambient entropy and ordering the tests can't see.
+
+Runtime replay tests only compare streams the code already threads
+explicitly; a hidden ``np.random.shuffle`` or hash-randomized set walk
+can agree with itself all suite long and still break replay across
+processes. These fixtures prove the static rules catch that class.
+"""
+
+
+class TestNumpyGlobalState:
+    def test_global_shuffle_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def permute(values):
+                np.random.shuffle(values)
+                return values
+            """,
+            select=["RPL201"],
+        )
+        assert codes(result) == ["RPL201"]
+
+    def test_alias_resolved(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import numpy.random as npr
+
+            def draw(n):
+                return npr.standard_normal(n)
+            """,
+            select=["RPL201"],
+        )
+        assert codes(result) == ["RPL201"]
+
+    def test_explicit_generator_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(n):
+                return np.random.default_rng(7).standard_normal(n)
+            """,
+            select=["RPL201"],
+        )
+        assert result.clean
+
+
+class TestUnseededGenerators:
+    def test_unseeded_default_rng_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng()
+            """,
+            select=["RPL202"],
+        )
+        assert codes(result) == ["RPL202"]
+
+    def test_seeded_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def fresh(seed):
+                return np.random.default_rng(seed)
+            """,
+            select=["RPL202"],
+        )
+        assert result.clean
+
+    def test_sanctioned_module_exempt(self, lint_snippet):
+        # repro._rng IS the entropy policy; the rule must not flag the
+        # module that implements the escape hatch.
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def os_entropy():
+                return np.random.default_rng()
+            """,
+            module="repro._rng",
+            select=["RPL202"],
+        )
+        assert result.clean
+
+
+class TestStdlibRandom:
+    def test_import_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            "import random\n", select=["RPL203"]
+        )
+        assert codes(result) == ["RPL203"]
+
+    def test_from_import_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            "from random import shuffle\n", select=["RPL203"]
+        )
+        assert codes(result) == ["RPL203"]
+
+    def test_numpy_random_not_confused(self, lint_snippet):
+        result = lint_snippet(
+            "import numpy.random\n", select=["RPL203"]
+        )
+        assert result.clean
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import time
+
+            def stamp(payload):
+                payload["at"] = time.time()
+                return payload
+            """,
+            select=["RPL204"],
+        )
+        assert codes(result) == ["RPL204"]
+
+    def test_datetime_now_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now().isoformat()
+            """,
+            select=["RPL204"],
+        )
+        assert codes(result) == ["RPL204"]
+
+    def test_monotonic_timer_passes(self, lint_snippet):
+        # perf_counter feeds benchmarks, not serialized output; the
+        # rule targets wall-clock only.
+        result = lint_snippet(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            select=["RPL204"],
+        )
+        assert result.clean
+
+
+class TestSetIterationOrder:
+    def test_for_over_set_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def emit(names):
+                for name in set(names):
+                    print(name)
+            """,
+            select=["RPL205"],
+        )
+        assert codes(result) == ["RPL205"]
+
+    def test_join_over_set_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def fingerprint(names):
+                return ",".join({n.lower() for n in names})
+            """,
+            select=["RPL205"],
+        )
+        assert codes(result) == ["RPL205"]
+
+    def test_list_of_set_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def order(names):
+                return list(set(names))
+            """,
+            select=["RPL205"],
+        )
+        assert codes(result) == ["RPL205"]
+
+    def test_sorted_set_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def order(names):
+                return sorted(set(names))
+            """,
+            select=["RPL205"],
+        )
+        assert result.clean
+
+    def test_len_of_set_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def distinct(names):
+                return len(set(names))
+            """,
+            select=["RPL205"],
+        )
+        assert result.clean

@@ -1,0 +1,153 @@
+"""RPL3xx fixtures: crash orderings no green suite can witness.
+
+A rename without a content fsync, or an unlink that precedes the
+manifest write dropping it, only loses data when power fails *between*
+two syscalls — a window no runtime test reliably opens. The static
+rules reject the ordering itself.
+"""
+
+
+class TestFsyncBeforeRename:
+    def test_bare_replace_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import os
+
+            def publish(tmp, final):
+                os.replace(tmp, final)
+            """,
+            module="repro.service.storage",
+            select=["RPL301"],
+        )
+        assert codes(result) == ["RPL301"]
+
+    def test_fsync_then_replace_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import os
+
+            def publish(handle, tmp, final):
+                os.fsync(handle.fileno())
+                os.replace(tmp, final)
+            """,
+            module="repro.service.storage",
+            select=["RPL301"],
+        )
+        assert result.clean
+
+    def test_writer_sync_method_counts(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import os
+
+            def publish(writer, tmp, final):
+                writer.sync()
+                os.replace(tmp, final)
+            """,
+            module="repro.service.storage",
+            select=["RPL301"],
+        )
+        assert result.clean
+
+    def test_out_of_scope_module_ignored(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import os
+
+            def publish(tmp, final):
+                os.replace(tmp, final)
+            """,
+            module="scratchtools.mover",
+            select=["RPL301"],
+        )
+        assert result.clean
+
+
+class TestRawBinaryWrites:
+    def test_wb_open_in_service_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def stash(path, payload):
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+            """,
+            module="repro.service.sidecar",
+            select=["RPL302"],
+        )
+        assert codes(result) == ["RPL302"]
+
+    def test_append_binary_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def stash(path, payload):
+                with open(path, mode="ab") as handle:
+                    handle.write(payload)
+            """,
+            module="repro.service.sidecar",
+            select=["RPL302"],
+        )
+        assert codes(result) == ["RPL302"]
+
+    def test_journal_module_is_sanctioned(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def stash(path, payload):
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+            """,
+            module="repro.service.journal",
+            select=["RPL302"],
+        )
+        assert result.clean
+
+    def test_binary_read_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def load(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+            module="repro.service.sidecar",
+            select=["RPL302"],
+        )
+        assert result.clean
+
+
+class TestManifestBeforeUnlink:
+    def test_unlink_before_manifest_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def retire(self, segment):
+                segment.path.unlink()
+                self._save_manifest()
+            """,
+            module="repro.service.storage",
+            select=["RPL303"],
+        )
+        assert codes(result) == ["RPL303"]
+
+    def test_manifest_then_unlink_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def retire(self, segment):
+                self._save_manifest()
+                segment.path.unlink()
+            """,
+            module="repro.service.storage",
+            select=["RPL303"],
+        )
+        assert result.clean
+
+    def test_orphan_cleanup_without_manifest_passes(self, lint_snippet):
+        # A function that never writes the manifest (e.g. reclaiming
+        # already-retired orphans on startup) may unlink freely.
+        result = lint_snippet(
+            """
+            def remove_orphans(paths):
+                for path in paths:
+                    path.unlink()
+            """,
+            module="repro.service.storage",
+            select=["RPL303"],
+        )
+        assert result.clean

@@ -1,0 +1,58 @@
+"""The rule registry: codes, families, filtering, duplicate rejection."""
+
+import pytest
+
+from repro.lint import FAMILIES, LintError, all_rules
+from repro.lint.registry import rule, rules_matching
+
+
+class TestRegistry:
+    def test_all_families_populated(self):
+        registered = all_rules()
+        prefixes = {entry.code[:4] for entry in registered}
+        assert prefixes == set(FAMILIES)
+
+    def test_codes_sorted_and_unique(self):
+        registered = [entry.code for entry in all_rules()]
+        assert registered == sorted(registered)
+        assert len(registered) == len(set(registered))
+
+    def test_family_label(self):
+        by_code = {entry.code: entry for entry in all_rules()}
+        assert by_code["RPL101"].family == "seed hygiene"
+        assert by_code["RPL301"].family == "durability ordering"
+
+    def test_bad_code_rejected(self):
+        with pytest.raises(LintError, match="RPLxxx"):
+            rule("XYZ101", "bad", "bad code shape")
+        with pytest.raises(LintError, match="families"):
+            rule("RPL901", "bad", "family 9 does not exist")
+
+    def test_duplicate_code_rejected(self):
+        decorator = rule("RPL101", "impostor", "already taken")
+        with pytest.raises(LintError, match="already registered"):
+            decorator(lambda ctx: iter(()))
+
+
+class TestRulesMatching:
+    def test_prefix_expansion(self):
+        chosen = rules_matching(["RPL1"], None)
+        assert all(entry.code.startswith("RPL1") for entry in chosen)
+        assert len(chosen) >= 3
+
+    def test_exact_code(self):
+        chosen = rules_matching(["RPL204"], None)
+        assert [entry.code for entry in chosen] == ["RPL204"]
+
+    def test_ignore_subtracts(self):
+        full = rules_matching(None, None)
+        trimmed = rules_matching(None, ["RPL2"])
+        assert {entry.code for entry in full} - {
+            entry.code for entry in trimmed
+        } == {entry.code for entry in full if entry.code.startswith("RPL2")}
+
+    def test_unknown_entry_fails_loudly(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            rules_matching(["RPL777"], None)
+        with pytest.raises(LintError, match="unknown rule"):
+            rules_matching(None, ["TYPO"])

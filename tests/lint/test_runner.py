@@ -1,0 +1,93 @@
+"""The CLI front end: exit codes, JSON schema, parse errors."""
+
+import json
+
+from repro.lint import JSON_SCHEMA_VERSION
+from repro.lint.runner import main
+
+CLEAN = """
+def double(x):
+    return x * 2
+"""
+
+DIRTY = """
+import time
+
+def measure():
+    return time.time()
+"""
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, write_module, capsys):
+        path = write_module(CLEAN)
+        assert main([str(path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, write_module, capsys):
+        path = write_module(DIRTY)
+        assert main([str(path), "--select", "RPL204"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL204" in out
+        assert "time.time" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nowhere")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, write_module, capsys):
+        path = write_module(CLEAN)
+        assert main([str(path), "--select", "RPL777"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_schema(self, write_module, capsys):
+        path = write_module(DIRTY)
+        assert main([str(path), "--select", "RPL204",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["tool"] == "repro-lint"
+        assert payload["files_checked"] == 1
+        assert payload["baselined"] == 0
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "path", "line", "col", "code", "message", "hint"
+        }
+        assert finding["code"] == "RPL204"
+        assert finding["line"] == 5
+
+    def test_clean_json(self, write_module, capsys):
+        path = write_module(CLEAN)
+        assert main([str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding(self, write_module, capsys):
+        path = write_module("def broken(:\n")
+        assert main([str(path)]) == 1
+        assert "RPL900" in capsys.readouterr().out
+
+
+class TestListRules:
+    def test_lists_every_family(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPL101", "RPL201", "RPL301", "RPL401"):
+            assert code in out
+        assert "seed hygiene" in out
+
+
+class TestBaselineCli:
+    def test_write_then_gate(self, write_module, tmp_path, capsys):
+        path = write_module(DIRTY)
+        baseline = tmp_path / "lint-baseline.json"
+        assert main([str(path), "--select", "RPL204",
+                     "--write-baseline", str(baseline)]) == 0
+        assert "wrote 1 findings" in capsys.readouterr().err
+        assert main([str(path), "--select", "RPL204",
+                     "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out

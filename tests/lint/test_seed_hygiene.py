@@ -1,0 +1,181 @@
+"""RPL1xx fixtures: seed flows the runtime suite has no test for.
+
+The tier-1 tests prove today's code keeps seeds out of documents and
+frames; these fixtures prove the *linter* would catch a tomorrow-code
+regression — a new module logging a seed, serializing one, or growing
+a seed parameter on the collector surface — before any runtime test
+exists for it.
+"""
+
+
+class TestSeedInLog:
+    def test_print_of_seed_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def run(seed):
+                print("running with seed", seed)
+            """,
+            select=["RPL101"],
+        )
+        assert codes(result) == ["RPL101"]
+
+    def test_fstring_in_exception_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def check(party_seed):
+                raise RuntimeError(f"bad state for {party_seed}")
+            """,
+            select=["RPL101"],
+        )
+        assert codes(result) == ["RPL101"]
+
+    def test_logger_method_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def run(seed):
+                logger.info("seed=%s", seed)
+            """,
+            select=["RPL101"],
+        )
+        assert codes(result) == ["RPL101"]
+
+    def test_clean_logging_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def run(seed, n):
+                print("processed", n, "records")
+            """,
+            select=["RPL101"],
+        )
+        assert result.clean
+
+    def test_call_barrier_stops_taint(self, lint_snippet):
+        # derive() is not a known carrier: its result is NOT assumed
+        # tainted, so printing it is fine. This is the false-positive
+        # guard that keeps `print(render(result))` legal in the
+        # experiment runner.
+        result = lint_snippet(
+            """
+            def run(seed):
+                outcome = derive(seed)
+                print(outcome)
+            """,
+            select=["RPL101"],
+        )
+        assert result.clean
+
+    def test_str_carrier_propagates_taint(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def run(seed):
+                label = str(seed)
+                print(label)
+            """,
+            select=["RPL101"],
+        )
+        assert codes(result) == ["RPL101"]
+
+
+class TestSeedInSerialization:
+    def test_json_dump_of_seed_dict_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import json
+
+            def export(seed, path):
+                with open(path, "w") as handle:
+                    json.dump({"seed": seed}, handle)
+            """,
+            select=["RPL102"],
+        )
+        assert codes(result) == ["RPL102"]
+
+    def test_repr_with_seed_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            class Protocol:
+                def __init__(self, seed):
+                    self._seed = seed
+
+                def __repr__(self):
+                    return f"Protocol(seed={self._seed})"
+            """,
+            select=["RPL102"],
+        )
+        assert codes(result) == ["RPL102"]
+
+    def test_design_sink_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def publish(protocol, path, seed):
+                write_design(path, protocol, {"run_seed": seed})
+            """,
+            select=["RPL102"],
+        )
+        assert codes(result) == ["RPL102"]
+
+    def test_seed_free_payload_passes(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import json
+
+            def export(p, path):
+                with open(path, "w") as handle:
+                    json.dump({"p": p, "protocol": "RR-Independent"}, handle)
+            """,
+            select=["RPL102"],
+        )
+        assert result.clean
+
+
+class TestCollectorSurface:
+    SOURCE = """
+        import argparse
+
+        def build(parser):
+            parser.add_argument("--seed", type=int)
+
+        def configure(schema, seed=None):
+            return {"party_seed": seed}
+        """
+
+    def test_collector_module_flagged_three_ways(self, lint_snippet, codes):
+        result = lint_snippet(
+            self.SOURCE, module="repro.service.custom", select=["RPL103"]
+        )
+        # parameter, CLI flag, payload key — all three acceptance routes
+        assert codes(result) == ["RPL103"] * 3
+
+    def test_design_module_in_scope(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            def load(path, seed):
+                return path, seed
+            """,
+            module="repro.design",
+            select=["RPL103"],
+        )
+        assert codes(result) == ["RPL103"]
+
+    def test_party_side_module_out_of_scope(self, lint_snippet):
+        # The identical source is legal outside the collector surface:
+        # parties may hold seeds; the collector may not.
+        result = lint_snippet(
+            self.SOURCE, module="partytools.custom", select=["RPL103"]
+        )
+        assert result.clean
+
+    def test_seeded_substring_not_confused(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def mark(seeded, reseeding):
+                return seeded or reseeding
+            """,
+            module="repro.service.custom",
+            select=["RPL103"],
+        )
+        assert result.clean

@@ -1,0 +1,31 @@
+"""The linter's own acceptance bar: the shipped tree is clean.
+
+This is the test that makes every future PR honest — new source under
+``src/repro`` either satisfies the four invariant families or carries
+an explicit, commented suppression. It runs the real rules over the
+real tree, exactly like the CI gate.
+"""
+
+from pathlib import Path
+
+from repro.lint.runner import lint_paths
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestSelfCheck:
+    def test_source_tree_exists(self):
+        assert (REPO_SRC / "__init__.py").is_file()
+
+    def test_src_repro_lints_clean(self):
+        result = lint_paths([REPO_SRC])
+        rendered = "\n".join(
+            f"{f.path}:{f.line}: {f.code} {f.message}"
+            for f in result.findings
+        )
+        assert result.clean, f"repro-lint is not clean on src/repro:\n{rendered}"
+        assert result.files_checked > 50
+
+    def test_linter_lints_itself(self):
+        result = lint_paths([REPO_SRC / "lint"])
+        assert result.clean

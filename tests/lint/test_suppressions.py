@@ -1,0 +1,75 @@
+"""Inline ``# repro-lint: ignore[...]`` comments."""
+
+
+SOURCE_TRAILING = """
+import time
+
+def measure():
+    return time.time()  # repro-lint: ignore[RPL204] -- reporting only
+"""
+
+SOURCE_PRECEDING = """
+import time
+
+def measure():
+    # repro-lint: ignore[RPL204]
+    return time.time()
+"""
+
+SOURCE_WILDCARD = """
+import time
+
+def measure():
+    return time.time()  # repro-lint: ignore[*]
+"""
+
+SOURCE_WRONG_CODE = """
+import time
+
+def measure():
+    return time.time()  # repro-lint: ignore[RPL301]
+"""
+
+SOURCE_MULTI = """
+import time
+
+def measure(seed):
+    print(seed, time.time())  # repro-lint: ignore[RPL101, RPL204]
+"""
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_own_line(self, lint_snippet):
+        assert lint_snippet(SOURCE_TRAILING, select=["RPL204"]).clean
+
+    def test_standalone_comment_suppresses_next_line(self, lint_snippet):
+        assert lint_snippet(SOURCE_PRECEDING, select=["RPL204"]).clean
+
+    def test_wildcard_suppresses_everything(self, lint_snippet):
+        assert lint_snippet(SOURCE_WILDCARD, select=["RPL204"]).clean
+
+    def test_wrong_code_does_not_suppress(self, lint_snippet, codes):
+        result = lint_snippet(SOURCE_WRONG_CODE, select=["RPL204"])
+        assert codes(result) == ["RPL204"]
+
+    def test_comma_separated_codes(self, lint_snippet):
+        assert lint_snippet(
+            SOURCE_MULTI, select=["RPL101", "RPL204"]
+        ).clean
+
+    def test_suppression_is_line_local(self, lint_snippet, codes):
+        # Only the annotated call is exempt; the same violation two
+        # lines later still fails.
+        result = lint_snippet(
+            """
+            import time
+
+            def measure():
+                first = time.time()  # repro-lint: ignore[RPL204]
+                second = time.time()
+                return second - first
+            """,
+            select=["RPL204"],
+        )
+        assert codes(result) == ["RPL204"]
+        assert result.findings[0].line == 6
