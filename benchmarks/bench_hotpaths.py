@@ -155,7 +155,20 @@ def main(argv=None):
         "--out", type=str, default=None,
         help="write the results JSON here (e.g. BENCH_3.json)",
     )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="enable the ambient metrics registry for the run and "
+        "write results as a schema-valid health-style document "
+        "(bench section + metrics snapshot)",
+    )
     args = parser.parse_args(argv)
+
+    registry = None
+    if args.metrics_out:
+        from repro.obs.registry import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        set_registry(registry)
 
     if args.quick:
         codec_n, ingest_n, sample_n, r, repeats = 30_000, 30_000, 100_000, 64, 3
@@ -202,6 +215,10 @@ def main(argv=None):
             json.dump(results, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out}")
+    if args.metrics_out:
+        from obs_out import write_metrics_document
+
+        write_metrics_document(args.metrics_out, results, registry)
 
     if args.check:
         failures = []

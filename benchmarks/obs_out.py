@@ -1,0 +1,41 @@
+"""Shared ``--metrics-out`` support for the benchmark scripts.
+
+Benchmarks emit their results in the same document shape as
+``CollectorService.health()`` / ``repro-anonymize stats``: the
+``bench`` section carries the benchmark's own numbers and the
+``metrics`` section the ambient registry's snapshot, validated against
+the checked-in health schema. One schema for every telemetry document
+means CI and dashboards ingest benchmark output with the same code
+that reads live snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.health import HEALTH_VERSION, validate_health
+from repro.obs.registry import MetricsRegistry
+
+
+def write_metrics_document(path, bench_results, registry=None) -> dict:
+    """Write ``{version, bench, metrics}`` to ``path``; returns it.
+
+    ``registry`` defaults to an empty snapshot (a benchmark that did
+    not enable instrumentation still emits a valid document).
+    """
+    snapshot = (
+        registry.snapshot()
+        if registry is not None
+        else MetricsRegistry().snapshot()
+    )
+    document = {
+        "version": HEALTH_VERSION,
+        "bench": bench_results,
+        "metrics": snapshot,
+    }
+    validate_health(document)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote metrics document {path}")
+    return document

@@ -13,21 +13,40 @@ service loop:
 5. compaction retires the log segments the checkpoint covers,
    bounding disk for a collector that never stops,
 6. a cached query front-end serves estimates — byte-identical to an
-   uninterrupted run.
+   uninterrupted run,
+7. the whole run is instrumented: a health snapshot summarizes the
+   journal, checkpoint coverage and every metric the stack recorded.
 
 Run:  python examples/collector_service.py
+      python examples/collector_service.py --state-dir /tmp/demo-state
+      # (--state-dir keeps the collector state around, e.g. for
+      #  `repro-anonymize stats -s /tmp/demo-state/collector-state`)
 """
 
+import argparse
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
 import repro
+from repro.obs import enable_metrics
+from repro.obs.health import validate_health
 from repro.service import CollectorService, ReportCodec
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--state-dir", type=Path, default=None,
+        help="run against this directory and keep it afterwards "
+        "(default: a temporary directory, removed on exit)",
+    )
+    args = parser.parse_args(argv)
+
+    # Instrument the whole run: every component below records into the
+    # ambient registry, and health() exposes it all in one document.
+    enable_metrics()
     data = repro.synthesize_adult(n=20_000, rng=7)
     protocol = repro.RRIndependent(data.schema, p=0.7)
 
@@ -46,7 +65,14 @@ def main() -> None:
         f"({raw / packed:.0f}x smaller)"
     )
 
-    with tempfile.TemporaryDirectory() as tmp:
+    if args.state_dir is not None:
+        args.state_dir.mkdir(parents=True, exist_ok=True)
+        tmp_context = None
+        tmp = str(args.state_dir)
+    else:
+        tmp_context = tempfile.TemporaryDirectory()
+        tmp = tmp_context.name
+    try:
         state_dir = Path(tmp) / "collector-state"
 
         # --- 2. Collector: durable ingestion ---------------------------
@@ -115,6 +141,20 @@ def main() -> None:
             )
         print("\nrecovered estimates are byte-identical to an "
               "uninterrupted run")
+
+        # --- 7. Health snapshot: one schema-validated document ---------
+        health = validate_health(recovered.health())
+        journal, counters = health["journal"], health["metrics"]["counters"]
+        print(
+            f"\nhealth: {journal['n_frames']} frames in "
+            f"{journal['n_segments']} segments "
+            f"({journal['total_bytes']} bytes), checkpoint at frame "
+            f"{health['checkpoint']['frames_applied']}; "
+            f"{counters['service.ingest.frames']} frames ingested this "
+            f"process, {counters['journal.replay.frames']} replayed on "
+            f"recovery, {len(health['metrics']['histograms'])} span "
+            f"histograms"
+        )
         recovered.close()
         reference.close()
 
@@ -157,6 +197,14 @@ def main() -> None:
             f"pair {a} x {b}: shape {pair.shape}"
         )
         cluster_service.close()
+        if args.state_dir is not None:
+            print(
+                f"\nstate kept at {state_dir} — inspect it with "
+                f"`repro-anonymize stats -s {state_dir}`"
+            )
+    finally:
+        if tmp_context is not None:
+            tmp_context.cleanup()
 
 
 if __name__ == "__main__":

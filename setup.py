@@ -23,7 +23,10 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    package_data={"repro.lint": ["api_snapshot.json"]},
+    package_data={
+        "repro.lint": ["api_snapshot.json"],
+        "repro.obs": ["health_schema.json"],
+    },
     python_requires=">=3.10",
     install_requires=["numpy", "scipy"],
     entry_points={

@@ -31,6 +31,7 @@ from repro.data.domain import Domain
 from repro.engine.plan import DEFAULT_CHUNK_SIZE, ChunkPlan
 from repro.engine.sampling import randomize_block
 from repro.exceptions import ReproError
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = [
     "ColumnTask",
@@ -179,24 +180,63 @@ def _process_block(block, tasks, seed_seqs, start, randomize, count, keep_codes)
     return cols, counts
 
 
+#: Chunk-size boundaries (records) for the ``engine.chunk_records``
+#: histogram. Fixed so chunk metrics from any worker process merge
+#: bucket-for-bucket with the parent's.
+ENGINE_CHUNK_BUCKETS = (
+    1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+)
+
+
+def _record_chunk_metrics(registry, n_records: int) -> None:
+    """Per-chunk engine metrics, identical on the serial and pool paths.
+
+    Deliberately no timing spans here: everything recorded is a pure
+    function of the chunk plan, so the merged engine metrics for a
+    given ``(n, chunk_size)`` are byte-identical whatever the worker
+    count or chunk scheduling order.
+    """
+    registry.counter("engine.chunks").inc()
+    registry.counter("engine.records").inc(n_records)
+    registry.histogram(
+        "engine.chunk_records", ENGINE_CHUNK_BUCKETS
+    ).observe(n_records)
+
+
 # Worker-side state installed once per process by the pool initializer,
 # so per-chunk jobs only ship a (start, stop) pair each way (plus the
 # produced block, when codes are kept).
 _WORKER_STATE = None
 
 
-def _init_worker(codes, tasks, seed_seqs, randomize, count, keep_codes):
+def _init_worker(
+    codes, tasks, seed_seqs, randomize, count, keep_codes, metrics_enabled
+):
     global _WORKER_STATE
-    _WORKER_STATE = (codes, tasks, seed_seqs, randomize, count, keep_codes)
+    _WORKER_STATE = (
+        codes, tasks, seed_seqs, randomize, count, keep_codes,
+        metrics_enabled,
+    )
 
 
 def _chunk_job(bounds):
     start, stop = bounds
-    codes, tasks, seed_seqs, randomize, count, keep_codes = _WORKER_STATE
+    (
+        codes, tasks, seed_seqs, randomize, count, keep_codes,
+        metrics_enabled,
+    ) = _WORKER_STATE
     cols, counts = _process_block(
         codes[start:stop], tasks, seed_seqs, start, randomize, count, keep_codes
     )
-    return bounds, cols, counts
+    snapshot = None
+    if metrics_enabled:
+        # A live registry cannot cross the process boundary; ship a
+        # detached snapshot home with the chunk result and let the
+        # parent fold it in (addition-only, order-independent).
+        local = MetricsRegistry()
+        _record_chunk_metrics(local, stop - start)
+        snapshot = local.snapshot()
+    return bounds, cols, counts, snapshot
 
 
 def _default_context() -> multiprocessing.context.BaseContext:
@@ -306,6 +346,7 @@ def run(
                 total += chunk_count
 
     jobs = plan.bounds
+    registry = get_registry()
     if workers > 1 and len(jobs) > 1:
         context = (
             multiprocessing.get_context(mp_context)
@@ -315,11 +356,18 @@ def run(
         pool = context.Pool(
             processes=min(workers, len(jobs)),
             initializer=_init_worker,
-            initargs=(arr, tasks, seed_seqs, randomize, count, keep_codes),
+            initargs=(
+                arr, tasks, seed_seqs, randomize, count, keep_codes,
+                registry.enabled,
+            ),
         )
         try:
-            for bounds, cols, chunk_counts in pool.imap(_chunk_job, jobs):
+            for bounds, cols, chunk_counts, snapshot in pool.imap(
+                _chunk_job, jobs
+            ):
                 _fold(bounds, cols, chunk_counts)
+                if snapshot is not None:
+                    registry.merge_snapshot(snapshot)
         finally:
             pool.close()
             pool.join()
@@ -331,6 +379,8 @@ def run(
                 randomize, count, keep_codes,
             )
             _fold(bounds, cols, chunk_counts)
+            if registry.enabled:
+                _record_chunk_metrics(registry, stop - start)
 
     return EngineResult(
         codes=out,

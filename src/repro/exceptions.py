@@ -21,6 +21,7 @@ __all__ = [
     "SecureSumError",
     "ServiceError",
     "CodecError",
+    "ObservabilityError",
 ]
 
 
@@ -86,3 +87,9 @@ class ServiceError(ReproError):
 class CodecError(ServiceError):
     """Invalid report wire frame (bad magic/version, schema fingerprint
     mismatch, truncated or corrupted buffer, out-of-range codes, ...)."""
+
+
+class ObservabilityError(ReproError):
+    """Instrumentation misuse (metric name registered as two kinds,
+    histogram merge across different bucket boundaries, malformed
+    health/telemetry documents, ...)."""

@@ -9,7 +9,12 @@ the two sanctioned modules that *implement* the policy:
 * RPL201 — ``np.random.*`` module-level (global-state) calls.
 * RPL202 — unseeded ``np.random.default_rng()`` / ``SeedSequence()``.
 * RPL203 — the stdlib ``random`` module.
-* RPL204 — wall-clock reads (``time.time``, ``datetime.now``...).
+* RPL204 — clock reads: wall clocks (``time.time``, ``datetime.now``)
+  and monotonic/performance clocks (``time.monotonic``,
+  ``time.perf_counter``). Telemetry timing goes through the injectable
+  :mod:`repro.obs.clock` instead, which is sanctioned below — it is
+  the policy for time the way ``repro._rng`` is for entropy, and
+  nothing it measures may reach fingerprinted or replayed artifacts.
 * RPL205 — iterating a ``set`` where the element order can reach
   output (set iteration order is hash-randomized across processes).
 """
@@ -29,8 +34,11 @@ __all__ = [
     "check_set_iteration_order",
 ]
 
-#: Modules allowed to touch ambient entropy: they are the policy.
-_SANCTIONED = frozenset({"repro._rng", "repro.engine.sampling"})
+#: Modules allowed to touch ambient entropy or clocks: they are the
+#: policy (repro.obs.clock is the one sanctioned time source).
+_SANCTIONED = frozenset(
+    {"repro._rng", "repro.engine.sampling", "repro.obs.clock"}
+)
 
 #: numpy.random entry points that are explicit-stream safe.
 _NP_RANDOM_OK = frozenset(
@@ -45,6 +53,8 @@ _SEEDABLE = frozenset(
 
 _WALL_CLOCK = frozenset(
     {"time.time", "time.time_ns",
+     "time.monotonic", "time.monotonic_ns",
+     "time.perf_counter", "time.perf_counter_ns",
      "datetime.datetime.now", "datetime.datetime.utcnow",
      "datetime.datetime.today", "datetime.date.today"}
 )
@@ -152,7 +162,8 @@ def check_stdlib_random(ctx: ModuleContext):
 @rule(
     "RPL204",
     "wall-clock",
-    "wall-clock read (time.time / datetime.now) in deterministic code",
+    "clock read (time.time / time.monotonic / datetime.now) outside "
+    "repro.obs.clock",
 )
 def check_wall_clock(ctx: ModuleContext):
     if _sanctioned(ctx):
@@ -166,8 +177,9 @@ def check_wall_clock(ctx: ModuleContext):
                 node,
                 "RPL204",
                 f"{qualname}() makes output depend on when it ran",
-                hint="pass timestamps in explicitly; fingerprinted or "
-                "serialized artifacts must be a function of their inputs",
+                hint="time telemetry through repro.obs.clock (injectable, "
+                "fake-able in tests); fingerprinted or serialized "
+                "artifacts must be a function of their inputs",
             )
 
 

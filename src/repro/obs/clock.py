@@ -1,0 +1,97 @@
+"""Sanctioned time source of the instrumentation layer.
+
+Everything else under :mod:`repro` is forbidden to read clocks: the
+RPL2xx determinism rules ban ``time.time``/``datetime.now`` *and* the
+monotonic variants, because any value derived from "when did this run"
+poisons byte-identical replay the moment it reaches serialized output.
+Observability genuinely needs durations, so this module is the single
+sanctioned escape hatch (registered next to :mod:`repro._rng` in the
+lint rules): span timing flows through :func:`monotonic` and nothing
+measured here is ever allowed into fingerprinted or replayed artifacts
+— health snapshots keep timing-derived values in a separate,
+explicitly nondeterministic section.
+
+The source is injectable so tests assert exact durations instead of
+sleeping: install a :class:`FakeClock` with :func:`set_clock`, advance
+it manually, restore the default afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import ObservabilityError
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "FakeClock",
+    "monotonic",
+    "get_clock",
+    "set_clock",
+]
+
+
+class Clock:
+    """Interface of an injectable time source: one method, seconds."""
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production source: the process monotonic clock.
+
+    Monotonic, not wall time — span durations must survive NTP steps,
+    and no instrumentation value should ever look like a timestamp
+    worth serializing.
+    """
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock(Clock):
+    """Deterministic test clock, advanced explicitly."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ObservabilityError(
+                f"cannot advance by {seconds} (time is monotonic)"
+            )
+        self._now += float(seconds)
+
+
+_clock: Clock = MonotonicClock()
+
+#: Seconds from the installed clock (monotonic in production). Kept as
+#: the installed clock's *bound method* — rebound by :func:`set_clock`
+#: — so the span hot path pays one call, not a wrapper plus a call.
+#: Always read it as ``clock.monotonic()`` (module attribute), never
+#: ``from repro.obs.clock import monotonic``, or a later ``set_clock``
+#: will not reach you.
+monotonic = _clock.monotonic
+
+
+def get_clock() -> Clock:
+    """The currently installed time source."""
+    return _clock
+
+
+def set_clock(clock: "Clock | None") -> Clock:
+    """Install ``clock`` (``None`` restores the default); returns the old.
+
+    Tests wrap this in try/finally (or a fixture) so a failing assert
+    cannot leave a fake clock installed for the rest of the session.
+    """
+    global _clock, monotonic
+    previous = _clock
+    _clock = MonotonicClock() if clock is None else clock
+    monotonic = _clock.monotonic
+    return previous

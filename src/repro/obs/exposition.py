@@ -1,0 +1,74 @@
+"""Prometheus-style text exposition of a metrics snapshot.
+
+Renders the registry's one snapshot schema (see
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot`) as the
+Prometheus text format (v0.0.4): ``# TYPE`` headers, ``_total`` for
+counters, cumulative ``_bucket{le="..."}`` series ending in
+``le="+Inf"`` plus ``_sum``/``_count`` for histograms. Dependency-free
+and deliberately write-only — the repo never *scrapes*; this is the
+adapter a future network front-end mounts at ``/metrics`` and what
+operators can diff against the JSON health snapshot.
+
+Names are sanitized to the Prometheus grammar (dots and other
+non-identifier characters become ``_``, a leading digit gains a ``_``
+prefix) and emitted in sorted order, so the exposition of a given
+snapshot is byte-stable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["render_prometheus", "prometheus_name"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Metric name mapped onto the Prometheus identifier grammar."""
+    sanitized = _INVALID.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Floats without trailing noise; integers without a decimal point."""
+    if value == int(value) and abs(value) < 2**63:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(source: "MetricsRegistry | Mapping") -> str:
+    """Text exposition of a registry or an already-taken snapshot."""
+    snapshot = (
+        source.snapshot() if isinstance(source, MetricsRegistry) else source
+    )
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        payload = snapshot["histograms"][name]
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["buckets"], payload["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {payload["count"]}'
+        )
+        lines.append(f"{metric}_sum {_format_value(payload['sum'])}")
+        lines.append(f"{metric}_count {payload['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

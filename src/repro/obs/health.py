@@ -1,0 +1,133 @@
+"""Health-snapshot schema: the one shape all telemetry documents share.
+
+:meth:`repro.service.pipeline.CollectorService.health` (live),
+``repro-anonymize stats`` (live or offline state dirs) and the
+benchmark ``--metrics-out`` files all emit documents validated by the
+checked-in schema next to this module (``health_schema.json``) — one
+schema, so dashboards and CI never special-case where a number came
+from.
+
+The validator is a deliberately small JSON-Schema subset (``type``,
+``enum``, ``properties``, ``required``, ``items``,
+``additionalProperties``) implemented dependency-free: the container
+has no ``jsonschema`` and the schema needs nothing more. Sections that
+only a live process can know (``counts``, ``cache``, ``runtime``,
+``metrics``) are optional, so an offline storage inspection validates
+against the same schema as a full live snapshot.
+
+:func:`deterministic_view` extracts the sections that are pure
+functions of the ingested frames — frame counts, segment layout,
+fingerprints — which recovery reconstructs byte-identically; the
+crash/recovery stability test pins exactly this view.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.exceptions import ObservabilityError
+
+__all__ = [
+    "HEALTH_VERSION",
+    "HEALTH_SCHEMA_PATH",
+    "DETERMINISTIC_SECTIONS",
+    "load_health_schema",
+    "validate_health",
+    "validate_against",
+    "deterministic_view",
+]
+
+HEALTH_VERSION = 1
+
+HEALTH_SCHEMA_PATH = Path(__file__).resolve().parent / "health_schema.json"
+
+#: Health sections that are pure functions of the ingested frames:
+#: recovery must reproduce them byte for byte (`deterministic_view`).
+DETERMINISTIC_SECTIONS = ("journal", "checkpoint", "design", "counts")
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def load_health_schema() -> dict:
+    """The checked-in health snapshot schema, parsed."""
+    return json.loads(HEALTH_SCHEMA_PATH.read_text(encoding="utf-8"))
+
+
+def _type_ok(value, type_spec) -> bool:
+    names = [type_spec] if isinstance(type_spec, str) else list(type_spec)
+    for name in names:
+        expected = _TYPES.get(name)
+        if expected is None:
+            raise ObservabilityError(f"schema names unknown type {name!r}")
+        if isinstance(value, expected):
+            # JSON has no bool/int split; a Python bool must not
+            # satisfy "integer"/"number".
+            if isinstance(value, bool) and name not in ("boolean",):
+                continue
+            return True
+    return False
+
+
+def validate_against(payload, schema: Mapping, path: str = "$") -> None:
+    """Validate ``payload`` against a mini JSON-Schema subset.
+
+    Raises :class:`~repro.exceptions.ObservabilityError` naming the
+    offending path on the first mismatch; returns ``None`` on success.
+    """
+    if "enum" in schema:
+        if payload not in schema["enum"]:
+            raise ObservabilityError(
+                f"{path}: {payload!r} not in allowed values {schema['enum']}"
+            )
+    if "type" in schema and not _type_ok(payload, schema["type"]):
+        raise ObservabilityError(
+            f"{path}: expected {schema['type']}, got {type(payload).__name__}"
+        )
+    if isinstance(payload, dict):
+        for name in schema.get("required", ()):
+            if name not in payload:
+                raise ObservabilityError(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for name in sorted(payload):
+            if name in properties:
+                validate_against(payload[name], properties[name], f"{path}.{name}")
+            elif additional is False:
+                raise ObservabilityError(f"{path}: unexpected key {name!r}")
+            elif isinstance(additional, dict):
+                validate_against(payload[name], additional, f"{path}.{name}")
+    if isinstance(payload, list) and "items" in schema:
+        for index, item in enumerate(payload):
+            validate_against(item, schema["items"], f"{path}[{index}]")
+
+
+def validate_health(payload) -> dict:
+    """Validate a health/telemetry document; returns it unchanged."""
+    validate_against(payload, load_health_schema())
+    return payload
+
+
+def deterministic_view(health: Mapping) -> dict:
+    """The byte-stable subset of a health snapshot.
+
+    Everything here is a function of the ingested frame sequence alone
+    (no clocks, no cache state, no process identity), so two snapshots
+    of the same logical state — e.g. before a crash and after recovery
+    — must serialize identically: ``json.dumps(deterministic_view(h),
+    sort_keys=True)``.
+    """
+    return {
+        section: health[section]
+        for section in DETERMINISTIC_SECTIONS
+        if section in health
+    }

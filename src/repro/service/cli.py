@@ -1,4 +1,4 @@
-"""``repro-anonymize encode|ingest|query|compact`` — the service CLI.
+"""``repro-anonymize encode|ingest|query|compact|stats`` — the service CLI.
 
 End-to-end wiring of the service layer on CSV input:
 
@@ -21,6 +21,12 @@ End-to-end wiring of the service layer on CSV input:
 * ``compact`` — maintenance: checkpoint, then retire the write-ahead
   log segments the checkpoint covers, bounding the state directory's
   disk footprint.
+* ``stats`` — observability: report a state directory's health
+  document (journal layout, checkpoint coverage, design fingerprints).
+  Without ``--design`` it is a read-only on-disk inspection, safe to
+  run against a *live* collector's directory; with ``--design`` it
+  opens the collector (recovering state) and reports the full live
+  snapshot including counts and metrics, as JSON or Prometheus text.
 
 Examples::
 
@@ -32,6 +38,8 @@ Examples::
     repro-anonymize ingest reports.rrw -s state/ --design design.json \
         --checkpoint-every 50
     repro-anonymize query -s state/ --design design.json --marginal smokes
+    repro-anonymize stats -s state/ --check-schema
+    repro-anonymize stats -s state/ --design design.json --format prometheus
 """
 
 from __future__ import annotations
@@ -48,10 +56,14 @@ from repro.data.dataset import Dataset
 from repro.design import load_design as _load_design
 from repro.design import write_design as _write_design
 from repro.exceptions import ReproError, ServiceError
+from repro.obs.exposition import render_prometheus
+from repro.obs.health import validate_health
+from repro.obs.registry import MetricsRegistry
 from repro.protocols.clusters import RRClusters
 from repro.protocols.independent import RRIndependent
 from repro.protocols.joint import RRJoint
 from repro.service.codec import ReportCodec
+from repro.service.health import storage_health
 from repro.service.journal import (
     CHECKPOINT_JSON,
     DEFAULT_SEGMENT_BYTES,
@@ -500,11 +512,91 @@ def _query(argv) -> int:
 
 
 # ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def _stats(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize stats",
+        description="Report a collector state directory's health "
+        "document (journal layout, checkpoint coverage, design "
+        "fingerprints; with --design also live counts and metrics).",
+    )
+    parser.add_argument(
+        "-s", "--state-dir", type=Path, required=True,
+        help="collector state directory",
+    )
+    parser.add_argument(
+        "--design", type=Path, default=None,
+        help="design file written by encode; when given, the collector "
+        "is opened (recovering state, taking the state-dir lock) and "
+        "the full live health snapshot is reported — omit it to "
+        "inspect the directory read-only, e.g. while a collector runs",
+    )
+    parser.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="output format; prometheus renders the metrics section of "
+        "a live snapshot and therefore needs --design "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check-schema", action="store_true",
+        help="validate the document against the checked-in health "
+        "schema before printing it",
+    )
+    parser.add_argument(
+        "--batch-size", type=positive_int, default=DEFAULT_BATCH_SIZE,
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the document here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if not _state_dir_has_state(args.state_dir):
+        print(
+            f"error: {args.state_dir} holds no collector state",
+            file=sys.stderr,
+        )
+        return 1
+    if args.design is not None:
+        protocol, _ = _load_design(args.design)
+        service = CollectorService.for_protocol(
+            protocol,
+            args.state_dir,
+            batch_size=args.batch_size,
+            metrics=MetricsRegistry(),
+        )
+        try:
+            document = service.health()
+        finally:
+            service.close()
+    else:
+        if args.format == "prometheus":
+            parser.error(
+                "--format prometheus needs --design (live metrics)"
+            )
+        document = storage_health(args.state_dir)
+    if args.check_schema:
+        validate_health(document)
+    if args.format == "prometheus":
+        text = render_prometheus(document["metrics"]).rstrip("\n")
+    else:
+        text = json.dumps(document, indent=2, sort_keys=True)
+    if args.output is not None:
+        args.output.write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
 SERVICE_COMMANDS = {
     "encode": _encode,
     "ingest": _ingest,
     "query": _query,
     "compact": _compact,
+    "stats": _stats,
 }
 
 

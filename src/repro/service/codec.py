@@ -48,6 +48,8 @@ import numpy as np
 from repro.core.matrices import as_dense
 from repro.data.schema import Attribute, Schema
 from repro.exceptions import CodecError
+from repro.obs.registry import get_registry
+from repro.obs.tracing import trace
 
 __all__ = [
     "WIRE_VERSION",
@@ -202,9 +204,22 @@ def schema_from_dict(payload) -> Schema:
 class ReportCodec:
     """Bit-packing encoder/decoder for one schema's randomized records."""
 
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema, *, metrics=None):
         self._schema = schema
         self._fingerprint = schema_fingerprint(schema)
+        # Instrument handles are resolved once here: the encode/decode
+        # hot paths must not pay a registry lookup per frame. With the
+        # ambient registry disabled these are shared no-ops.
+        self._metrics = get_registry() if metrics is None else metrics
+        self._c_encode_frames = self._metrics.counter("codec.encode.frames")
+        self._c_encode_records = self._metrics.counter("codec.encode.records")
+        self._c_decode_frames = self._metrics.counter("codec.decode.frames")
+        self._c_decode_records = self._metrics.counter("codec.decode.records")
+        # Spans are reusable; resolving them once here keeps the
+        # per-frame paths free of name formatting and registry lookups.
+        self._sp_encode = trace("codec.encode", self._metrics)
+        self._sp_decode = trace("codec.decode", self._metrics)
+        self._sp_decode_many = trace("codec.decode_many", self._metrics)
         self._bits = tuple(
             max(1, (attr.size - 1).bit_length()) for attr in schema
         )
@@ -353,6 +368,10 @@ class ReportCodec:
         ``records`` is a single length-m code vector or a ``(k, m)``
         batch; codes must lie inside each attribute's domain.
         """
+        with self._sp_encode:
+            return self._encode(records)
+
+    def _encode(self, records) -> bytes:
         raw = np.asarray(records)
         if not np.issubdtype(raw.dtype, np.integer):
             raise CodecError(
@@ -383,7 +402,10 @@ class ReportCodec:
             MAGIC, WIRE_VERSION, 0, self._fingerprint, batch.shape[0]
         )
         body = head + payload
-        return body + _TRAILER.pack(zlib.crc32(body))
+        frame = body + _TRAILER.pack(zlib.crc32(body))
+        self._c_encode_frames.inc()
+        self._c_encode_records.inc(batch.shape[0])
+        return frame
 
     def _first_out_of_range_column(self, batch):
         """Index of the first attribute with a code outside its domain.
@@ -504,8 +526,11 @@ class ReportCodec:
         short or oversized buffers, wrong magic/version/fingerprint,
         CRC mismatch, or unpacked codes outside an attribute's domain.
         """
-        out = self._unpack_payload(self._validated_payload(frame))
-        self._check_decoded_range(out)
+        with self._sp_decode:
+            out = self._unpack_payload(self._validated_payload(frame))
+            self._check_decoded_range(out)
+        self._c_decode_frames.inc()
+        self._c_decode_records.inc(out.shape[0])
         return out
 
     def decode_many(self, frames) -> np.ndarray:
@@ -519,16 +544,19 @@ class ReportCodec:
         anything is returned. Record indices in range errors refer to
         the concatenated batch. Returns a ``(sum k_i, m)`` int64 array.
         """
-        payloads = [self._validated_payload(frame) for frame in frames]
-        if not payloads:
-            return np.zeros((0, self._schema.width), dtype=np.int64)
-        stacked = (
-            payloads[0]
-            if len(payloads) == 1
-            else np.concatenate(payloads, axis=0)
-        )
-        out = self._unpack_payload(stacked)
-        self._check_decoded_range(out)
+        with self._sp_decode_many:
+            payloads = [self._validated_payload(frame) for frame in frames]
+            if not payloads:
+                return np.zeros((0, self._schema.width), dtype=np.int64)
+            stacked = (
+                payloads[0]
+                if len(payloads) == 1
+                else np.concatenate(payloads, axis=0)
+            )
+            out = self._unpack_payload(stacked)
+            self._check_decoded_range(out)
+        self._c_decode_frames.inc(len(payloads))
+        self._c_decode_records.inc(out.shape[0])
         return out
 
     def __repr__(self) -> str:

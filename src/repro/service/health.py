@@ -1,0 +1,125 @@
+"""Offline, read-only health inspection of a collector state directory.
+
+``repro-anonymize stats`` (and any operator tooling) needs to answer
+"what is in this state directory?" *without* opening a live
+:class:`~repro.service.pipeline.CollectorService`: opening takes the
+exclusive state-dir lock (refusing while a collector is running),
+replays the log tail, and truncates a torn final entry — none of which
+an inspection should do. :func:`storage_health` reads the manifest,
+scans the segment files, and parses the checkpoint sidecar and service
+meta as plain files, mutating nothing and taking no lock, so it is safe
+to point at the state directory of a *running* collector.
+
+The result is the same document shape as
+:meth:`~repro.service.pipeline.CollectorService.health` (validated by
+``repro.obs.health_schema.json``) minus the live-only sections
+(``counts``, ``cache``, ``runtime``, ``metrics``): the journal layout,
+checkpoint coverage, and design fingerprints are all derivable from
+disk alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.obs.health import HEALTH_VERSION
+from repro.service.journal import (
+    CHECKPOINT_JSON,
+    LOG_NAME,
+    SegmentInfo,
+    _load_manifest,
+    _segment_path,
+    load_service_meta,
+    scan_frames,
+)
+
+__all__ = ["storage_health"]
+
+
+def _checkpoint_section(state: Path) -> dict:
+    """Checkpoint coverage from the sidecar alone (no npz load).
+
+    A corrupt sidecar still reports ``present`` (the file exists; a
+    recovery would warn and fall back to full replay) with an unknown
+    ``frames_applied`` — an inspector describes what is on disk, it
+    does not judge recoverability.
+    """
+    sidecar_path = state / CHECKPOINT_JSON
+    if not sidecar_path.exists():
+        return {"present": False, "frames_applied": None}
+    try:
+        sidecar = json.loads(sidecar_path.read_text(encoding="utf-8"))
+        frames_applied = int(sidecar["frames_applied"])
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        frames_applied = None
+    return {"present": True, "frames_applied": frames_applied}
+
+
+def _design_section(state: Path) -> dict:
+    try:
+        meta = load_service_meta(state)
+    except ServiceError:
+        meta = None
+    if meta is None:
+        return {"schema_fingerprint": None, "matrix_fingerprints": None}
+    fps = meta["matrix_fingerprints"]
+    return {
+        "schema_fingerprint": int(meta["schema_fingerprint"]),
+        "matrix_fingerprints": {name: fps[name] for name in sorted(fps)},
+    }
+
+
+def storage_health(state_dir) -> dict:
+    """Inspect ``state_dir`` from disk alone; returns a health document.
+
+    Journal numbers are computed exactly the way reopening would see
+    them — sealed segments from the manifest, the active tail by
+    scanning its clean prefix (a torn final entry is *counted out* but
+    not truncated) — so for a cleanly closed directory this matches the
+    ``journal`` section of the live service's ``health()`` byte for
+    byte.
+    """
+    state = Path(state_dir)
+    if not state.is_dir():
+        raise ServiceError(f"{state}: not a state directory")
+    base = state / LOG_NAME
+    sealed, active_seq, active_base = _load_manifest(base)
+    active_path = _segment_path(base, active_seq)
+    if active_path.exists():
+        active_frames, active_bytes, _torn = scan_frames(active_path)
+    else:
+        active_frames, active_bytes = 0, 0
+    segments = [
+        *sealed,
+        SegmentInfo(
+            seq=active_seq,
+            base_frame=active_base,
+            n_frames=active_frames,
+            n_bytes=active_bytes,
+        ),
+    ]
+    return {
+        "version": HEALTH_VERSION,
+        "state_dir": str(state),
+        "journal": {
+            "n_frames": int(active_base + active_frames),
+            "first_retained_frame": int(
+                sealed[0].base_frame if sealed else active_base
+            ),
+            "n_segments": len(segments),
+            "total_bytes": int(sum(s.n_bytes for s in segments)),
+            "segments": [
+                {
+                    "seq": int(s.seq),
+                    "base_frame": int(s.base_frame),
+                    "frames": int(s.n_frames),
+                    "bytes": int(s.n_bytes),
+                }
+                for s in segments
+            ],
+        },
+        "checkpoint": _checkpoint_section(state),
+        "design": _design_section(state),
+    }

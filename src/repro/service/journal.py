@@ -68,6 +68,8 @@ from typing import Iterator, List, Mapping
 import numpy as np
 
 from repro.exceptions import ServiceError
+from repro.obs.registry import get_registry
+from repro.obs.tracing import trace
 
 __all__ = [
     "LOG_NAME",
@@ -462,7 +464,13 @@ class IngestionLog:
     deleted.
     """
 
-    def __init__(self, path, *, segment_bytes: "int | None" = None):
+    def __init__(
+        self,
+        path,
+        *,
+        segment_bytes: "int | None" = None,
+        metrics=None,
+    ):
         if segment_bytes is not None and segment_bytes < 1:
             raise ServiceError(
                 f"segment_bytes must be >= 1, got {segment_bytes}"
@@ -470,6 +478,19 @@ class IngestionLog:
         self._base = Path(path)
         self._dir = self._base.parent
         self._segment_bytes = segment_bytes
+        # Resolve instrument handles before the tail scan: opening may
+        # already rotate (oversized tail after a crash) and rotation
+        # counts. No-ops when the ambient registry is disabled.
+        self._metrics = get_registry() if metrics is None else metrics
+        self._c_append_frames = self._metrics.counter("journal.append.frames")
+        self._c_append_bytes = self._metrics.counter("journal.append.bytes")
+        self._c_rotations = self._metrics.counter("journal.rotations")
+        self._c_segments_retired = self._metrics.counter(
+            "journal.segments_retired"
+        )
+        self._c_bytes_retired = self._metrics.counter("journal.bytes_retired")
+        self._c_replay_frames = self._metrics.counter("journal.replay.frames")
+        self._sp_append_many = trace("journal.append_many", self._metrics)
         self._sealed, self._active_seq, self._active_base = _load_manifest(
             self._base
         )
@@ -581,7 +602,10 @@ class IngestionLog:
         self._writer.sync()
         index = self.n_frames
         self._active_frames += 1
-        self._active_bytes += _LENGTH.size + len(frame)
+        entry_bytes = _LENGTH.size + len(frame)
+        self._active_bytes += entry_bytes
+        self._c_append_frames.inc()
+        self._c_append_bytes.inc(entry_bytes)
         self._maybe_rotate()
         return index
 
@@ -602,12 +626,14 @@ class IngestionLog:
         start = self.n_frames
         if not frames:
             return range(start, start)
-        self._writer.write_many(frames)
-        self._writer.sync()
+        with self._sp_append_many:
+            self._writer.write_many(frames)
+            self._writer.sync()
         self._active_frames += len(frames)
-        self._active_bytes += sum(
-            _LENGTH.size + len(frame) for frame in frames
-        )
+        batch_bytes = sum(_LENGTH.size + len(frame) for frame in frames)
+        self._active_bytes += batch_bytes
+        self._c_append_frames.inc(len(frames))
+        self._c_append_bytes.inc(batch_bytes)
         self._maybe_rotate()
         return range(start, self.n_frames)
 
@@ -629,24 +655,26 @@ class IngestionLog:
         whose active segment does not exist yet, which reopen creates
         empty. Frames are never moved or rewritten.
         """
-        _crash_point("rotate:before-seal")
-        self._writer.sync()
-        self._writer.close()
-        _crash_point("rotate:sealed")
-        self._sealed.append(self._active_info())
-        self._active_seq += 1
-        self._active_base = self._sealed[-1].end_frame
-        self._active_frames = 0
-        self._active_bytes = 0
-        _save_manifest(
-            self._base, self._sealed, self._active_seq, self._active_base
-        )
-        _crash_point("rotate:manifest-written")
-        active = _segment_path(self._base, self._active_seq)
-        active.touch()
-        _fsync_dir(self._dir)
-        _crash_point("rotate:active-created")
-        self._writer = FrameWriter(active, append=True)
+        with trace("journal.rotate", self._metrics):
+            _crash_point("rotate:before-seal")
+            self._writer.sync()
+            self._writer.close()
+            _crash_point("rotate:sealed")
+            self._sealed.append(self._active_info())
+            self._active_seq += 1
+            self._active_base = self._sealed[-1].end_frame
+            self._active_frames = 0
+            self._active_bytes = 0
+            _save_manifest(
+                self._base, self._sealed, self._active_seq, self._active_base
+            )
+            _crash_point("rotate:manifest-written")
+            active = _segment_path(self._base, self._active_seq)
+            active.touch()
+            _fsync_dir(self._dir)
+            _crash_point("rotate:active-created")
+            self._writer = FrameWriter(active, append=True)
+        self._c_rotations.inc()
 
     # ------------------------------------------------------------------
     def retire(self, upto_frame: int) -> "tuple[int, int]":
@@ -672,22 +700,25 @@ class IngestionLog:
         ]
         if not retirable:
             return 0, 0
-        _crash_point("retire:before-manifest")
-        self._sealed = self._sealed[len(retirable):]
-        _save_manifest(
-            self._base, self._sealed, self._active_seq, self._active_base
-        )
-        _crash_point("retire:manifest-written")
-        freed = 0
-        for segment in retirable:
-            seg_path = _segment_path(self._base, segment.seq)
-            try:
-                seg_path.unlink()
-            except FileNotFoundError:
-                pass
-            freed += segment.n_bytes
-            _crash_point("retire:unlinked-one")
-        _fsync_dir(self._dir)
+        with trace("journal.retire", self._metrics):
+            _crash_point("retire:before-manifest")
+            self._sealed = self._sealed[len(retirable):]
+            _save_manifest(
+                self._base, self._sealed, self._active_seq, self._active_base
+            )
+            _crash_point("retire:manifest-written")
+            freed = 0
+            for segment in retirable:
+                seg_path = _segment_path(self._base, segment.seq)
+                try:
+                    seg_path.unlink()
+                except FileNotFoundError:
+                    pass
+                freed += segment.n_bytes
+                _crash_point("retire:unlinked-one")
+            _fsync_dir(self._dir)
+        self._c_segments_retired.inc(len(retirable))
+        self._c_bytes_retired.inc(freed)
         return len(retirable), freed
 
     # ------------------------------------------------------------------
@@ -723,7 +754,9 @@ class IngestionLog:
             with open(path, "rb") as handle:
                 _skip_entries(path, handle, skip)
                 try:
-                    yield from _iter_entries(path, handle)
+                    for frame in _iter_entries(path, handle):
+                        self._c_replay_frames.inc()
+                        yield frame
                 except _TornTail:
                     raise ServiceError(
                         f"{path}: torn entry in an open log; the file "

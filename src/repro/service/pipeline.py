@@ -44,6 +44,10 @@ import numpy as np
 from repro.data.schema import Schema
 from repro.engine.collector import ShardedCollector
 from repro.exceptions import ServiceError
+from repro.obs import clock
+from repro.obs.health import HEALTH_VERSION
+from repro.obs.registry import get_registry
+from repro.obs.tracing import trace
 from repro.protocols.base import CollectionLayout
 from repro.service.codec import (
     ReportCodec,
@@ -92,11 +96,19 @@ class IngestionPipeline:
         collector: ShardedCollector,
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        metrics=None,
     ):
         if batch_size < 1:
             raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
         self._collector = collector
         self._batch_size = batch_size
+        self._metrics = get_registry() if metrics is None else metrics
+        self._c_submit_records = self._metrics.counter(
+            "pipeline.submit.records"
+        )
+        self._c_flush_records = self._metrics.counter("pipeline.flush.records")
+        self._c_flush_batches = self._metrics.counter("pipeline.flush.batches")
+        self._sp_flush = trace("pipeline.flush", self._metrics)
         self._buffer: List[np.ndarray] = []
         self._pending = 0
         self._buffer_validated = True
@@ -141,6 +153,7 @@ class IngestionPipeline:
             self._buffer.append(batch)
             self._pending += batch.shape[0]
             self._buffer_validated = self._buffer_validated and validated
+            self._c_submit_records.inc(batch.shape[0])
         if self._pending >= self._batch_size:
             self.flush()
         return self._pending
@@ -158,38 +171,43 @@ class IngestionPipeline:
         """
         if not self._pending:
             return
-        block = (
-            self._buffer[0]
-            if len(self._buffer) == 1
-            else np.concatenate(self._buffer, axis=0)
-        )
-        if not self._buffer_validated:
-            low, high = column_extrema(block)
-            violated = np.flatnonzero((low < 0) | (high >= self._sizes))
-            if violated.size:
-                j = int(violated[0])
-                raise ServiceError(
-                    f"codes out of range [0, {self._sizes[j]}) for "
-                    f"attribute {self._collector.schema.names[j]!r}"
-                )
-        merged = np.bincount(
-            (block + self._offsets).ravel(), minlength=self._total_bins
-        )
-        if merged.size > self._total_bins:
-            # Only reachable if a validated=True certification was a
-            # lie; interior mis-binning is covered by the rescan above.
-            raise ServiceError(
-                "codes beyond the last attribute's domain in a batch "
-                "submitted as pre-validated"
+        with self._sp_flush:
+            block = (
+                self._buffer[0]
+                if len(self._buffer) == 1
+                else np.concatenate(self._buffer, axis=0)
             )
-        counts = {
-            name: merged[self._offsets[j] : self._offsets[j] + self._sizes[j]]
-            for j, name in enumerate(self._collector.schema.names)
-        }
-        self._collector.absorb_counts(counts)
-        self._buffer = []
-        self._pending = 0
-        self._buffer_validated = True
+            if not self._buffer_validated:
+                low, high = column_extrema(block)
+                violated = np.flatnonzero((low < 0) | (high >= self._sizes))
+                if violated.size:
+                    j = int(violated[0])
+                    raise ServiceError(
+                        f"codes out of range [0, {self._sizes[j]}) for "
+                        f"attribute {self._collector.schema.names[j]!r}"
+                    )
+            merged = np.bincount(
+                (block + self._offsets).ravel(), minlength=self._total_bins
+            )
+            if merged.size > self._total_bins:
+                # Only reachable if a validated=True certification was a
+                # lie; interior mis-binning is covered by the rescan above.
+                raise ServiceError(
+                    "codes beyond the last attribute's domain in a batch "
+                    "submitted as pre-validated"
+                )
+            counts = {
+                name: merged[
+                    self._offsets[j] : self._offsets[j] + self._sizes[j]
+                ]
+                for j, name in enumerate(self._collector.schema.names)
+            }
+            self._collector.absorb_counts(counts)
+            self._c_flush_records.inc(self._pending)
+            self._c_flush_batches.inc()
+            self._buffer = []
+            self._pending = 0
+            self._buffer_validated = True
 
 
 class CollectorService:
@@ -225,6 +243,7 @@ class CollectorService:
         checkpoint_every: "int | None" = None,
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
         auto_compact: bool = False,
+        metrics=None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ServiceError(
@@ -242,26 +261,52 @@ class CollectorService:
         self._acquire_lock()
         self._wire_schema = schema
         self._layout = layout
+        # One registry threads through every component the service owns
+        # (codec, pipeline, journal, query front-end), so health() and
+        # the Prometheus writer see the whole stack in one snapshot.
+        self._metrics = get_registry() if metrics is None else metrics
+        self._c_ingest_frames = self._metrics.counter("service.ingest.frames")
+        self._c_ingest_records = self._metrics.counter(
+            "service.ingest.records"
+        )
+        self._c_checkpoints = self._metrics.counter("service.checkpoints")
+        self._c_recoveries = self._metrics.counter("service.recoveries")
+        self._sp_ingest_frame = trace("service.ingest_frame", self._metrics)
+        self._sp_commit_window = trace("service.commit_window", self._metrics)
         self._collector = ShardedCollector(layout.collection_schema(), matrices)
-        self._codec = ReportCodec(schema)
+        self._codec = ReportCodec(schema, metrics=self._metrics)
         self._schema_fp = schema_fingerprint(schema)
         self._matrix_fps = {
             name: matrix_fingerprint(matrix)
             for name, matrix in self._collector.matrices.items()
         }
         self._pipeline = IngestionPipeline(
-            self._collector, batch_size=batch_size
+            self._collector, batch_size=batch_size, metrics=self._metrics
         )
         self._checkpoint_every = checkpoint_every
         self._auto_compact = bool(auto_compact)
-        self._queries = QueryFrontend(self._collector, layout=layout)
+        # The front-end keeps its own always-real registry when the
+        # service's is disabled (stats/__repr__ must keep working);
+        # when enabled it folds into the service snapshot as a child.
+        self._queries = QueryFrontend(
+            self._collector,
+            layout=layout,
+            metrics=self._metrics.child() if self._metrics.enabled else None,
+        )
         self._check_or_pin_design()
         self._log = IngestionLog(
-            self._state_dir / LOG_NAME, segment_bytes=segment_bytes
+            self._state_dir / LOG_NAME,
+            segment_bytes=segment_bytes,
+            metrics=self._metrics,
         )
         self._frames_applied = 0
         self._frames_at_checkpoint = 0
-        self._recover()
+        self._checkpoint_present = False
+        self._checkpoint_at: "float | None" = None
+        self._opened_at = clock.monotonic()
+        with trace("service.recover", self._metrics):
+            self._recover()
+        self._c_recoveries.inc()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -276,6 +321,7 @@ class CollectorService:
         checkpoint_every: "int | None" = None,
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
         auto_compact: bool = False,
+        metrics=None,
     ) -> "CollectorService":
         """Create fresh state or recover whatever ``state_dir`` holds."""
         return cls(
@@ -287,6 +333,7 @@ class CollectorService:
             checkpoint_every=checkpoint_every,
             segment_bytes=segment_bytes,
             auto_compact=auto_compact,
+            metrics=metrics,
         )
 
     @classmethod
@@ -299,6 +346,7 @@ class CollectorService:
         checkpoint_every: "int | None" = None,
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
         auto_compact: bool = False,
+        metrics=None,
     ) -> "CollectorService":
         """Service matching any :class:`~repro.protocols.base.Protocol`.
 
@@ -317,6 +365,7 @@ class CollectorService:
             checkpoint_every=checkpoint_every,
             segment_bytes=segment_bytes,
             auto_compact=auto_compact,
+            metrics=metrics,
         )
 
     def _acquire_lock(self) -> None:
@@ -421,6 +470,7 @@ class CollectorService:
                 )
             self._collector.merged.restore_counts(checkpoint.counts)
             start = checkpoint.frames_applied
+        self._checkpoint_present = checkpoint is not None
         # Replay the tail at decoded-ingest speed: frames stream out of
         # the log in bounded windows and each window goes through one
         # vectorized decode_many + absorption pass, instead of paying
@@ -499,11 +549,14 @@ class CollectorService:
         signal). The frame is decoded *before* it is logged: a corrupt
         or foreign frame is rejected without poisoning the log.
         """
-        batch = self._layout.encode_records(self._codec.decode(frame))
-        self._log.append(frame)
-        self._frames_applied += 1
-        pending = self._pipeline.submit(batch, validated=True)
-        self._maybe_checkpoint()
+        with self._sp_ingest_frame:
+            batch = self._layout.encode_records(self._codec.decode(frame))
+            self._log.append(frame)
+            self._frames_applied += 1
+            self._c_ingest_frames.inc()
+            self._c_ingest_records.inc(batch.shape[0])
+            pending = self._pipeline.submit(batch, validated=True)
+            self._maybe_checkpoint()
         return pending
 
     def _maybe_checkpoint(self) -> None:
@@ -595,11 +648,16 @@ class CollectorService:
 
     def _commit_window(self, frames: List[bytes]) -> None:
         """Validate, durably log, then absorb one window (WAL-first)."""
-        block = self._layout.encode_records(self._codec.decode_many(frames))
-        self._log.append_many(frames)
-        self._frames_applied += len(frames)
-        self._pipeline.submit(block, validated=True)
-        self._maybe_checkpoint()
+        with self._sp_commit_window:
+            block = self._layout.encode_records(
+                self._codec.decode_many(frames)
+            )
+            self._log.append_many(frames)
+            self._frames_applied += len(frames)
+            self._c_ingest_frames.inc(len(frames))
+            self._c_ingest_records.inc(block.shape[0])
+            self._pipeline.submit(block, validated=True)
+            self._maybe_checkpoint()
 
     def flush(self) -> None:
         """Absorb every buffered report into the collector."""
@@ -618,16 +676,20 @@ class CollectorService:
 
     def _write_checkpoint(self) -> None:
         """Snapshot counts + log position (no compaction side effects)."""
-        self._pipeline.flush()
-        save_checkpoint(
-            self._state_dir,
-            counts=self._collector.merged.snapshot_counts(),
-            order=self._collector.schema.names,
-            frames_applied=self._frames_applied,
-            schema_fp=self._schema_fp,
-            matrix_fps=self._matrix_fps,
-        )
-        self._frames_at_checkpoint = self._frames_applied
+        with trace("service.checkpoint", self._metrics):
+            self._pipeline.flush()
+            save_checkpoint(
+                self._state_dir,
+                counts=self._collector.merged.snapshot_counts(),
+                order=self._collector.schema.names,
+                frames_applied=self._frames_applied,
+                schema_fp=self._schema_fp,
+                matrix_fps=self._matrix_fps,
+            )
+            self._frames_at_checkpoint = self._frames_applied
+        self._checkpoint_present = True
+        self._checkpoint_at = clock.monotonic()
+        self._c_checkpoints.inc()
 
     def compact(self, *, checkpoint: bool = True) -> dict:
         """Retire log segments covered by a durable checkpoint.
@@ -653,6 +715,74 @@ class CollectorService:
         }
 
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """One JSON-ready snapshot of the whole service's state.
+
+        Flushes the pipeline first, so every section reflects every
+        acknowledged frame. The document validates against the
+        checked-in schema (:data:`repro.obs.health.HEALTH_SCHEMA_PATH`)
+        and splits into two halves: the sections named by
+        :data:`repro.obs.health.DETERMINISTIC_SECTIONS` (``journal``,
+        ``checkpoint``, ``design``, ``counts``) are pure functions of
+        the ingested frame sequence — byte-identical before a crash and
+        after recovery — while ``cache``/``runtime``/``metrics`` are
+        live-process telemetry (clocks, hit rates, span histograms).
+        """
+        self._pipeline.flush()
+        segments = self._log.segments
+        now = clock.monotonic()
+        return {
+            "version": HEALTH_VERSION,
+            "state_dir": str(self._state_dir),
+            "journal": {
+                "n_frames": int(self._log.n_frames),
+                "first_retained_frame": int(self._log.first_retained_frame),
+                "n_segments": int(self._log.n_segments),
+                "total_bytes": int(sum(s.n_bytes for s in segments)),
+                "segments": [
+                    {
+                        "seq": int(s.seq),
+                        "base_frame": int(s.base_frame),
+                        "frames": int(s.n_frames),
+                        "bytes": int(s.n_bytes),
+                    }
+                    for s in segments
+                ],
+            },
+            "checkpoint": {
+                "present": self._checkpoint_present,
+                "frames_applied": (
+                    int(self._frames_at_checkpoint)
+                    if self._checkpoint_present
+                    else None
+                ),
+            },
+            "design": {
+                "schema_fingerprint": int(self._schema_fp),
+                "matrix_fingerprints": {
+                    name: self._matrix_fps[name]
+                    for name in sorted(self._matrix_fps)
+                },
+            },
+            "counts": {
+                "n_observed": int(self._collector.n_observed),
+                "frames_applied": int(self._frames_applied),
+                "frames_at_checkpoint": int(self._frames_at_checkpoint),
+            },
+            "cache": dict(self._queries.stats),
+            "runtime": {
+                "metrics_enabled": bool(self._metrics.enabled),
+                "pending_records": int(self._pipeline.pending),
+                "uptime_seconds": now - self._opened_at,
+                "checkpoint_age_seconds": (
+                    None
+                    if self._checkpoint_at is None
+                    else now - self._checkpoint_at
+                ),
+            },
+            "metrics": self._metrics.snapshot(),
+        }
+
     def estimate_marginal(self, name: str, repair: str = "clip") -> np.ndarray:
         self._pipeline.flush()
         return self._queries.marginal(name, repair)

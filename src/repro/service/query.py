@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.analysis.queries import PairQuery
 from repro.exceptions import ServiceError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import trace
 from repro.protocols.base import CollectionLayout
 
 __all__ = ["QueryFrontend", "DEFAULT_CACHE_ENTRIES", "DEFAULT_CACHE_BYTES"]
@@ -78,6 +80,13 @@ class QueryFrontend:
         LRU bound on the total payload bytes of cached answers. An
         answer larger than the whole budget is served but never
         cached.
+    metrics:
+        Registry the cache instruments record into (``query.cache.*``
+        counters, ``query.cache.entries``/``bytes`` gauges). ``None``
+        gives the front-end a private always-on registry so
+        :attr:`stats` works regardless of the ambient metrics switch;
+        a service passes a child of its own registry so cache metrics
+        appear in health snapshots.
     """
 
     def __init__(
@@ -87,6 +96,7 @@ class QueryFrontend:
         layout: "CollectionLayout | None" = None,
         max_entries: int = DEFAULT_CACHE_ENTRIES,
         max_bytes: int = DEFAULT_CACHE_BYTES,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if max_entries < 1:
             raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
@@ -105,9 +115,20 @@ class QueryFrontend:
         self._max_entries = max_entries
         self._max_bytes = max_bytes
         self._cache: OrderedDict = OrderedDict()
+        # The cache counters live in a registry (and `stats` is a view
+        # over it). A private registry is always real — a few counter
+        # increments per query are nothing next to an estimate — so
+        # hit/miss accounting never depends on the ambient switch.
+        self._metrics = MetricsRegistry() if metrics is None else metrics
+        self._c_hits = self._metrics.counter("query.cache.hits")
+        self._c_misses = self._metrics.counter("query.cache.misses")
+        self._c_evictions = self._metrics.counter("query.cache.evictions")
+        self._c_oversize = self._metrics.counter(
+            "query.cache.oversize_bypass"
+        )
+        self._g_entries = self._metrics.gauge("query.cache.entries")
+        self._g_bytes = self._metrics.gauge("query.cache.bytes")
         self._bytes = 0
-        self._hits = 0
-        self._misses = 0
 
     # ------------------------------------------------------------------
     @property
@@ -124,19 +145,34 @@ class QueryFrontend:
         return self._layout.member_names
 
     @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry holding the ``query.cache.*`` instruments."""
+        return self._metrics
+
+    @property
     def stats(self) -> dict:
-        """Cache counters: ``{"hits", "misses", "entries", "bytes"}``."""
+        """Cache counters, as a thin view over the metrics registry.
+
+        Keeps the historical dict shape (``hits``, ``misses``,
+        ``entries``, ``bytes``) and extends it with ``evictions`` and
+        ``oversize_bypass`` — the authoritative values live in the
+        ``query.cache.*`` instruments.
+        """
         return {
-            "hits": self._hits,
-            "misses": self._misses,
+            "hits": self._c_hits.value,
+            "misses": self._c_misses.value,
             "entries": len(self._cache),
             "bytes": self._bytes,
+            "evictions": self._c_evictions.value,
+            "oversize_bypass": self._c_oversize.value,
         }
 
     def invalidate(self) -> None:
         """Drop every cached answer (stats survive)."""
         self._cache.clear()
         self._bytes = 0
+        self._g_entries.set(0)
+        self._g_bytes.set(0)
 
     # ------------------------------------------------------------------
     def _n_by_attribute(self) -> dict:
@@ -193,11 +229,12 @@ class QueryFrontend:
 
     def _cached(self, key, compute):
         if key in self._cache:
-            self._hits += 1
+            self._c_hits.inc()
             self._cache.move_to_end(key)
             return self._cache[key]
-        self._misses += 1
-        value = compute()
+        self._c_misses.inc()
+        with trace("query.compute", self._metrics):
+            value = compute()
         if isinstance(value, np.ndarray):
             value.setflags(write=False)
         size = _entry_bytes(value)
@@ -205,6 +242,7 @@ class QueryFrontend:
             # Larger than the whole budget: serve it, never cache it —
             # admitting it would evict everything and still bust the
             # bound.
+            self._c_oversize.inc()
             return value
         self._cache[key] = value
         self._bytes += size
@@ -214,6 +252,9 @@ class QueryFrontend:
         ):
             _, evicted = self._cache.popitem(last=False)
             self._bytes -= _entry_bytes(evicted)
+            self._c_evictions.inc()
+        self._g_entries.set(len(self._cache))
+        self._g_bytes.set(self._bytes)
         return value
 
     @staticmethod

@@ -133,9 +133,10 @@ class TestWallClock:
         )
         assert codes(result) == ["RPL204"]
 
-    def test_monotonic_timer_passes(self, lint_snippet):
-        # perf_counter feeds benchmarks, not serialized output; the
-        # rule targets wall-clock only.
+    def test_monotonic_timer_flagged(self, lint_snippet, codes):
+        # Monotonic/perf clocks are banned too: telemetry timing must
+        # flow through the injectable repro.obs.clock so tests can fake
+        # it and replayed output can never depend on wall time.
         result = lint_snippet(
             """
             import time
@@ -145,7 +146,49 @@ class TestWallClock:
             """,
             select=["RPL204"],
         )
+        assert codes(result) == ["RPL204"]
+
+    def test_time_monotonic_flagged(self, lint_snippet, codes):
+        result = lint_snippet(
+            """
+            import time
+
+            def measure():
+                return time.monotonic()
+            """,
+            select=["RPL204"],
+        )
+        assert codes(result) == ["RPL204"]
+
+    def test_obs_clock_module_sanctioned(self, lint_snippet):
+        # repro.obs.clock is the policy for time the way repro._rng is
+        # for entropy: the one module allowed to read the real clock.
+        result = lint_snippet(
+            """
+            import time
+
+            def monotonic():
+                return time.monotonic()
+            """,
+            module="repro.obs.clock",
+            select=["RPL204"],
+        )
         assert result.clean
+
+    def test_obs_clock_consumers_not_exempt(self, lint_snippet, codes):
+        # Sanctioning is by module, not by package: code *using* the
+        # obs layer still may not read clocks directly.
+        result = lint_snippet(
+            """
+            import time
+
+            def span():
+                return time.monotonic_ns()
+            """,
+            module="repro.obs.tracing",
+            select=["RPL204"],
+        )
+        assert codes(result) == ["RPL204"]
 
 
 class TestSetIterationOrder:

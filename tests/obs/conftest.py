@@ -1,0 +1,40 @@
+"""Shared fixtures for the observability tests.
+
+Every test in this package runs under ambient-state isolation: the
+process-wide registry and clock are restored after each test, so a
+failing assertion can never leak an enabled registry or a fake clock
+into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import clock as clock_module
+from repro.obs import registry as registry_module
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _ambient_isolation():
+    previous_registry = registry_module.get_registry()
+    previous_clock = clock_module.get_clock()
+    yield
+    registry_module.set_registry(previous_registry)
+    clock_module.set_clock(previous_clock)
+
+
+@pytest.fixture
+def live_registry():
+    """A real registry installed as the process-wide ambient one."""
+    registry = MetricsRegistry()
+    registry_module.set_registry(registry)
+    return registry
+
+
+@pytest.fixture
+def fake_clock():
+    """A FakeClock installed as the sanctioned time source."""
+    fake = clock_module.FakeClock()
+    clock_module.set_clock(fake)
+    return fake

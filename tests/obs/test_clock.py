@@ -1,0 +1,60 @@
+"""Tests for the sanctioned injectable time source."""
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import clock
+from repro.obs.clock import FakeClock, MonotonicClock
+
+
+class TestMonotonicClock:
+    def test_non_decreasing(self):
+        source = MonotonicClock()
+        a = source.monotonic()
+        b = source.monotonic()
+        assert b >= a
+
+    def test_is_the_default(self):
+        assert isinstance(clock.get_clock(), MonotonicClock)
+
+
+class TestFakeClock:
+    def test_starts_at_start(self):
+        assert FakeClock().monotonic() == 0.0
+        assert FakeClock(start=41.5).monotonic() == 41.5
+
+    def test_advance_accumulates(self):
+        fake = FakeClock()
+        fake.advance(1.5)
+        fake.advance(0.25)
+        assert fake.monotonic() == 1.75
+
+    def test_advance_zero_allowed(self):
+        fake = FakeClock(start=3.0)
+        fake.advance(0.0)
+        assert fake.monotonic() == 3.0
+
+    def test_negative_advance_rejected(self):
+        fake = FakeClock()
+        with pytest.raises(ObservabilityError, match="monotonic"):
+            fake.advance(-0.1)
+
+
+class TestInstallation:
+    def test_set_clock_installs_and_returns_previous(self):
+        fake = FakeClock(start=7.0)
+        previous = clock.set_clock(fake)
+        assert isinstance(previous, MonotonicClock)
+        assert clock.get_clock() is fake
+        assert clock.monotonic() == 7.0
+
+    def test_none_restores_default(self):
+        clock.set_clock(FakeClock())
+        clock.set_clock(None)
+        assert isinstance(clock.get_clock(), MonotonicClock)
+
+    def test_module_monotonic_reads_installed_clock(self):
+        fake = FakeClock()
+        clock.set_clock(fake)
+        fake.advance(12.0)
+        assert clock.monotonic() == 12.0

@@ -1,0 +1,67 @@
+"""Tests for the Prometheus text writer: byte-stable, cumulative."""
+
+from repro.obs.exposition import prometheus_name, render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+class TestNameSanitization:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("journal.append.frames") == (
+            "journal_append_frames"
+        )
+
+    def test_leading_digit_prefixed(self):
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_identifier_chars_kept(self):
+        assert prometheus_name("abc_XYZ:09") == "abc_XYZ:09"
+
+
+class TestRendering:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("service.ingest.frames").inc(7)
+        registry.gauge("pipeline.pending").set(3.5)
+        h = registry.histogram("span.flush.seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.05)
+        h.observe(5.0)
+        return registry
+
+    def test_counter_gets_total_suffix(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE service_ingest_frames counter" in text
+        assert "service_ingest_frames_total 7" in text
+
+    def test_gauge_plain_value(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE pipeline_pending gauge" in text
+        assert "pipeline_pending 3.5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        lines = render_prometheus(self._registry()).splitlines()
+        assert 'span_flush_seconds_bucket{le="0.1"} 2' in lines
+        assert 'span_flush_seconds_bucket{le="1"} 2' in lines
+        assert 'span_flush_seconds_bucket{le="+Inf"} 3' in lines
+        assert "span_flush_seconds_sum 5.1" in lines
+        assert "span_flush_seconds_count 3" in lines
+
+    def test_byte_stable_across_renders(self):
+        snapshot = self._registry().snapshot()
+        assert render_prometheus(snapshot) == render_prometheus(snapshot)
+        # and the same numbers rendered from a fresh equal registry
+        assert render_prometheus(self._registry()) == render_prometheus(
+            self._registry()
+        )
+
+    def test_accepts_snapshot_or_registry(self):
+        registry = self._registry()
+        assert render_prometheus(registry) == render_prometheus(
+            registry.snapshot()
+        )
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_ends_with_newline_when_nonempty(self):
+        assert render_prometheus(self._registry()).endswith("\n")

@@ -1,0 +1,115 @@
+"""Tests for the health-document schema and its mini validator."""
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.health import (
+    DETERMINISTIC_SECTIONS,
+    HEALTH_SCHEMA_PATH,
+    HEALTH_VERSION,
+    deterministic_view,
+    load_health_schema,
+    validate_against,
+    validate_health,
+)
+
+
+class TestSchemaFile:
+    def test_checked_in_and_parses(self):
+        assert HEALTH_SCHEMA_PATH.exists()
+        schema = load_health_schema()
+        assert "version" in schema.get("required", [])
+
+    def test_minimal_document_validates(self):
+        # offline / bench documents only need a version
+        assert validate_health({"version": HEALTH_VERSION}) == {
+            "version": HEALTH_VERSION
+        }
+
+    def test_version_required(self):
+        with pytest.raises(ObservabilityError, match="version"):
+            validate_health({})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ObservabilityError, match="version"):
+            validate_health({"version": 999})
+
+
+class TestMiniValidator:
+    def test_type_mismatch_named_with_path(self):
+        schema = {
+            "type": "object",
+            "properties": {"n": {"type": "integer"}},
+        }
+        with pytest.raises(ObservabilityError, match=r"\$\.n"):
+            validate_against({"n": "five"}, schema)
+
+    def test_bool_does_not_satisfy_integer(self):
+        with pytest.raises(ObservabilityError, match="expected"):
+            validate_against(True, {"type": "integer"})
+        validate_against(True, {"type": "boolean"})
+
+    def test_type_union_accepts_null(self):
+        validate_against(None, {"type": ["integer", "null"]})
+        validate_against(3, {"type": ["integer", "null"]})
+
+    def test_enum_mismatch(self):
+        with pytest.raises(ObservabilityError, match="allowed values"):
+            validate_against("c", {"enum": ["a", "b"]})
+
+    def test_required_key_missing(self):
+        schema = {"type": "object", "required": ["present"]}
+        with pytest.raises(ObservabilityError, match="present"):
+            validate_against({}, schema)
+
+    def test_additional_properties_false(self):
+        schema = {
+            "type": "object",
+            "properties": {"a": {"type": "integer"}},
+            "additionalProperties": False,
+        }
+        with pytest.raises(ObservabilityError, match="unexpected key"):
+            validate_against({"a": 1, "b": 2}, schema)
+
+    def test_additional_properties_schema_applies(self):
+        schema = {
+            "type": "object",
+            "additionalProperties": {"type": "integer"},
+        }
+        validate_against({"a": 1, "b": 2}, schema)
+        with pytest.raises(ObservabilityError, match=r"\$\.b"):
+            validate_against({"a": 1, "b": "x"}, schema)
+
+    def test_items_validated_with_index(self):
+        schema = {"type": "array", "items": {"type": "integer"}}
+        validate_against([1, 2, 3], schema)
+        with pytest.raises(ObservabilityError, match=r"\$\[1\]"):
+            validate_against([1, "two"], schema)
+
+    def test_unknown_schema_type_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown type"):
+            validate_against(1, {"type": "quux"})
+
+
+class TestDeterministicView:
+    def test_picks_only_deterministic_sections(self):
+        health = {
+            "version": 1,
+            "journal": {"n_frames": 3},
+            "checkpoint": {"present": False},
+            "design": {"schema_fingerprint": 1},
+            "counts": {"n_observed": 30},
+            "runtime": {"uptime_seconds": 1.23},
+            "metrics": {"counters": {}},
+            "cache": {"hits": 9},
+        }
+        view = deterministic_view(health)
+        assert tuple(view) == DETERMINISTIC_SECTIONS
+        assert "runtime" not in view
+        assert "metrics" not in view
+        assert "cache" not in view
+
+    def test_missing_sections_skipped(self):
+        assert deterministic_view({"journal": {"n_frames": 0}}) == {
+            "journal": {"n_frames": 0}
+        }

@@ -1,0 +1,77 @@
+"""Tests for span tracing: exact durations under a fake clock."""
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import clock
+from repro.obs.registry import MetricsRegistry, NullRegistry
+from repro.obs.tracing import _NULL_SPAN, Span, span_metric_name, trace
+
+
+class TestNaming:
+    def test_span_metric_name(self):
+        assert span_metric_name("journal.append_many") == (
+            "span.journal.append_many.seconds"
+        )
+
+
+class TestEnabledSpans:
+    def test_records_exact_duration(self, live_registry, fake_clock):
+        with trace("work"):
+            fake_clock.advance(0.25)
+        h = live_registry.histogram(span_metric_name("work"))
+        assert h.count == 1
+        assert h.sum == pytest.approx(0.25)
+
+    def test_count_is_call_counter(self, live_registry, fake_clock):
+        for _ in range(3):
+            with trace("work"):
+                fake_clock.advance(0.001)
+        h = live_registry.histogram(span_metric_name("work"))
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.003)
+
+    def test_exception_exit_still_records(self, live_registry, fake_clock):
+        with pytest.raises(RuntimeError):
+            with trace("failing"):
+                fake_clock.advance(1.5)
+                raise RuntimeError("boom")
+        h = live_registry.histogram(span_metric_name("failing"))
+        assert h.count == 1
+        assert h.sum == pytest.approx(1.5)
+
+    def test_explicit_registry_wins_over_ambient(self, fake_clock):
+        # ambient stays disabled; the explicit target still records
+        mine = MetricsRegistry()
+        with trace("work", mine):
+            fake_clock.advance(2.0)
+        assert mine.histogram(span_metric_name("work")).count == 1
+
+    def test_returns_span_instance(self, live_registry):
+        assert isinstance(trace("work"), Span)
+
+
+class TestDisabledSpans:
+    def test_shared_noop_span(self):
+        assert trace("work", NullRegistry()) is _NULL_SPAN
+        assert trace("other", NullRegistry()) is _NULL_SPAN
+
+    def test_ambient_disabled_is_noop(self):
+        from repro.obs.registry import set_registry
+
+        set_registry(None)
+        assert trace("work") is _NULL_SPAN
+
+    def test_disabled_path_never_reads_clock(self):
+        class ExplodingClock(clock.Clock):
+            def monotonic(self):
+                raise AssertionError("disabled span read the clock")
+
+        clock.set_clock(ExplodingClock())
+        with trace("work", NullRegistry()):
+            pass
+
+    def test_noop_span_swallows_nothing(self):
+        with pytest.raises(ObservabilityError):
+            with trace("work", NullRegistry()):
+                raise ObservabilityError("propagates")

@@ -228,3 +228,68 @@ class TestBytesBudget:
         assert front.stats["bytes"] > 0
         front.invalidate()
         assert front.stats["bytes"] == 0
+
+
+class TestCacheMetrics:
+    """stats is now a view over query.cache.* instruments."""
+
+    def test_stats_keeps_historical_shape_plus_new_counters(self, front):
+        assert set(front.stats) == {
+            "hits", "misses", "entries", "bytes", "evictions",
+            "oversize_bypass",
+        }
+
+    def test_hits_and_misses_counted(self, front):
+        name = front.names[0]
+        front.marginal(name)
+        front.marginal(name)
+        assert front.stats["misses"] == 1
+        assert front.stats["hits"] == 1
+
+    def test_evictions_counted(self, collector):
+        front = QueryFrontend(collector, max_entries=2)
+        for name in front.names:  # three marginals, cap of two
+            front.marginal(name)
+        assert front.stats["evictions"] == 1
+        assert front.stats["entries"] == 2
+
+    def test_oversize_bypass_counted(self, collector):
+        front = QueryFrontend(collector, max_bytes=8)  # nothing fits
+        front.marginal(front.names[0])
+        assert front.stats["oversize_bypass"] == 1
+        assert front.stats["entries"] == 0
+
+    def test_invalidate_zeroes_gauges_not_counters(self, front):
+        front.marginal(front.names[0])
+        front.invalidate()
+        stats = front.stats
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
+        assert stats["misses"] == 1  # counters are monotonic
+
+    def test_injected_registry_receives_instruments(self, collector):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        front = QueryFrontend(collector, metrics=registry)
+        assert front.metrics is registry
+        front.marginal(front.names[0])
+        front.marginal(front.names[0])
+        snap = registry.snapshot()
+        assert snap["counters"]["query.cache.misses"] == 1
+        assert snap["counters"]["query.cache.hits"] == 1
+        assert snap["gauges"]["query.cache.entries"] == 1
+        assert snap["gauges"]["query.cache.bytes"] > 0
+        # compute latency lands in a span histogram
+        assert any(k.startswith("span.query.") for k in snap["histograms"])
+
+    def test_stats_work_without_injection(self, front):
+        # the default is a private always-real registry even when the
+        # ambient one is disabled
+        front.marginal(front.names[0])
+        assert front.stats["misses"] == 1
+
+    def test_repr_unchanged_shape(self, front):
+        front.marginal(front.names[0])
+        text = repr(front)
+        assert "entries=1" in text and "misses=1" in text

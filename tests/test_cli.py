@@ -479,3 +479,107 @@ class TestServiceCLI:
         )
         assert code == 1
         assert "fingerprint" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    """The stats subcommand: offline inspection and live snapshots."""
+
+    @pytest.fixture
+    def encoded(self, survey_csv, tmp_path):
+        reports = tmp_path / "reports.rrw"
+        design = tmp_path / "design.json"
+        assert main(
+            [
+                "encode", str(survey_csv), "-o", str(reports),
+                "--design", str(design), "--p", "0.7",
+                "--columns", "smokes,alcohol,stress",
+                "--seed", "11", "--frame-records", "25",
+            ]
+        ) == 0
+        return reports, design
+
+    @pytest.fixture
+    def state(self, encoded, tmp_path, capsys):
+        reports, design = encoded
+        state = tmp_path / "state"
+        assert main(
+            ["ingest", str(reports), "-s", str(state),
+             "--design", str(design), "--checkpoint-every", "8"]
+        ) == 0
+        capsys.readouterr()
+        return state, design
+
+    def test_offline_json_document(self, state, capsys):
+        state_dir, _design = state
+        assert main(["stats", "-s", str(state_dir)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["journal"]["n_frames"] == 16
+        assert document["checkpoint"]["present"] is True
+        # offline mode never opens the collector: no live sections
+        assert "metrics" not in document
+        assert "runtime" not in document
+
+    def test_check_schema_flag(self, state, capsys):
+        state_dir, _design = state
+        assert main(
+            ["stats", "-s", str(state_dir), "--check-schema"]
+        ) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_live_snapshot_with_design(self, state, capsys):
+        state_dir, design = state
+        assert main(
+            ["stats", "-s", str(state_dir), "--design", str(design),
+             "--check-schema"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counts"]["n_observed"] == 400
+        assert document["runtime"]["metrics_enabled"] is True
+        counters = document["metrics"]["counters"]
+        assert counters["service.recoveries"] == 1
+        # recovery replays exactly the journal tail past the checkpoint
+        assert counters["journal.replay.frames"] == (
+            document["journal"]["n_frames"]
+            - document["counts"]["frames_at_checkpoint"]
+        )
+
+    def test_prometheus_needs_design(self, state, capsys):
+        state_dir, _design = state
+        with pytest.raises(SystemExit):
+            main(["stats", "-s", str(state_dir), "--format", "prometheus"])
+
+    def test_prometheus_output(self, state, capsys):
+        state_dir, design = state
+        assert main(
+            ["stats", "-s", str(state_dir), "--design", str(design),
+             "--format", "prometheus"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE service_recoveries counter" in text
+        assert "service_recoveries_total 1" in text
+
+    def test_output_file(self, state, tmp_path, capsys):
+        state_dir, _design = state
+        out = tmp_path / "health.json"
+        assert main(
+            ["stats", "-s", str(state_dir), "-o", str(out)]
+        ) == 0
+        document = json.loads(out.read_text())
+        assert document["journal"]["n_frames"] == 16
+
+    def test_refuses_empty_state_dir(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["stats", "-s", str(empty)]) == 1
+        assert "no collector state" in capsys.readouterr().err
+
+    def test_csv_named_stats_still_anonymizable(self, tmp_path, capsys):
+        # dispatch is by first argument: ./stats routes to the CSV path
+        path = tmp_path / "stats"
+        path.write_text("a,b\nx,1\ny,2\nx,2\ny,1\n")
+        out = tmp_path / "out.csv"
+        assert main(
+            [str(path), "-o", str(out), "--p", "0.5", "--seed", "3"]
+        ) == 0
+        assert out.exists()
