@@ -10,11 +10,15 @@ service loop:
    checkpoints,
 3. the collector "crashes" mid-stream,
 4. a fresh process recovers (checkpoint + log tail) and finishes,
-5. compaction retires the log segments the checkpoint covers,
+5. an offline scrub deep-verifies every byte recovery depends on —
+   frame CRCs, manifest accounting, the checkpoint pair — the
+   periodic bit-rot patrol for a state directory that lives for
+   months (also: `repro-anonymize scrub -s <state-dir>`),
+6. compaction retires the log segments the checkpoint covers,
    bounding disk for a collector that never stops,
-6. a cached query front-end serves estimates — byte-identical to an
+7. a cached query front-end serves estimates — byte-identical to an
    uninterrupted run,
-7. the whole run is instrumented: a health snapshot summarizes the
+8. the whole run is instrumented: a health snapshot summarizes the
    journal, checkpoint coverage and every metric the stack recorded.
 
 Run:  python examples/collector_service.py
@@ -32,7 +36,7 @@ import numpy as np
 import repro
 from repro.obs import enable_metrics
 from repro.obs.health import validate_health
-from repro.service import CollectorService, ReportCodec
+from repro.service import CollectorService, ReportCodec, scrub_state_dir
 
 
 def main(argv=None) -> None:
@@ -103,7 +107,24 @@ def main(argv=None) -> None:
         )
         recovered.ingest(frames[27:])
 
-        # --- 5. Compaction: checkpoint, then retire covered segments ---
+        # --- 5. Scrub: the offline integrity patrol --------------------
+        # Read-only and lock-free (safe on a live collector's
+        # directory): every retained frame's CRC and schema
+        # fingerprint, sealed segment sizes against the manifest, and
+        # the checkpoint pair are re-verified from disk, so bit rot is
+        # found on patrol instead of by the recovery that needed the
+        # bytes.
+        report = scrub_state_dir(state_dir)
+        print(
+            f"\nscrub: ok={report['ok']} — verified "
+            f"{report['journal']['frames_verified']} frames / "
+            f"{report['journal']['bytes_verified']} bytes, "
+            f"{len(report['errors'])} errors, "
+            f"{len(report['warnings'])} warnings"
+        )
+        assert report["ok"], report["errors"]
+
+        # --- 6. Compaction: checkpoint, then retire covered segments ---
         def log_files():
             return sorted(
                 p.name
@@ -120,7 +141,7 @@ def main(argv=None) -> None:
         )
         print(f"log files before: {len(before)}, after: {len(log_files())}")
 
-        # --- 6. Cached queries -----------------------------------------
+        # --- 7. Cached queries -----------------------------------------
         front = recovered.queries
         income = front.marginal("income")
         front.marginal("income")  # dashboard refresh: served from cache
@@ -142,7 +163,7 @@ def main(argv=None) -> None:
         print("\nrecovered estimates are byte-identical to an "
               "uninterrupted run")
 
-        # --- 7. Health snapshot: one schema-validated document ---------
+        # --- 8. Health snapshot: one schema-validated document ---------
         health = validate_health(recovered.health())
         journal, counters = health["journal"], health["metrics"]["counters"]
         print(
@@ -158,7 +179,7 @@ def main(argv=None) -> None:
         recovered.close()
         reference.close()
 
-        # --- 7. Any protocol, one design document ----------------------
+        # --- 9. Any protocol, one design document ----------------------
         # The same service stack serves RR-Clusters (or RR-Joint): the
         # design travels as a versioned JSON document, the collector
         # rebuilds the protocol from it, and queries route through the

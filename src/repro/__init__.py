@@ -44,6 +44,9 @@ from repro.exceptions import (
     SecureSumError,
     ServiceError,
     CodecError,
+    StorageFullError,
+    TransientIOError,
+    SegmentQuarantinedError,
 )
 from repro.data import (
     Attribute,
@@ -161,6 +164,7 @@ __all__ = [
     "MatrixError", "EstimationError", "PrivacyError", "ClusteringError",
     "ProtocolError", "QueryError", "SecureSumError",
     "ServiceError", "CodecError",
+    "StorageFullError", "TransientIOError", "SegmentQuarantinedError",
     # data
     "Attribute", "Schema", "Dataset", "Domain",
     "adult_schema", "load_adult", "synthesize_adult", "replicate",

@@ -21,6 +21,9 @@ __all__ = [
     "SecureSumError",
     "ServiceError",
     "CodecError",
+    "StorageFullError",
+    "TransientIOError",
+    "SegmentQuarantinedError",
     "ObservabilityError",
 ]
 
@@ -87,6 +90,32 @@ class ServiceError(ReproError):
 class CodecError(ServiceError):
     """Invalid report wire frame (bad magic/version, schema fingerprint
     mismatch, truncated or corrupted buffer, out-of-range codes, ...)."""
+
+
+class StorageFullError(ServiceError):
+    """The state directory's device is out of space (ENOSPC/EDQUOT).
+
+    Raised after the journal has rolled the partial tail back, so the
+    on-disk log still ends at the last acknowledged frame. Not
+    retryable from inside the service — the collector degrades to
+    read-only until an operator frees space and reopens it."""
+
+
+class TransientIOError(ServiceError):
+    """An I/O operation failed in a possibly-recoverable way (EIO,
+    EAGAIN, failed fsync, ...) and bounded retries did not clear it.
+
+    Like :class:`StorageFullError` the partial tail has been rolled
+    back before this is raised; the frames the caller was appending
+    were never acknowledged."""
+
+
+class SegmentQuarantinedError(ServiceError):
+    """A sealed journal segment is corrupt (bit rot, truncation,
+    outside modification) and its frames are not covered by a durable
+    checkpoint, so recovery cannot proceed without silently dropping
+    counts. Segments that *are* covered are quarantined — renamed
+    aside and recorded in the manifest — instead of raising this."""
 
 
 class ObservabilityError(ReproError):

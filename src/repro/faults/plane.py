@@ -1,0 +1,184 @@
+"""The I/O plane: the one seam between the storage layer and the OS.
+
+Every file operation the durability layer performs — journal appends,
+fsyncs, checkpoint/manifest renames, tail truncation, segment unlinks,
+and the reads recovery and scrubbing do — routes through the ambient
+plane (:func:`get_plane`). The default :class:`IOPlane` is a pure
+passthrough: each method is a single delegation to the corresponding
+``os``/file call, so the hot path pays one attribute lookup and one
+Python call on top of a syscall — the same no-op-by-default discipline
+as :class:`repro.obs.registry.NullRegistry`.
+
+Installing a :class:`FaultyIOPlane` (usually via :func:`install_plan`)
+swaps the seam for one that consults a :class:`~repro.faults.plan.
+FaultPlan` on every operation and injects the scheduled faults as real
+``OSError`` values (or silently corrupted read bytes), exactly the way
+the kernel would surface them. The storage layer never imports fault
+logic — it sees ordinary errno failures — which is what makes the
+hardening honest: the same code paths run in production.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.faults.plan import FaultPlan, FaultRule
+
+__all__ = [
+    "IOPlane",
+    "FaultyIOPlane",
+    "get_plane",
+    "set_plane",
+    "install_plan",
+]
+
+
+class IOPlane:
+    """Passthrough plane: every operation goes straight to the OS."""
+
+    #: Whether a fault plan is installed (mirrors ``NullRegistry.enabled``).
+    active = False
+
+    def write(self, handle, data: bytes) -> int:
+        return handle.write(data)
+
+    def read(self, handle, size: int = -1) -> bytes:
+        return handle.read(size)
+
+    def read_bytes(self, path) -> bytes:
+        return Path(path).read_bytes()
+
+    def fsync(self, fileno: int, *, path=None) -> None:
+        os.fsync(fileno)
+
+    def replace(self, src, dst) -> None:
+        os.replace(src, dst)
+
+    def truncate(self, handle, size: int) -> None:
+        handle.truncate(size)
+
+    def unlink(self, path) -> None:
+        os.unlink(path)
+
+
+class FaultyIOPlane(IOPlane):
+    """A plane that injects a :class:`FaultPlan`'s scheduled faults.
+
+    Also counts every mediated operation in ``op_counts`` — run a
+    workload under an empty plan to profile how many injection points
+    it exposes (the input to
+    :func:`repro.faults.plan.random_plan`).
+    """
+
+    active = True
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.op_counts = {op: 0 for op in ("write", "read", "fsync",
+                                           "rename", "truncate", "unlink")}
+
+    def _consult(self, op: str, path, nbytes: int = 0) -> "FaultRule | None":
+        self.op_counts[op] += 1
+        self.plan.note_op()
+        return self.plan.match(op, path, nbytes)
+
+    @staticmethod
+    def _raise(rule: FaultRule, op: str, path) -> None:
+        raise OSError(
+            rule.errno_code,
+            f"injected {rule.kind} fault on {op}",
+            str(path),
+        )
+
+    def write(self, handle, data: bytes) -> int:
+        rule = self._consult("write", getattr(handle, "name", ""), len(data))
+        if rule is None:
+            return handle.write(data)
+        if rule.kind == "torn":
+            handle.write(data[: rule.torn_bytes])
+        elif rule.kind == "enospc_after":
+            allowance = self.plan.last_allowance
+            if allowance:
+                handle.write(data[:allowance])
+        self._raise(rule, "write", getattr(handle, "name", ""))
+
+    def read(self, handle, size: int = -1) -> bytes:
+        path = getattr(handle, "name", "")
+        rule = self._consult("read", path, max(size, 0))
+        if rule is not None and rule.kind == "fail":
+            self._raise(rule, "read", path)
+        data = handle.read(size)
+        if rule is not None and rule.kind == "bitflip":
+            data = self.plan.flip_bits(rule, data)
+        return data
+
+    def read_bytes(self, path) -> bytes:
+        rule = self._consult("read", path)
+        if rule is not None and rule.kind == "fail":
+            self._raise(rule, "read", path)
+        data = Path(path).read_bytes()
+        if rule is not None and rule.kind == "bitflip":
+            data = self.plan.flip_bits(rule, data)
+        return data
+
+    def fsync(self, fileno: int, *, path=None) -> None:
+        rule = self._consult("fsync", path or "")
+        if rule is not None:
+            self._raise(rule, "fsync", path or "")
+        os.fsync(fileno)
+
+    def replace(self, src, dst) -> None:
+        rule = self._consult("rename", dst)
+        if rule is not None:
+            self._raise(rule, "rename", dst)
+        os.replace(src, dst)
+
+    def truncate(self, handle, size: int) -> None:
+        path = getattr(handle, "name", "")
+        rule = self._consult("truncate", path)
+        if rule is not None:
+            self._raise(rule, "truncate", path)
+        handle.truncate(size)
+
+    def unlink(self, path) -> None:
+        rule = self._consult("unlink", path)
+        if rule is not None:
+            self._raise(rule, "unlink", path)
+        os.unlink(path)
+
+
+#: The ambient plane. Passthrough by default: importing repro must
+#: never slow or endanger the storage hot path.
+_PASSTHROUGH = IOPlane()
+_ACTIVE: IOPlane = _PASSTHROUGH
+
+
+def get_plane() -> IOPlane:
+    """The process-wide plane the storage layer routes file ops through."""
+    return _ACTIVE
+
+
+def set_plane(plane: "IOPlane | None") -> IOPlane:
+    """Install ``plane`` (``None`` restores passthrough); returns the old."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = _PASSTHROUGH if plane is None else plane
+    return previous
+
+
+@contextmanager
+def install_plan(plan: FaultPlan):
+    """Run a block with ``plan``'s faults injected into all storage I/O.
+
+    Yields the :class:`FaultyIOPlane` (for ``op_counts`` profiling);
+    always restores the previous plane, so a failing test cannot leave
+    faults installed for the rest of the session.
+    """
+    plane = FaultyIOPlane(plan)
+    previous = set_plane(plane)
+    try:
+        yield plane
+    finally:
+        set_plane(previous)

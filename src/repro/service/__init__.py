@@ -17,8 +17,12 @@ cache.
   log, checkpoints and queries into one durable process state.
 * :mod:`repro.service.query` — LRU cache over marginal / pair-table /
   set-frequency estimates, keyed on (query, observed counts).
+* :mod:`repro.service.scrub` — offline deep verification of a state
+  directory: every retained frame's CRC and fingerprint, manifest
+  accounting, and the checkpoint pair, all read-only.
 * :mod:`repro.service.cli` — ``encode`` / ``ingest`` / ``query`` /
-  ``compact`` subcommands of ``repro-anonymize``.
+  ``compact`` / ``stats`` / ``scrub`` subcommands of
+  ``repro-anonymize``.
 
 The whole stack is keyed on the unified
 :class:`~repro.protocols.base.Protocol` interface: any protocol —
@@ -36,6 +40,7 @@ from repro.service.codec import (
 from repro.service.journal import FrameWriter, IngestionLog, read_frames
 from repro.service.pipeline import CollectorService, IngestionPipeline
 from repro.service.query import QueryFrontend
+from repro.service.scrub import scrub_state_dir
 
 __all__ = [
     "ReportCodec",
@@ -48,4 +53,5 @@ __all__ = [
     "IngestionPipeline",
     "CollectorService",
     "QueryFrontend",
+    "scrub_state_dir",
 ]

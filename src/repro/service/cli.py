@@ -1,4 +1,4 @@
-"""``repro-anonymize encode|ingest|query|compact|stats`` — the service CLI.
+"""``repro-anonymize encode|ingest|query|compact|stats|scrub`` — the service CLI.
 
 End-to-end wiring of the service layer on CSV input:
 
@@ -27,6 +27,11 @@ End-to-end wiring of the service layer on CSV input:
   run against a *live* collector's directory; with ``--design`` it
   opens the collector (recovering state) and reports the full live
   snapshot including counts and metrics, as JSON or Prometheus text.
+* ``scrub`` — integrity patrol: deep-verify every retained frame's
+  CRC-32 and schema fingerprint, sealed segment sizes against the
+  manifest, and the checkpoint pair, all read-only; exits non-zero
+  when anything recovery depends on is damaged (bit rot found early
+  instead of by the recovery that needed the bytes).
 
 Examples::
 
@@ -40,6 +45,7 @@ Examples::
     repro-anonymize query -s state/ --design design.json --marginal smokes
     repro-anonymize stats -s state/ --check-schema
     repro-anonymize stats -s state/ --design design.json --format prometheus
+    repro-anonymize scrub -s state/
 """
 
 from __future__ import annotations
@@ -77,6 +83,7 @@ from repro.service.pipeline import (
     DEFAULT_COMMIT_RECORDS,
     CollectorService,
 )
+from repro.service.scrub import scrub_state_dir
 
 __all__ = ["service_main", "SERVICE_COMMANDS", "load_design", "write_design"]
 
@@ -591,12 +598,50 @@ def _stats(argv) -> int:
 
 
 # ----------------------------------------------------------------------
+# scrub
+# ----------------------------------------------------------------------
+def _scrub(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize scrub",
+        description="Deep-verify a collector state directory offline: "
+        "re-check every retained frame's CRC and schema fingerprint, "
+        "sealed segment sizes against the manifest, and the checkpoint "
+        "pair's CRC, fingerprints, and coverage. Read-only; exits "
+        "non-zero when anything recovery depends on is damaged.",
+    )
+    parser.add_argument(
+        "-s", "--state-dir", type=Path, required=True,
+        help="collector state directory",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the report here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if not _state_dir_has_state(args.state_dir):
+        print(
+            f"error: {args.state_dir} holds no collector state",
+            file=sys.stderr,
+        )
+        return 1
+    report = scrub_state_dir(args.state_dir)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output is not None:
+        args.output.write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 0 if report["ok"] else 1
+
+
+# ----------------------------------------------------------------------
 SERVICE_COMMANDS = {
     "encode": _encode,
     "ingest": _ingest,
     "query": _query,
     "compact": _compact,
     "stats": _stats,
+    "scrub": _scrub,
 }
 
 

@@ -85,10 +85,14 @@ def storage_health(state_dir) -> dict:
     if not state.is_dir():
         raise ServiceError(f"{state}: not a state directory")
     base = state / LOG_NAME
-    sealed, active_seq, active_base = _load_manifest(base)
+    sealed, active_seq, active_base, quarantined = _load_manifest(base)
     active_path = _segment_path(base, active_seq)
+    torn_tail_bytes = 0
     if active_path.exists():
-        active_frames, active_bytes, _torn = scan_frames(active_path)
+        active_frames, active_bytes, torn = scan_frames(active_path)
+        if torn:
+            # Counted out but not truncated: inspection never mutates.
+            torn_tail_bytes = active_path.stat().st_size - active_bytes
     else:
         active_frames, active_bytes = 0, 0
     segments = [
@@ -110,6 +114,18 @@ def storage_health(state_dir) -> dict:
             ),
             "n_segments": len(segments),
             "total_bytes": int(sum(s.n_bytes for s in segments)),
+            "torn_tail_bytes": int(torn_tail_bytes),
+            "quarantined": [
+                {
+                    "seq": int(s.seq),
+                    "base_frame": int(s.base_frame),
+                    "frames": int(s.n_frames),
+                    "bytes": int(s.n_bytes),
+                    "reason": quarantined[s.seq],
+                }
+                for s in sealed
+                if s.seq in quarantined
+            ],
             "segments": [
                 {
                     "seq": int(s.seq),

@@ -55,19 +55,27 @@ same frames.
 
 from __future__ import annotations
 
+import errno
 import io
 import json
 import os
 import re
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Mapping
+from typing import Callable, Iterator, List, Mapping
 
 import numpy as np
 
-from repro.exceptions import ServiceError
+from repro.exceptions import (
+    SegmentQuarantinedError,
+    ServiceError,
+    StorageFullError,
+    TransientIOError,
+)
+from repro.faults.plane import get_plane
 from repro.obs.registry import get_registry
 from repro.obs.tracing import trace
 
@@ -77,7 +85,9 @@ __all__ = [
     "CHECKPOINT_NPZ",
     "CHECKPOINT_JSON",
     "SERVICE_META",
+    "QUARANTINE_SUFFIX",
     "DEFAULT_SEGMENT_BYTES",
+    "RetryPolicy",
     "SegmentInfo",
     "FrameWriter",
     "read_frames",
@@ -96,6 +106,10 @@ MANIFEST_SUFFIX = ".manifest.json"
 CHECKPOINT_NPZ = "checkpoint.npz"
 CHECKPOINT_JSON = "checkpoint.json"
 SERVICE_META = "service.json"
+
+#: Suffix a corrupt sealed segment is renamed aside with when its
+#: frames are covered by a durable checkpoint (see ``IngestionLog``).
+QUARANTINE_SUFFIX = ".quarantined"
 
 #: Rotation threshold of the active segment. Restart cost is
 #: O(#segments + tail): large enough that a long-lived log stays a
@@ -121,11 +135,50 @@ def _crash_point(label: str) -> None:
     """
 
 
+#: errno values that mean "the device has no room", not "the operation
+#: glitched": retrying cannot help until an operator frees space.
+_STORAGE_FULL_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT, errno.EFBIG})
+
+
+def _storage_error(exc: OSError, context: str) -> ServiceError:
+    """Map an ``OSError`` into the typed storage-failure taxonomy.
+
+    Out-of-space errnos become :class:`StorageFullError` (permanent
+    until an operator intervenes — retrying is pointless); everything
+    else becomes :class:`TransientIOError` (the caller may have retried
+    already; the type records that retrying *could* have helped).
+    """
+    if exc.errno in _STORAGE_FULL_ERRNOS:
+        return StorageFullError(f"{context}: device full ({exc})")
+    return TransientIOError(f"{context}: {exc}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient append failures.
+
+    Storage-full errors are never retried (the device will not drain
+    itself between attempts); everything else gets ``attempts`` tries
+    with delays ``backoff_seconds * 2**k``. ``sleep`` is injectable so
+    tests run the schedule without wall-clock waits.
+    """
+
+    attempts: int = 3
+    backoff_seconds: float = 0.01
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ServiceError(
+                f"retry attempts must be >= 1, got {self.attempts}"
+            )
+
+
 def _fsync_dir(directory: Path) -> None:
     """Persist a directory's entries (the second half of a durable rename)."""
     handle = os.open(directory, os.O_RDONLY)
     try:
-        os.fsync(handle)
+        get_plane().fsync(handle, path=directory)
     finally:
         os.close(handle)
 
@@ -140,7 +193,7 @@ def _replace_durably(tmp: Path, final: Path) -> None:
     # Callers fsync tmp's bytes before handing it over (see the
     # checkpoint/manifest writers); this helper owns only the rename and
     # the directory sync.
-    os.replace(tmp, final)  # repro-lint: ignore[RPL301]
+    get_plane().replace(tmp, final)
     _fsync_dir(final.parent)
 
 
@@ -148,56 +201,64 @@ def _replace_durably(tmp: Path, final: Path) -> None:
 # Length-prefixed frame container (report files and the ingestion log)
 # ----------------------------------------------------------------------
 class FrameWriter:
-    """Append length-prefixed frames to a binary file."""
+    """Append length-prefixed frames to a binary file.
+
+    Opened unbuffered: every :meth:`write` is the actual ``write``
+    syscall, not a Python-level buffer fill, so write boundaries are
+    real — the ambient I/O plane mediates them one-to-one, and a torn
+    or failed write leaves the file exactly where the kernel left it
+    (which the journal's rollback then truncates away).
+    """
 
     def __init__(self, path, *, append: bool = False):
         self._path = Path(path)
-        self._handle = open(self._path, "ab" if append else "wb")
+        self._handle = open(self._path, "ab" if append else "wb", buffering=0)
         self._dirty = False
 
     def write(self, frame: bytes) -> None:
+        # Length prefix and payload go down as ONE buffer: a frame
+        # costs a single syscall (unbuffered handles don't coalesce),
+        # and a torn write cannot separate a prefix from its payload.
         if not frame:
             raise ServiceError("refusing to write an empty frame")
-        self._handle.write(_LENGTH.pack(len(frame)))
-        self._handle.write(frame)
+        get_plane().write(self._handle, _LENGTH.pack(len(frame)) + frame)
         self._dirty = True
 
     def write_many(self, frames) -> int:
-        """Append a batch of frames as one contiguous buffered write.
+        """Append a batch of frames as one contiguous write.
 
         The group-commit building block: the length-prefixed entries
         are joined in memory and handed to the OS in a single
-        ``write``, so a batch costs one syscall instead of two per
+        ``write``, so a batch costs one syscall instead of one per
         frame. Durability still requires a :meth:`sync`.
         """
         frames = list(frames)
         if any(not frame for frame in frames):
             raise ServiceError("refusing to write an empty frame")
         if frames:
-            self._handle.write(
+            get_plane().write(
+                self._handle,
                 b"".join(
                     _LENGTH.pack(len(frame)) + frame for frame in frames
-                )
+                ),
             )
             self._dirty = True
         return len(frames)
 
     def sync(self) -> None:
-        """Flush to the OS and fsync — the durability point of a frame.
+        """Fsync — the durability point of a frame.
 
         A no-op when nothing was written since the last sync, so read
         paths that sync defensively (e.g. replay) don't pay an fsync
         on an already-clean log.
         """
-        if not self._dirty:
+        if not self._dirty or self._handle.closed:
             return
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        get_plane().fsync(self._handle.fileno(), path=self._path)
         self._dirty = False
 
     def close(self) -> None:
         if not self._handle.closed:
-            self._handle.flush()
             self._handle.close()
 
     def __enter__(self) -> "FrameWriter":
@@ -213,9 +274,10 @@ def _iter_entries(path, handle) -> Iterator[bytes]:
     A torn final entry ends iteration by raising ``_TornTail`` carrying
     the good length, so callers choose between repair and refusal.
     """
+    plane = get_plane()
     good = 0
     while True:
-        head = handle.read(_LENGTH.size)
+        head = plane.read(handle, _LENGTH.size)
         if not head:
             return
         if len(head) < _LENGTH.size:
@@ -226,7 +288,7 @@ def _iter_entries(path, handle) -> Iterator[bytes]:
                 f"{path}: zero-length frame at offset {good}; "
                 "container corrupted"
             )
-        frame = handle.read(length)
+        frame = plane.read(handle, length)
         if len(frame) < length:
             raise _TornTail(good)
         good += _LENGTH.size + length
@@ -241,8 +303,9 @@ def _skip_entries(path, handle, count: int) -> None:
     complete (manifest-counted or already scanned), so a short read
     here means the file changed underneath us.
     """
+    plane = get_plane()
     for _ in range(count):
-        head = handle.read(_LENGTH.size)
+        head = plane.read(handle, _LENGTH.size)
         if len(head) < _LENGTH.size:
             raise ServiceError(
                 f"{path}: frame container shorter than its recorded "
@@ -275,13 +338,14 @@ def scan_frames(path) -> "tuple[int, int, bool]":
     scanning costs O(n_frames) small reads regardless of file size —
     use :func:`read_frames` to stream the frame contents.
     """
+    plane = get_plane()
     size = os.path.getsize(path)
     n_frames = 0
     good = 0
     torn = False
     with open(path, "rb") as handle:
         while True:
-            head = handle.read(_LENGTH.size)
+            head = plane.read(handle, _LENGTH.size)
             if not head:
                 break
             if len(head) < _LENGTH.size:
@@ -368,19 +432,28 @@ def log_exists(path) -> bool:
     return base.exists() and base.stat().st_size > 0
 
 
-def _load_manifest(base: Path) -> "tuple[List[SegmentInfo], int, int]":
+def _load_manifest(
+    base: Path,
+) -> "tuple[List[SegmentInfo], int, int, dict]":
     """Sealed segments + the active segment's (seq, base frame).
 
     A missing manifest is the never-rotated (or pre-segmentation)
     layout: no sealed segments, active segment 0 starting at frame 0.
+    The fourth element maps sealed-segment seq to the quarantine reason
+    for segments whose files were found corrupt and renamed aside —
+    they stay in the sealed list (so frame accounting and contiguity
+    validation are unchanged) but must never be read.
     """
     path = _manifest_path(base)
     if not path.exists():
-        return [], 0, 0
+        return [], 0, 0, {}
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
+        payload = json.loads(get_plane().read_bytes(path).decode("utf-8"))
+    except ValueError as exc:
+        # JSONDecodeError or (bit rot) UnicodeDecodeError alike.
         raise ServiceError(f"{path}: corrupt manifest: {exc}") from None
+    except OSError as exc:
+        raise _storage_error(exc, f"{path}: manifest read failed") from exc
     if payload.get("version") != _MANIFEST_VERSION:
         raise ServiceError(
             f"unsupported log manifest version {payload.get('version')!r}"
@@ -397,6 +470,11 @@ def _load_manifest(base: Path) -> "tuple[List[SegmentInfo], int, int]":
             )
             for entry in payload["segments"]
         ]
+        quarantined = {
+            int(entry["seq"]): str(entry["quarantined"])
+            for entry in payload["segments"]
+            if "quarantined" in entry
+        }
     except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"{path}: malformed manifest: {exc!r}") from None
     expected_seq, expected_base = None, None
@@ -417,33 +495,43 @@ def _load_manifest(base: Path) -> "tuple[List[SegmentInfo], int, int]":
             f"{path}: manifest next_base_frame does not continue the "
             "last sealed segment"
         )
-    return sealed, next_seq, next_base
+    return sealed, next_seq, next_base, quarantined
 
 
 def _save_manifest(
-    base: Path, sealed: List[SegmentInfo], next_seq: int, next_base: int
+    base: Path,
+    sealed: List[SegmentInfo],
+    next_seq: int,
+    next_base: int,
+    quarantined: "Mapping | None" = None,
 ) -> None:
     """Durably replace the manifest (tmp + fsync + rename + dir fsync)."""
     path = _manifest_path(base)
+    quarantined = quarantined or {}
+    segments = []
+    for segment in sealed:
+        entry = {
+            "seq": segment.seq,
+            "base_frame": segment.base_frame,
+            "frames": segment.n_frames,
+            "bytes": segment.n_bytes,
+        }
+        if segment.seq in quarantined:
+            entry["quarantined"] = quarantined[segment.seq]
+        segments.append(entry)
     payload = {
         "version": _MANIFEST_VERSION,
         "next_seq": next_seq,
         "next_base_frame": next_base,
-        "segments": [
-            {
-                "seq": segment.seq,
-                "base_frame": segment.base_frame,
-                "frames": segment.n_frames,
-                "bytes": segment.n_bytes,
-            }
-            for segment in sealed
-        ],
+        "segments": segments,
     }
+    plane = get_plane()
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.flush()
-        os.fsync(handle.fileno())
+    with open(tmp, "wb", buffering=0) as handle:
+        plane.write(
+            handle, json.dumps(payload, indent=2).encode("utf-8")
+        )
+        plane.fsync(handle.fileno(), path=tmp)
     _replace_durably(tmp, path)
 
 
@@ -460,8 +548,26 @@ class IngestionLog:
     validated by size against the manifest, only the active tail is
     scanned (seeking over payloads), and a torn final entry there
     (crash mid-append) is truncated away so new appends extend a clean
-    tail. Orphan segment files from an interrupted compaction are
+    tail. Orphan segment files from an interrupted compaction — and
+    orphan ``*.tmp`` files from an interrupted durable replace — are
     deleted.
+
+    ``covered_frames`` is the frame count of the latest durable
+    checkpoint (0 without one). It gates corruption handling: a
+    damaged sealed segment whose frames the checkpoint covers is
+    *quarantined* (renamed aside with :data:`QUARANTINE_SUFFIX`,
+    recorded in the manifest) and opening proceeds — those frames live
+    on in the checkpoint counts. A damaged segment the checkpoint does
+    NOT cover would mean silently dropping acknowledged counts, so
+    opening refuses with
+    :class:`~repro.exceptions.SegmentQuarantinedError` instead.
+
+    Append failures roll the partial tail back to the last
+    acknowledged byte and surface as
+    :class:`~repro.exceptions.StorageFullError` (device full) or
+    :class:`~repro.exceptions.TransientIOError` (anything else, after
+    ``retry`` bounded backoff) — never a raw ``OSError``, never a
+    silently shortened log.
     """
 
     def __init__(
@@ -470,50 +576,96 @@ class IngestionLog:
         *,
         segment_bytes: "int | None" = None,
         metrics=None,
+        covered_frames: int = 0,
+        retry: "RetryPolicy | None" = None,
     ):
         if segment_bytes is not None and segment_bytes < 1:
             raise ServiceError(
                 f"segment_bytes must be >= 1, got {segment_bytes}"
             )
+        if covered_frames < 0:
+            raise ServiceError(
+                f"covered_frames must be >= 0, got {covered_frames}"
+            )
         self._base = Path(path)
         self._dir = self._base.parent
         self._segment_bytes = segment_bytes
+        self._retry = RetryPolicy() if retry is None else retry
+        #: Set when a rollback or rotation failed in a way that may
+        #: desync in-memory bookkeeping from disk; writes refuse until
+        #: the log is reopened (reopen re-scans and self-heals).
+        self._broken = False
+        #: Bytes of torn tail truncated at open (0 on a clean open).
+        self.torn_tail_bytes = 0
+        #: Orphan ``*.tmp`` files deleted at open.
+        self.tmp_swept = 0
         # Resolve instrument handles before the tail scan: opening may
         # already rotate (oversized tail after a crash) and rotation
         # counts. No-ops when the ambient registry is disabled.
         self._metrics = get_registry() if metrics is None else metrics
         self._c_append_frames = self._metrics.counter("journal.append.frames")
         self._c_append_bytes = self._metrics.counter("journal.append.bytes")
+        self._c_append_retries = self._metrics.counter(
+            "journal.append.retries"
+        )
+        self._c_rollbacks = self._metrics.counter("journal.rollbacks")
         self._c_rotations = self._metrics.counter("journal.rotations")
         self._c_segments_retired = self._metrics.counter(
             "journal.segments_retired"
         )
         self._c_bytes_retired = self._metrics.counter("journal.bytes_retired")
         self._c_replay_frames = self._metrics.counter("journal.replay.frames")
-        self._sp_append_many = trace("journal.append_many", self._metrics)
-        self._sealed, self._active_seq, self._active_base = _load_manifest(
-            self._base
+        self._c_torn_events = self._metrics.counter("journal.torn_tail.events")
+        self._c_torn_bytes = self._metrics.counter("journal.torn_tail.bytes")
+        self._c_quarantined = self._metrics.counter(
+            "journal.segments_quarantined"
         )
-        for segment in self._sealed:
+        self._c_tmp_swept = self._metrics.counter("journal.tmp_swept")
+        self._sp_append_many = trace("journal.append_many", self._metrics)
+        try:
+            self._open(covered_frames)
+        except OSError as exc:
+            # Typed-failure contract: opening never leaks a raw OSError.
+            raise _storage_error(
+                exc, f"{self._base}: opening journal failed"
+            ) from exc
+
+    def _open(self, covered_frames: int) -> None:
+        (
+            self._sealed,
+            self._active_seq,
+            self._active_base,
+            self._quarantined,
+        ) = _load_manifest(self._base)
+        for segment in list(self._sealed):
+            if segment.seq in self._quarantined:
+                continue  # already renamed aside; nothing to validate
             seg_path = _segment_path(self._base, segment.seq)
-            if (
-                not seg_path.exists()
-                or seg_path.stat().st_size != segment.n_bytes
-            ):
-                raise ServiceError(
-                    f"{seg_path}: sealed segment missing or resized "
-                    f"(manifest records {segment.n_bytes} bytes); the "
-                    "log was modified outside this process"
+            if not seg_path.exists():
+                self._quarantine(segment, covered_frames, "file missing")
+            elif seg_path.stat().st_size != segment.n_bytes:
+                self._quarantine(
+                    segment,
+                    covered_frames,
+                    f"resized to {seg_path.stat().st_size} bytes "
+                    f"(manifest records {segment.n_bytes})",
                 )
         self._remove_orphans()
+        self._sweep_tmp_files()
+        plane = get_plane()
         active = _segment_path(self._base, self._active_seq)
         if active.exists():
             self._active_frames, self._active_bytes, torn = scan_frames(
                 active
             )
             if torn:
+                dropped = os.path.getsize(active) - self._active_bytes
                 with open(active, "r+b") as handle:
-                    handle.truncate(self._active_bytes)
+                    plane.truncate(handle, self._active_bytes)
+                    plane.fsync(handle.fileno(), path=active)
+                self.torn_tail_bytes = dropped
+                self._c_torn_events.inc()
+                self._c_torn_bytes.inc(dropped)
         else:
             # Either a fresh log or a crash between sealing the last
             # segment and creating its successor — an empty tail both
@@ -528,6 +680,44 @@ class IngestionLog:
         # bounded no matter where the last run stopped.
         self._maybe_rotate()
 
+    def _quarantine(
+        self, segment: SegmentInfo, covered_frames: int, reason: str
+    ) -> None:
+        """Set a damaged sealed segment aside — or refuse to open.
+
+        Only frames a durable checkpoint covers may be quarantined:
+        they survive in the checkpoint counts, so recovery stays
+        byte-identical without ever reading the damaged file. Frames
+        past the checkpoint exist nowhere else — quarantining them
+        would silently drop acknowledged counts, so opening refuses
+        with a typed error and leaves the directory untouched for
+        forensics. The rename happens before the manifest record; a
+        crash in between re-enters here as ``file missing`` on the
+        next open and completes the record.
+        """
+        seg_path = _segment_path(self._base, segment.seq)
+        if segment.end_frame > covered_frames:
+            raise SegmentQuarantinedError(
+                f"{seg_path}: sealed segment is damaged ({reason}) and "
+                f"frames [{segment.base_frame}, {segment.end_frame}) are "
+                f"not covered by a durable checkpoint (covers "
+                f"{covered_frames} frames); refusing to open rather than "
+                "silently dropping acknowledged counts"
+            )
+        if seg_path.exists():
+            aside = seg_path.with_name(seg_path.name + QUARANTINE_SUFFIX)
+            get_plane().replace(seg_path, aside)
+            _fsync_dir(self._dir)
+        self._quarantined[segment.seq] = reason
+        _save_manifest(
+            self._base,
+            self._sealed,
+            self._active_seq,
+            self._active_base,
+            self._quarantined,
+        )
+        self._c_quarantined.inc()
+
     def _remove_orphans(self) -> None:
         """Delete segment files the manifest no longer owns.
 
@@ -535,8 +725,10 @@ class IngestionLog:
         leaves retired files behind; finishing the deletion here keeps
         the disk bound. A segment file *newer* than the manifest's
         active sequence cannot exist by the rotation ordering, so it is
-        outside interference and refused.
+        outside interference and refused. Quarantined ``.quarantined``
+        files are not segment files and are left alone.
         """
+        plane = get_plane()
         retained = {segment.seq for segment in self._sealed}
         retained.add(self._active_seq)
         for candidate in self._dir.glob(self._base.name + ".*"):
@@ -552,9 +744,30 @@ class IngestionLog:
                     "active segment; the log was modified outside this "
                     "process"
                 )
-            candidate.unlink()
+            plane.unlink(candidate)
         if 0 not in retained and self._base.exists():
-            self._base.unlink()
+            plane.unlink(self._base)
+
+    def _sweep_tmp_files(self) -> None:
+        """Delete orphan ``*.tmp`` files from interrupted replaces.
+
+        Every durable replace in this module writes ``<final>.tmp``
+        first; a crash between the tmp write and the rename strands
+        the tmp file. Only the module's own tmp names are swept —
+        unrelated files in a shared directory are never touched.
+        """
+        plane = get_plane()
+        for name in (
+            _manifest_path(self._base).name + ".tmp",
+            CHECKPOINT_NPZ + ".tmp",
+            CHECKPOINT_JSON + ".tmp",
+            SERVICE_META + ".tmp",
+        ):
+            candidate = self._dir / name
+            if candidate.exists():
+                plane.unlink(candidate)
+                self.tmp_swept += 1
+                self._c_tmp_swept.inc()
 
     # ------------------------------------------------------------------
     @property
@@ -587,6 +800,26 @@ class IngestionLog:
     def n_segments(self) -> int:
         return len(self._sealed) + 1
 
+    @property
+    def quarantined(self) -> "List[dict]":
+        """Audit records of quarantined sealed segments, in log order.
+
+        Each record carries the segment's identity and frame range
+        (the frames live on in checkpoint counts, never on disk) plus
+        the reason it was set aside.
+        """
+        return [
+            {
+                "seq": segment.seq,
+                "base_frame": segment.base_frame,
+                "frames": segment.n_frames,
+                "bytes": segment.n_bytes,
+                "reason": self._quarantined[segment.seq],
+            }
+            for segment in self._sealed
+            if segment.seq in self._quarantined
+        ]
+
     def _active_info(self) -> SegmentInfo:
         return SegmentInfo(
             seq=self._active_seq,
@@ -596,10 +829,78 @@ class IngestionLog:
         )
 
     # ------------------------------------------------------------------
+    def _commit(self, frames: "List[bytes]") -> None:
+        """Write + fsync ``frames`` with rollback and bounded retries.
+
+        On any ``OSError`` the partial tail is rolled back to the last
+        acknowledged byte, so the on-disk log is identical whether the
+        attempt never happened or is about to be retried. Storage-full
+        errors surface immediately (the device will not drain itself);
+        transients get the retry schedule, then surface typed. Either
+        way the caller sees the log exactly as acknowledged — no raw
+        ``OSError`` and no silent partial frame, ever.
+        """
+        if self._broken:
+            raise TransientIOError(
+                f"{self._base}: journal writer disabled after an "
+                "unrecoverable I/O failure; reopen the log to recover"
+            )
+        delay = self._retry.backoff_seconds
+        for attempt in range(self._retry.attempts):
+            try:
+                if len(frames) == 1:
+                    self._writer.write(frames[0])
+                else:
+                    self._writer.write_many(frames)
+                self._writer.sync()
+                return
+            except OSError as exc:
+                mapped = _storage_error(exc, f"{self._base}: append failed")
+                self._rollback()
+                if (
+                    isinstance(mapped, StorageFullError)
+                    or attempt == self._retry.attempts - 1
+                ):
+                    raise mapped from exc
+                self._c_append_retries.inc()
+                self._retry.sleep(delay)
+                delay *= 2
+
+    def _rollback(self) -> None:
+        """Truncate the active segment back to the acknowledged prefix.
+
+        A failed or torn append may have persisted any prefix of the
+        attempted bytes past ``_active_bytes`` (everything before that
+        offset was fsynced and acknowledged). Truncating restores the
+        exact acknowledged log, so a retry — or a typed refusal — is
+        indistinguishable on disk from the fault never happening. If
+        the rollback itself fails, the writer is marked broken (disk
+        and bookkeeping may disagree) and only a reopen, which rescans
+        and re-truncates, can resume writing.
+        """
+        try:
+            self._writer.close()
+        except OSError:
+            pass
+        active = _segment_path(self._base, self._active_seq)
+        plane = get_plane()
+        try:
+            with open(active, "r+b") as handle:
+                plane.truncate(handle, self._active_bytes)
+                plane.fsync(handle.fileno(), path=active)
+            self._writer = FrameWriter(active, append=True)
+        except OSError as exc:
+            self._broken = True
+            raise _storage_error(
+                exc, f"{active}: rollback after a failed append also failed"
+            ) from exc
+        self._c_rollbacks.inc()
+
     def append(self, frame: bytes) -> int:
         """Durably append one frame; returns its global log index."""
-        self._writer.write(frame)
-        self._writer.sync()
+        if not frame:
+            raise ServiceError("refusing to write an empty frame")
+        self._commit([frame])
         index = self.n_frames
         self._active_frames += 1
         entry_bytes = _LENGTH.size + len(frame)
@@ -612,7 +913,7 @@ class IngestionLog:
     def append_many(self, frames) -> range:
         """Group-commit: durably append a batch under a single fsync.
 
-        All frames go down in one buffered write followed by one
+        All frames go down in one contiguous write followed by one
         ``fsync`` — the whole batch becomes durable (and acknowledged)
         together. A crash mid-commit can leave a prefix of the batch,
         or a torn final entry, on disk; neither was acknowledged, and
@@ -626,9 +927,10 @@ class IngestionLog:
         start = self.n_frames
         if not frames:
             return range(start, start)
+        if any(not frame for frame in frames):
+            raise ServiceError("refusing to write an empty frame")
         with self._sp_append_many:
-            self._writer.write_many(frames)
-            self._writer.sync()
+            self._commit(frames)
         self._active_frames += len(frames)
         batch_bytes = sum(_LENGTH.size + len(frame) for frame in frames)
         self._active_bytes += batch_bytes
@@ -654,26 +956,42 @@ class IngestionLog:
         tail that reopen re-seals; a crash after it leaves a manifest
         whose active segment does not exist yet, which reopen creates
         empty. Frames are never moved or rewritten.
+
+        An I/O failure mid-rotation may leave in-memory bookkeeping
+        ahead of disk, so it marks the writer broken (appends refuse)
+        and surfaces typed; every already-appended frame is durable,
+        and reopening re-runs the interrupted rotation from the disk
+        state.
         """
-        with trace("journal.rotate", self._metrics):
-            _crash_point("rotate:before-seal")
-            self._writer.sync()
-            self._writer.close()
-            _crash_point("rotate:sealed")
-            self._sealed.append(self._active_info())
-            self._active_seq += 1
-            self._active_base = self._sealed[-1].end_frame
-            self._active_frames = 0
-            self._active_bytes = 0
-            _save_manifest(
-                self._base, self._sealed, self._active_seq, self._active_base
-            )
-            _crash_point("rotate:manifest-written")
-            active = _segment_path(self._base, self._active_seq)
-            active.touch()
-            _fsync_dir(self._dir)
-            _crash_point("rotate:active-created")
-            self._writer = FrameWriter(active, append=True)
+        try:
+            with trace("journal.rotate", self._metrics):
+                _crash_point("rotate:before-seal")
+                self._writer.sync()
+                self._writer.close()
+                _crash_point("rotate:sealed")
+                self._sealed.append(self._active_info())
+                self._active_seq += 1
+                self._active_base = self._sealed[-1].end_frame
+                self._active_frames = 0
+                self._active_bytes = 0
+                _save_manifest(
+                    self._base,
+                    self._sealed,
+                    self._active_seq,
+                    self._active_base,
+                    self._quarantined,
+                )
+                _crash_point("rotate:manifest-written")
+                active = _segment_path(self._base, self._active_seq)
+                active.touch()
+                _fsync_dir(self._dir)
+                _crash_point("rotate:active-created")
+                self._writer = FrameWriter(active, append=True)
+        except OSError as exc:
+            self._broken = True
+            raise _storage_error(
+                exc, f"{self._base}: segment rotation failed"
+            ) from exc
         self._c_rotations.inc()
 
     # ------------------------------------------------------------------
@@ -700,23 +1018,44 @@ class IngestionLog:
         ]
         if not retirable:
             return 0, 0
-        with trace("journal.retire", self._metrics):
-            _crash_point("retire:before-manifest")
-            self._sealed = self._sealed[len(retirable):]
-            _save_manifest(
-                self._base, self._sealed, self._active_seq, self._active_base
-            )
-            _crash_point("retire:manifest-written")
-            freed = 0
-            for segment in retirable:
-                seg_path = _segment_path(self._base, segment.seq)
-                try:
-                    seg_path.unlink()
-                except FileNotFoundError:
-                    pass
-                freed += segment.n_bytes
-                _crash_point("retire:unlinked-one")
-            _fsync_dir(self._dir)
+        try:
+            with trace("journal.retire", self._metrics):
+                _crash_point("retire:before-manifest")
+                self._sealed = self._sealed[len(retirable):]
+                retired_quarantine = {
+                    segment.seq for segment in retirable
+                } & set(self._quarantined)
+                for seq in retired_quarantine:
+                    del self._quarantined[seq]
+                _save_manifest(
+                    self._base,
+                    self._sealed,
+                    self._active_seq,
+                    self._active_base,
+                    self._quarantined,
+                )
+                _crash_point("retire:manifest-written")
+                plane = get_plane()
+                freed = 0
+                for segment in retirable:
+                    seg_path = _segment_path(self._base, segment.seq)
+                    if segment.seq in retired_quarantine:
+                        # The damaged file lives under the aside name.
+                        seg_path = seg_path.with_name(
+                            seg_path.name + QUARANTINE_SUFFIX
+                        )
+                    try:
+                        plane.unlink(seg_path)
+                    except FileNotFoundError:
+                        pass
+                    freed += segment.n_bytes
+                    _crash_point("retire:unlinked-one")
+                _fsync_dir(self._dir)
+        except OSError as exc:
+            self._broken = True
+            raise _storage_error(
+                exc, f"{self._base}: compaction failed"
+            ) from exc
         self._c_segments_retired.inc(len(retirable))
         self._c_bytes_retired.inc(freed)
         return len(retirable), freed
@@ -750,18 +1089,38 @@ class IngestionLog:
             if segment.end_frame <= start or segment.n_frames == 0:
                 continue
             path = _segment_path(self._base, segment.seq)
+            if segment.seq in self._quarantined:
+                raise SegmentQuarantinedError(
+                    f"{path}: frames [{segment.base_frame}, "
+                    f"{segment.end_frame}) were quarantined "
+                    f"({self._quarantined[segment.seq]}); replay from "
+                    f"{start} would cross them — recover from the "
+                    "checkpoint that covers them instead"
+                )
             skip = max(0, start - segment.base_frame)
-            with open(path, "rb") as handle:
-                _skip_entries(path, handle, skip)
-                try:
-                    for frame in _iter_entries(path, handle):
-                        self._c_replay_frames.inc()
-                        yield frame
-                except _TornTail:
-                    raise ServiceError(
-                        f"{path}: torn entry in an open log; the file "
-                        "was modified outside this process"
-                    ) from None
+            try:
+                with open(path, "rb") as handle:
+                    _skip_entries(path, handle, skip)
+                    try:
+                        for frame in _iter_entries(path, handle):
+                            self._c_replay_frames.inc()
+                            yield frame
+                    except _TornTail:
+                        if segment.seq != self._active_seq:
+                            raise SegmentQuarantinedError(
+                                f"{path}: torn entry inside a sealed "
+                                "segment; its frames are corrupt on "
+                                "disk and not recoverable from the "
+                                "log alone"
+                            ) from None
+                        raise ServiceError(
+                            f"{path}: torn entry in an open log; the "
+                            "file was modified outside this process"
+                        ) from None
+            except OSError as exc:
+                raise _storage_error(
+                    exc, f"{path}: replay read failed"
+                ) from exc
 
     def close(self) -> None:
         self._writer.close()
@@ -826,11 +1185,6 @@ def save_checkpoint(
     buffer = io.BytesIO()
     np.savez(buffer, **arrays)
     raw = buffer.getvalue()
-    npz_tmp = state / (CHECKPOINT_NPZ + ".tmp")
-    with open(npz_tmp, "wb") as handle:
-        handle.write(raw)
-        handle.flush()
-        os.fsync(handle.fileno())
     npz_crc = zlib.crc32(raw)
     sidecar = {
         "version": _CHECKPOINT_VERSION,
@@ -842,19 +1196,31 @@ def save_checkpoint(
         },
         "npz_crc32": npz_crc,
     }
+    plane = get_plane()
+    npz_tmp = state / (CHECKPOINT_NPZ + ".tmp")
     json_tmp = state / (CHECKPOINT_JSON + ".tmp")
-    with open(json_tmp, "w", encoding="utf-8") as handle:
-        json.dump(sidecar, handle, indent=2)
-        handle.flush()
-        os.fsync(handle.fileno())
-    # Both file bodies are already fsynced; rename the pair and persist
-    # the directory entries with ONE fsync. A crash between the two
-    # renames leaves a mixed pair, which the sidecar's npz CRC detects
-    # at load time — the same guarantee two directory fsyncs gave, at
-    # half the cost on the checkpoint hot path.
-    os.replace(npz_tmp, state / CHECKPOINT_NPZ)
-    os.replace(json_tmp, state / CHECKPOINT_JSON)
-    _fsync_dir(state)
+    try:
+        with open(npz_tmp, "wb", buffering=0) as handle:
+            plane.write(handle, raw)
+            plane.fsync(handle.fileno(), path=npz_tmp)
+        with open(json_tmp, "wb", buffering=0) as handle:
+            plane.write(
+                handle, json.dumps(sidecar, indent=2).encode("utf-8")
+            )
+            plane.fsync(handle.fileno(), path=json_tmp)
+        # Both file bodies are already fsynced; rename the pair and
+        # persist the directory entries with ONE fsync. A crash between
+        # the two renames leaves a mixed pair, which the sidecar's npz
+        # CRC detects at load time — the same guarantee two directory
+        # fsyncs gave, at half the cost on the checkpoint hot path.
+        plane.replace(npz_tmp, state / CHECKPOINT_NPZ)
+        plane.replace(json_tmp, state / CHECKPOINT_JSON)
+        _fsync_dir(state)
+    except OSError as exc:
+        # A failed checkpoint never damages the previous pair: final
+        # names only change via the atomic replaces above, and a
+        # stranded tmp file is swept on the next journal open.
+        raise _storage_error(exc, f"{state}: checkpoint write failed") from exc
 
 
 def load_checkpoint(state_dir) -> "Checkpoint | None":
@@ -869,15 +1235,26 @@ def load_checkpoint(state_dir) -> "Checkpoint | None":
             f"{state}: checkpoint sidecar present but {CHECKPOINT_NPZ} "
             "missing; checkpoint is unusable"
         )
+    plane = get_plane()
     try:
-        sidecar = json.loads(json_path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
+        sidecar = json.loads(plane.read_bytes(json_path).decode("utf-8"))
+    except ValueError as exc:
+        # JSONDecodeError, or UnicodeDecodeError from bit rot.
         raise ServiceError(f"{json_path}: corrupt sidecar: {exc}") from None
+    except OSError as exc:
+        raise _storage_error(
+            exc, f"{json_path}: checkpoint read failed"
+        ) from exc
     if sidecar.get("version") != _CHECKPOINT_VERSION:
         raise ServiceError(
             f"unsupported checkpoint version {sidecar.get('version')!r}"
         )
-    raw = npz_path.read_bytes()
+    try:
+        raw = plane.read_bytes(npz_path)
+    except OSError as exc:
+        raise _storage_error(
+            exc, f"{npz_path}: checkpoint read failed"
+        ) from exc
     if zlib.crc32(raw) != sidecar["npz_crc32"]:
         raise ServiceError(
             f"{npz_path}: CRC mismatch against sidecar; the checkpoint "
@@ -917,12 +1294,19 @@ def save_service_meta(state_dir, *, schema_fp: int, matrix_fps: Mapping) -> None
         "schema_fingerprint": int(schema_fp),
         "matrix_fingerprints": dict(matrix_fps),
     }
+    plane = get_plane()
     tmp = state / (SERVICE_META + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.flush()
-        os.fsync(handle.fileno())
-    _replace_durably(tmp, state / SERVICE_META)
+    try:
+        with open(tmp, "wb", buffering=0) as handle:
+            plane.write(
+                handle, json.dumps(payload, indent=2).encode("utf-8")
+            )
+            plane.fsync(handle.fileno(), path=tmp)
+        _replace_durably(tmp, state / SERVICE_META)
+    except OSError as exc:
+        raise _storage_error(
+            exc, f"{state}: service meta write failed"
+        ) from exc
 
 
 def load_service_meta(state_dir) -> "dict | None":
@@ -931,9 +1315,13 @@ def load_service_meta(state_dir) -> "dict | None":
     if not path.exists():
         return None
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
+        payload = json.loads(get_plane().read_bytes(path).decode("utf-8"))
+    except ValueError as exc:
         raise ServiceError(f"{path}: corrupt service meta: {exc}") from None
+    except OSError as exc:
+        raise _storage_error(
+            exc, f"{path}: service meta read failed"
+        ) from exc
     if payload.get("version") != _META_VERSION:
         raise ServiceError(
             f"unsupported service meta version {payload.get('version')!r}"

@@ -43,7 +43,11 @@ import numpy as np
 
 from repro.data.schema import Schema
 from repro.engine.collector import ShardedCollector
-from repro.exceptions import ServiceError
+from repro.exceptions import (
+    ServiceError,
+    StorageFullError,
+    TransientIOError,
+)
 from repro.obs import clock
 from repro.obs.health import HEALTH_VERSION
 from repro.obs.registry import get_registry
@@ -59,6 +63,7 @@ from repro.service.journal import (
     DEFAULT_SEGMENT_BYTES,
     IngestionLog,
     LOG_NAME,
+    RetryPolicy,
     load_checkpoint,
     load_service_meta,
     save_checkpoint,
@@ -244,6 +249,7 @@ class CollectorService:
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
         auto_compact: bool = False,
         metrics=None,
+        retry: "RetryPolicy | None" = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ServiceError(
@@ -293,11 +299,26 @@ class CollectorService:
             layout=layout,
             metrics=self._metrics.child() if self._metrics.enabled else None,
         )
+        self._degraded = False
+        self._degraded_reason: "str | None" = None
+        self._g_degraded = self._metrics.gauge("service.degraded")
+        self._g_degraded.set(0)
         self._check_or_pin_design()
+        # The checkpoint loads (and its fingerprints are validated)
+        # BEFORE the journal opens: its frame coverage is what licenses
+        # quarantining a corrupt sealed segment — frames a durable
+        # checkpoint covers survive in its counts, so the damaged file
+        # can be set aside; anything else must refuse. A foreign or
+        # unusable checkpoint therefore licenses nothing.
+        checkpoint = self._load_checkpoint_lenient()
         self._log = IngestionLog(
             self._state_dir / LOG_NAME,
             segment_bytes=segment_bytes,
             metrics=self._metrics,
+            covered_frames=(
+                checkpoint.frames_applied if checkpoint is not None else 0
+            ),
+            retry=retry,
         )
         self._frames_applied = 0
         self._frames_at_checkpoint = 0
@@ -305,7 +326,7 @@ class CollectorService:
         self._checkpoint_at: "float | None" = None
         self._opened_at = clock.monotonic()
         with trace("service.recover", self._metrics):
-            self._recover()
+            self._recover(checkpoint)
         self._c_recoveries.inc()
 
     # ------------------------------------------------------------------
@@ -322,6 +343,7 @@ class CollectorService:
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
         auto_compact: bool = False,
         metrics=None,
+        retry: "RetryPolicy | None" = None,
     ) -> "CollectorService":
         """Create fresh state or recover whatever ``state_dir`` holds."""
         return cls(
@@ -334,6 +356,7 @@ class CollectorService:
             segment_bytes=segment_bytes,
             auto_compact=auto_compact,
             metrics=metrics,
+            retry=retry,
         )
 
     @classmethod
@@ -347,6 +370,7 @@ class CollectorService:
         segment_bytes: "int | None" = DEFAULT_SEGMENT_BYTES,
         auto_compact: bool = False,
         metrics=None,
+        retry: "RetryPolicy | None" = None,
     ) -> "CollectorService":
         """Service matching any :class:`~repro.protocols.base.Protocol`.
 
@@ -366,6 +390,7 @@ class CollectorService:
             segment_bytes=segment_bytes,
             auto_compact=auto_compact,
             metrics=metrics,
+            retry=retry,
         )
 
     def _acquire_lock(self) -> None:
@@ -424,32 +449,30 @@ class CollectorService:
                 "mix counts across randomization channels"
             )
 
-    def _recover(self) -> None:
+    def _load_checkpoint_lenient(self) -> "object | None":
+        """The durable checkpoint, or ``None`` if absent or unusable.
+
+        Runs before the journal opens. A torn or corrupted checkpoint
+        pair is detected, not trusted — before any compaction the
+        write-ahead log is a superset of any checkpoint, so full
+        replay reconstructs identical state (whether that replay is
+        *possible* is checked in :meth:`_recover`, once the log knows
+        its first retained frame). Foreign fingerprints refuse here:
+        a checkpoint from another design must neither restore counts
+        nor license segment quarantine.
+        """
         try:
             checkpoint = load_checkpoint(self._state_dir)
+        except (StorageFullError, TransientIOError):
+            raise  # I/O failure, not corruption: nothing to fall back on
         except ServiceError as exc:
-            # A torn or corrupted checkpoint pair is detected, not
-            # trusted — and before any compaction the write-ahead log
-            # is a superset of any checkpoint, so full replay
-            # reconstructs identical state.
             warnings.warn(
                 f"discarding unusable checkpoint ({exc}); recovering by "
                 "full log replay",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            checkpoint = None
-        if checkpoint is None and self._log.first_retained_frame > 0:
-            # Compaction traded the log head for the checkpoint that
-            # covered it; without a usable checkpoint those frames are
-            # unreconstructable and partial counts would be silently
-            # wrong.
-            raise ServiceError(
-                f"log frames before {self._log.first_retained_frame} were "
-                "compacted away under a checkpoint that is now missing or "
-                "unusable; state directory is unrecoverable"
-            )
-        start = 0
+            return None
         if checkpoint is not None:
             if checkpoint.schema_fingerprint != self._schema_fp:
                 raise ServiceError(
@@ -462,6 +485,21 @@ class CollectorService:
                     "service's design; counts collected under a different "
                     "randomization matrix are not restorable"
                 )
+        return checkpoint
+
+    def _recover(self, checkpoint) -> None:
+        if checkpoint is None and self._log.first_retained_frame > 0:
+            # Compaction traded the log head for the checkpoint that
+            # covered it; without a usable checkpoint those frames are
+            # unreconstructable and partial counts would be silently
+            # wrong.
+            raise ServiceError(
+                f"log frames before {self._log.first_retained_frame} were "
+                "compacted away under a checkpoint that is now missing or "
+                "unusable; state directory is unrecoverable"
+            )
+        start = 0
+        if checkpoint is not None:
             if checkpoint.frames_applied > self._log.n_frames:
                 raise ServiceError(
                     f"checkpoint covers {checkpoint.frames_applied} frames "
@@ -542,16 +580,53 @@ class CollectorService:
         return self._collector.n_observed
 
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is read-only after a storage failure."""
+        return self._degraded
+
+    def _degrade(self, exc: ServiceError) -> None:
+        """Enter read-only degraded mode (sticky for this process).
+
+        A storage failure that survived rollback and retries means the
+        device, not the request, is the problem. Instead of crashing —
+        losing the recovered in-memory counts that queries can still
+        serve — the service refuses further writes and surfaces the
+        state in :meth:`health` and the ``service.degraded`` gauge.
+        Durability is not weakened: the failed append rolled back, so
+        the log still holds exactly the acknowledged frames, and a
+        reopen after the operator intervenes recovers byte-identically.
+        """
+        self._degraded = True
+        self._degraded_reason = str(exc)
+        self._g_degraded.set(1)
+
+    def _ensure_writable(self) -> None:
+        if self._degraded:
+            raise ServiceError(
+                "service is degraded (read-only) after a storage "
+                f"failure: {self._degraded_reason}; queries remain "
+                "available — fix the device and reopen to resume writes"
+            )
+
     def ingest_frame(self, frame: bytes) -> int:
         """Validate, durably log, and queue one wire frame.
 
         Returns the pipeline's pending-record count (backpressure
         signal). The frame is decoded *before* it is logged: a corrupt
-        or foreign frame is rejected without poisoning the log.
+        or foreign frame is rejected without poisoning the log. A
+        storage failure (device full, I/O errors beyond retry) rolls
+        the log back to the acknowledged prefix, flips the service
+        read-only (:attr:`degraded`), and re-raises typed.
         """
         with self._sp_ingest_frame:
+            self._ensure_writable()
             batch = self._layout.encode_records(self._codec.decode(frame))
-            self._log.append(frame)
+            try:
+                self._log.append(frame)
+            except (StorageFullError, TransientIOError) as exc:
+                self._degrade(exc)
+                raise
             self._frames_applied += 1
             self._c_ingest_frames.inc()
             self._c_ingest_records.inc(batch.shape[0])
@@ -649,10 +724,15 @@ class CollectorService:
     def _commit_window(self, frames: List[bytes]) -> None:
         """Validate, durably log, then absorb one window (WAL-first)."""
         with self._sp_commit_window:
+            self._ensure_writable()
             block = self._layout.encode_records(
                 self._codec.decode_many(frames)
             )
-            self._log.append_many(frames)
+            try:
+                self._log.append_many(frames)
+            except (StorageFullError, TransientIOError) as exc:
+                self._degrade(exc)
+                raise
             self._frames_applied += len(frames)
             self._c_ingest_frames.inc(len(frames))
             self._c_ingest_records.inc(block.shape[0])
@@ -672,20 +752,35 @@ class CollectorService:
         """
         self._write_checkpoint()
         if self._auto_compact:
-            self._log.retire(self._frames_at_checkpoint)
+            try:
+                self._log.retire(self._frames_at_checkpoint)
+            except (StorageFullError, TransientIOError) as exc:
+                self._degrade(exc)
+                raise
 
     def _write_checkpoint(self) -> None:
-        """Snapshot counts + log position (no compaction side effects)."""
+        """Snapshot counts + log position (no compaction side effects).
+
+        A storage failure leaves the previous checkpoint pair intact
+        (the writes are tmp + atomic replace) but degrades the service:
+        checkpoints exist to bound replay and license compaction, and a
+        device that cannot take one cannot take appends for long either.
+        """
+        self._ensure_writable()
         with trace("service.checkpoint", self._metrics):
             self._pipeline.flush()
-            save_checkpoint(
-                self._state_dir,
-                counts=self._collector.merged.snapshot_counts(),
-                order=self._collector.schema.names,
-                frames_applied=self._frames_applied,
-                schema_fp=self._schema_fp,
-                matrix_fps=self._matrix_fps,
-            )
+            try:
+                save_checkpoint(
+                    self._state_dir,
+                    counts=self._collector.merged.snapshot_counts(),
+                    order=self._collector.schema.names,
+                    frames_applied=self._frames_applied,
+                    schema_fp=self._schema_fp,
+                    matrix_fps=self._matrix_fps,
+                )
+            except (StorageFullError, TransientIOError) as exc:
+                self._degrade(exc)
+                raise
             self._frames_at_checkpoint = self._frames_applied
         self._checkpoint_present = True
         self._checkpoint_at = clock.monotonic()
@@ -707,7 +802,13 @@ class CollectorService:
             # that would retire the segments itself and leave this
             # call's stats reporting 0 for files it just deleted.
             self._write_checkpoint()
-        retired, freed = self._log.retire(self._frames_at_checkpoint)
+        else:
+            self._ensure_writable()
+        try:
+            retired, freed = self._log.retire(self._frames_at_checkpoint)
+        except (StorageFullError, TransientIOError) as exc:
+            self._degrade(exc)
+            raise
         return {
             "segments_retired": retired,
             "bytes_freed": freed,
@@ -739,6 +840,17 @@ class CollectorService:
                 "first_retained_frame": int(self._log.first_retained_frame),
                 "n_segments": int(self._log.n_segments),
                 "total_bytes": int(sum(s.n_bytes for s in segments)),
+                "torn_tail_bytes": int(self._log.torn_tail_bytes),
+                "quarantined": [
+                    {
+                        "seq": int(q["seq"]),
+                        "base_frame": int(q["base_frame"]),
+                        "frames": int(q["frames"]),
+                        "bytes": int(q["bytes"]),
+                        "reason": str(q["reason"]),
+                    }
+                    for q in self._log.quarantined
+                ],
                 "segments": [
                     {
                         "seq": int(s.seq),
@@ -772,6 +884,8 @@ class CollectorService:
             "cache": dict(self._queries.stats),
             "runtime": {
                 "metrics_enabled": bool(self._metrics.enabled),
+                "degraded": bool(self._degraded),
+                "degraded_reason": self._degraded_reason,
                 "pending_records": int(self._pipeline.pending),
                 "uptime_seconds": now - self._opened_at,
                 "checkpoint_age_seconds": (

@@ -6,6 +6,14 @@ import numpy as np
 import pytest
 
 from repro.data.adult import synthesize_adult
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "quick: fast subset of the fault-injection suite, run per-push "
+        "in CI (the exhaustive matrix runs in the full suite)",
+    )
 from repro.data.dataset import Dataset
 from repro.data.schema import Attribute, Schema, NOMINAL, ORDINAL
 

@@ -1,0 +1,42 @@
+"""Shared fixtures for the fault-injection suite.
+
+Every test here drives real storage code under the ambient I/O plane
+(:mod:`repro.faults.plane`); ``install_plan`` restores the passthrough
+even when a test fails, so no fixture-level teardown is needed. The
+``no_sleep`` retry policy keeps transient-retry paths instant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.independent import RRIndependent
+from repro.service.codec import ReportCodec
+from repro.service.journal import RetryPolicy
+
+#: Tiny rotation threshold so short streams rotate many times.
+SEGMENT_BYTES = 512
+
+#: Retry policy with the production shape but no real sleeping.
+NO_SLEEP = RetryPolicy(sleep=lambda seconds: None)
+
+
+@pytest.fixture
+def protocol(small_schema):
+    return RRIndependent(small_schema, p=0.7)
+
+
+@pytest.fixture
+def frames(protocol, small_dataset):
+    """The small dataset randomized and framed, 5 records per frame."""
+    released = protocol.randomize(small_dataset, rng=11)
+    codec = ReportCodec(protocol.schema)
+    return [
+        codec.encode(released.codes[start : start + 5])
+        for start in range(0, released.n_records, 5)
+    ]
+
+
+@pytest.fixture
+def no_sleep():
+    return NO_SLEEP

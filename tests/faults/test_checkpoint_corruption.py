@@ -1,0 +1,115 @@
+"""Corrupt checkpoints fall back to full log replay, byte-identically.
+
+The checkpoint is an optimization, never the ground truth: the
+write-ahead log holds every acknowledged frame. When the checkpoint
+pair is damaged (bit rot in the npz, a chopped sidecar) but the log is
+intact, recovery discards the checkpoint with a warning and replays
+the whole log — and must land on exactly the same counts.
+"""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.faults import FaultPlan, FaultRule, install_plan
+from repro.service.journal import (
+    CHECKPOINT_JSON,
+    CHECKPOINT_NPZ,
+    RetryPolicy,
+)
+from repro.service.pipeline import CollectorService
+
+NO_SLEEP = RetryPolicy(sleep=lambda seconds: None)
+
+pytestmark = pytest.mark.quick
+
+
+@pytest.fixture
+def populated(protocol, frames, tmp_path):
+    """A closed state dir: full stream ingested, checkpoint midway."""
+    state = tmp_path / "state"
+    with CollectorService.for_protocol(
+        protocol, state, retry=NO_SLEEP
+    ) as service:
+        service.ingest(frames[: len(frames) // 2])
+        service.checkpoint()
+        service.ingest(frames[len(frames) // 2 :])
+        reference = service.estimate_marginals()
+    return state, reference
+
+
+def assert_full_replay_matches(protocol, state, reference, frames):
+    with pytest.warns(RuntimeWarning, match="full log replay"):
+        recovered = CollectorService.for_protocol(
+            protocol, state, retry=NO_SLEEP
+        )
+    with recovered:
+        assert recovered.frames_applied == len(frames)
+        for name, expected in reference.items():
+            assert (
+                recovered.estimate_marginal(name).tobytes()
+                == expected.tobytes()
+            )
+
+
+class TestCheckpointBitRot:
+    def test_flipped_npz_read_falls_back_to_full_replay(
+        self, protocol, frames, populated
+    ):
+        state, reference = populated
+        # Bit rot surfaces at read time: the npz bytes recovery loads
+        # are corrupt, the sidecar CRC catches it.
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    op="read",
+                    kind="bitflip",
+                    bit_index=2048,
+                    path_pattern=CHECKPOINT_NPZ,
+                    sticky=True,
+                )
+            ]
+        )
+        with install_plan(plan):
+            assert_full_replay_matches(
+                protocol, state, reference, frames
+            )
+
+    def test_flipped_npz_on_disk_falls_back_to_full_replay(
+        self, protocol, frames, populated
+    ):
+        state, reference = populated
+        path = state / CHECKPOINT_NPZ
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x10
+        path.write_bytes(bytes(data))
+        assert_full_replay_matches(protocol, state, reference, frames)
+
+    def test_corrupt_sidecar_falls_back_to_full_replay(
+        self, protocol, frames, populated
+    ):
+        state, reference = populated
+        (state / CHECKPOINT_JSON).write_bytes(b'{"version": 1, "frames')
+        assert_full_replay_matches(protocol, state, reference, frames)
+
+    def test_compacted_head_with_corrupt_checkpoint_refuses(
+        self, protocol, frames, tmp_path
+    ):
+        state = tmp_path / "compacted"
+        # Small segments so compaction actually retires a log prefix.
+        with CollectorService.for_protocol(
+            protocol, state, segment_bytes=128, retry=NO_SLEEP
+        ) as service:
+            for frame in frames:
+                service.ingest_frame(frame)
+            service.compact()
+            assert service.log.first_retained_frame > 0
+        # Now the checkpoint is the only copy of the compacted frames:
+        # corrupting it must refuse, not silently under-count.
+        path = state / CHECKPOINT_NPZ
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x10
+        path.write_bytes(bytes(data))
+        with pytest.raises(ServiceError, match="compacted"):
+            CollectorService.for_protocol(
+                protocol, state, segment_bytes=128, retry=NO_SLEEP
+            )

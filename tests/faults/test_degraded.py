@@ -1,0 +1,113 @@
+"""Degraded (read-only) collector mode under storage failures.
+
+A storage failure the journal cannot absorb must not crash the
+collector or corrupt its counts: the service re-raises typed, flips to
+a sticky read-only mode surfaced in :meth:`health` and the
+``service.degraded`` gauge, keeps serving queries from absorbed state,
+and refuses later writes with an error naming the original failure.
+"""
+
+import errno
+
+import pytest
+
+from repro.exceptions import ServiceError, StorageFullError
+from repro.faults import FaultPlan, FaultRule, install_plan
+from repro.obs.registry import MetricsRegistry
+from repro.service.journal import LOG_NAME, RetryPolicy
+from repro.service.pipeline import CollectorService
+
+NO_SLEEP = RetryPolicy(sleep=lambda seconds: None)
+
+pytestmark = pytest.mark.quick
+
+
+def full_device_plan():
+    """Every further journal write fails with ENOSPC."""
+    return FaultPlan(
+        [
+            FaultRule(
+                op="write",
+                errno_code=errno.ENOSPC,
+                path_pattern=LOG_NAME,
+                sticky=True,
+            )
+        ]
+    )
+
+
+@pytest.fixture
+def service(protocol, tmp_path):
+    service = CollectorService.for_protocol(
+        protocol,
+        tmp_path / "state",
+        metrics=MetricsRegistry(),
+        retry=NO_SLEEP,
+    )
+    yield service
+    service.close()
+
+
+class TestDegradedMode:
+    def test_storage_failure_degrades_instead_of_crashing(
+        self, service, frames
+    ):
+        service.ingest(frames[:4])
+        absorbed = service.estimate_marginals()
+        with install_plan(full_device_plan()):
+            with pytest.raises(StorageFullError):
+                service.ingest_frame(frames[4])
+        assert service.degraded
+        # Queries keep working from the absorbed state.
+        for name, expected in absorbed.items():
+            assert (
+                service.estimate_marginal(name).tobytes()
+                == expected.tobytes()
+            )
+
+    def test_degraded_refuses_writes_naming_the_cause(self, service, frames):
+        with install_plan(full_device_plan()):
+            with pytest.raises(StorageFullError):
+                service.ingest_frame(frames[0])
+        # Device recovered, but the mode is sticky for this process:
+        # only a reopen (which re-verifies the directory) resumes.
+        with pytest.raises(ServiceError, match="degraded .read-only."):
+            service.ingest_frame(frames[0])
+        with pytest.raises(ServiceError, match="device full"):
+            service.checkpoint()
+
+    def test_degraded_surfaces_in_health_and_gauge(self, service, frames):
+        document = service.health()
+        assert document["runtime"]["degraded"] is False
+        assert document["runtime"]["degraded_reason"] is None
+        assert document["metrics"]["gauges"]["service.degraded"] == 0
+        with install_plan(full_device_plan()):
+            with pytest.raises(StorageFullError):
+                service.ingest_frame(frames[0])
+        document = service.health()
+        assert document["runtime"]["degraded"] is True
+        assert "device full" in document["runtime"]["degraded_reason"]
+        assert document["metrics"]["gauges"]["service.degraded"] == 1
+
+    def test_reopen_after_failure_resumes_cleanly(
+        self, protocol, tmp_path, frames
+    ):
+        state = tmp_path / "state"
+        with CollectorService.for_protocol(
+            protocol, state, retry=NO_SLEEP
+        ) as service:
+            service.ingest(frames[:3])
+            with install_plan(full_device_plan()):
+                with pytest.raises(StorageFullError):
+                    service.ingest_frame(frames[3])
+            assert service.degraded
+        # A fresh process over the same directory: the rollback kept
+        # the log at the acknowledged frames, so recovery is clean and
+        # the stream resumes exactly where acknowledgements stopped.
+        with CollectorService.for_protocol(
+            protocol, state, retry=NO_SLEEP
+        ) as reopened:
+            assert not reopened.degraded
+            assert reopened.frames_applied == 3
+            reopened.ingest(frames[3:])
+            assert reopened.frames_applied == len(frames)

@@ -1,0 +1,135 @@
+"""Unit tests for the ambient I/O plane and fault injection seam."""
+
+import errno
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultyIOPlane,
+    IOPlane,
+    get_plane,
+    install_plan,
+    set_plane,
+)
+
+pytestmark = pytest.mark.quick
+
+
+class TestAmbientPlane:
+    def test_default_is_passthrough(self):
+        plane = get_plane()
+        assert isinstance(plane, IOPlane)
+        assert not plane.active
+
+    def test_install_plan_swaps_and_restores(self):
+        before = get_plane()
+        with install_plan(FaultPlan()) as plane:
+            assert get_plane() is plane
+            assert plane.active
+        assert get_plane() is before
+
+    def test_install_plan_restores_after_exception(self):
+        before = get_plane()
+        with pytest.raises(RuntimeError):
+            with install_plan(FaultPlan()):
+                raise RuntimeError("boom")
+        assert get_plane() is before
+
+    def test_set_plane_none_restores_passthrough(self):
+        plane = FaultyIOPlane(FaultPlan())
+        previous = set_plane(plane)
+        try:
+            assert get_plane() is plane
+        finally:
+            set_plane(previous)
+        assert not get_plane().active
+
+
+class TestInjection:
+    def test_empty_plan_profiles_ops(self, tmp_path):
+        path = tmp_path / "f"
+        with install_plan(FaultPlan()) as plane:
+            with open(path, "wb", buffering=0) as handle:
+                plane_now = get_plane()
+                plane_now.write(handle, b"abc")
+                plane_now.fsync(handle.fileno(), path=path)
+            assert plane_now.read_bytes(path) == b"abc"
+        assert plane.op_counts["write"] == 1
+        assert plane.op_counts["fsync"] == 1
+        assert plane.op_counts["read"] == 1
+
+    def test_fail_write_raises_errno_and_writes_nothing(self, tmp_path):
+        path = tmp_path / "f"
+        plan = FaultPlan([FaultRule(op="write", errno_code=errno.EIO)])
+        with install_plan(plan):
+            with open(path, "wb", buffering=0) as handle:
+                with pytest.raises(OSError) as info:
+                    get_plane().write(handle, b"abc")
+        assert info.value.errno == errno.EIO
+        assert path.read_bytes() == b""
+
+    def test_torn_write_persists_prefix_then_raises(self, tmp_path):
+        path = tmp_path / "f"
+        plan = FaultPlan(
+            [FaultRule(op="write", kind="torn", torn_bytes=2)]
+        )
+        with install_plan(plan):
+            with open(path, "wb", buffering=0) as handle:
+                with pytest.raises(OSError):
+                    get_plane().write(handle, b"abcdef")
+        assert path.read_bytes() == b"ab"
+
+    def test_enospc_persists_allowance_then_device_stays_full(self, tmp_path):
+        path = tmp_path / "f"
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    op="write",
+                    kind="enospc_after",
+                    byte_budget=4,
+                    errno_code=errno.ENOSPC,
+                )
+            ]
+        )
+        with install_plan(plan):
+            with open(path, "wb", buffering=0) as handle:
+                with pytest.raises(OSError) as info:
+                    get_plane().write(handle, b"abcdef")
+                assert info.value.errno == errno.ENOSPC
+                with pytest.raises(OSError):
+                    get_plane().write(handle, b"x")
+        assert path.read_bytes() == b"abcd"
+
+    def test_bitflip_corrupts_read_not_disk(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(bytes(16))
+        plan = FaultPlan(
+            [FaultRule(op="read", kind="bitflip", bit_index=3)]
+        )
+        with install_plan(plan):
+            corrupted = get_plane().read_bytes(path)
+        assert corrupted != bytes(16)
+        assert path.read_bytes() == bytes(16)
+
+    def test_fail_rename_leaves_source(self, tmp_path):
+        src, dst = tmp_path / "a", tmp_path / "b"
+        src.write_bytes(b"x")
+        plan = FaultPlan([FaultRule(op="rename")])
+        with install_plan(plan):
+            with pytest.raises(OSError):
+                get_plane().replace(src, dst)
+        assert src.exists() and not dst.exists()
+
+    def test_path_pattern_targets_one_file(self, tmp_path):
+        victim, bystander = tmp_path / "victim", tmp_path / "other"
+        victim.write_bytes(b"v")
+        bystander.write_bytes(b"o")
+        plan = FaultPlan(
+            [FaultRule(op="read", path_pattern="victim", sticky=True)]
+        )
+        with install_plan(plan):
+            assert get_plane().read_bytes(bystander) == b"o"
+            with pytest.raises(OSError):
+                get_plane().read_bytes(victim)

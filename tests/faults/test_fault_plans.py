@@ -1,0 +1,113 @@
+"""Unit tests for fault rules and deterministic fault plans."""
+
+import errno
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import OPS, FaultPlan, FaultRule, random_plan
+
+pytestmark = pytest.mark.quick
+
+
+class TestFaultRule:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ReproError, match="unknown fault op"):
+            FaultRule(op="mmap")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultRule(op="write", kind="explode")
+
+    @pytest.mark.parametrize(
+        "op, kind",
+        [("read", "torn"), ("fsync", "enospc_after"), ("write", "bitflip")],
+    )
+    def test_rejects_kind_op_mismatch(self, op, kind):
+        with pytest.raises(ReproError, match="does not apply"):
+            FaultRule(op=op, kind=kind)
+
+    def test_rejects_negative_counters(self):
+        with pytest.raises(ReproError, match="nth"):
+            FaultRule(op="write", nth=-1)
+        with pytest.raises(ReproError, match=">= 0"):
+            FaultRule(op="write", kind="torn", torn_bytes=-1)
+
+    def test_path_pattern_matches_basename(self, tmp_path):
+        rule = FaultRule(op="read", path_pattern="checkpoint.npz")
+        assert rule.matches_path(tmp_path / "checkpoint.npz")
+        assert not rule.matches_path(tmp_path / "ingest.log")
+        assert FaultRule(op="read").matches_path(tmp_path / "anything")
+
+
+class TestFaultPlan:
+    def test_nth_counts_matching_ops_only(self):
+        plan = FaultPlan([FaultRule(op="fsync", nth=2)])
+        assert plan.match("write", "f") is None  # wrong op: no count
+        assert plan.match("fsync", "f") is None  # 0th
+        assert plan.match("fsync", "f") is None  # 1st
+        assert plan.match("fsync", "f") is not None  # 2nd fires
+        assert plan.match("fsync", "f") is None  # fired once, not sticky
+
+    def test_sticky_rule_keeps_firing(self):
+        plan = FaultPlan([FaultRule(op="write", nth=1, sticky=True)])
+        assert plan.match("write", "f", 4) is None
+        assert plan.match("write", "f", 4) is not None
+        assert plan.match("write", "f", 4) is not None
+
+    def test_at_most_one_rule_fires_per_op(self):
+        first = FaultRule(op="write", nth=0, errno_code=errno.EIO)
+        second = FaultRule(op="write", nth=0, errno_code=errno.ENOSPC)
+        plan = FaultPlan([first, second])
+        assert plan.match("write", "f", 4) is first
+        # The second rule's counter advanced past its nth without
+        # firing, so it stays silent afterwards too.
+        assert plan.match("write", "f", 4) is None
+        assert [rule for rule, _ in plan.fired] == [first]
+
+    def test_enospc_budget_is_sticky_full(self):
+        rule = FaultRule(op="write", kind="enospc_after", byte_budget=10)
+        plan = FaultPlan([rule])
+        assert plan.match("write", "f", 6) is None  # 6/10
+        assert plan.match("write", "f", 6) is rule  # would be 12/10
+        assert plan.last_allowance == 4  # 10 - 6 already consumed
+        # Device stays full: every later non-empty write fails too.
+        assert plan.match("write", "f", 1) is rule
+        assert plan.last_allowance == 0
+
+    def test_flip_bits_is_deterministic_single_bit(self):
+        rule = FaultRule(op="read", kind="bitflip", bit_index=13)
+        plan = FaultPlan([rule])
+        data = bytes(range(8))
+        flipped = plan.flip_bits(rule, data)
+        assert flipped != data
+        assert plan.flip_bits(rule, data) == flipped
+        diff = [a ^ b for a, b in zip(data, flipped)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+        assert plan.flip_bits(rule, b"") == b""
+
+
+class TestRandomPlan:
+    PROFILE = {"write": 40, "read": 25, "fsync": 30, "rename": 6}
+
+    def test_same_seed_same_schedule(self):
+        a = random_plan(7, self.PROFILE)
+        b = random_plan(7, self.PROFILE)
+        assert a.rules == b.rules
+
+    def test_different_seeds_differ_somewhere(self):
+        schedules = {random_plan(seed, self.PROFILE).rules for seed in range(20)}
+        assert len(schedules) > 1
+
+    def test_rules_stay_inside_profile(self):
+        for seed in range(50):
+            plan = random_plan(seed, self.PROFILE, n_faults=3)
+            assert len(plan.rules) == 3
+            for rule in plan.rules:
+                assert rule.op in OPS
+                if rule.kind != "enospc_after":
+                    assert 0 <= rule.nth < self.PROFILE[rule.op]
+
+    def test_empty_profile_yields_empty_plan(self):
+        assert random_plan(1, {}).rules == ()
+        assert random_plan(1, {op: 0 for op in OPS}).rules == ()

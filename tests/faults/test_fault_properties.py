@@ -1,0 +1,263 @@
+"""The storage contract under injected faults — no third outcome.
+
+Crashmonkey-style property suite: run an ingest / checkpoint / compact
+workload while a :class:`FaultPlan` injects storage faults, then drop
+the plan and recover. The contract, for EVERY schedule:
+
+* the faulted run only ever fails with typed errors
+  (:class:`~repro.exceptions.ReproError` subclasses) — a raw
+  ``OSError`` escaping the storage layer is a hardening bug and fails
+  the test by propagating;
+* recovery either opens and is **byte-identical** to a clean run over
+  the durably-logged prefix (acked ≤ applied ≤ attempted), or refuses
+  with a typed error — never a silent partial state;
+* after recovery, the stream resumes and finishes byte-identical to a
+  run that never saw a fault.
+
+Two generators: exhaustive single-fault placement (every position of
+every operation kind the workload performs) and ≥200 seeded randomized
+multi-fault schedules drawn from the workload's operation profile.
+"""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import FaultPlan, FaultRule, install_plan, random_plan
+from repro.service.journal import RetryPolicy
+from repro.service.pipeline import CollectorService
+
+SEGMENT_BYTES = 256
+CHECKPOINT_EVERY = 7
+COMPACT_AT = 12
+N_FRAMES = 18
+NO_SLEEP = RetryPolicy(sleep=lambda seconds: None)
+
+#: Clean-run marginals per prefix length (deterministic inputs, so
+#: caching across tests is sound and saves hundreds of clean runs).
+_CLEAN = {}
+
+
+@pytest.fixture
+def workload_frames(frames):
+    return frames[:N_FRAMES]
+
+
+def run_workload(service, frames):
+    """Ingest with periodic checkpoints and one compaction; count acks."""
+    acked = 0
+    for index, frame in enumerate(frames):
+        service.ingest_frame(frame)
+        acked += 1
+        if (index + 1) % CHECKPOINT_EVERY == 0:
+            service.checkpoint()
+        if (index + 1) == COMPACT_AT:
+            service.compact()
+    return acked
+
+
+def faulted_run(protocol, frames, state, plan):
+    """The workload under ``plan``; returns (acked, attempted).
+
+    Only typed ``ReproError`` failures are absorbed — anything else
+    (a raw OSError above all) propagates and fails the calling test.
+    """
+    acked = 0
+    attempted = 0
+    service = None
+    with install_plan(plan):
+        try:
+            service = CollectorService.for_protocol(
+                protocol,
+                state,
+                segment_bytes=SEGMENT_BYTES,
+                retry=NO_SLEEP,
+            )
+            for index, frame in enumerate(frames):
+                attempted = index + 1
+                service.ingest_frame(frame)
+                acked += 1
+                if (index + 1) % CHECKPOINT_EVERY == 0:
+                    service.checkpoint()
+                if (index + 1) == COMPACT_AT:
+                    service.compact()
+        except ReproError:
+            pass
+        finally:
+            if service is not None:
+                try:
+                    service.close()
+                except ReproError:
+                    pass
+    return acked, attempted
+
+
+def clean_marginals(protocol, frames, n, tmp_path):
+    """Marginal bytes of an uninterrupted run over ``frames[:n]``."""
+    if n not in _CLEAN:
+        with CollectorService.for_protocol(
+            protocol,
+            tmp_path / f"clean-{n}",
+            segment_bytes=SEGMENT_BYTES,
+            retry=NO_SLEEP,
+        ) as service:
+            for frame in frames[:n]:
+                service.ingest_frame(frame)
+            _CLEAN[n] = {
+                name: value.tobytes()
+                for name, value in service.estimate_marginals().items()
+            }
+    return _CLEAN[n]
+
+
+def assert_contract(protocol, frames, state, acked, attempted, tmp_path):
+    """Recovery is byte-identical over the logged prefix, or typed."""
+    try:
+        recovered = CollectorService.for_protocol(
+            protocol, state, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+        )
+    except ReproError:
+        return  # typed refusal: the legal second outcome
+    with recovered:
+        applied = recovered.frames_applied
+        # Every acknowledged frame survived; at most the in-flight
+        # frame may additionally have become durable.
+        assert acked <= applied <= attempted
+        if applied > 0:  # an empty collector has nothing to estimate
+            expected = clean_marginals(protocol, frames, applied, tmp_path)
+            for name, value in recovered.estimate_marginals().items():
+                assert value.tobytes() == expected[name]
+        # The stream resumes and finishes as if no fault ever fired.
+        recovered.ingest(frames[applied:])
+        final = clean_marginals(protocol, frames, len(frames), tmp_path)
+        for name, value in recovered.estimate_marginals().items():
+            assert value.tobytes() == final[name]
+
+
+def profile_workload(protocol, frames, tmp_path):
+    """Operation counts of one clean workload run (empty plan)."""
+    with install_plan(FaultPlan()) as plane:
+        with CollectorService.for_protocol(
+            protocol,
+            tmp_path / "profile",
+            segment_bytes=SEGMENT_BYTES,
+            retry=NO_SLEEP,
+        ) as service:
+            run_workload(service, frames)
+    return dict(plane.op_counts)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestExhaustiveSingleFault:
+    """Fail every position of every op the workload performs, once."""
+
+    @pytest.mark.parametrize(
+        "op", ["write", "fsync", "rename", "read", "truncate", "unlink"]
+    )
+    def test_every_position(
+        self, protocol, workload_frames, tmp_path, op
+    ):
+        frames = workload_frames
+        profile = profile_workload(protocol, frames, tmp_path)
+        positions = profile.get(op, 0)
+        if positions == 0:
+            pytest.skip(f"workload performs no {op} operations")
+        for nth in range(positions):
+            state = tmp_path / f"fault-{op}-{nth}"
+            plan = FaultPlan([FaultRule(op=op, nth=nth)])
+            acked, attempted = faulted_run(protocol, frames, state, plan)
+            assert_contract(
+                protocol, frames, state, acked, attempted, tmp_path
+            )
+
+    @pytest.mark.quick
+    def test_first_and_last_write_and_fsync(
+        self, protocol, workload_frames, tmp_path
+    ):
+        """The quick-matrix slice of the exhaustive sweep."""
+        frames = workload_frames
+        profile = profile_workload(protocol, frames, tmp_path)
+        cases = []
+        for op in ("write", "fsync", "rename"):
+            if profile.get(op, 0):
+                cases += [(op, 0), (op, profile[op] - 1)]
+        for op, nth in cases:
+            state = tmp_path / f"fault-{op}-{nth}"
+            plan = FaultPlan([FaultRule(op=op, nth=nth)])
+            acked, attempted = faulted_run(protocol, frames, state, plan)
+            assert_contract(
+                protocol, frames, state, acked, attempted, tmp_path
+            )
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestTornWritePlacement:
+    """Tear journal writes at assorted byte offsets."""
+
+    @pytest.mark.parametrize("nth", [0, 3, 9])
+    @pytest.mark.parametrize("torn_bytes", [0, 1, 5, 21])
+    def test_torn_write(
+        self, protocol, workload_frames, tmp_path, nth, torn_bytes
+    ):
+        frames = workload_frames
+        state = tmp_path / "state"
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    op="write", nth=nth, kind="torn", torn_bytes=torn_bytes
+                )
+            ]
+        )
+        acked, attempted = faulted_run(protocol, frames, state, plan)
+        assert_contract(protocol, frames, state, acked, attempted, tmp_path)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestEnospcPlacement:
+    """Run out of disk at assorted byte budgets."""
+
+    @pytest.mark.parametrize("budget", [0, 64, 300, 700, 2000])
+    def test_device_fills(self, protocol, workload_frames, tmp_path, budget):
+        frames = workload_frames
+        state = tmp_path / "state"
+        plan = FaultPlan(
+            [FaultRule(op="write", kind="enospc_after", byte_budget=budget)]
+        )
+        acked, attempted = faulted_run(protocol, frames, state, plan)
+        assert_contract(protocol, frames, state, acked, attempted, tmp_path)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestRandomizedSchedules:
+    """≥200 seeded multi-fault schedules from the workload profile."""
+
+    CHUNK = 25
+    N_CHUNKS = 8  # 8 × 25 = 200 schedules
+
+    @pytest.mark.parametrize("chunk", range(N_CHUNKS))
+    def test_seeded_schedules(
+        self, protocol, workload_frames, tmp_path, chunk
+    ):
+        frames = workload_frames
+        profile = profile_workload(protocol, frames, tmp_path)
+        for seed in range(chunk * self.CHUNK, (chunk + 1) * self.CHUNK):
+            state = tmp_path / f"seed-{seed}"
+            plan = random_plan(seed, profile)
+            acked, attempted = faulted_run(protocol, frames, state, plan)
+            assert_contract(
+                protocol, frames, state, acked, attempted, tmp_path
+            )
+
+    @pytest.mark.quick
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1009])
+    def test_quick_schedule_sample(
+        self, protocol, workload_frames, tmp_path, seed
+    ):
+        frames = workload_frames
+        profile = profile_workload(protocol, frames, tmp_path)
+        plan = random_plan(seed, profile)
+        acked, attempted = faulted_run(
+            protocol, frames, tmp_path / "state", plan
+        )
+        assert_contract(
+            protocol, frames, tmp_path / "state", acked, attempted, tmp_path
+        )

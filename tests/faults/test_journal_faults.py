@@ -1,0 +1,253 @@
+"""Journal behavior under injected storage faults.
+
+The append path's contract: a failed append rolls the active file back
+to its pre-append length (acknowledged frames only, byte for byte),
+raises typed (:class:`StorageFullError` / :class:`TransientIOError`),
+and leaves the log reusable — or, if even the rollback fails, refuses
+further writes until reopened. Also covers the two on-open repair
+satellites: orphan ``*.tmp`` sweeping and torn-tail accounting.
+"""
+
+import errno
+
+import pytest
+
+from repro.exceptions import (
+    ServiceError,
+    StorageFullError,
+    TransientIOError,
+)
+from repro.faults import FaultPlan, FaultRule, install_plan
+from repro.obs.registry import MetricsRegistry
+from repro.service.journal import LOG_NAME, IngestionLog, RetryPolicy
+
+NO_SLEEP = RetryPolicy(sleep=lambda seconds: None)
+
+
+def make_log(tmp_path, **kwargs):
+    kwargs.setdefault("retry", NO_SLEEP)
+    return IngestionLog(tmp_path / LOG_NAME, **kwargs)
+
+
+class TestEnospcRollback:
+    @pytest.mark.quick
+    def test_full_device_raises_typed_and_rolls_back(self, tmp_path, frames):
+        log = make_log(tmp_path)
+        log.append(frames[0])
+        before = (tmp_path / LOG_NAME).read_bytes()
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    op="write",
+                    kind="enospc_after",
+                    byte_budget=10,
+                    errno_code=errno.ENOSPC,
+                    path_pattern=LOG_NAME,
+                )
+            ]
+        )
+        with install_plan(plan):
+            with pytest.raises(StorageFullError):
+                log.append(frames[1])
+        # The partial tail was truncated away: acknowledged bytes only.
+        assert (tmp_path / LOG_NAME).read_bytes() == before
+        assert log.n_frames == 1
+        # Storage-full is never retried (retrying cannot help).
+        assert plan.match("write", LOG_NAME, 1) is not None  # still full
+        # The log stays usable once space is back (plan uninstalled).
+        log.append(frames[1])
+        assert log.n_frames == 2
+        assert list(log.replay()) == frames[:2]
+        log.close()
+
+    def test_edquot_maps_to_storage_full(self, tmp_path, frames):
+        log = make_log(tmp_path)
+        plan = FaultPlan(
+            [FaultRule(op="write", errno_code=errno.EDQUOT, sticky=True)]
+        )
+        with install_plan(plan):
+            with pytest.raises(StorageFullError):
+                log.append(frames[0])
+        log.close()
+
+    def test_torn_append_rolls_back_to_acknowledged_bytes(
+        self, tmp_path, frames
+    ):
+        log = make_log(tmp_path)
+        log.append(frames[0])
+        before = (tmp_path / LOG_NAME).read_bytes()
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    op="write",
+                    kind="torn",
+                    torn_bytes=7,
+                    errno_code=errno.EIO,
+                    path_pattern=LOG_NAME,
+                    sticky=True,
+                )
+            ]
+        )
+        with install_plan(plan):
+            with pytest.raises(TransientIOError):
+                log.append(frames[1])
+        assert (tmp_path / LOG_NAME).read_bytes() == before
+        assert list(log.replay()) == frames[:1]
+        log.close()
+
+
+class TestTransientRetry:
+    @pytest.mark.quick
+    def test_transient_fault_is_retried_to_success(self, tmp_path, frames):
+        registry = MetricsRegistry()
+        log = make_log(tmp_path, metrics=registry)
+        # Only the first append write fails; the retry succeeds.
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    op="write",
+                    errno_code=errno.EIO,
+                    path_pattern=LOG_NAME,
+                )
+            ]
+        )
+        with install_plan(plan):
+            log.append(frames[0])
+        assert log.n_frames == 1
+        assert registry.counter("journal.append.retries").value == 1
+        assert registry.counter("journal.rollbacks").value == 1
+        assert list(log.replay()) == frames[:1]
+        log.close()
+
+    def test_exhausted_retries_raise_transient(self, tmp_path, frames):
+        sleeps = []
+        log = make_log(
+            tmp_path,
+            retry=RetryPolicy(
+                attempts=3,
+                backoff_seconds=0.5,
+                sleep=sleeps.append,
+            ),
+        )
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    op="write",
+                    errno_code=errno.EIO,
+                    path_pattern=LOG_NAME,
+                    sticky=True,
+                )
+            ]
+        )
+        with install_plan(plan):
+            with pytest.raises(TransientIOError):
+                log.append(frames[0])
+        # Exponential backoff between the 3 attempts: 2 sleeps.
+        assert sleeps == [0.5, 1.0]
+        assert log.n_frames == 0
+        log.close()
+
+    def test_retry_policy_validates(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy(attempts=0)
+
+
+class TestBrokenWriter:
+    def test_double_fault_refuses_until_reopen(self, tmp_path, frames):
+        log = make_log(tmp_path)
+        log.append(frames[0])
+        # The append write fails AND the rollback truncate fails: the
+        # log can no longer vouch for its tail and must refuse.
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    op="write",
+                    errno_code=errno.EIO,
+                    path_pattern=LOG_NAME,
+                    sticky=True,
+                ),
+                FaultRule(
+                    op="truncate",
+                    errno_code=errno.EIO,
+                    path_pattern=LOG_NAME,
+                    sticky=True,
+                ),
+            ]
+        )
+        with install_plan(plan):
+            with pytest.raises(TransientIOError):
+                log.append(frames[1])
+            with pytest.raises(TransientIOError, match="disabled"):
+                log.append(frames[2])
+        log.close()
+        # Reopening repairs: the torn tail is truncated, acknowledged
+        # frames survive.
+        reopened = make_log(tmp_path)
+        assert reopened.n_frames == 1
+        assert list(reopened.replay()) == frames[:1]
+        reopened.close()
+
+
+class TestTornTailAccounting:
+    @pytest.mark.quick
+    def test_torn_tail_truncated_and_counted_on_open(self, tmp_path, frames):
+        log = make_log(tmp_path)
+        log.append_many(frames[:3])
+        log.close()
+        # Simulate a crash mid-append: garbage half-entry at the tail.
+        path = tmp_path / LOG_NAME
+        clean_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"\x40\x00\x00\x00partial")
+        registry = MetricsRegistry()
+        log = make_log(tmp_path, metrics=registry)
+        assert log.n_frames == 3
+        assert path.stat().st_size == clean_size
+        assert log.torn_tail_bytes == 11
+        assert registry.counter("journal.torn_tail.events").value == 1
+        assert registry.counter("journal.torn_tail.bytes").value == 11
+        log.close()
+
+    def test_clean_open_counts_nothing(self, tmp_path, frames):
+        log = make_log(tmp_path)
+        log.append(frames[0])
+        log.close()
+        registry = MetricsRegistry()
+        log = make_log(tmp_path, metrics=registry)
+        assert log.torn_tail_bytes == 0
+        assert registry.counter("journal.torn_tail.events").value == 0
+        log.close()
+
+
+class TestTmpSweep:
+    @pytest.mark.quick
+    def test_orphan_tmp_files_swept_on_open(self, tmp_path, frames):
+        log = make_log(tmp_path)
+        log.append(frames[0])
+        log.close()
+        # Stranded tmp files from interrupted atomic replaces.
+        orphans = [
+            tmp_path / "ingest.log.manifest.json.tmp",
+            tmp_path / "checkpoint.npz.tmp",
+            tmp_path / "checkpoint.json.tmp",
+            tmp_path / "service.json.tmp",
+        ]
+        for orphan in orphans:
+            orphan.write_bytes(b"partial")
+        registry = MetricsRegistry()
+        log = make_log(tmp_path, metrics=registry)
+        for orphan in orphans:
+            assert not orphan.exists()
+        assert log.tmp_swept == 4
+        assert registry.counter("journal.tmp_swept").value == 4
+        assert log.n_frames == 1
+        log.close()
+
+    def test_unrelated_files_survive_the_sweep(self, tmp_path, frames):
+        bystander = tmp_path / "notes.tmp"
+        bystander.write_bytes(b"mine")
+        log = make_log(tmp_path)
+        log.append(frames[0])
+        assert bystander.read_bytes() == b"mine"
+        assert log.tmp_swept == 0
+        log.close()

@@ -1,0 +1,213 @@
+"""Quarantine of damaged sealed segments — and refusal without cover.
+
+The rule: a damaged sealed segment may be set aside only when a durable
+checkpoint covers every frame it held (the counts survive in the
+checkpoint, so recovery stays byte-identical without reading the file).
+Frames past the checkpoint exist nowhere else, so opening refuses with
+:class:`SegmentQuarantinedError` — acknowledged counts are never
+silently dropped, no third outcome.
+"""
+
+import pytest
+
+from repro.exceptions import SegmentQuarantinedError
+from repro.faults import FaultPlan, FaultRule, install_plan
+from repro.obs.registry import MetricsRegistry
+from repro.service.journal import (
+    LOG_NAME,
+    QUARANTINE_SUFFIX,
+    IngestionLog,
+    RetryPolicy,
+)
+from repro.service.pipeline import CollectorService
+
+SEGMENT_BYTES = 128
+NO_SLEEP = RetryPolicy(sleep=lambda seconds: None)
+
+
+def build_state(protocol, frames, state, *, checkpoint=True):
+    """Ingest the whole stream with rotations; optionally checkpoint."""
+    with CollectorService.for_protocol(
+        protocol, state, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+    ) as service:
+        for frame in frames:  # per-frame: the tiny threshold rotates often
+            service.ingest_frame(frame)
+        if checkpoint:
+            service.checkpoint()
+        reference = service.estimate_marginals()
+        sealed = [s for s in service.log.segments[:-1]]
+    assert len(sealed) >= 2, "stream too short to rotate"
+    return reference, sealed
+
+
+def segment_file(state, segment):
+    base = state / LOG_NAME
+    if segment.seq == 0:
+        return base
+    return state / f"{LOG_NAME}.{segment.seq:08d}"
+
+
+class TestQuarantineWithCheckpointCover:
+    @pytest.mark.quick
+    def test_damaged_covered_segment_is_quarantined(
+        self, protocol, frames, tmp_path
+    ):
+        state = tmp_path / "state"
+        reference, sealed = build_state(protocol, frames, state)
+        victim = sealed[0]
+        path = segment_file(state, victim)
+        # Bit rot that changes the file's size: detected by the
+        # manifest's size record at open.
+        path.write_bytes(path.read_bytes()[:-3])
+        with CollectorService.for_protocol(
+            protocol, state, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+        ) as recovered:
+            # Counts are byte-identical: the checkpoint covers the
+            # quarantined frames.
+            for name, expected in reference.items():
+                assert (
+                    recovered.estimate_marginal(name).tobytes()
+                    == expected.tobytes()
+                )
+            report = recovered.log.quarantined
+            assert [entry["seq"] for entry in report] == [victim.seq]
+            assert "resized" in report[0]["reason"]
+            assert recovered.health()["journal"]["quarantined"] == report
+        # The damaged bytes were renamed aside, not deleted: forensics.
+        assert not path.exists()
+        assert path.with_name(path.name + QUARANTINE_SUFFIX).exists()
+
+    def test_missing_covered_segment_is_quarantined(
+        self, protocol, frames, tmp_path
+    ):
+        state = tmp_path / "state"
+        reference, sealed = build_state(protocol, frames, state)
+        path = segment_file(state, sealed[1])
+        path.unlink()
+        with CollectorService.for_protocol(
+            protocol, state, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+        ) as recovered:
+            report = recovered.log.quarantined
+            assert [entry["seq"] for entry in report] == [sealed[1].seq]
+            assert report[0]["reason"] == "file missing"
+            for name, expected in reference.items():
+                assert (
+                    recovered.estimate_marginal(name).tobytes()
+                    == expected.tobytes()
+                )
+
+    def test_quarantine_survives_reopen_and_is_counted(
+        self, protocol, frames, tmp_path
+    ):
+        state = tmp_path / "state"
+        _, sealed = build_state(protocol, frames, state)
+        segment_file(state, sealed[0]).unlink()
+        registry = MetricsRegistry()
+        with CollectorService.for_protocol(
+            protocol,
+            state,
+            segment_bytes=SEGMENT_BYTES,
+            metrics=registry,
+            retry=NO_SLEEP,
+        ):
+            assert (
+                registry.counter("journal.segments_quarantined").value == 1
+            )
+        # Second reopen: the manifest remembers; nothing re-fires.
+        registry = MetricsRegistry()
+        with CollectorService.for_protocol(
+            protocol,
+            state,
+            segment_bytes=SEGMENT_BYTES,
+            metrics=registry,
+            retry=NO_SLEEP,
+        ) as again:
+            assert (
+                registry.counter("journal.segments_quarantined").value == 0
+            )
+            assert len(again.log.quarantined) == 1
+
+    def test_replay_across_quarantined_range_raises_typed(
+        self, protocol, frames, tmp_path
+    ):
+        state = tmp_path / "state"
+        _, sealed = build_state(protocol, frames, state)
+        segment_file(state, sealed[0]).unlink()
+        with CollectorService.for_protocol(
+            protocol, state, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+        ) as recovered:
+            with pytest.raises(SegmentQuarantinedError, match="quarantined"):
+                list(recovered.log.replay(sealed[0].base_frame))
+
+
+class TestRefusalWithoutCover:
+    @pytest.mark.quick
+    def test_uncovered_damage_refuses_with_typed_error(
+        self, protocol, frames, tmp_path
+    ):
+        state = tmp_path / "state"
+        # No checkpoint: every logged frame exists only in the log.
+        build_state(protocol, frames, state, checkpoint=False)
+        log = IngestionLog(
+            state / LOG_NAME, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+        )
+        victim = log.segments[0]
+        log.close()
+        path = segment_file(state, victim)
+        damaged = path.read_bytes()[:-3]
+        path.write_bytes(damaged)
+        with pytest.raises(SegmentQuarantinedError, match="refusing"):
+            CollectorService.for_protocol(
+                protocol, state, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+            )
+        # Refusal leaves the directory untouched for forensics.
+        assert path.read_bytes() == damaged
+        assert not path.with_name(path.name + QUARANTINE_SUFFIX).exists()
+
+    def test_partial_cover_refuses_for_the_uncovered_segment(
+        self, protocol, frames, tmp_path
+    ):
+        state = tmp_path / "state"
+        # Checkpoint midway: early segments covered, late ones not.
+        with CollectorService.for_protocol(
+            protocol, state, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+        ) as service:
+            for frame in frames[: len(frames) // 2]:
+                service.ingest_frame(frame)
+            service.checkpoint()
+            for frame in frames[len(frames) // 2 :]:
+                service.ingest_frame(frame)
+            covered = service.health()["counts"]["frames_at_checkpoint"]
+            sealed = service.log.segments[:-1]
+        uncovered = [s for s in sealed if s.base_frame + s.n_frames > covered]
+        assert uncovered, "need a sealed segment past the checkpoint"
+        segment_file(state, uncovered[0]).unlink()
+        with pytest.raises(SegmentQuarantinedError):
+            CollectorService.for_protocol(
+                protocol, state, segment_bytes=SEGMENT_BYTES, retry=NO_SLEEP
+            )
+
+
+class TestReadFaultDuringReplay:
+    def test_replay_read_fault_is_typed_not_raw(
+        self, protocol, frames, tmp_path
+    ):
+        from repro.exceptions import ReproError, TransientIOError
+
+        state = tmp_path / "state"
+        build_state(protocol, frames, state, checkpoint=False)
+        plan = FaultPlan(
+            [FaultRule(op="read", nth=5, sticky=True)]
+        )
+        with install_plan(plan):
+            try:
+                CollectorService.for_protocol(
+                    protocol,
+                    state,
+                    segment_bytes=SEGMENT_BYTES,
+                    retry=NO_SLEEP,
+                )
+            except TransientIOError:
+                pass  # the typed mapping this test demands
+            except ReproError:
+                pass  # other typed refusals are acceptable too

@@ -1,0 +1,164 @@
+"""The offline deep-verify: ``scrub_state_dir`` and its CLI command."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import scrub_state_dir
+from repro.service.cli import service_main
+from repro.service.journal import (
+    CHECKPOINT_JSON,
+    CHECKPOINT_NPZ,
+    LOG_NAME,
+    RetryPolicy,
+)
+from repro.service.pipeline import CollectorService
+
+NO_SLEEP = RetryPolicy(sleep=lambda seconds: None)
+
+
+def active_file(state):
+    """The active tail: the highest-sequence segment file."""
+    numbered = sorted(state.glob(LOG_NAME + ".0*"))
+    return numbered[-1] if numbered else state / LOG_NAME
+
+
+@pytest.fixture
+def state(protocol, frames, tmp_path):
+    """A closed, checkpointed, multi-segment state directory."""
+    state = tmp_path / "state"
+    with CollectorService.for_protocol(
+        protocol, state, segment_bytes=256, retry=NO_SLEEP
+    ) as service:
+        for frame in frames:
+            service.ingest_frame(frame)
+        service.checkpoint()
+    return state
+
+
+class TestScrubApi:
+    @pytest.mark.quick
+    def test_clean_directory_is_ok(self, state, frames):
+        report = scrub_state_dir(state)
+        assert report["ok"]
+        assert report["errors"] == []
+        assert report["journal"]["frames_verified"] == len(frames)
+        assert report["journal"]["n_frames"] == len(frames)
+        assert report["checkpoint"]["present"]
+        assert report["design"]["pinned"]
+        json.dumps(report)  # the report must be JSON-serializable
+
+    @pytest.mark.quick
+    def test_bit_rot_in_a_frame_is_found(self, state):
+        path = state / LOG_NAME
+        data = bytearray(path.read_bytes())
+        # One flipped bit in the first frame's payload (past the
+        # 4-byte length prefix and the 18-byte envelope header).
+        data[23] ^= 0x01
+        path.write_bytes(bytes(data))
+        report = scrub_state_dir(state)
+        assert not report["ok"]
+        assert any("CRC-32" in error for error in report["errors"])
+
+    def test_sealed_segment_size_drift_is_found(self, state):
+        sealed_files = sorted(state.glob(LOG_NAME + ".0*"))
+        assert sealed_files
+        victim = sealed_files[0]
+        victim.write_bytes(victim.read_bytes() + b"\x00")
+        report = scrub_state_dir(state)
+        assert not report["ok"]
+
+    def test_missing_sealed_segment_is_found(self, state):
+        sorted(state.glob(LOG_NAME + ".0*"))[0].unlink()
+        report = scrub_state_dir(state)
+        assert not report["ok"]
+        assert any("missing" in error for error in report["errors"])
+
+    def test_corrupt_checkpoint_is_found(self, state):
+        path = state / CHECKPOINT_NPZ
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x08
+        path.write_bytes(bytes(data))
+        report = scrub_state_dir(state)
+        assert not report["ok"]
+        assert any("checkpoint" in error for error in report["errors"])
+
+    def test_orphan_npz_is_found(self, state):
+        (state / CHECKPOINT_JSON).unlink()
+        report = scrub_state_dir(state)
+        assert not report["ok"]
+        assert any("sidecar" in error for error in report["errors"])
+
+    def test_torn_tail_is_a_warning_not_an_error(self, state):
+        with open(active_file(state), "ab") as handle:
+            handle.write(b"\x40\x00\x00\x00partial")
+        report = scrub_state_dir(state)
+        assert report["ok"]
+        assert report["journal"]["torn_tail_bytes"] == 11
+        assert any("torn tail" in warning for warning in report["warnings"])
+
+    def test_orphan_tmp_is_a_warning_and_never_deleted(self, state):
+        orphan = state / (CHECKPOINT_NPZ + ".tmp")
+        orphan.write_bytes(b"partial")
+        report = scrub_state_dir(state)
+        assert report["ok"]
+        assert report["tmp_files"] == [orphan.name]
+        assert orphan.exists()  # scrub never mutates
+
+    def test_quarantined_segment_reported_not_failed(
+        self, protocol, state
+    ):
+        sorted(state.glob(LOG_NAME + ".0*"))[0].unlink()
+        # Reopening quarantines (the checkpoint covers everything).
+        with CollectorService.for_protocol(
+            protocol, state, segment_bytes=256, retry=NO_SLEEP
+        ):
+            pass
+        report = scrub_state_dir(state)
+        assert report["ok"]
+        assert any("quarantined" in warning for warning in report["warnings"])
+        quarantined = [
+            entry
+            for entry in report["journal"]["segments"]
+            if "quarantined" in entry
+        ]
+        assert len(quarantined) == 1
+
+    def test_not_a_state_dir_raises_typed(self, tmp_path):
+        with pytest.raises(ServiceError, match="not a state directory"):
+            scrub_state_dir(tmp_path / "nowhere")
+
+
+class TestScrubCli:
+    @pytest.mark.quick
+    def test_clean_exit_zero_with_report(self, state, capsys):
+        assert service_main(["scrub", "-s", str(state)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"]
+
+    @pytest.mark.quick
+    def test_damage_exits_one(self, state, capsys):
+        path = state / LOG_NAME
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert service_main(["scrub", "-s", str(state)]) == 1
+        assert not json.loads(capsys.readouterr().out)["ok"]
+
+    def test_empty_state_dir_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert service_main(["scrub", "-s", str(empty)]) == 1
+        assert "no collector state" in capsys.readouterr().err
+
+    def test_output_file(self, state, tmp_path):
+        out = tmp_path / "report.json"
+        assert service_main(["scrub", "-s", str(state), "-o", str(out)]) == 0
+        assert json.loads(out.read_text())["ok"]
+
+    def test_top_level_cli_routes_scrub(self, state, capsys):
+        from repro.cli import main
+
+        assert main(["scrub", "-s", str(state)]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"]

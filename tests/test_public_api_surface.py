@@ -21,6 +21,7 @@ REPRO_ALL = [
     "MatrixError", "EstimationError", "PrivacyError", "ClusteringError",
     "ProtocolError", "QueryError", "SecureSumError",
     "ServiceError", "CodecError",
+    "StorageFullError", "TransientIOError", "SegmentQuarantinedError",
     # data
     "Attribute", "Schema", "Dataset", "Domain",
     "adult_schema", "load_adult", "synthesize_adult", "replicate",
@@ -81,6 +82,7 @@ SERVICE_ALL = [
     "IngestionPipeline",
     "CollectorService",
     "QueryFrontend",
+    "scrub_state_dir",
 ]
 
 PROTOCOLS_ALL = [
