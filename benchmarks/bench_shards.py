@@ -1,0 +1,284 @@
+"""Sharded-collector benchmarks: fan-out cost and merge identity.
+
+Measures what the supervised sharded collector
+(:class:`~repro.service.shard.ShardedCollectorService`) costs and
+guarantees relative to the single-process ``CollectorService``:
+
+* **identity** — merged marginals from 1-, 2- (and 4-) worker fleets
+  are byte-identical to the flat single-process run over the same
+  frame stream. This is the worker-count-invariance contract the
+  shard test suite pins; the benchmark re-asserts it on the larger
+  workload before timing anything.
+* **ingest** — end-to-end ingest throughput (spawn + route + journal
+  + absorb + close) for the flat service versus a 2-worker fleet.
+  On multi-core hosts the fleet should win; on single-core CI it
+  cannot (pipe hops cost more than parallelism pays), so ``--check``
+  gates the speedup assertion on ``os.cpu_count() >= 4``.
+* **reopen** — cold-open wall time on a prebuilt checkpointed state:
+  flat (one journal) versus sharded (N journals replayed by N
+  freshly spawned workers).
+
+Run:    PYTHONPATH=src python benchmarks/bench_shards.py --out BENCH_9.json
+Check:  PYTHONPATH=src python benchmarks/bench_shards.py --check --quick
+
+``--check`` always asserts merge identity (it is deterministic);
+throughput assertions are relative-only and core-count gated, like
+BENCH_4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.data.adult import synthesize_adult
+from repro.protocols.independent import RRIndependent
+from repro.service.codec import ReportCodec
+from repro.service.pipeline import CollectorService
+from repro.service.shard import ShardedCollectorService
+
+
+def best_seconds(func, repeats):
+    """Best-of-N wall time: the least-noisy single-core estimator."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def make_frames(protocol, n, frame_records):
+    released = protocol.randomize(
+        synthesize_adult(n=n, rng=42), rng=0, chunk_size=65_536
+    )
+    codec = ReportCodec(protocol.schema)
+    return [
+        codec.encode(released.codes[start : start + frame_records])
+        for start in range(0, n, frame_records)
+    ]
+
+
+def marginal_bytes(service):
+    return {
+        name: value.tobytes()
+        for name, value in service.estimate_marginals().items()
+    }
+
+
+def run_flat(protocol, frames, state, *, segment_bytes, checkpoint=False):
+    shutil.rmtree(state, ignore_errors=True)
+    with CollectorService.for_protocol(
+        protocol, state, segment_bytes=segment_bytes
+    ) as service:
+        service.ingest_many(frames, commit_records=8_192)
+        if checkpoint:
+            service.checkpoint()
+        return marginal_bytes(service)
+
+
+def run_sharded(
+    protocol, frames, state, *, workers, segment_bytes, checkpoint=False
+):
+    shutil.rmtree(state, ignore_errors=True)
+    with ShardedCollectorService.for_protocol(
+        protocol, state, workers=workers, segment_bytes=segment_bytes
+    ) as service:
+        service.ingest(frames)
+        if checkpoint:
+            service.checkpoint()
+        return marginal_bytes(service)
+
+
+def bench_identity(protocol, frames, root, segment_bytes, worker_counts):
+    """Merged marginals must match the flat run for every fleet size."""
+    codec = ReportCodec(protocol.schema)
+    n_records = sum(codec.peek_record_count(frame) for frame in frames)
+    flat = run_flat(
+        protocol, frames, Path(root) / "id-flat", segment_bytes=segment_bytes
+    )
+    matches = {}
+    for workers in worker_counts:
+        merged = run_sharded(
+            protocol,
+            frames,
+            Path(root) / f"id-{workers}",
+            workers=workers,
+            segment_bytes=segment_bytes,
+        )
+        matches[str(workers)] = merged == flat
+        shutil.rmtree(Path(root) / f"id-{workers}", ignore_errors=True)
+    shutil.rmtree(Path(root) / "id-flat", ignore_errors=True)
+    return {
+        "n_reports": n_records,
+        "n_frames": len(frames),
+        "worker_counts": list(worker_counts),
+        "merged_equal_flat": matches,
+    }
+
+
+def bench_ingest(protocol, frames, root, segment_bytes, repeats):
+    """End-to-end ingest: flat vs a 2-worker fleet, same stream."""
+    codec = ReportCodec(protocol.schema)
+    n_records = sum(codec.peek_record_count(frame) for frame in frames)
+
+    def flat():
+        run_flat(
+            protocol, frames, Path(root) / "ing-flat",
+            segment_bytes=segment_bytes,
+        )
+
+    def sharded():
+        run_sharded(
+            protocol, frames, Path(root) / "ing-shard",
+            workers=2, segment_bytes=segment_bytes,
+        )
+
+    result = {
+        "n_reports": n_records,
+        "n_frames": len(frames),
+        "cpu_count": os.cpu_count(),
+        "flat_rps": n_records / best_seconds(flat, repeats),
+        "sharded_2_rps": n_records / best_seconds(sharded, repeats),
+    }
+    shutil.rmtree(Path(root) / "ing-flat", ignore_errors=True)
+    shutil.rmtree(Path(root) / "ing-shard", ignore_errors=True)
+    return result
+
+
+def bench_reopen(protocol, frames, root, segment_bytes, repeats):
+    """Cold open on checkpointed state: flat vs 2-worker sharded."""
+    flat_state = Path(root) / "re-flat"
+    shard_state = Path(root) / "re-shard"
+    run_flat(
+        protocol, frames, flat_state,
+        segment_bytes=segment_bytes, checkpoint=True,
+    )
+    run_sharded(
+        protocol, frames, shard_state,
+        workers=2, segment_bytes=segment_bytes, checkpoint=True,
+    )
+
+    def reopen_flat():
+        CollectorService.for_protocol(
+            protocol, flat_state, segment_bytes=segment_bytes
+        ).close()
+
+    def reopen_sharded():
+        ShardedCollectorService.for_protocol(
+            protocol, shard_state, workers=2, segment_bytes=segment_bytes
+        ).close()
+
+    result = {
+        "flat_reopen_s": best_seconds(reopen_flat, repeats),
+        "sharded_2_reopen_s": best_seconds(reopen_sharded, repeats),
+    }
+    shutil.rmtree(flat_state, ignore_errors=True)
+    shutil.rmtree(shard_state, ignore_errors=True)
+    return result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="assert merge identity (always) and the fleet speedup "
+        "(only on hosts with >=4 cores)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workloads (CI smoke)"
+    )
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="write the results JSON here (e.g. BENCH_9.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n, frame_records, segment_bytes, repeats = 20_000, 32, 65_536, 2
+        worker_counts = (1, 2)
+    else:
+        n, frame_records, segment_bytes, repeats = 200_000, 64, 262_144, 3
+        worker_counts = (1, 2, 4)
+
+    protocol = RRIndependent(synthesize_adult(n=2, rng=0).schema, p=0.7)
+    frames = make_frames(protocol, n, frame_records)
+
+    root = tempfile.mkdtemp(prefix="bench-shards-")
+    try:
+        results = {
+            "bench": "shards",
+            "quick": args.quick,
+            "identity": bench_identity(
+                protocol, frames, root, segment_bytes, worker_counts
+            ),
+            "ingest": bench_ingest(
+                protocol, frames, root, segment_bytes, repeats
+            ),
+            "reopen": bench_reopen(
+                protocol, frames, root, segment_bytes, repeats
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    ingest = results["ingest"]
+    reopen = results["reopen"]
+    for key, value in list(ingest.items()):
+        if key.endswith("_rps"):
+            ingest[key] = round(value)
+    for key, value in list(reopen.items()):
+        if key.endswith("_s"):
+            reopen[key] = round(value, 6)
+
+    identity = results["identity"]
+    print(
+        f"identity  merged == flat for workers "
+        f"{identity['worker_counts']}: "
+        f"{identity['merged_equal_flat']}  "
+        f"[{identity['n_frames']} frames, "
+        f"{identity['n_reports']:,} reports]\n"
+        f"ingest    flat {ingest['flat_rps']:>12,} rps   "
+        f"2-worker fleet {ingest['sharded_2_rps']:>12,} rps "
+        f"({ingest['sharded_2_rps'] / max(ingest['flat_rps'], 1):.2f}x, "
+        f"{ingest['cpu_count']} cores)\n"
+        f"reopen    flat {reopen['flat_reopen_s'] * 1e3:9.2f} ms   "
+        f"2-worker fleet {reopen['sharded_2_reopen_s'] * 1e3:9.2f} ms"
+    )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        failures = []
+        for workers, equal in identity["merged_equal_flat"].items():
+            if not equal:
+                failures.append(
+                    f"{workers}-worker merged marginals diverge from the "
+                    f"flat run (worker-count invariance broken)"
+                )
+        cores = os.cpu_count() or 1
+        if cores >= 4 and ingest["sharded_2_rps"] < ingest["flat_rps"]:
+            failures.append(
+                "2-worker fleet is slower than the flat service on a "
+                f"{cores}-core host"
+            )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@ from repro.exceptions import (
     StorageFullError,
     TransientIOError,
     SegmentQuarantinedError,
+    ShardFailedError,
 )
 from repro.data import (
     Attribute,
@@ -150,6 +151,7 @@ from repro.engine import (
 from repro.service import (
     ReportCodec,
     CollectorService,
+    ShardedCollectorService,
     IngestionPipeline,
     QueryFrontend,
 )
@@ -165,6 +167,7 @@ __all__ = [
     "ProtocolError", "QueryError", "SecureSumError",
     "ServiceError", "CodecError",
     "StorageFullError", "TransientIOError", "SegmentQuarantinedError",
+    "ShardFailedError",
     # data
     "Attribute", "Schema", "Dataset", "Domain",
     "adult_schema", "load_adult", "synthesize_adult", "replicate",
@@ -209,7 +212,8 @@ __all__ = [
     # engine
     "ChunkPlan", "ColumnTask", "ShardedCollector",
     # service
-    "ReportCodec", "CollectorService", "IngestionPipeline", "QueryFrontend",
+    "ReportCodec", "CollectorService", "ShardedCollectorService",
+    "IngestionPipeline", "QueryFrontend",
     # design documents
     "DesignDocument", "load_design", "write_design",
 ]

@@ -18,6 +18,12 @@ Two halves:
   (:func:`install_plan`) swaps in a :class:`FaultyIOPlane` that
   surfaces the scheduled faults as ordinary ``OSError`` values.
 
+* :mod:`repro.faults.process` — the *process* plane (PR 9): the same
+  counted-trigger idiom extended to worker death (``SIGKILL`` before
+  or after the n-th mediated op), dropped or delayed IPC replies and
+  hung heartbeats, composable with an I/O plan per worker
+  incarnation via :class:`WorkerFaultConfig`.
+
 The property suite under ``tests/faults`` runs ingest / compact /
 checkpoint workloads under exhaustive and randomized schedules and
 asserts the storage contract: after any schedule, recovery is
@@ -37,6 +43,15 @@ from repro.faults.plane import (
     install_plan,
     set_plane,
 )
+from repro.faults.process import (
+    PROCESS_OPS,
+    MediatedIOPlane,
+    ProcessFaultPlan,
+    ProcessFaultRule,
+    WorkerFaultConfig,
+    random_process_plan,
+    random_worker_faults,
+)
 
 __all__ = [
     "OPS",
@@ -48,4 +63,11 @@ __all__ = [
     "get_plane",
     "set_plane",
     "install_plan",
+    "PROCESS_OPS",
+    "ProcessFaultRule",
+    "ProcessFaultPlan",
+    "MediatedIOPlane",
+    "WorkerFaultConfig",
+    "random_process_plan",
+    "random_worker_faults",
 ]

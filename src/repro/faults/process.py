@@ -1,0 +1,382 @@
+"""Process-fault plane: scheduled worker death, IPC loss, hung hearts.
+
+PR 8 proved the storage contract by scheduling *I/O* faults through an
+ambient plane. This module extends the same counted-trigger idiom to
+*process* faults so the supervision contract of the sharded collector
+can be proven the same way: a :class:`ProcessFaultRule` kills the
+worker (``SIGKILL`` — no cleanup, no ``atexit``, exactly what a crash
+looks like) before or after the n-th occurrence of a mediated
+operation, drops or delays an IPC reply, or hangs the heartbeat so the
+worker looks alive but stops making progress.
+
+Mediated operations come in two flavours:
+
+* the storage ops of :data:`repro.faults.plan.OPS` — a worker wraps
+  its I/O plane in :class:`MediatedIOPlane`, so "kill at the 3rd
+  ``write``" lands mid-append and "kill at the ``rename`` of
+  ``checkpoint.npz``" lands mid-checkpoint, with the journal's own
+  durability machinery left to prove byte-identical recovery;
+* the worker-loop ops (``ingest``, ``checkpoint``, ``snapshot``,
+  ``recv``, ``send``, ``heartbeat``) — message handling and the
+  merge hand-off, so kills land mid-merge and replies can vanish
+  after the frames they acknowledge are already durable.
+
+Plans are built from pickle-friendly rule tuples carried by
+:class:`WorkerFaultConfig` and instantiated *inside* the worker, per
+incarnation: by default only incarnation 0 runs faulted, so a
+restarted worker runs clean and forward progress is guaranteed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+from repro.faults.plan import OPS, FaultPlan, FaultRule, random_plan
+from repro.faults.plane import FaultyIOPlane, IOPlane
+
+__all__ = [
+    "PROCESS_OPS",
+    "ProcessFaultRule",
+    "ProcessFaultPlan",
+    "MediatedIOPlane",
+    "WorkerFaultConfig",
+    "random_process_plan",
+    "random_worker_faults",
+]
+
+#: Worker-loop operations mediated directly by the worker main loop
+#: (in addition to the storage ops mediated via :class:`MediatedIOPlane`).
+LOOP_OPS = ("ingest", "checkpoint", "snapshot", "recv", "send", "heartbeat")
+
+#: Every operation a process fault can attach to.
+PROCESS_OPS = OPS + LOOP_OPS
+
+_KINDS = ("kill", "drop", "delay", "hang")
+
+#: Which ops each non-kill kind may attach to. ``kill`` attaches to
+#: anything; a dropped or delayed message only makes sense on the IPC
+#: ops, and only the heartbeat can hang.
+_KIND_OPS = {
+    "drop": {"send", "recv"},
+    "delay": {"send", "recv"},
+    "hang": {"heartbeat"},
+}
+
+
+@dataclass(frozen=True)
+class ProcessFaultRule:
+    """One scheduled process fault.
+
+    ``op``/``nth`` use the same counted-trigger semantics as
+    :class:`~repro.faults.plan.FaultRule`: the rule fires on the
+    ``nth`` occurrence (0-based) of ``op``, once, unless ``sticky``.
+    ``when`` places a ``kill`` before or after the operation's effect
+    — "after the 2nd fsync" means the bytes are durable but the ack
+    never leaves the worker. ``path_pattern`` (storage ops only)
+    matches the basename so a kill can target exactly the checkpoint
+    rename or a segment rotation.
+    """
+
+    op: str
+    nth: int = 0
+    kind: str = "kill"
+    when: str = "before"
+    delay_seconds: float = 0.0
+    path_pattern: Optional[str] = None
+    sticky: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in PROCESS_OPS:
+            raise ServiceError(
+                f"unknown process-fault op {self.op!r}; expected one of {PROCESS_OPS}"
+            )
+        if self.kind not in _KINDS:
+            raise ServiceError(
+                f"unknown process-fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        allowed = _KIND_OPS.get(self.kind)
+        if allowed is not None and self.op not in allowed:
+            raise ServiceError(
+                f"process-fault kind {self.kind!r} cannot attach to op "
+                f"{self.op!r} (allowed: {sorted(allowed)})"
+            )
+        if self.when not in ("before", "after"):
+            raise ServiceError(
+                f"process-fault 'when' must be 'before' or 'after', got {self.when!r}"
+            )
+        if self.nth < 0:
+            raise ServiceError("process-fault nth must be >= 0")
+        if self.delay_seconds < 0:
+            raise ServiceError("process-fault delay_seconds must be >= 0")
+        if self.path_pattern is not None and self.op not in OPS:
+            raise ServiceError(
+                f"path_pattern only applies to storage ops, not {self.op!r}"
+            )
+
+    def matches_path(self, path) -> bool:
+        if self.path_pattern is None:
+            return True
+        if path is None:
+            return False
+        return fnmatch(os.path.basename(str(path)), self.path_pattern)
+
+
+class ProcessFaultPlan:
+    """Counted-trigger schedule of process faults for one worker.
+
+    Holds mutable per-rule state (occurrence counters, fired flags), so
+    a plan must be built fresh inside the worker process — ship
+    :class:`ProcessFaultRule` tuples across the spawn, not plans.
+    """
+
+    def __init__(self, rules: Tuple[ProcessFaultRule, ...] = (), *, name: str = "") -> None:
+        self.rules: Tuple[ProcessFaultRule, ...] = tuple(rules)
+        self.name = name
+        self._fired = [False] * len(self.rules)
+        self._rule_counts = [0] * len(self.rules)
+        self.op_counts: dict = {}
+        #: ``(rule, op, index, when)`` log of every fault that fired.
+        self.fired: List[Tuple[ProcessFaultRule, str, int, str]] = []
+
+    def _select(self, op: str, index: int, when: str, path) -> Optional[ProcessFaultRule]:
+        for position, rule in enumerate(self.rules):
+            if rule.op != op or rule.when != when:
+                continue
+            if not rule.matches_path(path):
+                continue
+            # The occurrence index in the rule's own frame: the global
+            # op index for un-patterned rules, the count of *matching*
+            # occurrences for patterned ones — a patterned rule's nth
+            # means "the nth touch of a file that looks like this",
+            # not "the nth rename overall happens to be that file".
+            if rule.path_pattern is None:
+                occurrence = index
+            else:
+                occurrence = self._rule_counts[position]
+                self._rule_counts[position] = occurrence + 1
+            if self._fired[position] and not rule.sticky:
+                continue
+            if occurrence == rule.nth or (rule.sticky and occurrence >= rule.nth):
+                self._fired[position] = True
+                self.fired.append((rule, op, occurrence, when))
+                return rule
+        return None
+
+    @staticmethod
+    def _execute(rule: Optional[ProcessFaultRule]) -> Optional[ProcessFaultRule]:
+        if rule is not None and rule.kind == "kill":
+            # SIGKILL to self: no handlers, no flushing, no atexit —
+            # indistinguishable from the crash the contract is about.
+            # Sanctioned: this *is* the scheduled crash of the fault
+            # plane (counted trigger, seeded schedule).
+            os.kill(os.getpid(), signal.SIGKILL)  # repro-lint: ignore[RPL206]
+        return rule
+
+    def begin(self, op: str, *, path=None) -> Tuple[int, Optional[ProcessFaultRule]]:
+        """Record one occurrence of ``op``; fire any ``before`` rule.
+
+        Returns ``(index, rule)`` where ``index`` is the occurrence
+        just counted (pass it to :meth:`end`) and ``rule`` is a
+        non-kill ``before`` rule for the caller to interpret (``drop``,
+        ``delay``, ``hang``) — kills never return.
+        """
+        index = self.op_counts.get(op, 0)
+        self.op_counts[op] = index + 1
+        return index, self._execute(self._select(op, index, "before", path))
+
+    def end(self, op: str, index: int, *, path=None) -> Optional[ProcessFaultRule]:
+        """Fire any ``after`` rule for occurrence ``index`` of ``op``."""
+        return self._execute(self._select(op, index, "after", path))
+
+    @contextmanager
+    def mediate(self, op: str, *, path=None) -> Iterator[int]:
+        """Bracket one operation with before/after kill points."""
+        index, _ = self.begin(op, path=path)
+        yield index
+        self.end(op, index, path=path)
+
+
+class MediatedIOPlane(IOPlane):
+    """An I/O plane that gives a process plan kill points at every
+    storage operation, then delegates to an inner plane (which may
+    itself be a :class:`FaultyIOPlane` for combined process + I/O
+    schedules)."""
+
+    def __init__(self, plan: ProcessFaultPlan, inner: Optional[IOPlane] = None) -> None:
+        self.plan = plan
+        self.inner = IOPlane() if inner is None else inner
+        self.active = self.inner.active
+
+    def write(self, handle, data):
+        with self.plan.mediate("write", path=getattr(handle, "name", None)):
+            return self.inner.write(handle, data)
+
+    def read(self, handle, size=-1):
+        with self.plan.mediate("read", path=getattr(handle, "name", None)):
+            return self.inner.read(handle, size)
+
+    def read_bytes(self, path):
+        with self.plan.mediate("read", path=path):
+            return self.inner.read_bytes(path)
+
+    def fsync(self, fileno, *, path=None):
+        with self.plan.mediate("fsync", path=path):
+            return self.inner.fsync(fileno, path=path)
+
+    def replace(self, src, dst):
+        with self.plan.mediate("rename", path=dst):
+            return self.inner.replace(src, dst)
+
+    def truncate(self, handle, size):
+        with self.plan.mediate("truncate", path=getattr(handle, "name", None)):
+            return self.inner.truncate(handle, size)
+
+    def unlink(self, path):
+        with self.plan.mediate("unlink", path=path):
+            return self.inner.unlink(path)
+
+
+@dataclass(frozen=True)
+class WorkerFaultConfig:
+    """Fault schedule shipped to one shard worker at spawn time.
+
+    ``incarnations`` lists which worker incarnations (0 = the first
+    spawn, 1 = the first restart, ...) install the schedule; all other
+    incarnations run clean, so a supervisor restart after a scheduled
+    kill is guaranteed to make progress. Rules — not live plans — are
+    carried so each faulted incarnation starts with fresh counters.
+    """
+
+    process_rules: Tuple[ProcessFaultRule, ...] = ()
+    io_rules: Tuple[FaultRule, ...] = ()
+    incarnations: Tuple[int, ...] = (0,)
+    name: str = ""
+
+    def plane_for(self, incarnation: int) -> Tuple[IOPlane, Optional[ProcessFaultPlan]]:
+        """The I/O plane (and live process plan) this incarnation installs."""
+        if incarnation not in self.incarnations:
+            return IOPlane(), None
+        inner: IOPlane = IOPlane()
+        if self.io_rules:
+            inner = FaultyIOPlane(FaultPlan(self.io_rules, name=self.name))
+        if not self.process_rules:
+            return inner, None
+        plan = ProcessFaultPlan(self.process_rules, name=self.name)
+        return MediatedIOPlane(plan, inner), plan
+
+
+#: Rough per-op occurrence ceilings for :func:`random_process_plan`.
+#: ``nth`` is drawn below the ceiling; overshooting the run's actual
+#: op count just means the rule never fires, which is a valid (clean)
+#: schedule, exactly as in :func:`repro.faults.plan.random_plan`.
+DEFAULT_PROCESS_PROFILE = {
+    "write": 40,
+    "fsync": 30,
+    "rename": 8,
+    "read": 10,
+    "ingest": 6,
+    "checkpoint": 3,
+    "snapshot": 3,
+    "send": 10,
+    "recv": 10,
+    "heartbeat": 60,
+}
+
+
+def random_process_plan(
+    seed: int,
+    profile: Optional[dict] = None,
+    *,
+    n_faults: Optional[int] = None,
+) -> Tuple[ProcessFaultRule, ...]:
+    """Seeded random process-fault schedule (rule tuple, not a plan).
+
+    Mirrors :func:`repro.faults.plan.random_plan`: same seed, same
+    schedule, forever. Delays are kept tiny (≤ 50 ms) so randomized
+    suites stay fast; a delay long enough to trip the reply deadline
+    is a deliberate, named test case instead.
+    """
+    rng = np.random.default_rng(seed)
+    profile = dict(DEFAULT_PROCESS_PROFILE if profile is None else profile)
+    ops = sorted(profile)
+    if n_faults is None:
+        n_faults = int(rng.integers(1, 4))
+    rules = []
+    for _ in range(n_faults):
+        op = ops[int(rng.integers(0, len(ops)))]
+        nth = int(rng.integers(0, max(1, profile[op])))
+        kinds = ["kill"]
+        for kind, allowed in _KIND_OPS.items():
+            if op in allowed:
+                kinds.append(kind)
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        when = "before" if kind != "kill" or rng.integers(0, 2) == 0 else "after"
+        rules.append(
+            ProcessFaultRule(
+                op=op,
+                nth=nth,
+                kind=kind,
+                when=when,
+                delay_seconds=float(rng.integers(0, 50)) / 1000.0
+                if kind == "delay"
+                else 0.0,
+                sticky=kind == "hang",
+            )
+        )
+    return tuple(rules)
+
+
+#: Storage op-count profile of one shard worker's slice of a short
+#: ingest (measured the same way the flat suite's profiles are: run
+#: clean, read the plane's op_counts). Overshooting is fine — a rule
+#: whose nth never occurs is a valid (clean) schedule.
+DEFAULT_IO_PROFILE = {
+    "write": 40,
+    "fsync": 30,
+    "rename": 8,
+    "read": 10,
+}
+
+
+def random_worker_faults(
+    seed: int,
+    *,
+    workers: int,
+    process_profile: Optional[dict] = None,
+    io_profile: Optional[dict] = None,
+    p_io: float = 0.5,
+) -> dict:
+    """Seeded multi-fault schedule across a worker fleet.
+
+    Picks one worker to fault (restarted incarnations run clean) and
+    gives it a random process schedule, plus — with probability
+    ``p_io`` — a random I/O schedule from
+    :func:`repro.faults.plan.random_plan`, so process and storage
+    faults compose in one run.
+    """
+    rng = np.random.default_rng(seed)
+    target = int(rng.integers(0, workers))
+    process_rules = random_process_plan(
+        int(rng.integers(0, 2**63)), process_profile
+    )
+    io_rules: Tuple[FaultRule, ...] = ()
+    if rng.random() < p_io:
+        io_plan = random_plan(
+            int(rng.integers(0, 2**63)),
+            dict(DEFAULT_IO_PROFILE if io_profile is None else io_profile),
+        )
+        io_rules = tuple(io_plan.rules)
+    config = WorkerFaultConfig(
+        process_rules=process_rules,
+        io_rules=io_rules,
+        name=f"seed={seed}",
+    )
+    return {target: config}

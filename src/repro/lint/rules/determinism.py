@@ -17,6 +17,10 @@ the two sanctioned modules that *implement* the policy:
   nothing it measures may reach fingerprinted or replayed artifacts.
 * RPL205 — iterating a ``set`` where the element order can reach
   output (set iteration order is hash-randomized across processes).
+* RPL206 — process signalling (``os.kill``): only the shard
+  supervisor (whose deadline reads go through :mod:`repro.obs.clock`)
+  and the process-fault plane (scheduled crashes) may signal
+  processes, each with a commented suppression naming its contract.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ __all__ = [
     "check_stdlib_random",
     "check_wall_clock",
     "check_set_iteration_order",
+    "check_process_signals",
 ]
 
 #: Modules allowed to touch ambient entropy or clocks: they are the
@@ -180,6 +185,34 @@ def check_wall_clock(ctx: ModuleContext):
                 hint="time telemetry through repro.obs.clock (injectable, "
                 "fake-able in tests); fingerprinted or serialized "
                 "artifacts must be a function of their inputs",
+            )
+
+
+_PROCESS_SIGNALS = frozenset(
+    {"os.kill", "os.killpg", "signal.raise_signal"}
+)
+
+
+@rule(
+    "RPL206",
+    "process-signal",
+    "process signalling (os.kill) outside the supervised process plane",
+)
+def check_process_signals(ctx: ModuleContext):
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qualname = ctx.resolve(node.func)
+        if qualname in _PROCESS_SIGNALS:
+            yield ctx.finding(
+                node,
+                "RPL206",
+                f"{qualname}() terminates a process outside the "
+                "supervision contract",
+                hint="only the shard supervisor (deadlines read via "
+                "repro.obs.clock) and the fault plane's scheduled "
+                "crashes may signal processes; suppress with a comment "
+                "naming the deadline or schedule that sanctions it",
             )
 
 

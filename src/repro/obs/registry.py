@@ -303,11 +303,27 @@ class MetricsRegistry:
         Addition everywhere, so folding N worker snapshots in any order
         produces identical totals — the cross-process half of the
         ``ShardedCollector`` merge discipline.
+
+        Validate-then-apply, like ``ShardedCollector.absorb_counts``:
+        every name is resolved (kind conflicts and histogram
+        bucket-boundary or count-length mismatches raise a typed
+        :class:`~repro.exceptions.ObservabilityError`) **before** any
+        value is added, so one bad instrument cannot leave the
+        registry partially merged. Resolution may register fresh
+        instruments at zero; that is name bookkeeping, not a value
+        mutation, and a subsequent clean merge proceeds normally.
         """
+        counter_deltas = []
         for name in sorted(snapshot.get("counters", {})):
-            self.counter(name).inc(int(snapshot["counters"][name]))
+            counter_deltas.append(
+                (self.counter(name), int(snapshot["counters"][name]))
+            )
+        gauge_deltas = []
         for name in sorted(snapshot.get("gauges", {})):
-            self.gauge(name).inc(float(snapshot["gauges"][name]))
+            gauge_deltas.append(
+                (self.gauge(name), float(snapshot["gauges"][name]))
+            )
+        histogram_deltas = []
         for name in sorted(snapshot.get("histograms", {})):
             payload = snapshot["histograms"][name]
             instrument = self.histogram(name, payload["buckets"])
@@ -317,7 +333,13 @@ class MetricsRegistry:
                     f"histogram {name!r} snapshot has {len(counts)} bucket "
                     f"counts, expected {len(instrument.counts)}"
                 )
-            for i, c in enumerate(counts):
+            histogram_deltas.append((instrument, payload))
+        for instrument, amount in counter_deltas:
+            instrument.inc(amount)
+        for instrument, amount in gauge_deltas:
+            instrument.inc(amount)
+        for instrument, payload in histogram_deltas:
+            for i, c in enumerate(payload["counts"]):
                 instrument.counts[i] += int(c)
             instrument._sum += float(payload["sum"])
             instrument._count += int(payload["count"])

@@ -17,6 +17,12 @@ cache.
   log, checkpoints and queries into one durable process state.
 * :mod:`repro.service.query` — LRU cache over marginal / pair-table /
   set-frequency estimates, keyed on (query, observed counts).
+* :mod:`repro.service.shard` / :mod:`repro.service.supervisor` —
+  :class:`ShardedCollectorService`: ingest partitioned across N
+  supervised worker processes (per-shard journals + checkpoints,
+  heartbeat/deadline supervision, crash-restart with resend
+  accounting, partial-service degradation), merged back through the
+  engine's sharded collector.
 * :mod:`repro.service.scrub` — offline deep verification of a state
   directory: every retained frame's CRC and fingerprint, manifest
   accounting, and the checkpoint pair, all read-only.
@@ -41,6 +47,8 @@ from repro.service.journal import FrameWriter, IngestionLog, read_frames
 from repro.service.pipeline import CollectorService, IngestionPipeline
 from repro.service.query import QueryFrontend
 from repro.service.scrub import scrub_state_dir
+from repro.service.shard import ShardedCollectorService
+from repro.service.supervisor import Supervisor
 
 __all__ = [
     "ReportCodec",
@@ -52,6 +60,8 @@ __all__ = [
     "read_frames",
     "IngestionPipeline",
     "CollectorService",
+    "ShardedCollectorService",
+    "Supervisor",
     "QueryFrontend",
     "scrub_state_dir",
 ]

@@ -12,7 +12,10 @@ End-to-end wiring of the service layer on CSV input:
   checkpointed state directory (write-ahead log + periodic snapshots).
   ``--stop-after`` aborts mid-stream without a final checkpoint — a
   scriptable crash — and ``--resume`` recovers and continues where the
-  crashed run left off.
+  crashed run left off. ``--service-workers N`` shards ingest across
+  ``N`` supervised worker processes (:mod:`repro.service.shard`); the
+  worker count is pinned into the state directory and every later
+  command auto-detects it.
 * ``query`` — the consumer side: recover the collector from its state
   directory and print Eq. (2) estimates as JSON. Queries route through
   the protocol's collection layout: pair tables inside a cluster come
@@ -74,6 +77,7 @@ from repro.service.journal import (
     CHECKPOINT_JSON,
     DEFAULT_SEGMENT_BYTES,
     LOG_NAME,
+    SHARDING_META,
     FrameWriter,
     log_exists,
     read_frames,
@@ -84,6 +88,7 @@ from repro.service.pipeline import (
     CollectorService,
 )
 from repro.service.scrub import scrub_state_dir
+from repro.service.shard import ShardedCollectorService, load_sharding_meta
 
 __all__ = ["service_main", "SERVICE_COMMANDS", "load_design", "write_design"]
 
@@ -151,19 +156,40 @@ def _build_protocol(args, schema, parser):
     return RRClusters(_parse_clusters(args.clusters, schema), p=args.p)
 
 
+def _pinned_workers(args) -> "int | None":
+    """Worker count this invocation should shard with, or ``None``.
+
+    ``--service-workers`` wins when given (the service's topology pin
+    refuses a mismatch with an existing directory); otherwise a
+    ``sharding.json`` already in the state directory makes every later
+    command reopen sharded without repeating the flag.
+    """
+    requested = getattr(args, "service_workers", None)
+    if requested is not None:
+        return requested
+    meta = load_sharding_meta(args.state_dir)
+    return int(meta["workers"]) if meta is not None else None
+
+
 def _service_from_design(args) -> CollectorService:
     protocol, _ = _load_design(args.design)
-    return CollectorService.for_protocol(
-        protocol,
-        args.state_dir,
+    workers = _pinned_workers(args)
+    common = dict(
         batch_size=args.batch_size,
         checkpoint_every=getattr(args, "checkpoint_every", None),
         segment_bytes=getattr(args, "segment_bytes", DEFAULT_SEGMENT_BYTES),
     )
+    if workers is not None:
+        return ShardedCollectorService.for_protocol(
+            protocol, args.state_dir, workers=workers, **common
+        )
+    return CollectorService.for_protocol(protocol, args.state_dir, **common)
 
 
 def _state_dir_has_state(state_dir: Path) -> bool:
     if (state_dir / CHECKPOINT_JSON).exists():
+        return True
+    if (state_dir / SHARDING_META).exists():
         return True
     # log_exists also recognizes a rotated/compacted log whose bare
     # ingest.log segment has been retired (manifest present).
@@ -318,6 +344,13 @@ def _ingest(argv) -> int:
         help="stop after N frames without a final checkpoint "
         "(simulated crash; use --resume to continue)",
     )
+    parser.add_argument(
+        "--service-workers", type=positive_int, default=None,
+        help="shard ingest across this many supervised worker "
+        "processes, each with its own journal and checkpoints; the "
+        "worker count is pinned into the state directory and later "
+        "commands (query, stats, compact, --resume) auto-detect it",
+    )
     args = parser.parse_args(argv)
 
     if not args.resume and _state_dir_has_state(args.state_dir):
@@ -331,41 +364,56 @@ def _ingest(argv) -> int:
     try:
         skip = service.frames_applied if args.resume else 0
         reports_stream = read_frames(args.reports)
-        if skip:
-            # Resume skips by count, so bind the identity too: the
-            # skipped prefix must be byte-equal to what the log holds,
-            # or we would silently continue an unrelated stream (e.g.
-            # a re-encoded reports file with a fresh seed). Streamed
-            # frame-by-frame — neither file is materialized. Frames
-            # compacted out of the log head can no longer be compared
-            # byte-for-byte; they are consumed uncheckable (their
-            # counts are pinned inside the covering checkpoint).
-            verified_from = min(skip, service.log.first_retained_frame)
-            for _ in range(verified_from):
-                if next(reports_stream, None) is None:
-                    # Exhaustion is still checkable even when the
-                    # frame bytes no longer are.
-                    raise ServiceError(
-                        f"{args.reports}: fewer frames than the {skip} "
-                        f"already ingested into {args.state_dir}; resume "
-                        "requires the same reports file the crashed run "
-                        "was ingesting"
-                    )
-            logged = service.log.replay(verified_from)
-            for _ in range(skip - verified_from):
-                if next(reports_stream, None) != next(logged, None):
-                    raise ServiceError(
-                        f"{args.reports}: the first {skip} frames do not "
-                        "match the frames already ingested into "
-                        f"{args.state_dir}; resume requires the same "
-                        "reports file the crashed run was ingesting"
-                    )
-            logged.close()
-        ingested = service.ingest_many(
-            reports_stream,
-            commit_records=args.batch_size,
-            limit=args.stop_after,
-        )
+        if isinstance(service, ShardedCollectorService):
+            # The sharded service owns resume verification: the stream
+            # is re-routed from frame zero and each shard's durable
+            # prefix is byte-checked before only the tails ingest. The
+            # stop budget therefore covers the re-verified prefix too.
+            limit = args.stop_after
+            if limit is not None and skip:
+                limit += skip
+            ingested = service.ingest_many(
+                reports_stream, limit=limit, resume=args.resume
+            )
+        else:
+            if skip:
+                # Resume skips by count, so bind the identity too: the
+                # skipped prefix must be byte-equal to what the log
+                # holds, or we would silently continue an unrelated
+                # stream (e.g. a re-encoded reports file with a fresh
+                # seed). Streamed frame-by-frame — neither file is
+                # materialized. Frames compacted out of the log head
+                # can no longer be compared byte-for-byte; they are
+                # consumed uncheckable (their counts are pinned inside
+                # the covering checkpoint).
+                verified_from = min(skip, service.log.first_retained_frame)
+                for _ in range(verified_from):
+                    if next(reports_stream, None) is None:
+                        # Exhaustion is still checkable even when the
+                        # frame bytes no longer are.
+                        raise ServiceError(
+                            f"{args.reports}: fewer frames than the "
+                            f"{skip} already ingested into "
+                            f"{args.state_dir}; resume requires the "
+                            "same reports file the crashed run was "
+                            "ingesting"
+                        )
+                logged = service.log.replay(verified_from)
+                for _ in range(skip - verified_from):
+                    if next(reports_stream, None) != next(logged, None):
+                        raise ServiceError(
+                            f"{args.reports}: the first {skip} frames "
+                            "do not match the frames already ingested "
+                            f"into {args.state_dir}; resume requires "
+                            "the same reports file the crashed run "
+                            "was ingesting"
+                        )
+                logged.close()
+            ingested = service.ingest_many(
+                reports_stream,
+                commit_records=args.batch_size,
+                limit=args.stop_after,
+            )
         stopped_early = (
             args.stop_after is not None and ingested >= args.stop_after
         )
@@ -439,9 +487,13 @@ def _compact(argv) -> int:
         summary = {
             "state_dir": str(args.state_dir),
             "frames_applied": service.frames_applied,
-            "segments_remaining": service.log.n_segments,
-            **stats,
         }
+        if isinstance(service, ShardedCollectorService):
+            # Per-shard compaction stats keyed by worker id.
+            summary["shards"] = stats
+        else:
+            summary["segments_remaining"] = service.log.n_segments
+            summary.update(stats)
     finally:
         service.close()
     print(json.dumps(summary, indent=2, sort_keys=True))
@@ -568,12 +620,22 @@ def _stats(argv) -> int:
         return 1
     if args.design is not None:
         protocol, _ = _load_design(args.design)
-        service = CollectorService.for_protocol(
-            protocol,
-            args.state_dir,
-            batch_size=args.batch_size,
-            metrics=MetricsRegistry(),
-        )
+        workers = _pinned_workers(args)
+        if workers is not None:
+            service = ShardedCollectorService.for_protocol(
+                protocol,
+                args.state_dir,
+                workers=workers,
+                batch_size=args.batch_size,
+                metrics=MetricsRegistry(),
+            )
+        else:
+            service = CollectorService.for_protocol(
+                protocol,
+                args.state_dir,
+                batch_size=args.batch_size,
+                metrics=MetricsRegistry(),
+            )
         try:
             document = service.health()
         finally:

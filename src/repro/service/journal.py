@@ -63,7 +63,7 @@ import re
 import struct
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterator, List, Mapping
 
@@ -106,6 +106,10 @@ MANIFEST_SUFFIX = ".manifest.json"
 CHECKPOINT_NPZ = "checkpoint.npz"
 CHECKPOINT_JSON = "checkpoint.json"
 SERVICE_META = "service.json"
+#: Marker + topology pin of a *sharded* state directory (owned by
+#: :mod:`repro.service.shard`; named here so the flat service can
+#: refuse to open a sharded root without importing the shard layer).
+SHARDING_META = "sharding.json"
 
 #: Suffix a corrupt sealed segment is renamed aside with when its
 #: frames are covered by a durable checkpoint (see ``IngestionLog``).
@@ -153,25 +157,69 @@ def _storage_error(exc: OSError, context: str) -> ServiceError:
     return TransientIOError(f"{context}: {exc}")
 
 
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer: a stateless, uniform 64-bit hash.
+
+    Pure integer arithmetic — no RNG object, no ambient entropy — so
+    every consumer (retry jitter, shard routing) is byte-stable by
+    construction and safe to call from any process.
+    """
+    mask = 0xFFFFFFFFFFFFFFFF
+    value = (value + 0x9E3779B97F4A7C15) & mask
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & mask
+    return value ^ (value >> 31)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff for transient append failures.
+    """Bounded exponential backoff with deterministic seeded jitter.
 
     Storage-full errors are never retried (the device will not drain
     itself between attempts); everything else gets ``attempts`` tries
-    with delays ``backoff_seconds * 2**k``. ``sleep`` is injectable so
-    tests run the schedule without wall-clock waits.
+    with delays ``backoff_seconds * 2**k``, each stretched by a
+    uniform draw in ``[0, jitter]`` of itself. The draw comes from a
+    stateless splitmix64 hash of ``(jitter_seed, k)`` — the same seed
+    always yields the same schedule (byte-stable under test), while
+    :meth:`for_shard` decorrelates the streams of N shard workers so
+    they never retry a shared transient fault in lockstep. ``sleep``
+    is injectable so tests run the schedule without wall-clock waits.
     """
 
     attempts: int = 3
     backoff_seconds: float = 0.01
     sleep: Callable[[float], None] = time.sleep
+    jitter: float = 0.5
+    jitter_seed: int = 0
 
     def __post_init__(self):
         if self.attempts < 1:
             raise ServiceError(
                 f"retry attempts must be >= 1, got {self.attempts}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServiceError(
+                f"retry jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule (``attempts - 1`` waits), jittered."""
+        delay = self.backoff_seconds
+        for k in range(self.attempts - 1):
+            fraction = _mix64(self.jitter_seed * 0x5851F42D + k) / 2.0**64
+            yield delay * (1.0 + self.jitter * fraction)
+            delay *= 2
+
+    def for_shard(self, shard: int) -> "RetryPolicy":
+        """The same policy with a jitter stream decorrelated by shard.
+
+        Derivation is deterministic in ``(jitter_seed, shard)``, so a
+        restarted worker replays the exact schedule its predecessor
+        would have run.
+        """
+        return replace(
+            self, jitter_seed=_mix64(self.jitter_seed ^ (shard + 1))
+        )
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -845,7 +893,7 @@ class IngestionLog:
                 f"{self._base}: journal writer disabled after an "
                 "unrecoverable I/O failure; reopen the log to recover"
             )
-        delay = self._retry.backoff_seconds
+        delays = self._retry.delays()
         for attempt in range(self._retry.attempts):
             try:
                 if len(frames) == 1:
@@ -863,8 +911,7 @@ class IngestionLog:
                 ):
                     raise mapped from exc
                 self._c_append_retries.inc()
-                self._retry.sleep(delay)
-                delay *= 2
+                self._retry.sleep(next(delays))
 
     def _rollback(self) -> None:
         """Truncate the active segment back to the acknowledged prefix.

@@ -63,6 +63,7 @@ from repro.service.journal import (
     DEFAULT_SEGMENT_BYTES,
     IngestionLog,
     LOG_NAME,
+    SHARDING_META,
     RetryPolicy,
     load_checkpoint,
     load_service_meta,
@@ -265,6 +266,14 @@ class CollectorService:
         self._state_dir.mkdir(parents=True, exist_ok=True)
         self._lock_handle = None
         self._acquire_lock()
+        if (self._state_dir / SHARDING_META).exists():
+            self._release_lock()
+            raise ServiceError(
+                f"{self._state_dir} is a sharded collector root "
+                "(sharding.json present); open it with "
+                "ShardedCollectorService — a flat service would journal "
+                "beside the shards and corrupt the routed stream"
+            )
         self._wire_schema = schema
         self._layout = layout
         # One registry threads through every component the service owns

@@ -1,0 +1,543 @@
+"""Shard workers and the supervisor that keeps them alive.
+
+Each shard worker is a child process that owns one
+:class:`~repro.service.pipeline.CollectorService` over its own state
+subdirectory — its own segmented journal, checkpoints, advisory lock
+and metrics registry — and serves a tiny command protocol over a
+duplex pipe. The parent-side :class:`Supervisor` spawns workers,
+watches them through a shared heartbeat counter plus reply deadlines,
+``SIGKILL``\\ s and respawns the ones that die or hang (recovery is the
+worker's normal open path: checkpoint counts + journal-tail replay,
+byte-identical or typed refusal), and marks a shard *failed* once its
+restart budget is exhausted so callers can degrade to partial service
+instead of flapping forever.
+
+Liveness has two clocks, both read through :mod:`repro.obs.clock` so
+tests can fake them:
+
+* the **heartbeat deadline** — a worker increments a shared counter
+  roughly 20×/s while idle and between absorption slices while
+  ingesting; a counter that stops advancing for ``heartbeat_seconds``
+  means hung (fsync stuck, deadlocked, fault-plane ``hang``), and the
+  supervisor kills it rather than wait out the full reply deadline;
+* the **reply deadline** — every command must answer within
+  ``deadline_seconds`` regardless of heartbeats, so a live worker
+  whose reply was lost (fault-plane ``drop``) cannot stall the parent
+  forever: the frames it durably logged are recovered on respawn and
+  the parent resends only the unacknowledged tail.
+
+Crash semantics are the whole point: a worker killed mid-append,
+mid-rotate or mid-checkpoint leaves exactly the torn states PR 8's
+storage suite proves recoverable, because the worker *is* a normal
+``CollectorService`` and SIGKILL releases its flock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+import repro.exceptions as _exceptions
+from repro.exceptions import ReproError, ServiceError, ShardFailedError
+from repro.faults.plane import set_plane
+from repro.faults.process import WorkerFaultConfig
+from repro.obs import clock
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.service.journal import DEFAULT_SEGMENT_BYTES, RetryPolicy
+from repro.service.pipeline import DEFAULT_BATCH_SIZE, CollectorService
+
+__all__ = [
+    "WorkerSpec",
+    "WorkerHandle",
+    "Supervisor",
+    "DEFAULT_DEADLINE_SECONDS",
+    "DEFAULT_HEARTBEAT_SECONDS",
+    "DEFAULT_MAX_RESTARTS",
+]
+
+DEFAULT_DEADLINE_SECONDS = 30.0
+DEFAULT_HEARTBEAT_SECONDS = 5.0
+DEFAULT_MAX_RESTARTS = 3
+
+#: Parent-side pipe poll granularity while awaiting a reply.
+_POLL_SECONDS = 0.02
+#: Worker-side pipe poll (also the idle heartbeat period).
+_TICK_SECONDS = 0.05
+#: Frames absorbed between heartbeat ticks during a long ingest.
+_INGEST_SLICE = 256
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    # fork is far cheaper to start and safe here: a worker opens its
+    # own CollectorService from disk and never reuses inherited
+    # journal handles or RNG state. Fall back to spawn elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker incarnation needs to open its shard."""
+
+    worker_id: int
+    state_dir: Path
+    schema: Any
+    matrices: Any
+    layout: Any = None
+    batch_size: int = DEFAULT_BATCH_SIZE
+    checkpoint_every: Optional[int] = None
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    auto_compact: bool = False
+    retry: Optional[RetryPolicy] = None
+    faults: Optional[WorkerFaultConfig] = None
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_send(conn, plan, reply) -> None:
+    """Send one reply through the fault plane's ``send`` mediation."""
+    if plan is None:
+        conn.send(reply)
+        return
+    index, rule = plan.begin("send")
+    try:
+        if rule is not None and rule.kind == "drop":
+            return  # the reply vanishes; the parent's deadline recovers
+        if rule is not None and rule.kind == "delay":
+            time.sleep(rule.delay_seconds)
+        conn.send(reply)
+    finally:
+        plan.end("send", index)
+
+
+def _worker_serve(service, registry, message, beat) -> Tuple[Any, bool]:
+    """Handle one command; returns ``(reply, stop)``."""
+    kind = message[0]
+    if kind == "ingest":
+        frames = message[1]
+        for start in range(0, len(frames), _INGEST_SLICE):
+            service.ingest_many(frames[start : start + _INGEST_SLICE])
+            beat()  # stay live under the heartbeat deadline mid-batch
+        return ("ok", service.frames_applied), False
+    if kind == "checkpoint":
+        service.checkpoint()
+        return ("ok", service.frames_applied), False
+    if kind == "compact":
+        stats = service.compact()
+        return ("stats", stats), False
+    if kind == "snapshot":
+        service.flush()
+        payload = {
+            "counts": service.collector.merged.snapshot_counts(),
+            "frames_applied": service.frames_applied,
+            "n_observed": service.n_observed,
+            "metrics": registry.snapshot(),
+        }
+        return ("snapshot", payload), False
+    if kind == "health":
+        return ("health", service.health()), False
+    if kind == "verify":
+        start, frames = message[1], message[2]
+        _verify_resume_prefix(service, start, frames)
+        return ("ok", service.frames_applied), False
+    if kind == "close":
+        if message[1]:
+            service.checkpoint()
+        return ("ok", service.frames_applied), True
+    raise ServiceError(f"unknown worker command {kind!r}")
+
+
+def _verify_resume_prefix(service, start: int, frames) -> None:
+    """Byte-compare a resumed stream prefix against the shard journal.
+
+    Frames below ``first_retained_frame`` were compacted away under a
+    durable checkpoint and cannot be re-verified — the checkpoint CRC
+    already vouches for them, matching the single-process ``--resume``
+    discipline.
+    """
+    end = start + len(frames)
+    if end > service.frames_applied:
+        raise ServiceError(
+            f"resume prefix claims {end} frames but the shard journal "
+            f"holds only {service.frames_applied}; the input stream "
+            "does not match this state directory"
+        )
+    first = min(max(service.log.first_retained_frame - start, 0), len(frames))
+    replay = service.log.replay(start + first)
+    try:
+        for offset, frame in enumerate(frames[first:]):
+            logged = next(replay, None)
+            if logged != bytes(frame):
+                raise ServiceError(
+                    f"resume verification failed at shard frame "
+                    f"{start + first + offset}: the input stream diverges "
+                    "from the journal; refusing to mix streams"
+                )
+    finally:
+        if hasattr(replay, "close"):
+            replay.close()
+
+
+def _worker_main(spec: WorkerSpec, incarnation: int, conn, heartbeat) -> None:
+    """Entry point of one shard worker incarnation."""
+    plan = None
+    if spec.faults is not None:
+        plane, plan = spec.faults.plane_for(incarnation)
+        set_plane(plane)
+    registry = MetricsRegistry()
+    hung = False
+
+    def beat() -> None:
+        nonlocal hung
+        if plan is not None:
+            index, rule = plan.begin("heartbeat")
+            if rule is not None and rule.kind == "hang":
+                hung = True
+            plan.end("heartbeat", index)
+        if not hung:
+            heartbeat.value += 1
+
+    try:
+        service = CollectorService(
+            spec.schema,
+            spec.matrices,
+            spec.state_dir,
+            layout=spec.layout,
+            batch_size=spec.batch_size,
+            checkpoint_every=spec.checkpoint_every,
+            segment_bytes=spec.segment_bytes,
+            auto_compact=spec.auto_compact,
+            metrics=registry,
+            retry=spec.retry,
+        )
+    except ReproError as exc:
+        # Recovery refused with a typed error; report and die. The
+        # supervisor decides whether a clean respawn can clear it.
+        _worker_send(conn, plan, ("fatal", type(exc).__name__, str(exc)))
+        conn.close()
+        return
+
+    _worker_send(conn, plan, ("ready", service.frames_applied))
+    try:
+        while True:
+            beat()
+            try:
+                if not conn.poll(_TICK_SECONDS):
+                    continue
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent went away; close and exit below
+            if plan is not None:
+                index, rule = plan.begin("recv")
+                plan.end("recv", index)
+                if rule is not None and rule.kind == "drop":
+                    continue  # command lost; the parent's deadline recovers
+                if rule is not None and rule.kind == "delay":
+                    time.sleep(rule.delay_seconds)
+            try:
+                # The command ops are kill points in their own right
+                # (mid-merge = a SIGKILL inside the snapshot command),
+                # bracketed so both before and after placements exist.
+                if plan is not None and message[0] in (
+                    "ingest", "checkpoint", "snapshot",
+                ):
+                    with plan.mediate(message[0]):
+                        reply, stop = _worker_serve(
+                            service, registry, message, beat
+                        )
+                else:
+                    reply, stop = _worker_serve(
+                        service, registry, message, beat
+                    )
+            except ReproError as exc:
+                # Typed refusal: the worker stays up (reads still
+                # serve; a degraded journal refuses writes itself) and
+                # ships its durable count so the parent can re-sync.
+                reply, stop = (
+                    ("error", type(exc).__name__, str(exc), service.frames_applied),
+                    False,
+                )
+            try:
+                _worker_send(conn, plan, reply)
+            except (BrokenPipeError, OSError):
+                break
+            if stop:
+                break
+            # Absorption slices beat between chunks via ingest_many's
+            # bounded commit windows; tick once more per command so a
+            # busy worker still advances the counter.
+            beat()
+    finally:
+        try:
+            service.close()
+        except ReproError:
+            pass
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker crashed, hung past a deadline, or its IPC
+    channel broke. Deliberately *not* a :class:`ReproError` — callers
+    must translate it into restart-and-resend or a typed
+    :class:`ShardFailedError`, never let it escape."""
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side bookkeeping for one shard worker."""
+
+    spec: WorkerSpec
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    conn: Optional[multiprocessing.connection.Connection] = None
+    heartbeat: Any = None
+    incarnation: int = -1
+    restarts: int = 0
+    #: Frames the parent has seen acknowledged as durable (refreshed
+    #: from the worker's ``ready`` report after every respawn).
+    frames_acked: int = 0
+    failed_reason: Optional[str] = None
+    last_death: str = ""
+    _beat_value: int = field(default=0, repr=False)
+    _beat_at: float = field(default=0.0, repr=False)
+
+    @property
+    def worker_id(self) -> int:
+        return self.spec.worker_id
+
+    @property
+    def failed(self) -> bool:
+        return self.failed_reason is not None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class Supervisor:
+    """Spawns, watches, kills and respawns shard workers.
+
+    All liveness judgements are made against :mod:`repro.obs.clock`
+    (the sanctioned, fake-able time source); nothing timed here ever
+    reaches fingerprinted or replayed bytes — deadlines only decide
+    *when to kill*, and recovery is byte-deterministic regardless of
+    when that happens.
+    """
+
+    def __init__(
+        self,
+        *,
+        deadline_seconds: float = DEFAULT_DEADLINE_SECONDS,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        metrics=None,
+    ) -> None:
+        if deadline_seconds <= 0 or heartbeat_seconds <= 0:
+            raise ServiceError("supervisor deadlines must be positive")
+        if max_restarts < 0:
+            raise ServiceError("max_restarts must be >= 0")
+        self._context = _default_context()
+        self._deadline = float(deadline_seconds)
+        self._heartbeat_deadline = float(heartbeat_seconds)
+        self._max_restarts = int(max_restarts)
+        registry = get_registry() if metrics is None else metrics
+        self._c_restarts = registry.counter("supervisor.restarts")
+        self._c_kills = registry.counter("supervisor.kills")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, spec: WorkerSpec) -> WorkerHandle:
+        handle = WorkerHandle(spec=spec)
+        self.ensure(handle)
+        return handle
+
+    def ensure(self, handle: WorkerHandle) -> None:
+        """Guarantee a live, ready worker behind ``handle``.
+
+        Respawns as needed, charging the restart budget; raises
+        :class:`ShardFailedError` once the budget is exhausted (and on
+        every call thereafter — failure is sticky).
+        """
+        while True:
+            if handle.failed_reason is not None:
+                raise ShardFailedError(
+                    f"shard {handle.worker_id} is failed: {handle.failed_reason}"
+                )
+            if handle.alive:
+                return
+            if handle.process is not None:
+                # Died silently between commands; reap before respawn.
+                self.kill(handle, reason="worker process died")
+                continue
+            if handle.incarnation >= 0:
+                handle.restarts += 1
+                self._c_restarts.inc()
+                if handle.restarts > self._max_restarts:
+                    handle.failed_reason = (
+                        f"restart budget exhausted after {self._max_restarts} "
+                        f"restarts (last death: {handle.last_death or 'unknown'})"
+                    )
+                    continue
+            try:
+                self._spawn(handle)
+                return
+            except _WorkerDied as died:
+                handle.last_death = str(died)
+                continue
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        heartbeat = self._context.Value("Q", 0, lock=False)
+        handle.incarnation += 1
+        process = self._context.Process(
+            target=_worker_main,
+            args=(handle.spec, handle.incarnation, child_conn, heartbeat),
+            name=f"repro-shard-{handle.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.heartbeat = heartbeat
+        handle._beat_value = 0
+        handle._beat_at = clock.monotonic()
+        reply = self.await_reply(handle)  # raises _WorkerDied on crash/hang
+        if reply[0] != "ready":
+            self.kill(handle, reason="protocol error during spawn")
+            raise _WorkerDied(f"worker sent {reply[0]!r} instead of ready")
+        handle.frames_acked = int(reply[1])
+
+    def kill(self, handle: WorkerHandle, *, reason: str = "") -> None:
+        """SIGKILL (if still running) and reap one worker.
+
+        The OS releases the shard's flock and the shared heartbeat
+        with the process; the shard journal is left exactly as the
+        crash tore it, for the next incarnation's recovery to prove.
+        """
+        process = handle.process
+        if process is not None:
+            if process.is_alive() and process.pid is not None:
+                # Sanctioned: this is the supervision contract itself —
+                # the deadline that expired was read via repro.obs.clock.
+                os.kill(process.pid, signal.SIGKILL)  # repro-lint: ignore[RPL206]
+                self._c_kills.inc()
+            process.join()
+        if handle.conn is not None:
+            handle.conn.close()
+        handle.process = None
+        handle.conn = None
+        handle.heartbeat = None
+        if reason:
+            handle.last_death = reason
+
+    def stop(self, handle: WorkerHandle, *, checkpoint: bool = False) -> None:
+        """Graceful close (best effort); falls back to SIGKILL."""
+        if handle.process is None:
+            return
+        try:
+            handle.conn.send(("close", checkpoint))
+            self.await_reply(handle)
+            handle.process.join(timeout=self._deadline)
+        except (_WorkerDied, ReproError, OSError, EOFError):
+            pass
+        finally:
+            self.kill(handle)
+
+    # -- request plumbing --------------------------------------------------
+
+    def send(self, handle: WorkerHandle, message) -> bool:
+        """Optimistic pipelined send; ``False`` if the worker is gone."""
+        if handle.failed or not handle.alive or handle.conn is None:
+            return False
+        try:
+            handle.conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            self.kill(handle, reason="IPC send failed")
+            return False
+
+    def request(self, handle: WorkerHandle, message):
+        """One command round-trip against a guaranteed-live worker."""
+        self.ensure(handle)
+        if not self.send(handle, message):
+            raise _WorkerDied("IPC send failed; worker presumed dead")
+        return self.await_reply(handle)
+
+    def await_reply(self, handle: WorkerHandle, *, deadline: Optional[float] = None):
+        """Wait for one reply; kill and raise :class:`_WorkerDied` on
+        crash, heartbeat stall, or reply-deadline expiry. Typed worker
+        errors re-raise as their :mod:`repro.exceptions` class."""
+        deadline = self._deadline if deadline is None else deadline
+        started = clock.monotonic()
+        while True:
+            try:
+                if handle.conn.poll(_POLL_SECONDS):
+                    reply = handle.conn.recv()
+                    break
+            except (EOFError, OSError):
+                self.kill(handle, reason="IPC channel closed")
+                raise _WorkerDied("IPC channel closed") from None
+            now = clock.monotonic()
+            beat = handle.heartbeat.value
+            if beat != handle._beat_value:
+                handle._beat_value = beat
+                handle._beat_at = now
+            elif not handle.process.is_alive():
+                # Drain any reply written before death (e.g. a kill
+                # scheduled *after* the ack's send) before giving up.
+                if handle.conn.poll(0):
+                    reply = handle.conn.recv()
+                    break
+                self.kill(handle, reason="worker process died")
+                raise _WorkerDied("worker process died")
+            elif now - handle._beat_at > self._heartbeat_deadline:
+                self.kill(handle, reason="heartbeat stalled")
+                raise _WorkerDied(
+                    f"heartbeat stalled for {self._heartbeat_deadline:.3f}s"
+                )
+            if now - started > deadline:
+                self.kill(handle, reason="reply deadline expired")
+                raise _WorkerDied(f"no reply within {deadline:.3f}s")
+        kind = reply[0]
+        if kind == "error":
+            if len(reply) > 3:
+                handle.frames_acked = int(reply[3])
+            exc_class = getattr(_exceptions, reply[1], ServiceError)
+            if not isinstance(exc_class, type) or not issubclass(
+                exc_class, ReproError
+            ):
+                exc_class = ServiceError
+            raise exc_class(f"shard {handle.worker_id}: {reply[2]}")
+        if kind == "fatal":
+            handle.process.join(timeout=self._deadline)
+            self.kill(handle)
+            raise _WorkerDied(f"recovery refused: {reply[1]}: {reply[2]}")
+        return reply
+
+    def stale(self, handle: WorkerHandle) -> bool:
+        """Idle-time heartbeat check (no outstanding request)."""
+        if handle.process is None:
+            return False
+        if not handle.process.is_alive():
+            return True
+        now = clock.monotonic()
+        beat = handle.heartbeat.value
+        if beat != handle._beat_value:
+            handle._beat_value = beat
+            handle._beat_at = now
+            return False
+        return now - handle._beat_at > self._heartbeat_deadline

@@ -126,6 +126,7 @@ class TestTransientRetry:
             retry=RetryPolicy(
                 attempts=3,
                 backoff_seconds=0.5,
+                jitter=0.0,  # exact schedule: this test pins the shape
                 sleep=sleeps.append,
             ),
         )

@@ -1,0 +1,123 @@
+"""Shared fixtures for the supervised sharded collector suite.
+
+Every test here drives real worker *processes* (fork-spawned by
+:class:`~repro.service.supervisor.Supervisor`) over real per-shard
+journals; the fault schedules ship to the workers as rule tuples
+(:class:`~repro.faults.WorkerFaultConfig`) and are instantiated inside
+the child, so SIGKILLs land in the worker, never in pytest.
+
+Supervision timing is tightened far below the production defaults so a
+hung heartbeat is declared in ~half a second and a lost reply in a few
+— the suite exercises every supervision path without multi-minute
+stalls. ``queue_frames`` is small so a short stream spans many routed
+windows (many ingest commands per worker), and ``segment_bytes`` is
+tiny so per-shard logs rotate mid-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.independent import RRIndependent
+from repro.service.codec import ReportCodec
+from repro.service.journal import RetryPolicy
+from repro.service.pipeline import CollectorService
+from repro.service.shard import ShardedCollectorService
+
+#: Tiny rotation threshold so per-shard logs rotate mid-run.
+SEGMENT_BYTES = 256
+
+#: Per-shard auto-checkpoint cadence (frames), so checkpoint renames
+#: happen during ingest and a kill can land mid-checkpoint.
+CHECKPOINT_EVERY = 4
+
+#: Frames per routed window — small, so a short stream spans many
+#: ingest commands and resend accounting is exercised repeatedly.
+QUEUE_FRAMES = 8
+
+#: Retry policy with the production shape but no real sleeping.
+NO_SLEEP = RetryPolicy(sleep=lambda seconds: None)
+
+#: Test-grade supervision timing (production defaults are 30s/5s).
+FAST = dict(
+    deadline_seconds=5.0,
+    heartbeat_seconds=0.5,
+    queue_frames=QUEUE_FRAMES,
+    segment_bytes=SEGMENT_BYTES,
+    checkpoint_every=CHECKPOINT_EVERY,
+    retry=NO_SLEEP,
+)
+
+#: Clean single-process marginals per prefix length (deterministic
+#: inputs, so caching across tests is sound and saves clean runs).
+_CLEAN = {}
+
+
+@pytest.fixture
+def protocol(small_schema):
+    return RRIndependent(small_schema, p=0.7)
+
+
+@pytest.fixture
+def frames(protocol, small_dataset):
+    """The small dataset randomized and framed, 5 records per frame."""
+    released = protocol.randomize(small_dataset, rng=11)
+    codec = ReportCodec(protocol.schema)
+    return [
+        codec.encode(released.codes[start : start + 5])
+        for start in range(0, released.n_records, 5)
+    ]
+
+
+@pytest.fixture
+def sharded_opener(protocol):
+    """Open a sharded service over ``protocol`` with the FAST timing."""
+
+    def open_(state, *, workers=2, faults=None, **overrides):
+        kwargs = dict(FAST)
+        kwargs.update(overrides)
+        return ShardedCollectorService.for_protocol(
+            protocol, state, workers=workers, faults=faults, **kwargs
+        )
+
+    return open_
+
+
+@pytest.fixture
+def reference(protocol, frames, tmp_path):
+    """Marginal bytes of a clean single-process run over a prefix.
+
+    The byte-identity oracle: whatever a faulted sharded fleet went
+    through, its merged estimates must equal this, byte for byte.
+    """
+
+    def clean(n):
+        if n not in _CLEAN:
+            with CollectorService.for_protocol(
+                protocol,
+                tmp_path / f"clean-{n}",
+                segment_bytes=SEGMENT_BYTES,
+                retry=NO_SLEEP,
+            ) as service:
+                for frame in frames[:n]:
+                    service.ingest_frame(frame)
+                _CLEAN[n] = {
+                    name: value.tobytes()
+                    for name, value in service.estimate_marginals().items()
+                }
+        return _CLEAN[n]
+
+    return clean
+
+
+@pytest.fixture
+def merged_bytes():
+    """The sharded service's merged marginals as comparable bytes."""
+
+    def merged(service):
+        return {
+            name: value.tobytes()
+            for name, value in service.estimate_marginals().items()
+        }
+
+    return merged

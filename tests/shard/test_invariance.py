@@ -1,0 +1,57 @@
+"""Worker count is an operational knob, not a statistical one.
+
+The routing (a stateless splitmix64 hash of the global frame index)
+partitions the stream differently under every worker count, but
+counts are additive: the merged estimates — and the merged operational
+metric totals — must be byte-for-byte what a single process computes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _fold_totals(document):
+    counters = document["metrics"]["counters"]
+    return {
+        "frames": counters.get("service.ingest.frames", 0),
+        "records": counters.get("service.ingest.records", 0),
+        "checkpoints": counters.get("service.checkpoints", 0),
+    }
+
+
+@pytest.mark.quick
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_merged_counts_are_worker_count_invariant(
+    workers, frames, tmp_path, sharded_opener, reference, merged_bytes
+):
+    with sharded_opener(
+        tmp_path / f"state-{workers}", workers=workers
+    ) as service:
+        assert service.ingest(frames) == len(frames)
+        service.checkpoint()
+        assert service.frames_applied == len(frames)
+        assert service.n_observed == len(frames) * 5
+        assert merged_bytes(service) == reference(len(frames))
+        totals = _fold_totals(service.health())
+    assert totals["frames"] == len(frames)
+    assert totals["records"] == len(frames) * 5
+
+
+def test_pair_estimates_match_flat_run(
+    frames, tmp_path, sharded_opener, protocol
+):
+    """The full query surface (not just marginals) merges correctly."""
+    from repro.service.pipeline import CollectorService
+
+    with sharded_opener(tmp_path / "sharded", workers=2) as service:
+        service.ingest(frames)
+        sharded_pair = service.queries.pair_table(
+            "flag", "color"
+        ).tobytes()
+    with CollectorService.for_protocol(
+        protocol, tmp_path / "flat"
+    ) as flat:
+        flat.ingest_many(iter(frames))
+        flat_pair = flat.queries.pair_table("flag", "color").tobytes()
+    assert sharded_pair == flat_pair

@@ -1,0 +1,141 @@
+"""SIGKILL any worker at any mediated phase — the merge still holds.
+
+The tentpole property: each case schedules a SIGKILL *inside* one
+shard worker at a specific mediated operation — mid-append (before and
+after the log write), mid-fsync, mid-rotate (the manifest rename),
+mid-checkpoint (the ``checkpoint.npz`` rename), mid-merge (the
+snapshot command), and on both IPC edges (command receive, reply send)
+— runs a full ingest, and asserts the supervisor noticed the death,
+restarted the worker, replayed its per-shard journal, resent only the
+unacknowledged tail, and produced merged estimates **byte-identical**
+to a single-process run that never saw a fault.
+
+Restarted incarnations run clean (``WorkerFaultConfig.incarnations``
+defaults to the first spawn only), so every schedule is guaranteed to
+make progress; the assertion that ``restarts >= 1`` proves the kill
+actually fired rather than the schedule silently missing its target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ProcessFaultRule, WorkerFaultConfig
+
+#: (phase name, rule): where in a worker's life the SIGKILL lands.
+CASES = [
+    (
+        "mid-append-before",
+        ProcessFaultRule(op="write", nth=2, kind="kill", when="before"),
+    ),
+    (
+        "mid-append-after",
+        ProcessFaultRule(op="write", nth=2, kind="kill", when="after"),
+    ),
+    (
+        "mid-fsync",
+        ProcessFaultRule(op="fsync", nth=1, kind="kill", when="before"),
+    ),
+    (
+        "mid-rotate",
+        ProcessFaultRule(
+            op="rename", nth=0, kind="kill", when="before",
+            path_pattern="*.manifest.json",
+        ),
+    ),
+    (
+        "mid-checkpoint",
+        ProcessFaultRule(
+            op="rename", nth=0, kind="kill", when="before",
+            path_pattern="checkpoint.npz",
+        ),
+    ),
+    (
+        "mid-checkpoint-cmd",
+        ProcessFaultRule(op="checkpoint", nth=0, kind="kill", when="before"),
+    ),
+    (
+        "mid-merge",
+        ProcessFaultRule(op="snapshot", nth=0, kind="kill", when="before"),
+    ),
+    (
+        "mid-ingest-cmd",
+        ProcessFaultRule(op="ingest", nth=1, kind="kill", when="before"),
+    ),
+    (
+        "on-recv",
+        ProcessFaultRule(op="recv", nth=2, kind="kill", when="before"),
+    ),
+    (
+        "on-send",
+        ProcessFaultRule(op="send", nth=1, kind="kill", when="before"),
+    ),
+]
+
+#: Phases covering the three distinct recovery paths (resend after a
+#: mid-window death, journal replay over a torn checkpoint, respawn
+#: inside the merge retry loop) — the per-push CI subset.
+_QUICK = {"mid-append-before", "mid-checkpoint", "mid-merge"}
+
+PARAMS = [
+    pytest.param(phase, rule, id=phase, marks=[pytest.mark.quick])
+    if phase in _QUICK
+    else pytest.param(phase, rule, id=phase)
+    for phase, rule in CASES
+]
+
+
+@pytest.mark.parametrize("worker", [0, 1])
+@pytest.mark.parametrize("phase,rule", PARAMS)
+def test_kill_at_phase_is_survived(
+    phase,
+    rule,
+    worker,
+    frames,
+    tmp_path,
+    sharded_opener,
+    reference,
+    merged_bytes,
+):
+    faults = {
+        worker: WorkerFaultConfig(process_rules=(rule,), name=phase)
+    }
+    with sharded_opener(tmp_path / "state", faults=faults) as service:
+        ingested = service.ingest(frames)
+        service.checkpoint()
+        merged = merged_bytes(service)
+        document = service.health()
+
+    assert ingested == len(frames)
+    assert merged == reference(len(frames))
+    restarts = document["sharding"]["restarts"]
+    assert restarts[str(worker)] >= 1, (
+        f"{phase}: the scheduled kill never fired on worker {worker}"
+    )
+    assert document["sharding"]["failed"] == []
+    assert document["counts"]["n_observed"] == len(frames) * 5
+
+
+def test_kill_both_workers(
+    frames, tmp_path, sharded_opener, reference, merged_bytes
+):
+    """Both workers die (at different phases) in the same run."""
+    faults = {
+        0: WorkerFaultConfig(
+            process_rules=(
+                ProcessFaultRule(op="write", nth=3, kind="kill"),
+            ),
+            name="both-0",
+        ),
+        1: WorkerFaultConfig(
+            process_rules=(
+                ProcessFaultRule(op="fsync", nth=2, kind="kill"),
+            ),
+            name="both-1",
+        ),
+    }
+    with sharded_opener(tmp_path / "state", faults=faults) as service:
+        assert service.ingest(frames) == len(frames)
+        assert merged_bytes(service) == reference(len(frames))
+        restarts = service.health()["sharding"]["restarts"]
+    assert restarts["0"] >= 1 and restarts["1"] >= 1

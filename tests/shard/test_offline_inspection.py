@@ -1,0 +1,97 @@
+"""Offline scrub and health of a sharded root: recurse, then merge.
+
+``scrub_state_dir`` and ``storage_health`` must treat a sharded root
+as the sum of its shard directories — per-shard reports plus merged
+journal/checkpoint roll-ups — and damage inside one shard must surface
+naming that shard, not as an anonymous total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.health import validate_health
+from repro.service.health import storage_health
+from repro.service.scrub import scrub_state_dir
+from repro.service.shard import shard_dir
+
+
+@pytest.fixture
+def sharded_state(frames, tmp_path, sharded_opener):
+    state = tmp_path / "state"
+    with sharded_opener(state, workers=2) as service:
+        service.ingest(frames)
+        service.checkpoint()
+    return state
+
+
+@pytest.mark.quick
+def test_scrub_recurses_and_merges(sharded_state, frames):
+    report = scrub_state_dir(sharded_state)
+    assert report["ok"], report["errors"]
+    assert report["sharding"]["workers"] == 2
+    assert report["sharding"]["router"] == "splitmix64"
+    shards = report["shards"]
+    assert set(shards) == {"00", "01"}
+    for entry in shards.values():
+        assert entry["present"]
+        assert entry["ok"]
+    assert report["journal"]["n_frames"] == len(frames)
+    assert report["journal"]["n_frames"] == sum(
+        entry["journal"]["n_frames"] for entry in shards.values()
+    )
+    assert report["checkpoint"]["present"]
+    assert report["checkpoint"]["frames_applied"] == len(frames)
+
+
+def test_scrub_names_the_damaged_shard(sharded_state):
+    # Flip one byte inside shard 0's retained log.
+    victim = next(
+        path
+        for path in sorted(shard_dir(sharded_state, 0).iterdir())
+        if path.name.startswith("ingest.log")
+        and not path.name.endswith(".json")
+    )
+    blob = bytearray(victim.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+
+    report = scrub_state_dir(sharded_state)
+    assert not report["ok"]
+    assert any(error.startswith("shard 0:") for error in report["errors"])
+    assert not report["shards"]["00"]["ok"]
+    assert report["shards"]["01"]["ok"]
+
+
+def test_scrub_reports_a_missing_shard(sharded_state):
+    import shutil
+
+    shutil.rmtree(shard_dir(sharded_state, 1))
+    report = scrub_state_dir(sharded_state)
+    assert report["shards"]["01"] == {
+        "state_dir": str(shard_dir(sharded_state, 1)),
+        "present": False,
+    }
+
+
+@pytest.mark.quick
+def test_offline_health_merges_and_validates(sharded_state, frames):
+    document = storage_health(sharded_state)
+    validate_health(document)
+    assert document["sharding"]["workers"] == 2
+    assert document["journal"]["n_frames"] == len(frames)
+    assert document["checkpoint"]["present"]
+    assert document["checkpoint"]["frames_applied"] == len(frames)
+    for entry in document["shards"].values():
+        assert entry["status"] == "offline"
+        validate_health(entry["health"])
+
+
+def test_live_health_validates(frames, tmp_path, sharded_opener):
+    with sharded_opener(tmp_path / "state", workers=2) as service:
+        service.ingest(frames[:8])
+        document = service.health()
+    validate_health(document)
+    for entry in document["shards"].values():
+        assert entry["status"] == "live"
+        validate_health(entry["health"])

@@ -1,0 +1,76 @@
+"""Seeded randomized multi-fault schedules — no third outcome.
+
+Crashmonkey-style property sweep over the *process* fault space
+composed with the storage fault space: each seed draws a schedule from
+:func:`repro.faults.random_worker_faults` (a SIGKILL, dropped or
+delayed IPC message, or hung heartbeat on one worker, plus — half the
+time — a randomized I/O fault plan inside the same worker), runs a
+sharded ingest under it, then recovers clean. The contract, for EVERY
+seed:
+
+* the faulted run only ever fails with typed
+  :class:`~repro.exceptions.ReproError` subclasses — a raw ``OSError``
+  (or a stuck parent) propagating out of the fleet fails the test;
+* a clean reopen plus ``resume=True`` over the same stream either
+  completes with merged estimates **byte-identical** to a
+  single-process run that never saw a fault, or refuses with a typed
+  error — never a silent partial merge.
+
+One hundred seeds; the first eight are the per-push ``quick`` subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import random_worker_faults
+
+N_FRAMES = 16
+N_SEEDS = 100
+
+PARAMS = [
+    pytest.param(seed, marks=[pytest.mark.quick]) if seed < 8
+    else pytest.param(seed)
+    for seed in range(N_SEEDS)
+]
+
+
+@pytest.mark.parametrize("seed", PARAMS)
+def test_random_schedule_recovers_byte_identical(
+    seed, frames, tmp_path, sharded_opener, reference, merged_bytes
+):
+    stream = frames[:N_FRAMES]
+    faults = random_worker_faults(seed, workers=2)
+    state = tmp_path / "state"
+    # Tight deadlines: a dropped reply must resolve in ~a second, not
+    # the production thirty.
+    timing = dict(deadline_seconds=1.0, heartbeat_seconds=0.3)
+
+    service = None
+    try:
+        service = sharded_opener(state, faults=faults, **timing)
+        service.ingest(stream)
+        service.checkpoint()
+    except ReproError:
+        pass  # typed failure: the legal second outcome
+    finally:
+        if service is not None:
+            try:
+                service.close()
+            except ReproError:
+                pass
+
+    # Recovery: clean reopen, resume the same stream from record zero.
+    try:
+        recovered = sharded_opener(state, **timing)
+    except ReproError:
+        return  # typed refusal: legal, and the state dir stays as-is
+    with recovered:
+        try:
+            recovered.ingest_many(stream, resume=True)
+            recovered.checkpoint()
+        except ReproError:
+            return
+        assert recovered.frames_applied == N_FRAMES
+        assert merged_bytes(recovered) == reference(N_FRAMES)

@@ -1,0 +1,191 @@
+"""Supervision semantics: hangs, lost messages, and permanent failure.
+
+A SIGKILL is the *easy* failure (the process table says so). The
+harder ones are the liveness failures — a worker that stops beating
+but still answers, a reply that never arrives — and the policy
+failures: what the fleet owes its callers once a shard has burned its
+restart budget (typed refusals for writes, partial service for reads,
+a health document that names the corpse).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ReproError, ShardFailedError
+from repro.faults import ProcessFaultRule, WorkerFaultConfig
+
+
+def test_hung_heartbeat_is_detected_and_restarted(
+    frames, tmp_path, sharded_opener, reference, merged_bytes
+):
+    """A worker whose heartbeat freezes (but which still answers) is
+    killed by the idle sweep and replaced."""
+    faults = {
+        0: WorkerFaultConfig(
+            process_rules=(
+                ProcessFaultRule(
+                    op="heartbeat", nth=2, kind="hang", sticky=True
+                ),
+            ),
+            name="hang",
+        )
+    }
+    with sharded_opener(
+        tmp_path / "state", faults=faults, heartbeat_seconds=0.4
+    ) as service:
+        half = len(frames) // 2
+        service.ingest(frames[:half])
+        # Let the frozen counter turn stale in wall-clock terms; the
+        # next routed window's sweep must notice and respawn.
+        time.sleep(0.7)
+        service.ingest(frames[half:])
+        assert merged_bytes(service) == reference(len(frames))
+        restarts = service.health()["sharding"]["restarts"]
+    assert restarts["0"] >= 1
+
+
+@pytest.mark.quick
+def test_dropped_reply_is_resent_without_double_count(
+    frames, tmp_path, sharded_opener, reference, merged_bytes
+):
+    """A worker that durably applies a window but loses the reply is
+    killed at the deadline; the respawn reports its durable count and
+    the parent resends only the unacknowledged tail."""
+    faults = {
+        1: WorkerFaultConfig(
+            process_rules=(
+                ProcessFaultRule(op="send", nth=1, kind="drop"),
+            ),
+            name="drop-reply",
+        )
+    }
+    with sharded_opener(
+        tmp_path / "state",
+        faults=faults,
+        deadline_seconds=1.0,
+        heartbeat_seconds=0.3,
+    ) as service:
+        assert service.ingest(frames) == len(frames)
+        assert service.frames_applied == len(frames)
+        assert merged_bytes(service) == reference(len(frames))
+        restarts = service.health()["sharding"]["restarts"]
+    assert restarts["1"] >= 1
+
+
+def test_delayed_messages_are_tolerated(
+    frames, tmp_path, sharded_opener, reference, merged_bytes
+):
+    """Delays below the deadline cost latency, not restarts."""
+    faults = {
+        0: WorkerFaultConfig(
+            process_rules=(
+                ProcessFaultRule(
+                    op="send", nth=0, kind="delay", delay_seconds=0.05
+                ),
+                ProcessFaultRule(
+                    op="recv", nth=3, kind="delay", delay_seconds=0.05
+                ),
+            ),
+            name="delay",
+        )
+    }
+    with sharded_opener(tmp_path / "state", faults=faults) as service:
+        assert service.ingest(frames) == len(frames)
+        assert merged_bytes(service) == reference(len(frames))
+        restarts = service.health()["sharding"]["restarts"]
+    assert restarts["0"] == 0
+
+
+@pytest.mark.quick
+def test_budget_exhaustion_degrades_to_partial_service(
+    frames, tmp_path, sharded_opener
+):
+    """Every incarnation of worker 0 dies on its first append: the
+    supervisor burns the restart budget, marks the shard failed, and
+    the fleet degrades — writes refuse (typed), reads serve partial,
+    health names the failed shard."""
+    # Every incarnation dies on its first ingest command (rule
+    # counters are fresh per incarnation), so the budget is exhausted
+    # inside the first routed window; the other shard's slice of that
+    # window still lands (drain-on-error), so reads have data.
+    faults = {
+        0: WorkerFaultConfig(
+            process_rules=(
+                ProcessFaultRule(op="ingest", nth=0, kind="kill"),
+            ),
+            incarnations=tuple(range(8)),
+            name="always-dies",
+        )
+    }
+    with sharded_opener(
+        tmp_path / "state", faults=faults, max_restarts=2
+    ) as service:
+        with pytest.raises(ShardFailedError):
+            service.ingest(frames)
+        assert service.degraded
+        assert 0 in service.failed_shards
+        assert "restart budget exhausted" in service.failed_shards[0]
+
+        # Writes refuse with the typed error, naming the shard.
+        with pytest.raises(ShardFailedError):
+            service.checkpoint()
+        with pytest.raises(ShardFailedError):
+            service.compact()
+
+        # Reads degrade to partial: the live shard's frames are
+        # queryable, and nothing pretends to be complete.
+        marginals = service.estimate_marginals()
+        assert set(marginals) == {"flag", "level", "color"}
+        assert 0 < service.n_observed < len(frames) * 5
+
+        document = service.health()
+        failed = document["sharding"]["failed"]
+        assert [entry["shard"] for entry in failed] == [0]
+        assert "restart budget exhausted" in failed[0]["reason"]
+        assert document["shards"]["00"]["status"] == "failed"
+        assert document["shards"]["01"]["status"] == "live"
+        assert document["runtime"]["degraded"] is True
+
+
+def test_failed_shard_refuses_new_frames_upfront(
+    frames, tmp_path, sharded_opener
+):
+    """A window holding any frame routed to a failed shard is refused
+    before *any* of it is sent — no partial windows, no rerouting
+    (rerouting would double-count frames already durable in the dead
+    shard's journal)."""
+    faults = {
+        0: WorkerFaultConfig(
+            process_rules=(
+                ProcessFaultRule(op="ingest", nth=1, kind="kill"),
+            ),
+            incarnations=tuple(range(8)),
+            name="always-dies",
+        )
+    }
+    with sharded_opener(
+        tmp_path / "state", faults=faults, max_restarts=1
+    ) as service:
+        with pytest.raises(ShardFailedError):
+            service.ingest(frames)
+        applied_before = service.frames_applied
+        with pytest.raises(ShardFailedError):
+            service.ingest(frames)
+        assert service.frames_applied == applied_before
+
+
+def test_typed_worker_errors_cross_the_pipe(
+    frames, tmp_path, sharded_opener
+):
+    """A typed error raised inside a worker surfaces in the parent as
+    the same exception type, not a dead worker."""
+    with sharded_opener(tmp_path / "state") as service:
+        service.ingest(frames[:4])
+        with pytest.raises(ReproError):
+            service.ingest([b"not a frame"])
+        # The fleet survives the refusal and keeps serving.
+        restarts = service.health()["sharding"]["restarts"]
+        assert restarts == {"0": 0, "1": 0}

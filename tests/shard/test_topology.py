@@ -1,0 +1,116 @@
+"""Topology pinning, stream identity, and the flat/sharded boundary.
+
+Per-shard journals are only meaningful under the exact routing they
+were written with, so the sharded root pins ``(workers, router,
+schema fingerprint)`` in ``sharding.json`` and every mismatch on
+reopen is a typed refusal — as is opening a flat directory sharded,
+opening a sharded root flat, or resuming a *different* stream over a
+partially-ingested one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.protocols.independent import RRIndependent
+from repro.service.pipeline import CollectorService
+from repro.service.shard import route_frame
+
+
+@pytest.mark.quick
+def test_worker_count_is_pinned(frames, tmp_path, sharded_opener):
+    state = tmp_path / "state"
+    with sharded_opener(state, workers=2) as service:
+        service.ingest(frames[:8])
+        service.checkpoint()
+    with pytest.raises(ServiceError, match="pinned to 2"):
+        sharded_opener(state, workers=3)
+    # The original worker count still opens (and remembers its data).
+    with sharded_opener(state, workers=2) as service:
+        assert service.frames_applied == 8
+
+
+def test_flat_state_refuses_sharded_open(
+    protocol, frames, tmp_path, sharded_opener
+):
+    state = tmp_path / "state"
+    with CollectorService.for_protocol(protocol, state) as flat:
+        flat.ingest_many(iter(frames[:4]))
+        flat.checkpoint()
+    with pytest.raises(ServiceError, match="single-process"):
+        sharded_opener(state, workers=2)
+
+
+def test_sharded_root_refuses_flat_open(
+    protocol, frames, tmp_path, sharded_opener
+):
+    state = tmp_path / "state"
+    with sharded_opener(state, workers=2) as service:
+        service.ingest(frames[:4])
+    with pytest.raises(ServiceError, match="sharded collector root"):
+        CollectorService.for_protocol(protocol, state)
+
+
+def test_schema_mismatch_refused(frames, tmp_path, sharded_opener):
+    from repro.data.schema import NOMINAL, Attribute, Schema
+    from repro.service.shard import ShardedCollectorService
+
+    state = tmp_path / "state"
+    with sharded_opener(state, workers=2) as service:
+        service.ingest(frames[:4])
+    other = RRIndependent(
+        Schema([Attribute("only", ("a", "b"), NOMINAL)]), p=0.7
+    )
+    with pytest.raises(ServiceError, match="fingerprint"):
+        ShardedCollectorService.for_protocol(other, state, workers=2)
+
+
+def test_second_parent_is_locked_out(frames, tmp_path, sharded_opener):
+    state = tmp_path / "state"
+    with sharded_opener(state, workers=2) as service:
+        service.ingest(frames[:4])
+        with pytest.raises(ServiceError, match="locked"):
+            sharded_opener(state, workers=2)
+
+
+def test_resume_refuses_a_divergent_stream(
+    frames, tmp_path, sharded_opener
+):
+    state = tmp_path / "state"
+    with sharded_opener(state, workers=2) as service:
+        service.ingest(frames[:12])
+        service.checkpoint()
+    divergent = list(frames[:12])
+    divergent[0], divergent[5] = divergent[5], divergent[0]
+    with sharded_opener(state, workers=2) as service:
+        with pytest.raises(ServiceError, match="refusing to mix streams"):
+            service.ingest_many(divergent, resume=True)
+
+
+def test_resume_is_idempotent_and_extends(
+    frames, tmp_path, sharded_opener, reference, merged_bytes
+):
+    state = tmp_path / "state"
+    with sharded_opener(state, workers=2) as service:
+        service.ingest(frames[:12])
+        service.checkpoint()
+    with sharded_opener(state, workers=2) as service:
+        # Same prefix: nothing new to ingest.
+        assert service.ingest_many(frames[:12], resume=True) == 0
+        # Longer stream: only the tail lands.
+        assert service.ingest_many(frames, resume=True) == len(frames) - 12
+        service.checkpoint()
+        assert service.frames_applied == len(frames)
+        assert merged_bytes(service) == reference(len(frames))
+
+
+def test_router_is_deterministic_and_covers_all_shards():
+    for workers in (1, 2, 4, 8):
+        seen = set()
+        for index in range(256):
+            shard = route_frame(index, workers)
+            assert 0 <= shard < workers
+            assert shard == route_frame(index, workers)
+            seen.add(shard)
+        assert seen == set(range(workers))

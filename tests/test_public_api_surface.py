@@ -22,6 +22,7 @@ REPRO_ALL = [
     "ProtocolError", "QueryError", "SecureSumError",
     "ServiceError", "CodecError",
     "StorageFullError", "TransientIOError", "SegmentQuarantinedError",
+    "ShardFailedError",
     # data
     "Attribute", "Schema", "Dataset", "Domain",
     "adult_schema", "load_adult", "synthesize_adult", "replicate",
@@ -66,7 +67,8 @@ REPRO_ALL = [
     # engine
     "ChunkPlan", "ColumnTask", "ShardedCollector",
     # service
-    "ReportCodec", "CollectorService", "IngestionPipeline", "QueryFrontend",
+    "ReportCodec", "CollectorService", "ShardedCollectorService",
+    "IngestionPipeline", "QueryFrontend",
     # design documents
     "DesignDocument", "load_design", "write_design",
 ]
@@ -81,6 +83,8 @@ SERVICE_ALL = [
     "read_frames",
     "IngestionPipeline",
     "CollectorService",
+    "ShardedCollectorService",
+    "Supervisor",
     "QueryFrontend",
     "scrub_state_dir",
 ]
