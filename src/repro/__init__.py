@@ -48,6 +48,10 @@ from repro.exceptions import (
     TransientIOError,
     SegmentQuarantinedError,
     ShardFailedError,
+    NetworkError,
+    WireProtocolError,
+    HandshakeError,
+    RemoteServiceError,
 )
 from repro.data import (
     Attribute,
@@ -168,6 +172,8 @@ __all__ = [
     "ServiceError", "CodecError",
     "StorageFullError", "TransientIOError", "SegmentQuarantinedError",
     "ShardFailedError",
+    "NetworkError", "WireProtocolError", "HandshakeError",
+    "RemoteServiceError",
     # data
     "Attribute", "Schema", "Dataset", "Domain",
     "adult_schema", "load_adult", "synthesize_adult", "replicate",

@@ -226,12 +226,13 @@ def main(argv=None) -> int:
 
     Dispatch is by the first argument only, keeping the original
     positional-input interface intact. A CSV literally named
-    ``encode``/``ingest``/``query``/``compact``/``stats``/``scrub``
-    routes to the subcommand — pass it as ``./encode`` to anonymize it.
+    ``encode``/``ingest``/``query``/``compact``/``stats``/``scrub``/
+    ``serve`` routes to the subcommand — pass it as ``./encode`` to
+    anonymize it.
     """
     args = list(sys.argv[1:]) if argv is None else list(argv)
     if args and args[0] in (
-        "encode", "ingest", "query", "compact", "stats", "scrub"
+        "encode", "ingest", "query", "compact", "stats", "scrub", "serve"
     ):
         # Imported here (not at module top) to avoid a cycle:
         # repro.service.cli imports the CSV helpers from this module.

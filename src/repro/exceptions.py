@@ -25,6 +25,10 @@ __all__ = [
     "TransientIOError",
     "SegmentQuarantinedError",
     "ShardFailedError",
+    "NetworkError",
+    "WireProtocolError",
+    "HandshakeError",
+    "RemoteServiceError",
     "ObservabilityError",
 ]
 
@@ -127,6 +131,39 @@ class ShardFailedError(ServiceError):
     already be durable in the dead shard's journal would double-count
     them on repair). Queries keep serving from the live shards; the
     parent's ``health()`` names the failed shard and the reason."""
+
+
+class NetworkError(ServiceError):
+    """Network-collector failure: the transport layer (socket) died, a
+    peer vanished mid-message, or a reply never arrived. Base class of
+    every error the :mod:`repro.service.net` front-end raises."""
+
+
+class WireProtocolError(NetworkError):
+    """A peer violated the network message protocol: bad envelope
+    magic, a corrupt message CRC, an oversize payload, a message that
+    is not valid for the session's state (e.g. anything before the
+    handshake), or malformed message JSON. A server replies with a
+    typed error and closes the session; a client raises this."""
+
+
+class HandshakeError(NetworkError):
+    """The session handshake was rejected: unknown tenant, schema or
+    design fingerprint differing from the tenant's pinned design, an
+    invalid tenant/client name, or a second live session for the same
+    (tenant, client) stream."""
+
+
+class RemoteServiceError(NetworkError):
+    """The server replied with a typed error after the handshake.
+
+    ``code`` carries the server's machine-readable error class (e.g.
+    ``"codec"``, ``"busy"``, ``"degraded"``, ``"query"``) so clients
+    can discriminate without parsing prose."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
 
 
 class ObservabilityError(ReproError):

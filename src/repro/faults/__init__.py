@@ -24,6 +24,12 @@ Two halves:
   hung heartbeats, composable with an I/O plan per worker
   incarnation via :class:`WorkerFaultConfig`.
 
+* :mod:`repro.faults.net` — the *socket* plane (PR 10): scheduled
+  disconnects (optionally mid-frame, after a torn byte prefix) and
+  delays on the network client's socket, so the collector front-end's
+  reconnect/resend contract is proven against genuine kernel-level
+  connection loss under deterministic and seeded schedules.
+
 The property suite under ``tests/faults`` runs ingest / compact /
 checkpoint workloads under exhaustive and randomized schedules and
 asserts the storage contract: after any schedule, recovery is
@@ -35,6 +41,13 @@ service refuses with a typed error
 outcome.
 """
 
+from repro.faults.net import (
+    SOCKET_OPS,
+    FaultySocket,
+    SocketFaultPlan,
+    SocketFaultRule,
+    random_socket_plan,
+)
 from repro.faults.plan import OPS, FaultPlan, FaultRule, random_plan
 from repro.faults.plane import (
     FaultyIOPlane,
@@ -70,4 +83,9 @@ __all__ = [
     "WorkerFaultConfig",
     "random_process_plan",
     "random_worker_faults",
+    "SOCKET_OPS",
+    "SocketFaultRule",
+    "SocketFaultPlan",
+    "FaultySocket",
+    "random_socket_plan",
 ]

@@ -23,6 +23,12 @@ cache.
   heartbeat/deadline supervision, crash-restart with resend
   accounting, partial-service degradation), merged back through the
   engine's sharded collector.
+* :mod:`repro.service.net` — the network front-end:
+  :class:`CollectorServer` (asyncio, multi-tenant, admission control +
+  real backpressure, durable acks) and :class:`CollectorClient`
+  (blocking, pipelined, reconnect with exact resend) over the wire
+  frames as protocol, with a :class:`StorageBackend` connector seam
+  for tenant state.
 * :mod:`repro.service.scrub` — offline deep verification of a state
   directory: every retained frame's CRC and fingerprint, manifest
   accounting, and the checkpoint pair, all read-only.
@@ -44,6 +50,14 @@ from repro.service.codec import (
     schema_fingerprint,
 )
 from repro.service.journal import FrameWriter, IngestionLog, read_frames
+from repro.service.net import (
+    CollectorClient,
+    CollectorServer,
+    LocalFSBackend,
+    StorageBackend,
+    TenantManager,
+    ThreadedCollectorServer,
+)
 from repro.service.pipeline import CollectorService, IngestionPipeline
 from repro.service.query import QueryFrontend
 from repro.service.scrub import scrub_state_dir
@@ -64,4 +78,10 @@ __all__ = [
     "Supervisor",
     "QueryFrontend",
     "scrub_state_dir",
+    "CollectorServer",
+    "ThreadedCollectorServer",
+    "CollectorClient",
+    "TenantManager",
+    "StorageBackend",
+    "LocalFSBackend",
 ]

@@ -1,4 +1,4 @@
-"""``repro-anonymize encode|ingest|query|compact|stats|scrub`` — the service CLI.
+"""``repro-anonymize encode|ingest|query|compact|stats|scrub|serve`` — the service CLI.
 
 End-to-end wiring of the service layer on CSV input:
 
@@ -35,6 +35,15 @@ End-to-end wiring of the service layer on CSV input:
   manifest, and the checkpoint pair, all read-only; exits non-zero
   when anything recovery depends on is damaged (bit rot found early
   instead of by the recovery that needed the bytes).
+* ``serve`` — the network front-end (:mod:`repro.service.net`): a
+  multi-tenant asyncio collector server speaking the wire frames over
+  TCP. ``ingest --connect HOST:PORT --tenant NAME`` streams a report
+  file over the network with windowed pipelining and exact resend
+  after reconnect (the WELCOME's durable index is the resume cursor,
+  so re-running the same command never double-counts); ``query
+  --connect`` and ``stats --connect`` hit the live server. ``stats``
+  and ``scrub`` also recognize a server state root or a single tenant
+  directory offline.
 
 Examples::
 
@@ -49,6 +58,11 @@ Examples::
     repro-anonymize stats -s state/ --check-schema
     repro-anonymize stats -s state/ --design design.json --format prometheus
     repro-anonymize scrub -s state/
+    repro-anonymize serve -s srvroot/ --tenant acme=design.json --port 9099
+    repro-anonymize ingest reports.rrw --connect 127.0.0.1:9099 \
+        --tenant acme --design design.json --client-id party-1
+    repro-anonymize query --connect 127.0.0.1:9099 --tenant acme \
+        --design design.json --marginal smokes
 """
 
 from __future__ import annotations
@@ -87,6 +101,7 @@ from repro.service.pipeline import (
     DEFAULT_COMMIT_RECORDS,
     CollectorService,
 )
+from repro.service.net.storage import SERVER_META, TENANT_META
 from repro.service.scrub import scrub_state_dir
 from repro.service.shard import ShardedCollectorService, load_sharding_meta
 
@@ -191,9 +206,38 @@ def _state_dir_has_state(state_dir: Path) -> bool:
         return True
     if (state_dir / SHARDING_META).exists():
         return True
+    # Network-collector roots: a whole server state root or one
+    # tenant's directory (stats/scrub recurse into the client streams).
+    if (state_dir / SERVER_META).exists() or (state_dir / TENANT_META).exists():
+        return True
     # log_exists also recognizes a rotated/compacted log whose bare
     # ingest.log segment has been retired (manifest present).
     return log_exists(state_dir / LOG_NAME)
+
+
+def _parse_connect(value: str, parser) -> "tuple[str, int]":
+    """``HOST:PORT`` (IPv6 hosts bracketed) → ``(host, port)``."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        parser.error(f"--connect expects HOST:PORT, got {value!r}")
+    return host.strip("[]"), int(port)
+
+
+def _net_client(args, parser):
+    """A connected `CollectorClient` from ``--connect`` CLI arguments."""
+    from repro.service.net import CollectorClient
+
+    if args.design is None:
+        parser.error("--connect requires --design (handshake fingerprints)")
+    if not args.tenant:
+        parser.error("--connect requires --tenant")
+    _, document = _load_design(args.design)
+    return CollectorClient(
+        _parse_connect(args.connect, parser),
+        tenant=args.tenant,
+        client=getattr(args, "client_id", None) or "cli",
+        design=document,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -306,12 +350,28 @@ def _ingest(argv) -> int:
     )
     parser.add_argument("reports", type=Path, help="binary report file")
     parser.add_argument(
-        "-s", "--state-dir", type=Path, required=True,
-        help="collector state directory (log + checkpoints)",
+        "-s", "--state-dir", type=Path, default=None,
+        help="collector state directory (log + checkpoints); "
+        "local-ingest mode",
     )
     parser.add_argument(
         "--design", type=Path, required=True,
         help="design file written by encode",
+    )
+    parser.add_argument(
+        "--connect", type=str, default=None, metavar="HOST:PORT",
+        help="stream the frames to a running collector server instead "
+        "of a local state directory; resumes automatically from the "
+        "stream's durable frame index (exact resend, no double-count)",
+    )
+    parser.add_argument(
+        "--tenant", type=str, default=None,
+        help="tenant name on the server (--connect mode)",
+    )
+    parser.add_argument(
+        "--client-id", type=str, default=None,
+        help="stable client stream id on the server; reconnects and "
+        "resumed uploads must reuse it (--connect mode, default: cli)",
     )
     parser.add_argument(
         "--batch-size", type=positive_int, default=DEFAULT_COMMIT_RECORDS,
@@ -353,6 +413,10 @@ def _ingest(argv) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.connect is not None:
+        return _ingest_connect(args, parser)
+    if args.state_dir is None:
+        parser.error("one of --state-dir or --connect is required")
     if not args.resume and _state_dir_has_state(args.state_dir):
         print(
             f"error: {args.state_dir} already holds collector state; "
@@ -446,6 +510,37 @@ def _ingest(argv) -> int:
     return 0
 
 
+def _ingest_connect(args, parser) -> int:
+    """``ingest --connect``: stream the report file to a server."""
+    client = _net_client(args, parser)
+    try:
+        durable = client.connect()
+        skipped = 0
+        frames = []
+        for frame in read_frames(args.reports):
+            # The durable index is the resume cursor: frame i of the
+            # file is frame i of the stream, so everything below the
+            # index is already journaled server-side and is not resent.
+            if skipped < durable:
+                skipped += 1
+                continue
+            frames.append(frame)
+        total = client.ingest(frames)
+        summary = {
+            "reports": str(args.reports),
+            "connect": args.connect,
+            "tenant": args.tenant,
+            "client": client.client,
+            "frames_skipped": skipped,
+            "frames_ingested": len(frames),
+            "durable": total,
+        }
+    finally:
+        client.close()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # compact
 # ----------------------------------------------------------------------
@@ -509,12 +604,21 @@ def _query(argv) -> int:
         description="Recover a collector and print Eq. (2) estimates.",
     )
     parser.add_argument(
-        "-s", "--state-dir", type=Path, required=True,
-        help="collector state directory",
+        "-s", "--state-dir", type=Path, default=None,
+        help="collector state directory (local mode)",
     )
     parser.add_argument(
         "--design", type=Path, required=True,
         help="design file written by encode",
+    )
+    parser.add_argument(
+        "--connect", type=str, default=None, metavar="HOST:PORT",
+        help="query a running collector server (the tenant's merged "
+        "estimates across every client stream) instead of local state",
+    )
+    parser.add_argument(
+        "--tenant", type=str, default=None,
+        help="tenant name on the server (--connect mode)",
     )
     parser.add_argument(
         "--marginal", action="append", default=None, metavar="NAME",
@@ -539,6 +643,10 @@ def _query(argv) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.connect is not None:
+        return _query_connect(args, parser)
+    if args.state_dir is None:
+        parser.error("one of --state-dir or --connect is required")
     service = _service_from_design(args)
     try:
         front = service.queries
@@ -570,6 +678,39 @@ def _query(argv) -> int:
     return 0
 
 
+def _query_connect(args, parser) -> int:
+    """``query --connect``: tenant-level merged estimates over the wire."""
+    args.client_id = "cli-query"
+    client = _net_client(args, parser)
+    try:
+        if args.marginal:
+            marginals = {
+                name: client.query_marginal(name, repair=args.repair)
+                for name in args.marginal
+            }
+        else:
+            marginals = client.query_marginals(repair=args.repair)
+        answer = {
+            "connect": args.connect,
+            "tenant": args.tenant,
+            "repair": args.repair,
+            "marginals": marginals,
+        }
+        if args.pair:
+            answer["pairs"] = {
+                f"{a}|{b}": client.query_pair(a, b, repair=args.repair)
+                for a, b in args.pair
+            }
+    finally:
+        client.close()
+    text = json.dumps(answer, indent=2, sort_keys=True)
+    if args.output is not None:
+        args.output.write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # stats
 # ----------------------------------------------------------------------
@@ -581,8 +722,9 @@ def _stats(argv) -> int:
         "fingerprints; with --design also live counts and metrics).",
     )
     parser.add_argument(
-        "-s", "--state-dir", type=Path, required=True,
-        help="collector state directory",
+        "-s", "--state-dir", type=Path, default=None,
+        help="collector state directory — or a collector-server state "
+        "root / tenant directory, both rendered offline",
     )
     parser.add_argument(
         "--design", type=Path, default=None,
@@ -590,6 +732,16 @@ def _stats(argv) -> int:
         "is opened (recovering state, taking the state-dir lock) and "
         "the full live health snapshot is reported — omit it to "
         "inspect the directory read-only, e.g. while a collector runs",
+    )
+    parser.add_argument(
+        "--connect", type=str, default=None, metavar="HOST:PORT",
+        help="fetch the live health document (or Prometheus text) from "
+        "a running collector server; needs --design and --tenant for "
+        "the session handshake",
+    )
+    parser.add_argument(
+        "--tenant", type=str, default=None,
+        help="tenant name on the server (--connect mode)",
     )
     parser.add_argument(
         "--format", choices=("json", "prometheus"), default="json",
@@ -612,6 +764,10 @@ def _stats(argv) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.connect is not None:
+        return _stats_connect(args, parser)
+    if args.state_dir is None:
+        parser.error("one of --state-dir or --connect is required")
     if not _state_dir_has_state(args.state_dir):
         print(
             f"error: {args.state_dir} holds no collector state",
@@ -656,6 +812,148 @@ def _stats(argv) -> int:
         args.output.write_text(text + "\n", encoding="utf-8")
     else:
         print(text)
+    return 0
+
+
+def _stats_connect(args, parser) -> int:
+    """``stats --connect``: the live server's health or Prometheus text."""
+    args.client_id = "cli-stats"
+    client = _net_client(args, parser)
+    try:
+        if args.format == "prometheus":
+            text = client.metrics_text().rstrip("\n")
+        else:
+            document = client.health()
+            if args.check_schema:
+                validate_health(document)
+            text = json.dumps(document, indent=2, sort_keys=True)
+    finally:
+        client.close()
+    if args.output is not None:
+        args.output.write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def _parse_tenant_spec(value: str, parser) -> "tuple[str, Path]":
+    name, sep, design = value.partition("=")
+    if not sep or not name or not design:
+        parser.error(
+            f"--tenant expects NAME=DESIGN.json, got {value!r}"
+        )
+    return name, Path(design)
+
+
+def _serve(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize serve",
+        description="Run the multi-tenant collector server: accept "
+        "report frames over TCP, ack each one once durably journaled, "
+        "answer queries from the merged tenant estimates. SIGTERM "
+        "drains: in-flight batches commit, every tenant checkpoints, "
+        "then the process exits 0.",
+    )
+    parser.add_argument(
+        "-s", "--root", type=Path, required=True,
+        help="server state root (tenant directories live below it)",
+    )
+    parser.add_argument(
+        "--tenant", action="append", default=[], metavar="NAME=DESIGN",
+        help="serve tenant NAME pinned to the design document DESIGN "
+        "(repeatable; at least one required)",
+    )
+    parser.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="bind address (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 picks a free port and prints it "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-connections", type=positive_int, default=None,
+        help="admission-control cap on concurrent connections",
+    )
+    parser.add_argument(
+        "--max-tenants", type=positive_int, default=None,
+        help="LRU bound on tenants held open at once",
+    )
+    parser.add_argument(
+        "--budget-bytes", type=positive_int, default=None,
+        help="per-tenant in-flight byte budget before the server "
+        "stops reading that tenant's sockets (backpressure)",
+    )
+    parser.add_argument(
+        "--service-workers", type=positive_int, default=None,
+        help="shard each client stream across N worker processes "
+        "(default: in-process collector)",
+    )
+    parser.add_argument(
+        "--batch-size", type=positive_int, default=None,
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=positive_int, default=None,
+        help="checkpoint each stream every N frames",
+    )
+    parser.add_argument(
+        "--segment-bytes", type=positive_int, default=None,
+        help="journal segment size for each stream",
+    )
+    parser.add_argument(
+        "--max-frame-bytes", type=positive_int, default=None,
+        help="reject envelopes larger than this (oversize protection)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.tenant:
+        parser.error("at least one --tenant NAME=DESIGN is required")
+    designs = {}
+    for spec in args.tenant:
+        name, design_path = _parse_tenant_spec(spec, parser)
+        if name in designs:
+            parser.error(f"duplicate --tenant {name!r}")
+        designs[name] = design_path
+
+    import asyncio
+
+    from repro.service.net import (
+        DEFAULT_BUDGET_BYTES,
+        DEFAULT_MAX_CONNECTIONS,
+        DEFAULT_MAX_PAYLOAD,
+        DEFAULT_MAX_TENANTS,
+        CollectorServer,
+    )
+
+    server = CollectorServer(
+        args.root,
+        designs,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections or DEFAULT_MAX_CONNECTIONS,
+        max_tenants=args.max_tenants or DEFAULT_MAX_TENANTS,
+        budget_bytes=args.budget_bytes or DEFAULT_BUDGET_BYTES,
+        workers=args.service_workers or 0,
+        batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
+        checkpoint_every=args.checkpoint_every,
+        segment_bytes=args.segment_bytes,
+        max_payload=args.max_frame_bytes or DEFAULT_MAX_PAYLOAD,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        # Parsed by scripts (and the CI smoke step): flush so the
+        # address is visible before the first connection arrives.
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        await server.serve_forever(install_signals=True)
+
+    asyncio.run(_run())
+    print("drained", flush=True)
     return 0
 
 
@@ -704,6 +1002,7 @@ SERVICE_COMMANDS = {
     "compact": _compact,
     "stats": _stats,
     "scrub": _scrub,
+    "serve": _serve,
 }
 
 

@@ -39,6 +39,65 @@ from repro.service.shard import load_sharding_meta, shard_dir
 __all__ = ["storage_health"]
 
 
+def _tenant_summary(tenant_dir: Path) -> dict:
+    """Offline roll-up of one tenant directory's client streams."""
+    from repro.service.net.storage import load_tenant_meta
+
+    pin = load_tenant_meta(tenant_dir) or {}
+    clients = {}
+    frames = 0
+    clients_root = Path(tenant_dir) / "clients"
+    names = (
+        sorted(e.name for e in clients_root.iterdir() if e.is_dir())
+        if clients_root.is_dir()
+        else []
+    )
+    for name in names:
+        document = storage_health(clients_root / name)
+        clients[name] = document
+        frames += int(document["journal"]["n_frames"])
+    return {
+        "protocol": pin.get("protocol"),
+        "schema_fingerprint": pin.get("schema_fingerprint"),
+        "design_fingerprint": pin.get("design_fingerprint"),
+        "clients_open": 0,
+        "sessions": 0,
+        "frames_applied": int(frames),
+        "clients": clients,
+    }
+
+
+def _server_storage_health(root: Path) -> dict:
+    """Offline inspection of a collector-server state root.
+
+    The ``server`` section mirrors the live
+    :meth:`~repro.service.net.server.CollectorServer.health` shape
+    with the connection-time numbers at rest (no connections, no
+    in-flight bytes); ``tenants`` carries the per-tenant roll-ups so
+    ``repro-anonymize stats`` renders a whole multi-tenant root from
+    disk alone.
+    """
+    from repro.service.net.storage import LocalFSBackend
+
+    backend = LocalFSBackend(root)
+    tenants = {
+        name: _tenant_summary(backend.tenant_dir(name))
+        for name in backend.list_tenants()
+    }
+    return {
+        "version": HEALTH_VERSION,
+        "state_dir": str(root),
+        "server": {
+            "version": 1,
+            "connections": 0,
+            "tenants_open": len(tenants),
+            "bytes_in_flight": 0,
+            "backpressure_stalls": 0,
+        },
+        "tenants": tenants,
+    }
+
+
 def _sharded_storage_health(state: Path, meta: dict) -> dict:
     """Offline inspection of a sharded root: per-shard documents plus
     a merged journal/checkpoint roll-up, same shape as the live
@@ -149,6 +208,16 @@ def storage_health(state_dir) -> dict:
     state = Path(state_dir)
     if not state.is_dir():
         raise ServiceError(f"{state}: not a state directory")
+    from repro.service.net.storage import load_server_meta, load_tenant_meta
+
+    if load_server_meta(state) is not None:
+        return _server_storage_health(state)
+    if load_tenant_meta(state) is not None:
+        return {
+            "version": HEALTH_VERSION,
+            "state_dir": str(state),
+            "tenants": {state.name: _tenant_summary(state)},
+        }
     meta = load_sharding_meta(state)
     if meta is not None:
         return _sharded_storage_health(state, meta)

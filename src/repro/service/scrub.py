@@ -205,14 +205,85 @@ def scrub_state_dir(state_dir) -> dict:
     ``shard-NN/`` subdirectory is scrubbed as a flat state directory
     and the report carries the per-shard reports plus a merged
     roll-up; ``ok`` is True iff every shard is ok.
+
+    A collector-*server* root (``server.json``) or a single tenant
+    directory (``tenant.json``) recurses the same way: every client
+    stream's state directory is scrubbed as its own collector, and
+    ``ok`` is True iff every stream verified.
     """
     state = Path(state_dir)
     if not state.is_dir():
         raise ServiceError(f"{state}: not a state directory")
+    # Imported here (not at module top) to keep the scrub module free
+    # of the network package at import time — scrub is the one tool
+    # operators run on machines that never serve.
+    from repro.service.net.storage import load_server_meta, load_tenant_meta
+
+    if load_server_meta(state) is not None:
+        return _scrub_server_root(state)
+    if load_tenant_meta(state) is not None:
+        return _scrub_tenant_dir(state)
     meta = load_sharding_meta(state)
     if meta is not None:
         return _scrub_sharded_root(state, meta)
     return _scrub_flat_dir(state)
+
+
+def _scrub_tenant_dir(state: Path) -> dict:
+    """Scrub every client stream of one tenant directory."""
+    from repro.service.net.storage import load_tenant_meta
+
+    pin = load_tenant_meta(state)
+    errors = []
+    clients = {}
+    clients_root = state / "clients"
+    names = (
+        sorted(e.name for e in clients_root.iterdir() if e.is_dir())
+        if clients_root.is_dir()
+        else []
+    )
+    for name in names:
+        report = scrub_state_dir(clients_root / name)
+        clients[name] = report
+        errors.extend(f"client {name}: {m}" for m in report["errors"])
+        # The tenant pin and each stream's own design pin must agree:
+        # a client dir pinned to a different schema was written by a
+        # different design and cannot merge into this tenant.
+        stream_fp = report.get("design", {}).get("schema_fingerprint")
+        if stream_fp is not None and pin is not None:
+            if int(stream_fp) != int(pin["schema_fingerprint"]):
+                errors.append(
+                    f"client {name}: stream pinned to schema {stream_fp}, "
+                    f"tenant pinned to {pin['schema_fingerprint']}"
+                )
+    return {
+        "state_dir": str(state),
+        "ok": not errors,
+        "errors": errors,
+        "warnings": [],
+        "tenant": dict(pin or {}),
+        "clients": clients,
+    }
+
+
+def _scrub_server_root(state: Path) -> dict:
+    """Scrub every tenant (and every client stream) of a server root."""
+    from repro.service.net.storage import LocalFSBackend
+
+    backend = LocalFSBackend(state)
+    errors = []
+    tenants = {}
+    for tenant in backend.list_tenants():
+        report = _scrub_tenant_dir(backend.tenant_dir(tenant))
+        tenants[tenant] = report
+        errors.extend(f"tenant {tenant}: {m}" for m in report["errors"])
+    return {
+        "state_dir": str(state),
+        "ok": not errors,
+        "errors": errors,
+        "warnings": [],
+        "tenants": tenants,
+    }
 
 
 def _scrub_sharded_root(state: Path, meta: dict) -> dict:

@@ -1,0 +1,75 @@
+"""Shared fixtures for the network front-end suite.
+
+Every server here is a :class:`ThreadedCollectorServer` bound to an
+ephemeral loopback port; every client retry policy sleeps through an
+injected no-op so fault schedules run without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.algorithm import Clustering
+from repro.protocols import RRClusters, RRIndependent, RRJoint
+from repro.service.codec import ReportCodec
+from repro.service.journal import RetryPolicy
+from repro.service.net import ThreadedCollectorServer
+
+
+@pytest.fixture
+def clustering(small_schema):
+    return Clustering(
+        schema=small_schema, clusters=(("flag", "level"), ("color",))
+    )
+
+
+@pytest.fixture(params=["independent", "joint", "clusters"])
+def protocol(request, small_schema, clustering):
+    if request.param == "independent":
+        return RRIndependent(small_schema, p=0.7)
+    if request.param == "joint":
+        return RRJoint(small_schema, p=0.7)
+    return RRClusters(clustering, p=0.7)
+
+
+@pytest.fixture
+def independent(small_schema):
+    """The cheap protocol for tests that exercise transport, not math."""
+    return RRIndependent(small_schema, p=0.7)
+
+
+@pytest.fixture
+def released(protocol, small_dataset):
+    return protocol.randomize(small_dataset, rng=13)
+
+
+@pytest.fixture
+def frames(protocol, released):
+    codec = ReportCodec(protocol.schema)
+    return [
+        codec.encode(released.codes[start : start + 25])
+        for start in range(0, released.n_records, 25)
+    ]
+
+
+@pytest.fixture
+def no_sleep_retry():
+    """A retry policy that burns no wall clock between reconnects."""
+    return RetryPolicy(attempts=6, backoff_seconds=0.0, sleep=lambda s: None)
+
+
+@pytest.fixture
+def serve(tmp_path):
+    """Factory: start a threaded server over ``designs``; auto-stop."""
+    servers = []
+
+    def _serve(designs, **kwargs):
+        server = ThreadedCollectorServer(
+            tmp_path / "srvroot", designs, **kwargs
+        )
+        servers.append(server)
+        return server, server.start()
+
+    yield _serve
+    for server in servers:
+        server.stop()

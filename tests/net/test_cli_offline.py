@@ -1,0 +1,82 @@
+"""``repro-anonymize stats``/``scrub`` on network-collector state,
+offline — the operator never needs a running server to inspect one."""
+
+import json
+
+import pytest
+
+from repro.service.cli import service_main
+from repro.service.codec import ReportCodec
+from repro.service.net import CollectorClient
+
+
+@pytest.fixture
+def drained_root(independent, small_dataset, serve, tmp_path):
+    design = independent.to_design()
+    released = independent.randomize(small_dataset, rng=5)
+    codec = ReportCodec(independent.schema)
+    frames = [
+        codec.encode(released.codes[start : start + 25])
+        for start in range(0, released.n_records, 25)
+    ]
+    server, (host, port) = serve({"acme": (independent, design)})
+    with CollectorClient(
+        (host, port), tenant="acme", client="p1", design=design
+    ) as client:
+        client.ingest(frames)
+    server.stop()
+    return server.server.manager.backend.root, len(frames)
+
+
+class TestOfflineStats:
+    def test_stats_on_server_root(self, drained_root, tmp_path, capsys):
+        root, n_frames = drained_root
+        out = tmp_path / "doc.json"
+        rc = service_main(
+            ["stats", "-s", str(root), "--check-schema", "-o", str(out)]
+        )
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert document["server"]["version"] == 1
+        assert document["server"]["connections"] == 0
+        stream = document["tenants"]["acme"]["clients"]["p1"]
+        assert stream["journal"]["n_frames"] == n_frames
+        assert stream["checkpoint"]["frames_applied"] == n_frames
+
+    def test_stats_on_tenant_dir(self, drained_root, tmp_path):
+        root, n_frames = drained_root
+        out = tmp_path / "doc.json"
+        rc = service_main(
+            ["stats", "-s", str(root / "tenants" / "acme"), "-o", str(out)]
+        )
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert document["tenants"]["acme"]["frames_applied"] == n_frames
+
+    def test_scrub_server_root_exits_zero(self, drained_root, tmp_path):
+        root, _ = drained_root
+        out = tmp_path / "report.json"
+        rc = service_main(["scrub", "-s", str(root), "-o", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["ok"]
+        assert report["tenants"]["acme"]["ok"]
+
+    def test_scrub_catches_bit_rot_in_a_stream(self, drained_root, tmp_path):
+        root, _ = drained_root
+        stream_dir = root / "tenants" / "acme" / "clients" / "p1"
+        victim = next(stream_dir.glob("ingest.log*"))
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        out = tmp_path / "report.json"
+        rc = service_main(["scrub", "-s", str(root), "-o", str(out)])
+        assert rc == 1
+        report = json.loads(out.read_text())
+        assert not report["ok"]
+
+    def test_stats_rejects_empty_dir(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert service_main(["stats", "-s", str(empty)]) == 1
+        assert "no collector state" in capsys.readouterr().err

@@ -1,0 +1,311 @@
+"""Protocol fuzzing over raw sockets: every malformed input is refused
+with a typed ERROR and a closed session, and the server keeps serving.
+
+The client library can't send most of these byte sequences (it is
+well-behaved by construction), so these tests speak raw TCP.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.service.codec import ReportCodec
+from repro.service.net import CollectorClient
+from repro.service.net.protocol import (
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_INGEST,
+    MSG_WELCOME,
+    NET_MAGIC,
+    MessageDecoder,
+    decode_json,
+    encode_json,
+    encode_message,
+    hello_message,
+)
+
+
+def recv_messages(sock, *, n=1, timeout=10.0):
+    """Read until ``n`` decoded messages (or EOF) arrive."""
+    sock.settimeout(timeout)
+    decoder = MessageDecoder()
+    messages = []
+    while len(messages) < n:
+        data = sock.recv(65536)
+        if not data:
+            break
+        messages.extend(decoder.feed(data))
+    return messages
+
+
+def recv_eof(sock, *, timeout=10.0):
+    """True when the peer closes the connection."""
+    sock.settimeout(timeout)
+    while True:
+        if not sock.recv(65536):
+            return True
+
+
+def error_code(message):
+    mtype, payload = message
+    assert mtype == MSG_ERROR
+    return decode_json(payload, context="ERROR")["code"]
+
+
+@pytest.fixture
+def running(independent, small_dataset, serve):
+    """A server with one tenant plus the raw material to talk to it."""
+    design = independent.to_design()
+    released = independent.randomize(small_dataset, rng=5)
+    codec = ReportCodec(independent.schema)
+    frames = [
+        codec.encode(released.codes[start : start + 25])
+        for start in range(0, released.n_records, 25)
+    ]
+    server, (host, port) = serve({"acme": (independent, design)})
+    payload = design.payload()
+    hello = hello_message(
+        tenant="acme",
+        client="fuzz",
+        schema_fp=payload["schema_fingerprint"],
+        design_fp=payload["design_fingerprint"],
+    )
+    return {
+        "server": server,
+        "address": (host, port),
+        "design": design,
+        "frames": frames,
+        "hello": hello,
+    }
+
+
+def open_session(running):
+    sock = socket.create_connection(running["address"])
+    sock.sendall(running["hello"])
+    (welcome,) = recv_messages(sock, n=1)
+    assert welcome[0] == MSG_WELCOME
+    return sock
+
+
+def assert_still_serving(running):
+    """The ultimate fuzz assertion: a well-behaved client still works."""
+    with CollectorClient(
+        running["address"],
+        tenant="acme",
+        client="survivor",
+        design=running["design"],
+    ) as client:
+        before = client.connect()
+        durable = client.ingest(running["frames"][:2])
+        assert durable == before + 2
+
+
+class TestHandshakeFuzz:
+    @pytest.mark.quick
+    def test_garbage_bytes(self, running):
+        sock = socket.create_connection(running["address"])
+        sock.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "protocol"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    def test_random_binary_garbage(self, running):
+        import random
+
+        rng = random.Random(1234)
+        for _ in range(5):
+            blob = bytes(rng.randrange(256) for _ in range(200))
+            sock = socket.create_connection(running["address"])
+            sock.sendall(blob)
+            replies = recv_messages(sock, n=1)
+            # Either refused typed, or (if the blob happened to start
+            # with the magic and is still an incomplete envelope) the
+            # read simply blocks until we give up and close.
+            if replies:
+                assert error_code(replies[0]) == "protocol"
+                assert recv_eof(sock)
+            sock.close()
+        assert_still_serving(running)
+
+    @pytest.mark.quick
+    def test_ingest_before_hello(self, running):
+        sock = socket.create_connection(running["address"])
+        sock.sendall(encode_message(MSG_INGEST, running["frames"][0]))
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "protocol"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    def test_hello_with_corrupt_envelope_crc(self, running):
+        wire = bytearray(running["hello"])
+        wire[-1] ^= 0xFF
+        sock = socket.create_connection(running["address"])
+        sock.sendall(bytes(wire))
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "protocol"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    def test_hello_bad_json(self, running):
+        sock = socket.create_connection(running["address"])
+        sock.sendall(encode_message(MSG_HELLO, b"\x00 not json"))
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "protocol"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    def test_hello_unknown_tenant(self, running):
+        sock = socket.create_connection(running["address"])
+        sock.sendall(
+            encode_json(
+                MSG_HELLO,
+                {
+                    "version": 1,
+                    "tenant": "ghost",
+                    "client": "p1",
+                    "schema_fingerprint": 1,
+                    "design_fingerprint": "x",
+                },
+            )
+        )
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "unknown-tenant"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+
+class TestIngestFuzz:
+    @pytest.mark.quick
+    def test_corrupt_frame_crc(self, running):
+        """A frame whose *inner* CRC is damaged: typed codec error."""
+        frame = bytearray(running["frames"][0])
+        frame[-1] ^= 0xFF
+        sock = open_session(running)
+        sock.sendall(encode_message(MSG_INGEST, bytes(frame)))
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "codec"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    @pytest.mark.quick
+    def test_foreign_fingerprint_frame(self, running):
+        """A valid-shape frame pinned to someone else's schema: typed
+        refusal, never a silent drop."""
+        frame = bytearray(running["frames"][0])
+        # The u64 schema fingerprint lives at offset 6 of the report
+        # header; flip it to a foreign value.
+        frame[6:14] = struct.pack("<Q", 0xDEADBEEFDEADBEEF)
+        sock = open_session(running)
+        sock.sendall(encode_message(MSG_INGEST, bytes(frame)))
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "foreign-design"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    def test_truncated_frame(self, running):
+        """An envelope whose payload is a frame cut mid-body."""
+        frame = running["frames"][0][: len(running["frames"][0]) // 2]
+        sock = open_session(running)
+        sock.sendall(encode_message(MSG_INGEST, frame))
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) in ("codec", "foreign-design")
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    def test_empty_frame(self, running):
+        sock = open_session(running)
+        sock.sendall(encode_message(MSG_INGEST, b""))
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "codec"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    def test_oversize_envelope(self, running):
+        """A length field past the cap is refused from the header alone."""
+        sock = open_session(running)
+        header = struct.pack("<4sBI", NET_MAGIC, MSG_INGEST, 64 * 1024 * 1024)
+        sock.sendall(header)
+        (reply,) = recv_messages(sock, n=1)
+        assert error_code(reply) == "protocol"
+        assert recv_eof(sock)
+        sock.close()
+        assert_still_serving(running)
+
+    def test_mid_session_envelope_corruption(self, running):
+        """Good frames, then a corrupt envelope: the good prefix is
+        durable, the session dies typed, the stream is resumable."""
+        good = encode_message(MSG_INGEST, running["frames"][0])
+        bad = bytearray(encode_message(MSG_INGEST, running["frames"][1]))
+        bad[10] ^= 0xFF
+        sock = open_session(running)
+        sock.sendall(good + bytes(bad))
+        replies = recv_messages(sock, n=2)
+        codes = []
+        for mtype, payload in replies:
+            if mtype == MSG_ERROR:
+                codes.append(decode_json(payload, context="ERROR")["code"])
+        assert codes == ["protocol"]
+        assert recv_eof(sock)
+        sock.close()
+        # The acked frame survived: a successor session resumes at 1.
+        with CollectorClient(
+            running["address"],
+            tenant="acme",
+            client="fuzz",
+            design=running["design"],
+        ) as client:
+            assert client.connect() == 1
+        assert_still_serving(running)
+
+
+class TestIsolation:
+    def test_other_tenant_unaffected_by_fuzz(
+        self, independent, small_dataset, serve
+    ):
+        """Fuzzing tenant A's session never disturbs tenant B's."""
+        design = independent.to_design()
+        released = independent.randomize(small_dataset, rng=5)
+        codec = ReportCodec(independent.schema)
+        frames = [
+            codec.encode(released.codes[start : start + 25])
+            for start in range(0, released.n_records, 25)
+        ]
+        server, (host, port) = serve(
+            {"acme": (independent, design), "beta": (independent, design)}
+        )
+        with CollectorClient(
+            (host, port), tenant="beta", client="p1", design=design
+        ) as victim:
+            victim.ingest(frames[:4])
+            # Fuzz acme while beta's session is live.
+            payload = design.payload()
+            sock = socket.create_connection((host, port))
+            sock.sendall(
+                hello_message(
+                    tenant="acme",
+                    client="fuzz",
+                    schema_fp=payload["schema_fingerprint"],
+                    design_fp=payload["design_fingerprint"],
+                )
+            )
+            assert recv_messages(sock, n=1)[0][0] == MSG_WELCOME
+            corrupt = bytearray(frames[0])
+            corrupt[-1] ^= 0xFF
+            sock.sendall(encode_message(MSG_INGEST, bytes(corrupt)))
+            assert error_code(recv_messages(sock, n=1)[0]) == "codec"
+            sock.close()
+            # beta continues on the same live session.
+            assert victim.ingest(frames[4:]) == len(frames)
+            estimate = victim.query_marginal("flag")
+        assert len(estimate) == 2

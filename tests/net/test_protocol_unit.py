@@ -1,0 +1,213 @@
+"""Sans-io protocol layer: envelope framing, decoder, validators.
+
+No sockets anywhere — every byte sequence is fed straight into
+:class:`MessageDecoder`, which is the exact code path a server reader
+or client runs on received chunks.
+"""
+
+import struct
+
+import pytest
+
+from repro.exceptions import HandshakeError, WireProtocolError
+from repro.service.net.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    MSG_ACK,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_INGEST,
+    NET_MAGIC,
+    NET_VERSION,
+    MessageDecoder,
+    decode_json,
+    encode_json,
+    encode_message,
+    error_payload,
+    hello_message,
+    parse_hello,
+    parse_query,
+    valid_name,
+)
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        payload = b"\x00\x01\x02frame-bytes"
+        wire = encode_message(MSG_INGEST, payload)
+        decoder = MessageDecoder()
+        messages = decoder.feed(wire)
+        assert messages == [(MSG_INGEST, payload)]
+
+    def test_empty_payload_round_trip(self):
+        decoder = MessageDecoder()
+        assert decoder.feed(encode_message(MSG_ACK)) == [(MSG_ACK, b"")]
+
+    def test_byte_at_a_time_feed(self):
+        wire = encode_message(MSG_INGEST, b"x" * 100)
+        decoder = MessageDecoder()
+        collected = []
+        for i in range(len(wire)):
+            collected.extend(decoder.feed(wire[i : i + 1]))
+        assert collected == [(MSG_INGEST, b"x" * 100)]
+
+    def test_multiple_messages_one_chunk(self):
+        wire = encode_message(MSG_ACK, b"a") + encode_message(MSG_ACK, b"b")
+        decoder = MessageDecoder()
+        assert decoder.feed(wire) == [(MSG_ACK, b"a"), (MSG_ACK, b"b")]
+
+    def test_json_round_trip(self):
+        wire = encode_json(MSG_ERROR, {"code": "x", "message": "y"})
+        ((mtype, payload),) = MessageDecoder().feed(wire)
+        assert mtype == MSG_ERROR
+        assert decode_json(payload, context="ERROR") == {
+            "code": "x",
+            "message": "y",
+        }
+
+    def test_error_payload_shape(self):
+        ((mtype, payload),) = MessageDecoder().feed(
+            error_payload("busy", "full")
+        )
+        assert mtype == MSG_ERROR
+        assert decode_json(payload, context="ERROR") == {
+            "code": "busy",
+            "error": "full",
+        }
+
+
+class TestDecoderRejections:
+    def test_bad_magic_rejected_immediately(self):
+        # A wrong magic is detected from the very first divergent byte,
+        # before a full header arrives.
+        with pytest.raises(WireProtocolError, match="magic"):
+            MessageDecoder().feed(b"HTTP")
+
+    def test_bad_magic_partial_prefix(self):
+        with pytest.raises(WireProtocolError):
+            MessageDecoder().feed(b"MRX")
+
+    def test_unknown_message_type(self):
+        wire = bytearray(encode_message(MSG_ACK, b""))
+        wire[4] = 0x7F
+        with pytest.raises(WireProtocolError, match="type"):
+            MessageDecoder().feed(bytes(wire))
+
+    def test_crc_corruption_detected(self):
+        wire = bytearray(encode_message(MSG_INGEST, b"payload-bytes"))
+        wire[-1] ^= 0xFF
+        with pytest.raises(WireProtocolError, match="CRC"):
+            MessageDecoder().feed(bytes(wire))
+
+    def test_payload_corruption_detected(self):
+        wire = bytearray(encode_message(MSG_INGEST, b"payload-bytes"))
+        wire[12] ^= 0x01  # inside the payload
+        with pytest.raises(WireProtocolError, match="CRC"):
+            MessageDecoder().feed(bytes(wire))
+
+    def test_oversize_rejected_from_header_alone(self):
+        # The decoder must refuse from the length field, before
+        # buffering the (unbounded) payload.
+        header = struct.pack(
+            "<4sBI", NET_MAGIC, MSG_INGEST, DEFAULT_MAX_PAYLOAD + 1
+        )
+        with pytest.raises(WireProtocolError, match="payload"):
+            MessageDecoder().feed(header)
+
+    def test_custom_max_payload(self):
+        small = MessageDecoder(max_payload=16)
+        with pytest.raises(WireProtocolError, match="payload"):
+            small.feed(encode_message(MSG_INGEST, b"x" * 17))
+
+    def test_truncated_message_is_just_pending(self):
+        wire = encode_message(MSG_INGEST, b"x" * 50)
+        decoder = MessageDecoder()
+        assert decoder.feed(wire[:-1]) == []  # incomplete, not an error
+        assert decoder.feed(wire[-1:]) == [(MSG_INGEST, b"x" * 50)]
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name", ["acme", "a", "party-1", "p.1_x", "A" * 64]
+    )
+    def test_valid(self, name):
+        assert valid_name(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", "-acme", ".hidden", "a/b", "a b", "a" * 65, "..", "a..b", 7],
+    )
+    def test_invalid(self, name):
+        assert not valid_name(name)
+
+
+class TestHello:
+    def _payload(self, **overrides):
+        wire = hello_message(
+            tenant="acme", client="party-1", schema_fp=12345, design_fp="ab"
+        )
+        ((_, payload),) = MessageDecoder().feed(wire)
+        doc = decode_json(payload, context="HELLO")
+        doc.update(overrides)
+        return encode_json(MSG_HELLO, doc)[9:-4]  # strip envelope
+
+    def test_round_trip(self):
+        hello = parse_hello(self._payload())
+        assert hello["tenant"] == "acme"
+        assert hello["client"] == "party-1"
+        assert hello["schema_fingerprint"] == 12345
+        assert hello["design_fingerprint"] == "ab"
+
+    def test_version_mismatch(self):
+        with pytest.raises(HandshakeError, match="version"):
+            parse_hello(self._payload(version=NET_VERSION + 1))
+
+    def test_bad_tenant_name(self):
+        with pytest.raises(HandshakeError, match="tenant"):
+            parse_hello(self._payload(tenant="../escape"))
+
+    def test_bad_client_name(self):
+        with pytest.raises(HandshakeError, match="client"):
+            parse_hello(self._payload(client=""))
+
+    def test_non_json_payload(self):
+        with pytest.raises(WireProtocolError):
+            parse_hello(b"\x00not json")
+
+    def test_missing_field(self):
+        with pytest.raises((HandshakeError, WireProtocolError)):
+            parse_hello(encode_json(MSG_HELLO, {"version": NET_VERSION})[9:-4])
+
+
+class TestParseQuery:
+    def _query(self, **doc):
+        return encode_json(MSG_HELLO, doc)[9:-4]
+
+    def test_marginal(self):
+        query = parse_query(self._query(kind="marginal", name="flag"))
+        assert query["kind"] == "marginal"
+        assert query["name"] == "flag"
+        assert query["repair"] == "clip"
+
+    def test_pair(self):
+        query = parse_query(
+            self._query(kind="pair", a="flag", b="level", repair="none")
+        )
+        assert (query["a"], query["b"], query["repair"]) == (
+            "flag",
+            "level",
+            "none",
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(WireProtocolError, match="kind"):
+            parse_query(self._query(kind="cube"))
+
+    def test_bad_repair(self):
+        with pytest.raises(WireProtocolError, match="repair"):
+            parse_query(
+                self._query(kind="marginal", name="flag", repair="magic")
+            )
+
+    def test_marginal_needs_name(self):
+        with pytest.raises(WireProtocolError):
+            parse_query(self._query(kind="marginal"))

@@ -1,0 +1,194 @@
+"""The resend contract under socket-fault schedules.
+
+Deterministic schedules pin the cases the contract is *about* (a
+disconnect mid-frame, a disconnect between acks, a refused reconnect);
+seeded random schedules then sweep combinations. Every case ends in
+the same place: the tenant's merged estimates are byte-identical to an
+offline ingest of the same frames — an acked frame is never lost and a
+resent frame is never double-counted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.faults.net import (
+    SocketFaultPlan,
+    SocketFaultRule,
+    random_socket_plan,
+)
+from repro.service.codec import ReportCodec
+from repro.service.journal import RetryPolicy
+from repro.service.net import CollectorClient
+from repro.service.pipeline import CollectorService
+
+
+@pytest.fixture
+def materials(independent, small_dataset):
+    released = independent.randomize(small_dataset, rng=5)
+    codec = ReportCodec(independent.schema)
+    frames = [
+        codec.encode(released.codes[start : start + 25])
+        for start in range(0, released.n_records, 25)
+    ]
+    return independent, independent.to_design(), frames
+
+
+def expected_marginals(protocol, frames, state_dir):
+    service = CollectorService.for_protocol(protocol, state_dir)
+    try:
+        service.ingest(frames)
+        return {
+            name: service.queries.marginal(name)
+            for name in protocol.collection.member_names
+        }
+    finally:
+        service.close()
+
+
+def assert_identical(materials, serve_addr, plan, tmp_path, retry):
+    protocol, design, frames = materials
+    with CollectorClient(
+        serve_addr,
+        tenant="acme",
+        client="p1",
+        design=design,
+        retry=retry,
+        window=4,
+        faults=plan,
+    ) as client:
+        durable = client.ingest(frames)
+    assert durable == len(frames)
+    with CollectorClient(
+        serve_addr, tenant="acme", client="reader", design=design
+    ) as reader:
+        remote = {
+            name: reader.query_marginal(name)
+            for name in protocol.collection.member_names
+        }
+    expected = expected_marginals(protocol, frames, tmp_path / "offline")
+    for name, estimate in expected.items():
+        np.testing.assert_array_equal(np.asarray(remote[name]), estimate)
+
+
+class TestDeterministicSchedules:
+    @pytest.mark.quick
+    def test_disconnect_mid_frame_resends_exactly(
+        self, materials, serve, tmp_path, no_sleep_retry
+    ):
+        """A torn send mid-frame: the server journals the clean prefix,
+        the client resends from the durable index, nothing is counted
+        twice."""
+        protocol, design, frames = materials
+        plan = SocketFaultPlan(
+            rules=[SocketFaultRule(op="send", nth=3, torn_bytes=7)]
+        )
+        server, address = serve({"acme": (protocol, design)})
+        assert_identical(materials, address, plan, tmp_path, no_sleep_retry)
+        assert [op for op, _, _ in plan.fired_log] == ["send"]
+
+    @pytest.mark.quick
+    def test_disconnect_between_frames(
+        self, materials, serve, tmp_path, no_sleep_retry
+    ):
+        protocol, design, frames = materials
+        plan = SocketFaultPlan(
+            rules=[SocketFaultRule(op="send", nth=5)]
+        )
+        server, address = serve({"acme": (protocol, design)})
+        assert_identical(materials, address, plan, tmp_path, no_sleep_retry)
+        assert len(plan.fired_log) == 1
+
+    def test_disconnect_on_recv_loses_acks_not_frames(
+        self, materials, serve, tmp_path, no_sleep_retry
+    ):
+        """Dying while *reading acks* forces a resend of frames the
+        server already journaled — the canonical double-count trap."""
+        protocol, design, frames = materials
+        plan = SocketFaultPlan(
+            rules=[SocketFaultRule(op="recv", nth=2)]
+        )
+        server, address = serve({"acme": (protocol, design)})
+        assert_identical(materials, address, plan, tmp_path, no_sleep_retry)
+        assert len(plan.fired_log) == 1
+
+    def test_two_disconnects_in_one_stream(
+        self, materials, serve, tmp_path, no_sleep_retry
+    ):
+        protocol, design, frames = materials
+        plan = SocketFaultPlan(
+            rules=[
+                SocketFaultRule(op="send", nth=2, torn_bytes=3),
+                SocketFaultRule(op="send", nth=6),
+            ]
+        )
+        server, address = serve({"acme": (protocol, design)})
+        assert_identical(materials, address, plan, tmp_path, no_sleep_retry)
+        assert len(plan.fired_log) == 2
+
+    def test_connect_refused_then_retried(
+        self, materials, serve, tmp_path, no_sleep_retry
+    ):
+        """The first dial fails; the retry policy dials again."""
+        protocol, design, frames = materials
+        plan = SocketFaultPlan(
+            rules=[SocketFaultRule(op="connect", nth=0)]
+        )
+        server, address = serve({"acme": (protocol, design)})
+        assert_identical(materials, address, plan, tmp_path, no_sleep_retry)
+
+    def test_retries_exhausted_raises_network_error(
+        self, materials, serve, tmp_path
+    ):
+        """A sticky disconnect burns every attempt, then fails typed."""
+        protocol, design, frames = materials
+        plan = SocketFaultPlan(
+            rules=[SocketFaultRule(op="send", nth=0, sticky=True)]
+        )
+        server, address = serve({"acme": (protocol, design)})
+        client = CollectorClient(
+            address,
+            tenant="acme",
+            client="p1",
+            design=design,
+            retry=RetryPolicy(
+                attempts=3, backoff_seconds=0.0, sleep=lambda s: None
+            ),
+            faults=plan,
+        )
+        with pytest.raises(NetworkError):
+            client.ingest(frames)
+        client.close()
+        # Frames acked before the fault (none here, or the clean
+        # prefix) stay durable; a clean successor finishes the job.
+        with CollectorClient(
+            address, tenant="acme", client="p1", design=design
+        ) as successor:
+            assert successor.ingest(frames[successor.connect():]) == len(
+                frames
+            )
+
+
+class TestSeededSchedules:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    @pytest.mark.quick
+    def test_random_schedule_quick(
+        self, materials, serve, tmp_path, no_sleep_retry, seed
+    ):
+        protocol, design, frames = materials
+        plan = random_socket_plan(
+            seed, n_sends=len(frames) + 2, n_recvs=len(frames)
+        )
+        server, address = serve({"acme": (protocol, design)})
+        assert_identical(materials, address, plan, tmp_path, no_sleep_retry)
+
+    @pytest.mark.parametrize("seed", list(range(100, 112)))
+    def test_random_schedule_matrix(
+        self, materials, serve, tmp_path, no_sleep_retry, seed
+    ):
+        protocol, design, frames = materials
+        plan = random_socket_plan(
+            seed, n_sends=len(frames) + 2, n_recvs=len(frames)
+        )
+        server, address = serve({"acme": (protocol, design)})
+        assert_identical(materials, address, plan, tmp_path, no_sleep_retry)

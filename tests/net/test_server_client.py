@@ -1,0 +1,317 @@
+"""Server + client end to end on loopback: identity, tenancy, limits.
+
+The load-bearing assertion throughout: estimates served by the network
+path are byte-identical to a single offline
+:class:`~repro.service.pipeline.CollectorService` ingest of the same
+frames — the network front-end adds durability and tenancy, never
+numerics.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RemoteServiceError
+from repro.protocols import RRIndependent
+from repro.service.codec import ReportCodec
+from repro.service.net import CollectorClient
+from repro.service.pipeline import CollectorService
+
+
+def make_frames(protocol, released, *, per_frame=25):
+    codec = ReportCodec(protocol.schema)
+    return [
+        codec.encode(released.codes[start : start + per_frame])
+        for start in range(0, released.n_records, per_frame)
+    ]
+
+
+def offline_frontend(protocol, frames, state_dir):
+    service = CollectorService.for_protocol(protocol, state_dir)
+    service.ingest(frames)
+    return service
+
+
+class TestByteIdentityPerProtocol:
+    def test_network_ingest_matches_offline(
+        self, protocol, frames, serve, tmp_path
+    ):
+        server, (host, port) = serve(
+            {"acme": (protocol, protocol.to_design())}
+        )
+        with CollectorClient(
+            (host, port), tenant="acme", client="p1", design=protocol.to_design()
+        ) as client:
+            durable = client.ingest(frames)
+            assert durable == len(frames)
+            remote = {
+                name: client.query_marginal(name)
+                for name in protocol.collection.member_names
+            }
+            remote_pair = client.query_pair("flag", "level")
+        offline = offline_frontend(protocol, frames, tmp_path / "offline")
+        try:
+            for name in protocol.collection.member_names:
+                np.testing.assert_array_equal(
+                    np.asarray(remote[name]),
+                    offline.queries.marginal(name),
+                )
+            np.testing.assert_array_equal(
+                np.asarray(remote_pair),
+                offline.queries.pair_table("flag", "level"),
+            )
+        finally:
+            offline.close()
+
+    def test_marginals_batch_query(self, protocol, frames, serve, tmp_path):
+        server, (host, port) = serve(
+            {"acme": (protocol, protocol.to_design())}
+        )
+        with CollectorClient(
+            (host, port), tenant="acme", client="p1", design=protocol.to_design()
+        ) as client:
+            client.ingest(frames)
+            estimates = client.query_marginals()
+        offline = offline_frontend(protocol, frames, tmp_path / "offline")
+        try:
+            assert set(estimates) == set(protocol.collection.member_names)
+            for name, values in estimates.items():
+                np.testing.assert_array_equal(
+                    np.asarray(values), offline.queries.marginal(name)
+                )
+        finally:
+            offline.close()
+
+
+class TestMultiClientMultiTenant:
+    def test_concurrent_clients_merge_to_offline_identity(
+        self, independent, small_schema, small_dataset, serve, tmp_path
+    ):
+        """3 clients x 2 tenants, concurrently, each shipping a slice;
+        each tenant's merged estimate equals one offline ingest of all
+        of that tenant's frames."""
+        protocol = independent
+        design = protocol.to_design()
+        tenant_frames = {}
+        for seed, tenant in ((21, "acme"), (22, "beta")):
+            released = protocol.randomize(small_dataset, rng=seed)
+            tenant_frames[tenant] = make_frames(protocol, released)
+        server, (host, port) = serve(
+            {name: (protocol, design) for name in tenant_frames}
+        )
+
+        failures = []
+
+        def ship(tenant, client_name, slice_frames):
+            try:
+                with CollectorClient(
+                    (host, port),
+                    tenant=tenant,
+                    client=client_name,
+                    design=design,
+                ) as client:
+                    client.ingest(slice_frames)
+            except Exception as exc:  # surfaced after join
+                failures.append((tenant, client_name, exc))
+
+        threads = []
+        for tenant, frames in tenant_frames.items():
+            for i in range(3):
+                threads.append(
+                    threading.Thread(
+                        target=ship, args=(tenant, f"p{i}", frames[i::3])
+                    )
+                )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert failures == []
+
+        for tenant, frames in tenant_frames.items():
+            with CollectorClient(
+                (host, port), tenant=tenant, client="reader", design=design
+            ) as client:
+                remote = client.query_marginal("color")
+            offline = offline_frontend(
+                protocol, frames, tmp_path / f"offline-{tenant}"
+            )
+            try:
+                np.testing.assert_array_equal(
+                    np.asarray(remote), offline.queries.marginal("color")
+                )
+            finally:
+                offline.close()
+
+    def test_tenants_are_isolated(
+        self, independent, small_dataset, serve, tmp_path
+    ):
+        protocol = independent
+        design = protocol.to_design()
+        frames = make_frames(protocol, protocol.randomize(small_dataset, rng=5))
+        server, (host, port) = serve(
+            {"acme": (protocol, design), "beta": (protocol, design)}
+        )
+        with CollectorClient(
+            (host, port), tenant="acme", client="p1", design=design
+        ) as client:
+            client.ingest(frames)
+        # beta saw nothing: its merged front-end has no counts yet.
+        with CollectorClient(
+            (host, port), tenant="beta", client="p1", design=design
+        ) as client:
+            with pytest.raises(RemoteServiceError) as info:
+                client.query_marginal("flag")
+        assert info.value.code == "query"
+
+
+class TestHandshakeRefusals:
+    def test_unknown_tenant(self, independent, serve):
+        design = independent.to_design()
+        server, (host, port) = serve({"acme": (independent, design)})
+        client = CollectorClient(
+            (host, port), tenant="ghost", client="p1", design=design
+        )
+        with pytest.raises(RemoteServiceError) as info:
+            client.connect()
+        assert info.value.code == "unknown-tenant"
+        client.close()
+
+    def test_foreign_design(self, independent, small_schema, serve):
+        server, (host, port) = serve(
+            {"acme": (independent, independent.to_design())}
+        )
+        other = RRIndependent(small_schema, p=0.51)
+        client = CollectorClient(
+            (host, port), tenant="acme", client="p1", design=other.to_design()
+        )
+        with pytest.raises(RemoteServiceError) as info:
+            client.connect()
+        assert info.value.code == "foreign-design"
+        client.close()
+
+    def test_session_conflict_one_writer_per_stream(
+        self, independent, serve
+    ):
+        design = independent.to_design()
+        server, (host, port) = serve({"acme": (independent, design)})
+        first = CollectorClient(
+            (host, port), tenant="acme", client="p1", design=design
+        )
+        first.connect()
+        try:
+            second = CollectorClient(
+                (host, port), tenant="acme", client="p1", design=design
+            )
+            with pytest.raises(RemoteServiceError) as info:
+                second.connect()
+            assert info.value.code == "session-conflict"
+            second.close()
+            # A *different* client id is fine concurrently.
+            third = CollectorClient(
+                (host, port), tenant="acme", client="p2", design=design
+            )
+            assert third.connect() == 0
+            third.close()
+        finally:
+            first.close()
+        # Closing releases the stream for a successor.
+        successor = CollectorClient(
+            (host, port), tenant="acme", client="p1", design=design
+        )
+        assert successor.connect() == 0
+        successor.close()
+
+
+class TestOperationalSurfaces:
+    def test_health_and_metrics_over_the_wire(
+        self, independent, small_dataset, serve
+    ):
+        from repro.obs.health import validate_health
+
+        design = independent.to_design()
+        frames = make_frames(
+            independent, independent.randomize(small_dataset, rng=5)
+        )
+        server, (host, port) = serve({"acme": (independent, design)})
+        with CollectorClient(
+            (host, port), tenant="acme", client="p1", design=design
+        ) as client:
+            client.ingest(frames)
+            health = client.health()
+            text = client.metrics_text()
+        validate_health(health)
+        assert health["server"]["version"] == 1
+        assert health["server"]["connections"] >= 1
+        assert health["tenants"]["acme"]["frames_applied"] == len(frames)
+        assert "net_frames_received_total" in text
+        assert "# TYPE" in text
+
+    def test_backpressure_engages_under_tiny_budget(
+        self, independent, small_dataset, serve
+    ):
+        design = independent.to_design()
+        frames = make_frames(
+            independent, independent.randomize(small_dataset, rng=5)
+        )
+        # Budget smaller than two frames: the reader must pause at
+        # least once while the drainer catches up.
+        budget = len(frames[0]) + 1
+        server, (host, port) = serve(
+            {"acme": (independent, design)}, budget_bytes=budget
+        )
+        with CollectorClient(
+            (host, port), tenant="acme", client="p1", design=design
+        ) as client:
+            assert client.ingest(frames) == len(frames)
+            health = client.health()
+        assert health["server"]["backpressure_stalls"] >= 1
+        assert health["server"]["bytes_in_flight"] == 0
+
+    def test_admission_control_refuses_over_capacity(
+        self, independent, serve
+    ):
+        design = independent.to_design()
+        server, (host, port) = serve(
+            {"acme": (independent, design)}, max_connections=1
+        )
+        first = CollectorClient(
+            (host, port), tenant="acme", client="p1", design=design
+        )
+        first.connect()
+        try:
+            second = CollectorClient(
+                (host, port), tenant="acme", client="p2", design=design
+            )
+            with pytest.raises(RemoteServiceError) as info:
+                second.connect()
+            assert info.value.code == "busy"
+            second.close()
+        finally:
+            first.close()
+
+    def test_drain_checkpoints_every_stream(
+        self, independent, small_dataset, serve, tmp_path
+    ):
+        from repro.service.health import storage_health
+        from repro.service.scrub import scrub_state_dir
+
+        design = independent.to_design()
+        frames = make_frames(
+            independent, independent.randomize(small_dataset, rng=5)
+        )
+        server, (host, port) = serve({"acme": (independent, design)})
+        with CollectorClient(
+            (host, port), tenant="acme", client="p1", design=design
+        ) as client:
+            client.ingest(frames)
+        server.stop()
+        root = server.server.manager.backend.root
+        document = storage_health(root)
+        stream = document["tenants"]["acme"]["clients"]["p1"]
+        assert stream["journal"]["n_frames"] == len(frames)
+        assert stream["checkpoint"]["present"]
+        assert stream["checkpoint"]["frames_applied"] == len(frames)
+        report = scrub_state_dir(root)
+        assert report["ok"]

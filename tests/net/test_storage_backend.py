@@ -1,0 +1,80 @@
+"""Storage connector seam: layout, name hygiene, meta round-trips."""
+
+import pytest
+
+from repro.exceptions import HandshakeError
+from repro.service.net.storage import (
+    SERVER_META,
+    TENANT_META,
+    LocalFSBackend,
+    StorageBackend,
+    load_server_meta,
+    load_tenant_meta,
+    save_server_meta,
+    save_tenant_meta,
+)
+
+
+class TestLocalFSLayout:
+    def test_is_a_storage_backend(self, tmp_path):
+        assert isinstance(LocalFSBackend(tmp_path), StorageBackend)
+
+    def test_tenant_and_client_dirs_nest_under_root(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "root")
+        tenant_dir = backend.tenant_dir("acme")
+        client_dir = backend.client_dir("acme", "party-1")
+        assert tenant_dir == tmp_path / "root" / "tenants" / "acme"
+        assert client_dir == tenant_dir / "clients" / "party-1"
+
+    def test_listings_sorted_and_empty_safe(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "root")
+        assert backend.list_tenants() == []
+        for tenant in ("zeta", "acme"):
+            for client in ("p2", "p1"):
+                backend.client_dir(tenant, client).mkdir(parents=True)
+        assert backend.list_tenants() == ["acme", "zeta"]
+        assert backend.list_clients("acme") == ["p1", "p2"]
+        assert backend.list_clients("ghost") == []
+
+    @pytest.mark.parametrize(
+        "name", ["../up", "a/b", "", ".hidden", "-x", "a" * 65]
+    )
+    def test_traversal_and_junk_names_refused(self, tmp_path, name):
+        backend = LocalFSBackend(tmp_path)
+        with pytest.raises(HandshakeError):
+            backend.tenant_dir(name)
+        with pytest.raises(HandshakeError):
+            backend.client_dir("acme", name)
+
+
+class TestMetaRoundTrips:
+    def test_server_meta(self, tmp_path):
+        assert load_server_meta(tmp_path) is None
+        save_server_meta(tmp_path, payload={"tenants": ["acme"]})
+        meta = load_server_meta(tmp_path)
+        assert meta["version"] == 1
+        assert meta["tenants"] == ["acme"]
+        assert (tmp_path / SERVER_META).exists()
+
+    def test_tenant_meta(self, tmp_path):
+        tenant_dir = tmp_path / "tenants" / "acme"
+        assert load_tenant_meta(tenant_dir) is None
+        save_tenant_meta(
+            tenant_dir,
+            tenant="acme",
+            protocol="RR-Independent",
+            schema_fp=123,
+            design_fp="abcd",
+        )
+        meta = load_tenant_meta(tenant_dir)
+        assert meta["tenant"] == "acme"
+        assert meta["protocol"] == "RR-Independent"
+        assert meta["schema_fingerprint"] == 123
+        assert meta["design_fingerprint"] == "abcd"
+        assert (tenant_dir / TENANT_META).exists()
+
+    def test_backend_server_meta_helpers(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "root")
+        assert backend.load_server_meta() is None
+        backend.save_server_meta({"tenants": []})
+        assert backend.load_server_meta()["version"] == 1

@@ -23,6 +23,8 @@ REPRO_ALL = [
     "ServiceError", "CodecError",
     "StorageFullError", "TransientIOError", "SegmentQuarantinedError",
     "ShardFailedError",
+    "NetworkError", "WireProtocolError", "HandshakeError",
+    "RemoteServiceError",
     # data
     "Attribute", "Schema", "Dataset", "Domain",
     "adult_schema", "load_adult", "synthesize_adult", "replicate",
@@ -87,6 +89,12 @@ SERVICE_ALL = [
     "Supervisor",
     "QueryFrontend",
     "scrub_state_dir",
+    "CollectorServer",
+    "ThreadedCollectorServer",
+    "CollectorClient",
+    "TenantManager",
+    "StorageBackend",
+    "LocalFSBackend",
 ]
 
 PROTOCOLS_ALL = [
